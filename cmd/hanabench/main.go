@@ -1,0 +1,66 @@
+// Command hanabench regenerates every experiment of the reproduction
+// (one per paper figure; see DESIGN.md §5) and prints the measured
+// tables recorded in EXPERIMENTS.md.
+//
+// Usage:
+//
+//	hanabench                  # run all experiments at scale 1.0
+//	hanabench -scale 0.2       # faster, smaller
+//	hanabench -run E05,E08     # selected experiments
+//	hanabench -list            # list experiment ids
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"repro/internal/experiments"
+)
+
+func main() {
+	scale := flag.Float64("scale", 1.0, "workload scale factor")
+	run := flag.String("run", "", "comma-separated experiment ids (default: all)")
+	seed := flag.Int64("seed", 42, "workload seed")
+	list := flag.Bool("list", false, "list experiments and exit")
+	flag.Parse()
+
+	all := experiments.All()
+	if *list {
+		for _, e := range all {
+			fmt.Printf("%s  %s\n", e.ID, e.Title)
+		}
+		return
+	}
+	selected := all
+	if *run != "" {
+		selected = nil
+		for _, id := range strings.Split(*run, ",") {
+			e, ok := experiments.ByID(strings.TrimSpace(id))
+			if !ok {
+				fmt.Fprintf(os.Stderr, "hanabench: unknown experiment %q (try -list)\n", id)
+				os.Exit(2)
+			}
+			selected = append(selected, e)
+		}
+	}
+	cfg := experiments.Config{Scale: *scale, Seed: *seed}
+	fmt.Printf("hanabench: scale=%.2f seed=%d (%d experiments)\n\n", *scale, *seed, len(selected))
+	failed := 0
+	for _, e := range selected {
+		start := time.Now()
+		rep, err := e.Run(cfg)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "%s FAILED: %v\n\n", e.ID, err)
+			failed++
+			continue
+		}
+		fmt.Print(rep.String())
+		fmt.Printf("(%s wall time)\n\n", time.Since(start).Round(time.Millisecond))
+	}
+	if failed > 0 {
+		os.Exit(1)
+	}
+}

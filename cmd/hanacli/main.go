@@ -1,0 +1,54 @@
+// Command hanacli is an interactive client for hanaserver's line
+// protocol: it forwards stdin lines and prints responses until the
+// terminating OK/ERR/END marker of each command.
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"net"
+	"os"
+	"strings"
+)
+
+func main() {
+	addr := flag.String("addr", "127.0.0.1:7654", "server address")
+	flag.Parse()
+
+	conn, err := net.Dial("tcp", *addr)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "hanacli: %v\n", err)
+		os.Exit(1)
+	}
+	defer conn.Close()
+	fmt.Printf("connected to %s — type commands (QUIT to exit)\n", *addr)
+
+	in := bufio.NewScanner(os.Stdin)
+	out := bufio.NewWriter(conn)
+	resp := bufio.NewScanner(conn)
+	resp.Buffer(make([]byte, 1<<16), 1<<20)
+
+	for {
+		fmt.Print("hana> ")
+		if !in.Scan() {
+			return
+		}
+		line := strings.TrimSpace(in.Text())
+		if line == "" {
+			continue
+		}
+		fmt.Fprintln(out, line)
+		out.Flush()
+		for resp.Scan() {
+			text := resp.Text()
+			fmt.Println(text)
+			if strings.HasPrefix(text, "OK") || strings.HasPrefix(text, "ERR") || text == "END" {
+				break
+			}
+		}
+		if strings.EqualFold(line, "QUIT") {
+			return
+		}
+	}
+}

@@ -1,0 +1,454 @@
+// Command hanaserver exposes a database over a minimal line protocol
+// on TCP — the "connection and session management layer" slot of the
+// paper's architecture (Fig. 2), radically simplified. Every
+// connection is a session with an optional open transaction
+// (autocommit otherwise).
+//
+// Protocol (one command per line, fields separated by spaces; VARCHAR
+// values use single quotes):
+//
+//	CREATE <table> <name:kind[:null]>... KEY <ordinal>
+//	INSERT <table> <v1> <v2> ...
+//	GET <table> <key>
+//	UPDATE <table> <key> <v1> <v2> ...
+//	DELETE <table> <key>
+//	COUNT <table>
+//	SCAN <table> [<limit>]
+//	AGG <table> <groupCol> <sumCol>
+//	MERGE <table>
+//	STATS <table>
+//	BEGIN [STMT] | COMMIT | ABORT
+//	SAVEPOINT
+//	QUIT
+//
+// Responses: "OK[ detail]", "ERR <msg>", or row lines followed by
+// "END".
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"log"
+	"net"
+	"strconv"
+	"strings"
+
+	hana "repro"
+)
+
+func main() {
+	addr := flag.String("addr", "127.0.0.1:7654", "listen address")
+	dir := flag.String("dir", "", "persistence directory (empty = in-memory)")
+	flag.Parse()
+
+	db := hana.MustOpen(hana.Options{Dir: *dir, AutoMerge: true})
+	defer db.Close()
+
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		log.Fatalf("hanaserver: %v", err)
+	}
+	log.Printf("hanaserver: listening on %s (dir=%q)", *addr, *dir)
+	for {
+		conn, err := ln.Accept()
+		if err != nil {
+			log.Printf("hanaserver: accept: %v", err)
+			return
+		}
+		go serve(db, conn)
+	}
+}
+
+type session struct {
+	db  *hana.DB
+	txn *hana.Txn
+}
+
+func serve(db *hana.DB, conn net.Conn) {
+	defer conn.Close()
+	s := &session{db: db}
+	sc := bufio.NewScanner(conn)
+	sc.Buffer(make([]byte, 1<<16), 1<<20)
+	w := bufio.NewWriter(conn)
+	defer w.Flush()
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		if line == "" {
+			continue
+		}
+		if strings.EqualFold(line, "QUIT") {
+			fmt.Fprintln(w, "OK bye")
+			w.Flush()
+			return
+		}
+		s.handle(w, line)
+		w.Flush()
+	}
+	if s.txn != nil {
+		s.db.Abort(s.txn)
+	}
+}
+
+// tx returns the session transaction, or a fresh autocommit one.
+func (s *session) tx() (*hana.Txn, bool) {
+	if s.txn != nil {
+		return s.txn, false
+	}
+	return s.db.Begin(hana.TxnSnapshot), true
+}
+
+func (s *session) finish(w *bufio.Writer, tx *hana.Txn, auto bool, err error) {
+	if err != nil {
+		if auto {
+			s.db.Abort(tx)
+		}
+		fmt.Fprintf(w, "ERR %v\n", err)
+		return
+	}
+	if auto {
+		if err := s.db.Commit(tx); err != nil {
+			fmt.Fprintf(w, "ERR %v\n", err)
+			return
+		}
+	}
+	fmt.Fprintln(w, "OK")
+}
+
+func (s *session) handle(w *bufio.Writer, line string) {
+	fields, err := tokenize(line)
+	if err != nil {
+		fmt.Fprintf(w, "ERR %v\n", err)
+		return
+	}
+	cmd := strings.ToUpper(fields[0])
+	args := fields[1:]
+	switch cmd {
+	case "BEGIN":
+		if s.txn != nil {
+			fmt.Fprintln(w, "ERR transaction already open")
+			return
+		}
+		level := hana.TxnSnapshot
+		if len(args) > 0 && strings.EqualFold(args[0], "STMT") {
+			level = hana.StmtSnapshot
+		}
+		s.txn = s.db.Begin(level)
+		fmt.Fprintln(w, "OK")
+	case "COMMIT":
+		if s.txn == nil {
+			fmt.Fprintln(w, "ERR no transaction")
+			return
+		}
+		err := s.db.Commit(s.txn)
+		s.txn = nil
+		if err != nil {
+			fmt.Fprintf(w, "ERR %v\n", err)
+			return
+		}
+		fmt.Fprintln(w, "OK")
+	case "ABORT":
+		if s.txn == nil {
+			fmt.Fprintln(w, "ERR no transaction")
+			return
+		}
+		s.db.Abort(s.txn)
+		s.txn = nil
+		fmt.Fprintln(w, "OK")
+	case "SAVEPOINT":
+		if err := s.db.Savepoint(); err != nil {
+			fmt.Fprintf(w, "ERR %v\n", err)
+			return
+		}
+		fmt.Fprintln(w, "OK")
+	case "CREATE":
+		s.create(w, args)
+	case "INSERT", "GET", "UPDATE", "DELETE", "COUNT", "SCAN", "AGG", "MERGE", "STATS":
+		if len(args) < 1 {
+			fmt.Fprintln(w, "ERR missing table")
+			return
+		}
+		t := s.db.Table(args[0])
+		if t == nil {
+			fmt.Fprintf(w, "ERR no table %q\n", args[0])
+			return
+		}
+		s.table(w, cmd, t, args[1:])
+	default:
+		fmt.Fprintf(w, "ERR unknown command %q\n", cmd)
+	}
+}
+
+func (s *session) create(w *bufio.Writer, args []string) {
+	if len(args) < 4 {
+		fmt.Fprintln(w, "ERR usage: CREATE <table> <name:kind>... KEY <ordinal>")
+		return
+	}
+	name := args[0]
+	var cols []hana.Column
+	key := -1
+	i := 1
+	for ; i < len(args); i++ {
+		if strings.EqualFold(args[i], "KEY") {
+			if i+1 >= len(args) {
+				fmt.Fprintln(w, "ERR KEY needs an ordinal")
+				return
+			}
+			k, err := strconv.Atoi(args[i+1])
+			if err != nil {
+				fmt.Fprintf(w, "ERR %v\n", err)
+				return
+			}
+			key = k
+			break
+		}
+		parts := strings.Split(args[i], ":")
+		col := hana.Column{Name: parts[0]}
+		if len(parts) > 1 {
+			switch strings.ToUpper(parts[1]) {
+			case "BIGINT", "INT":
+				col.Kind = hana.Int64
+			case "DOUBLE", "FLOAT":
+				col.Kind = hana.Float64
+			case "VARCHAR", "STRING":
+				col.Kind = hana.String
+			case "DATE":
+				col.Kind = hana.DateKind
+			case "BOOL", "BOOLEAN":
+				col.Kind = hana.BoolKind
+			default:
+				fmt.Fprintf(w, "ERR unknown kind %q\n", parts[1])
+				return
+			}
+		}
+		col.Nullable = len(parts) > 2 && strings.EqualFold(parts[2], "null")
+		cols = append(cols, col)
+	}
+	schema, err := hana.NewSchema(cols, key)
+	if err != nil {
+		fmt.Fprintf(w, "ERR %v\n", err)
+		return
+	}
+	if _, err := s.db.CreateTable(hana.TableConfig{
+		Name: name, Schema: schema, CheckUnique: key >= 0,
+		Compress: true, CompactDicts: true,
+	}); err != nil {
+		fmt.Fprintf(w, "ERR %v\n", err)
+		return
+	}
+	fmt.Fprintln(w, "OK")
+}
+
+func (s *session) table(w *bufio.Writer, cmd string, t *hana.Table, args []string) {
+	schema := t.Schema()
+	switch cmd {
+	case "INSERT":
+		row, err := parseRow(schema, args)
+		if err != nil {
+			fmt.Fprintf(w, "ERR %v\n", err)
+			return
+		}
+		tx, auto := s.tx()
+		_, err = t.Insert(tx, row)
+		s.finish(w, tx, auto, err)
+	case "UPDATE":
+		if len(args) < 1 {
+			fmt.Fprintln(w, "ERR usage: UPDATE <table> <key> <values...>")
+			return
+		}
+		key, err := parseValue(schema.Columns[schema.Key].Kind, args[0])
+		if err != nil {
+			fmt.Fprintf(w, "ERR %v\n", err)
+			return
+		}
+		row, err := parseRow(schema, args[1:])
+		if err != nil {
+			fmt.Fprintf(w, "ERR %v\n", err)
+			return
+		}
+		tx, auto := s.tx()
+		_, err = t.UpdateKey(tx, key, row)
+		s.finish(w, tx, auto, err)
+	case "DELETE":
+		if len(args) != 1 {
+			fmt.Fprintln(w, "ERR usage: DELETE <table> <key>")
+			return
+		}
+		key, err := parseValue(schema.Columns[schema.Key].Kind, args[0])
+		if err != nil {
+			fmt.Fprintf(w, "ERR %v\n", err)
+			return
+		}
+		tx, auto := s.tx()
+		n, err := t.DeleteKey(tx, key)
+		if err == nil && n == 0 {
+			err = fmt.Errorf("key %s not found", args[0])
+		}
+		s.finish(w, tx, auto, err)
+	case "GET":
+		if len(args) != 1 {
+			fmt.Fprintln(w, "ERR usage: GET <table> <key>")
+			return
+		}
+		key, err := parseValue(schema.Columns[schema.Key].Kind, args[0])
+		if err != nil {
+			fmt.Fprintf(w, "ERR %v\n", err)
+			return
+		}
+		v := t.View(s.txn)
+		m := v.Get(key)
+		v.Close()
+		if m == nil {
+			fmt.Fprintln(w, "END")
+			return
+		}
+		fmt.Fprintln(w, renderRow(m.Row))
+		fmt.Fprintln(w, "END")
+	case "COUNT":
+		v := t.View(s.txn)
+		n := v.Count()
+		v.Close()
+		fmt.Fprintf(w, "OK %d\n", n)
+	case "SCAN":
+		limit := 100
+		if len(args) > 0 {
+			if n, err := strconv.Atoi(args[0]); err == nil {
+				limit = n
+			}
+		}
+		v := t.View(s.txn)
+		n := 0
+		v.ScanAll(func(_ hana.RowID, row []hana.Value) bool {
+			fmt.Fprintln(w, renderRow(row))
+			n++
+			return n < limit
+		})
+		v.Close()
+		fmt.Fprintln(w, "END")
+	case "AGG":
+		if len(args) != 2 {
+			fmt.Fprintln(w, "ERR usage: AGG <table> <groupCol> <sumCol>")
+			return
+		}
+		gc, err1 := strconv.Atoi(args[0])
+		sc, err2 := strconv.Atoi(args[1])
+		if err1 != nil || err2 != nil {
+			fmt.Fprintln(w, "ERR column ordinals must be integers")
+			return
+		}
+		g := hana.NewGraph()
+		agg := g.Aggregate(g.Table(t), []int{gc},
+			hana.Agg{Func: hana.Count}, hana.Agg{Func: hana.Sum, Col: sc})
+		rows, err := hana.ExecuteGraph(g, agg, hana.Env{Txn: s.txn})
+		if err != nil {
+			fmt.Fprintf(w, "ERR %v\n", err)
+			return
+		}
+		for _, r := range rows {
+			fmt.Fprintln(w, renderRow(r))
+		}
+		fmt.Fprintln(w, "END")
+	case "MERGE":
+		if _, err := t.MergeL1(); err != nil {
+			fmt.Fprintf(w, "ERR %v\n", err)
+			return
+		}
+		if _, err := t.MergeMain(); err != nil {
+			fmt.Fprintf(w, "ERR %v\n", err)
+			return
+		}
+		fmt.Fprintln(w, "OK")
+	case "STATS":
+		st := t.Stats()
+		fmt.Fprintf(w, "OK l1=%d l2=%d frozen=%d main=%d parts=%d tombstones=%d l1merges=%d mainmerges=%d\n",
+			st.L1Rows, st.L2Rows, st.FrozenL2Rows, st.MainRows, st.MainParts,
+			st.Tombstones, st.L1Merges, st.MainMerges)
+	}
+}
+
+// tokenize splits a command line, honoring single-quoted strings.
+func tokenize(line string) ([]string, error) {
+	var out []string
+	var cur strings.Builder
+	inQuote := false
+	flush := func() {
+		if cur.Len() > 0 {
+			out = append(out, cur.String())
+			cur.Reset()
+		}
+	}
+	for i := 0; i < len(line); i++ {
+		c := line[i]
+		switch {
+		case c == '\'':
+			if inQuote {
+				out = append(out, "'"+cur.String())
+				cur.Reset()
+				inQuote = false
+			} else {
+				flush()
+				inQuote = true
+			}
+		case c == ' ' && !inQuote:
+			flush()
+		default:
+			cur.WriteByte(c)
+		}
+	}
+	if inQuote {
+		return nil, fmt.Errorf("unterminated quote")
+	}
+	flush()
+	if len(out) == 0 {
+		return nil, fmt.Errorf("empty command")
+	}
+	return out, nil
+}
+
+// parseRow parses typed values; quoted tokens carry a leading '.
+func parseRow(schema *hana.Schema, args []string) ([]hana.Value, error) {
+	if len(args) != len(schema.Columns) {
+		return nil, fmt.Errorf("want %d values, got %d", len(schema.Columns), len(args))
+	}
+	row := make([]hana.Value, len(args))
+	for i, a := range args {
+		v, err := parseValue(schema.Columns[i].Kind, a)
+		if err != nil {
+			return nil, err
+		}
+		row[i] = v
+	}
+	return row, nil
+}
+
+func parseValue(kind hana.Kind, tok string) (hana.Value, error) {
+	if tok == "NULL" {
+		return hana.Null, nil
+	}
+	tok = strings.TrimPrefix(tok, "'")
+	switch kind {
+	case hana.Int64:
+		n, err := strconv.ParseInt(tok, 10, 64)
+		return hana.Int(n), err
+	case hana.Float64:
+		f, err := strconv.ParseFloat(tok, 64)
+		return hana.Float(f), err
+	case hana.String:
+		return hana.Str(tok), nil
+	case hana.DateKind:
+		n, err := strconv.ParseInt(tok, 10, 64)
+		return hana.Date(n), err
+	case hana.BoolKind:
+		b, err := strconv.ParseBool(tok)
+		return hana.Bool(b), err
+	}
+	return hana.Null, fmt.Errorf("unsupported kind")
+}
+
+func renderRow(row []hana.Value) string {
+	parts := make([]string, len(row))
+	for i, v := range row {
+		parts[i] = v.String()
+	}
+	return "ROW " + strings.Join(parts, "\t")
+}

@@ -1,0 +1,158 @@
+package main
+
+import (
+	"bufio"
+	"fmt"
+	"net"
+	"strings"
+	"testing"
+
+	hana "repro"
+)
+
+// client drives the protocol over an in-memory pipe.
+type client struct {
+	t    *testing.T
+	conn net.Conn
+	r    *bufio.Scanner
+}
+
+func newClient(t *testing.T) *client {
+	t.Helper()
+	db := hana.MustOpen(hana.Options{})
+	t.Cleanup(func() { db.Close() })
+	server, clientSide := net.Pipe()
+	go serve(db, server)
+	c := &client{t: t, conn: clientSide, r: bufio.NewScanner(clientSide)}
+	t.Cleanup(func() { clientSide.Close() })
+	return c
+}
+
+// send issues a command and returns all response lines up to the
+// terminator.
+func (c *client) send(cmd string) []string {
+	c.t.Helper()
+	fmt.Fprintln(c.conn, cmd)
+	var out []string
+	for c.r.Scan() {
+		line := c.r.Text()
+		out = append(out, line)
+		if strings.HasPrefix(line, "OK") || strings.HasPrefix(line, "ERR") || line == "END" {
+			return out
+		}
+	}
+	c.t.Fatalf("connection closed during %q", cmd)
+	return nil
+}
+
+func (c *client) expectOK(cmd string) string {
+	c.t.Helper()
+	out := c.send(cmd)
+	last := out[len(out)-1]
+	if !strings.HasPrefix(last, "OK") {
+		c.t.Fatalf("%q → %v", cmd, out)
+	}
+	return last
+}
+
+func TestProtocolEndToEnd(t *testing.T) {
+	c := newClient(t)
+	c.expectOK("CREATE orders id:int customer:varchar amount:double KEY 0")
+	c.expectOK("INSERT orders 1 'Acme Corp' 9.99")
+	c.expectOK("INSERT orders 2 'Bolt Ltd' 5.00")
+
+	out := c.send("GET orders 1")
+	if len(out) != 2 || !strings.Contains(out[0], "Acme Corp") {
+		t.Fatalf("GET → %v", out)
+	}
+	if got := c.expectOK("COUNT orders"); got != "OK 2" {
+		t.Fatalf("COUNT → %q", got)
+	}
+	out = c.send("SCAN orders")
+	if len(out) != 3 { // 2 rows + END
+		t.Fatalf("SCAN → %v", out)
+	}
+	c.expectOK("UPDATE orders 1 1 'Acme Corp' 19.99")
+	out = c.send("GET orders 1")
+	if !strings.Contains(out[0], "19.99") {
+		t.Fatalf("after update: %v", out)
+	}
+	c.expectOK("MERGE orders")
+	stats := c.expectOK("STATS orders")
+	if !strings.Contains(stats, "main=2") {
+		t.Fatalf("STATS → %q", stats)
+	}
+	c.expectOK("DELETE orders 2")
+	if got := c.expectOK("COUNT orders"); got != "OK 1" {
+		t.Fatalf("COUNT after delete → %q", got)
+	}
+	out = c.send("AGG orders 1 2")
+	if len(out) != 2 || !strings.Contains(out[0], "Acme Corp") {
+		t.Fatalf("AGG → %v", out)
+	}
+}
+
+func TestProtocolTransactions(t *testing.T) {
+	c := newClient(t)
+	c.expectOK("CREATE t id:int v:varchar KEY 0")
+	c.expectOK("BEGIN")
+	c.expectOK("INSERT t 1 'pending'")
+	// Uncommitted row visible inside the transaction…
+	if got := c.expectOK("COUNT t"); got != "OK 1" {
+		t.Fatalf("in-txn COUNT → %q", got)
+	}
+	c.expectOK("ABORT")
+	if got := c.expectOK("COUNT t"); got != "OK 0" {
+		t.Fatalf("post-abort COUNT → %q", got)
+	}
+	c.expectOK("BEGIN")
+	c.expectOK("INSERT t 2 'kept'")
+	c.expectOK("COMMIT")
+	if got := c.expectOK("COUNT t"); got != "OK 1" {
+		t.Fatalf("post-commit COUNT → %q", got)
+	}
+}
+
+func TestProtocolErrors(t *testing.T) {
+	c := newClient(t)
+	cases := []string{
+		"NOSUCH",
+		"GET missing 1",
+		"CREATE",
+		"COMMIT",
+		"INSERT",
+	}
+	for _, cmd := range cases {
+		out := c.send(cmd)
+		if !strings.HasPrefix(out[len(out)-1], "ERR") {
+			t.Errorf("%q → %v, want ERR", cmd, out)
+		}
+	}
+	c.expectOK("CREATE t id:int v:varchar KEY 0")
+	c.expectOK("INSERT t 1 'x'")
+	out := c.send("INSERT t 1 'dup'")
+	if !strings.HasPrefix(out[0], "ERR") || !strings.Contains(out[0], "duplicate") {
+		t.Errorf("duplicate insert → %v", out)
+	}
+	out = c.send("INSERT t notanint 'x'")
+	if !strings.HasPrefix(out[0], "ERR") {
+		t.Errorf("bad int → %v", out)
+	}
+	out = c.send("INSERT t 2 'unterminated")
+	if !strings.HasPrefix(out[0], "ERR") {
+		t.Errorf("unterminated quote → %v", out)
+	}
+}
+
+func TestTokenize(t *testing.T) {
+	toks, err := tokenize("INSERT t 1 'two words' 3")
+	if err != nil || len(toks) != 5 || toks[3] != "'two words" {
+		t.Fatalf("toks=%v err=%v", toks, err)
+	}
+	if _, err := tokenize("'open"); err == nil {
+		t.Error("unterminated quote accepted")
+	}
+	if _, err := tokenize("   "); err == nil {
+		t.Error("empty command accepted")
+	}
+}

@@ -1,0 +1,82 @@
+// Quickstart: create a unified table, run transactions, watch records
+// move through the record life cycle, and query at every stage.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	hana "repro"
+)
+
+func main() {
+	// An in-memory database; pass Options.Dir for durability.
+	db := hana.MustOpen(hana.Options{})
+	defer db.Close()
+
+	orders, err := db.CreateTable(hana.TableConfig{
+		Name: "orders",
+		Schema: hana.MustSchema([]hana.Column{
+			{Name: "id", Kind: hana.Int64},
+			{Name: "customer", Kind: hana.String},
+			{Name: "amount", Kind: hana.Float64},
+		}, 0 /* primary key = id */),
+		CheckUnique:  true,
+		Compress:     true,
+		CompactDicts: true,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Transactional inserts land in the write-optimized L1-delta.
+	tx := db.Begin(hana.TxnSnapshot)
+	for i := int64(1); i <= 1000; i++ {
+		cust := fmt.Sprintf("customer-%02d", i%10)
+		if _, err := orders.Insert(tx, hana.Row(hana.Int(i), hana.Str(cust), hana.Float(float64(i)/10))); err != nil {
+			log.Fatal(err)
+		}
+	}
+	if err := db.Commit(tx); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("loaded: %+v\n", stageSummary(orders))
+
+	// Point query through the primary-key index.
+	v := orders.View(nil)
+	if m := v.Get(hana.Int(42)); m != nil {
+		fmt.Printf("order 42: customer=%s amount=%s\n", m.Row[1], m.Row[2])
+	}
+	v.Close()
+
+	// Propagate through the record life cycle (the background
+	// scheduler does this automatically with Options.AutoMerge).
+	if _, err := orders.MergeL1(); err != nil {
+		log.Fatal(err)
+	}
+	if _, err := orders.MergeMain(); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("merged: %+v\n", stageSummary(orders))
+
+	// Analytics on the same table via a calculation graph.
+	g := hana.NewGraph()
+	agg := g.Aggregate(
+		g.Filter(g.Table(orders), hana.Cmp{Col: 2, Op: hana.Gt, Val: hana.Float(50)}),
+		[]int{1},
+		hana.Agg{Func: hana.Count}, hana.Agg{Func: hana.Sum, Col: 2},
+	)
+	rows, err := hana.ExecuteGraph(g, agg, hana.Env{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("customers with orders over 50.00:")
+	for _, r := range rows {
+		fmt.Printf("  %-14s count=%-4s sum=%s\n", r[0], r[1], r[2])
+	}
+}
+
+func stageSummary(t *hana.Table) string {
+	st := t.Stats()
+	return fmt.Sprintf("L1=%d L2=%d main=%d rows", st.L1Rows, st.L2Rows+st.FrozenL2Rows, st.MainRows)
+}

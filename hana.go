@@ -1,0 +1,259 @@
+// Package hana is a from-scratch Go reproduction of the storage and
+// query architecture described in "Efficient Transaction Processing
+// in SAP HANA Database — The End of a Column Store Myth" (Sikka,
+// Färber, Lehner, Cha, Peh, Bornhövd; SIGMOD 2012).
+//
+// The core abstraction is the unified table: one logical table whose
+// records move through a three-stage physical life cycle —
+//
+//	L1-delta   row format, write-optimized, uncompressed
+//	L2-delta   column format, unsorted dictionaries, inverted indexes
+//	main       column format, sorted prefix-coded dictionaries,
+//	           bit-packed and compressed value indexes
+//
+// — propagated asynchronously by the L1→L2 merge and the classic,
+// re-sorting, or partial L2→main merge, so that the same physical
+// table serves high-rate transactional updates and scan-heavy
+// analytics. Transactions get snapshot isolation from MVCC (both
+// transaction-level and statement-level); durability comes from
+// write-once redo logging plus savepoints on a paged virtual-file
+// store; queries run either through simple table views or through
+// calculation graphs executed by the relational/OLAP operator engine.
+//
+// # Quick start
+//
+//	db, _ := hana.Open(hana.Options{})
+//	defer db.Close()
+//	orders, _ := db.CreateTable(hana.TableConfig{
+//		Name: "orders",
+//		Schema: hana.MustSchema([]hana.Column{
+//			{Name: "id", Kind: hana.Int64},
+//			{Name: "customer", Kind: hana.String},
+//			{Name: "amount", Kind: hana.Float64},
+//		}, 0),
+//		CheckUnique: true,
+//	})
+//	tx := db.Begin(hana.TxnSnapshot)
+//	orders.Insert(tx, hana.Row(hana.Int(1), hana.Str("acme"), hana.Float(9.99)))
+//	db.Commit(tx)
+//
+//	v := orders.View(nil)
+//	defer v.Close()
+//	match := v.Get(hana.Int(1))
+//
+// See the examples/ directory for runnable scenarios and DESIGN.md
+// for the system inventory and the paper-experiment index.
+package hana
+
+import (
+	"repro/internal/calc"
+	"repro/internal/core"
+	"repro/internal/engine"
+	"repro/internal/expr"
+	"repro/internal/mvcc"
+	"repro/internal/types"
+)
+
+// Core database objects (aliases keep the full method sets).
+type (
+	// DB is a database instance: transaction manager, redo log,
+	// savepoints, tables, and the background merge scheduler.
+	DB = core.Database
+	// Options configures Open.
+	Options = core.DBOptions
+	// Table is a unified table.
+	Table = core.Table
+	// TableConfig configures CreateTable.
+	TableConfig = core.TableConfig
+	// TableStats is a snapshot of a table's physical life-cycle state.
+	TableStats = core.TableStats
+	// View is a pinned, snapshot-consistent read view of a table.
+	View = core.View
+	// Match is a row produced by a view read.
+	Match = core.Match
+	// Txn is a transaction handle.
+	Txn = mvcc.Txn
+	// IsolationLevel selects snapshot granularity.
+	IsolationLevel = mvcc.IsolationLevel
+	// MergeStrategy selects the L2→main merge variant.
+	MergeStrategy = core.MergeStrategy
+)
+
+// Value model.
+type (
+	// Value is a typed cell.
+	Value = types.Value
+	// Kind is a column data type.
+	Kind = types.Kind
+	// Column describes one table attribute.
+	Column = types.Column
+	// Schema is an ordered column list with a primary key.
+	Schema = types.Schema
+	// RowID is a record's life-long identifier.
+	RowID = types.RowID
+)
+
+// Predicates.
+type (
+	// Predicate filters rows.
+	Predicate = expr.Predicate
+	// Cmp compares a column with a constant.
+	Cmp = expr.Cmp
+	// Between is a range predicate.
+	Between = expr.Between
+	// In is list membership.
+	In = expr.In
+	// Like is a string-prefix match.
+	Like = expr.Like
+	// And is a conjunction.
+	And = expr.And
+	// Or is a disjunction.
+	Or = expr.Or
+	// Not negates.
+	Not = expr.Not
+)
+
+// Calculation graphs and the operator engine.
+type (
+	// Graph is a calculation graph under construction (§2.1).
+	Graph = calc.Graph
+	// Node is one calc-graph operator.
+	Node = calc.Node
+	// StarDim describes a star-join dimension arm.
+	StarDim = calc.StarDim
+	// Registry holds named calc views.
+	Registry = calc.Registry
+	// Env is the calc execution environment.
+	Env = calc.Env
+	// Agg is an aggregate specification.
+	Agg = engine.Agg
+	// SortSpec orders by a column.
+	SortSpec = engine.SortSpec
+)
+
+// Data type kinds.
+const (
+	// Int64 is a 64-bit integer column.
+	Int64 = types.KindInt64
+	// Float64 is a double-precision column.
+	Float64 = types.KindFloat64
+	// String is a variable-length string column.
+	String = types.KindString
+	// DateKind is a day-precision date column.
+	DateKind = types.KindDate
+	// BoolKind is a boolean column.
+	BoolKind = types.KindBool
+)
+
+// Isolation levels (§1: "both transaction level snapshot isolation
+// and statement level snapshot isolation").
+const (
+	// TxnSnapshot freezes one snapshot per transaction.
+	TxnSnapshot = mvcc.TxnSnapshot
+	// StmtSnapshot refreshes the snapshot per statement.
+	StmtSnapshot = mvcc.StmtSnapshot
+)
+
+// Merge strategies (§4).
+const (
+	// MergeClassic is the full merge of §4.1.
+	MergeClassic = core.MergeClassic
+	// MergeResort is the re-sorting merge of §4.2.
+	MergeResort = core.MergeResort
+	// MergePartial is the passive/active partial merge of §4.3.
+	MergePartial = core.MergePartial
+)
+
+// Comparison operators for Cmp.
+const (
+	// Eq is =.
+	Eq = expr.OpEq
+	// Ne is <>.
+	Ne = expr.OpNe
+	// Lt is <.
+	Lt = expr.OpLt
+	// Le is <=.
+	Le = expr.OpLe
+	// Gt is >.
+	Gt = expr.OpGt
+	// Ge is >=.
+	Ge = expr.OpGe
+)
+
+// Aggregate functions.
+const (
+	// Count counts rows.
+	Count = engine.AggCount
+	// Sum sums a column.
+	Sum = engine.AggSum
+	// Min takes the minimum.
+	Min = engine.AggMin
+	// Max takes the maximum.
+	Max = engine.AggMax
+	// Avg averages a column.
+	Avg = engine.AggAvg
+)
+
+// Errors.
+var (
+	// ErrDuplicateKey reports a primary-key violation.
+	ErrDuplicateKey = core.ErrDuplicateKey
+	// ErrWriteConflict reports a write-write conflict between
+	// concurrent transactions.
+	ErrWriteConflict = mvcc.ErrWriteConflict
+)
+
+// Open opens a database. With Options.Dir set it recovers from the
+// last savepoint and redo log; with Options.AutoMerge the background
+// scheduler propagates records through the life cycle automatically.
+func Open(opts Options) (*DB, error) { return core.OpenDatabase(opts) }
+
+// MustOpen is Open for programs that cannot continue without a
+// database; it panics on error.
+func MustOpen(opts Options) *DB {
+	db, err := Open(opts)
+	if err != nil {
+		panic(err)
+	}
+	return db
+}
+
+// NewSchema builds and validates a schema; key is the primary-key
+// column ordinal (-1 for none).
+func NewSchema(cols []Column, key int) (*Schema, error) { return types.NewSchema(cols, key) }
+
+// MustSchema is NewSchema for statically known schemas.
+func MustSchema(cols []Column, key int) *Schema { return types.MustSchema(cols, key) }
+
+// Row builds a row from values.
+func Row(vs ...Value) []Value { return vs }
+
+// Value constructors.
+var (
+	// Int makes an INT64 value.
+	Int = types.Int
+	// Float makes a DOUBLE value.
+	Float = types.Float
+	// Str makes a VARCHAR value.
+	Str = types.Str
+	// Bool makes a BOOLEAN value.
+	Bool = types.Bool
+	// Date makes a DATE value from days since the Unix epoch.
+	Date = types.Date
+	// DateOf makes a DATE value from a time.Time.
+	DateOf = types.DateOf
+	// Null is SQL NULL.
+	Null = types.Null
+)
+
+// NewGraph starts a calculation graph.
+func NewGraph() *Graph { return calc.NewGraph() }
+
+// NewRegistry creates a calc-view registry.
+func NewRegistry() *Registry { return calc.NewRegistry() }
+
+// ExecuteGraph validates, optimizes, and runs a calc graph, returning
+// the materialized result of root.
+func ExecuteGraph(g *Graph, root *Node, env Env) ([][]Value, error) {
+	return calc.Execute(g, root, env)
+}

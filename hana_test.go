@@ -1,0 +1,106 @@
+package hana_test
+
+import (
+	"errors"
+	"testing"
+
+	hana "repro"
+)
+
+func openOrders(t *testing.T) (*hana.DB, *hana.Table) {
+	t.Helper()
+	db := hana.MustOpen(hana.Options{})
+	t.Cleanup(func() { db.Close() })
+	orders, err := db.CreateTable(hana.TableConfig{
+		Name: "orders",
+		Schema: hana.MustSchema([]hana.Column{
+			{Name: "id", Kind: hana.Int64},
+			{Name: "customer", Kind: hana.String},
+			{Name: "amount", Kind: hana.Float64},
+		}, 0),
+		CheckUnique: true, Compress: true, CompactDicts: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return db, orders
+}
+
+// TestPublicAPIQuickstart runs the package-doc quick start end to end.
+func TestPublicAPIQuickstart(t *testing.T) {
+	db, orders := openOrders(t)
+
+	tx := db.Begin(hana.TxnSnapshot)
+	if _, err := orders.Insert(tx, hana.Row(hana.Int(1), hana.Str("acme"), hana.Float(9.99))); err != nil {
+		t.Fatal(err)
+	}
+	if err := db.Commit(tx); err != nil {
+		t.Fatal(err)
+	}
+
+	v := orders.View(nil)
+	defer v.Close()
+	m := v.Get(hana.Int(1))
+	if m == nil || m.Row[1].S != "acme" {
+		t.Fatalf("Get = %+v", m)
+	}
+}
+
+func TestPublicAPIDuplicateAndConflictErrors(t *testing.T) {
+	db, orders := openOrders(t)
+	tx := db.Begin(hana.TxnSnapshot)
+	orders.Insert(tx, hana.Row(hana.Int(1), hana.Str("a"), hana.Float(1)))
+	db.Commit(tx)
+
+	tx2 := db.Begin(hana.TxnSnapshot)
+	_, err := orders.Insert(tx2, hana.Row(hana.Int(1), hana.Str("b"), hana.Float(2)))
+	if !errors.Is(err, hana.ErrDuplicateKey) {
+		t.Errorf("err = %v", err)
+	}
+	db.Abort(tx2)
+}
+
+func TestPublicAPICalcGraph(t *testing.T) {
+	db, orders := openOrders(t)
+	tx := db.Begin(hana.TxnSnapshot)
+	for i := int64(1); i <= 20; i++ {
+		cust := "acme"
+		if i%2 == 0 {
+			cust = "bolt"
+		}
+		orders.Insert(tx, hana.Row(hana.Int(i), hana.Str(cust), hana.Float(float64(i))))
+	}
+	db.Commit(tx)
+
+	g := hana.NewGraph()
+	src := g.Table(orders)
+	f := g.Filter(src, hana.Cmp{Col: 1, Op: hana.Eq, Val: hana.Str("acme")})
+	agg := g.Aggregate(f, nil, hana.Agg{Func: hana.Count}, hana.Agg{Func: hana.Sum, Col: 2})
+	rows, err := hana.ExecuteGraph(g, agg, hana.Env{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 1 || rows[0][0].I != 10 || rows[0][1].F != 100 {
+		t.Fatalf("rows = %v", rows)
+	}
+}
+
+func TestPublicAPIMergeControls(t *testing.T) {
+	db, orders := openOrders(t)
+	tx := db.Begin(hana.TxnSnapshot)
+	for i := int64(1); i <= 10; i++ {
+		orders.Insert(tx, hana.Row(hana.Int(i), hana.Str("c"), hana.Float(1)))
+	}
+	db.Commit(tx)
+
+	if _, err := orders.MergeL1(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := orders.MergeMain(); err != nil {
+		t.Fatal(err)
+	}
+	st := orders.Stats()
+	if st.MainRows != 10 || st.L1Rows != 0 {
+		t.Fatalf("stats = %+v", st)
+	}
+}

@@ -1,0 +1,62 @@
+package benchfmt
+
+import (
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestReportRendering(t *testing.T) {
+	r := &Report{
+		ID: "E99", Title: "demo", Claim: "it works",
+		Header: []string{"a", "bb"},
+	}
+	r.AddRow("1", "2")
+	r.AddRow("333", "4")
+	r.AddNote("n=%d", 7)
+	out := r.String()
+	for _, frag := range []string{"E99", "demo", "paper claim: it works", "333", "note: n=7"} {
+		if !strings.Contains(out, frag) {
+			t.Errorf("missing %q in:\n%s", frag, out)
+		}
+	}
+	// Alignment: the header underline row exists.
+	if !strings.Contains(out, "---") {
+		t.Error("no header rule")
+	}
+}
+
+func TestTableNoHeader(t *testing.T) {
+	out := Table(nil, [][]string{{"x", "y"}})
+	if strings.Contains(out, "---") {
+		t.Error("rule without header")
+	}
+	if !strings.Contains(out, "x  y") {
+		t.Errorf("out = %q", out)
+	}
+}
+
+func TestFormatters(t *testing.T) {
+	cases := map[string]string{
+		Rate(2_000_000, time.Second): "2.00M/s",
+		Rate(5_000, time.Second):     "5.0k/s",
+		Rate(50, time.Second):        "50.0/s",
+		Rate(1, 0):                   "inf",
+		Dur(2 * time.Second):         "2.00s",
+		Dur(3 * time.Millisecond):    "3.00ms",
+		Dur(700 * time.Nanosecond):   "0.7µs",
+		Bytes(2 << 30):               "2.00GiB",
+		Bytes(3 << 20):               "3.00MiB",
+		Bytes(5 << 10):               "5.0KiB",
+		Bytes(100):                   "100B",
+		PerRow(1000, 10):             "100.0B/row",
+		PerRow(1, 0):                 "-",
+		Factor(10, 2):                "5.0x",
+		Factor(1, 0):                 "inf",
+	}
+	for got, want := range cases {
+		if got != want {
+			t.Errorf("got %q, want %q", got, want)
+		}
+	}
+}

@@ -1,0 +1,263 @@
+// Package bitpack implements the bit-packed integer vectors that the
+// unified table uses for dictionary-encoded value indexes: with C
+// distinct values in a column, every code is stored in ceil(log2(C))
+// bits, tightly packed into 64-bit words (paper §3, "stored in a
+// bit-packed manner", and [15]).
+//
+// The package provides an append-only Vector with random access,
+// block-wise (vectorized) decoding for scans, and predicate scans
+// that operate directly on the packed representation.
+package bitpack
+
+import (
+	"fmt"
+	"math/bits"
+)
+
+// Vector is an append-only sequence of unsigned integer codes packed
+// at a fixed bit width. When an appended code exceeds the current
+// width the vector transparently repacks itself at a wider width —
+// the "same or an increased number of bits" re-encoding the paper
+// describes for merges (§4.1).
+//
+// A Vector is not safe for concurrent mutation; concurrent readers
+// are safe once writers have stopped (the unified table swaps whole
+// structures instead of mutating shared ones).
+type Vector struct {
+	words []uint64
+	n     int
+	width uint8 // bits per code, 1..32
+}
+
+// MaxWidth is the widest supported code, enough for 2^32 distinct
+// dictionary entries per column.
+const MaxWidth = 32
+
+// WidthFor returns the number of bits needed to represent codes in
+// [0, cardinality-1]; at least 1 so that an all-equal column still
+// stores explicit codes.
+func WidthFor(cardinality int) uint8 {
+	if cardinality <= 1 {
+		return 1
+	}
+	w := uint8(bits.Len64(uint64(cardinality - 1)))
+	if w > MaxWidth {
+		panic(fmt.Sprintf("bitpack: cardinality %d exceeds %d-bit codes", cardinality, MaxWidth))
+	}
+	return w
+}
+
+// New returns an empty vector sized for the given expected
+// cardinality.
+func New(cardinality int) *Vector {
+	return NewWidth(WidthFor(cardinality))
+}
+
+// NewWidth returns an empty vector with an explicit bit width.
+func NewWidth(width uint8) *Vector {
+	if width == 0 || width > MaxWidth {
+		panic(fmt.Sprintf("bitpack: width %d out of range", width))
+	}
+	return &Vector{width: width}
+}
+
+// Len returns the number of codes stored.
+func (v *Vector) Len() int { return v.n }
+
+// Width returns the current bits-per-code.
+func (v *Vector) Width() uint8 { return v.width }
+
+// MemSize returns the approximate heap footprint in bytes.
+func (v *Vector) MemSize() int { return len(v.words)*8 + 24 }
+
+// Append adds one code, widening the vector first if necessary.
+func (v *Vector) Append(code uint32) {
+	if w := WidthFor(int(code) + 1); w > v.width {
+		v.Repack(w)
+	}
+	v.appendRaw(uint64(code))
+}
+
+// AppendAll appends a slice of codes. It widens at most once, to the
+// width required by the largest code, so bulk loads never repack per
+// element. This is the merge fast path: the number of tuples to move
+// is known in advance (§3.1).
+func (v *Vector) AppendAll(codes []uint32) {
+	var max uint32
+	for _, c := range codes {
+		if c > max {
+			max = c
+		}
+	}
+	if w := WidthFor(int(max) + 1); w > v.width {
+		v.Repack(w)
+	}
+	need := (v.n+len(codes))*int(v.width)/64 + 1
+	if cap(v.words) < need {
+		grown := make([]uint64, len(v.words), need+need/2)
+		copy(grown, v.words)
+		v.words = grown
+	}
+	for _, c := range codes {
+		v.appendRaw(uint64(c))
+	}
+}
+
+func (v *Vector) appendRaw(code uint64) {
+	bitPos := v.n * int(v.width)
+	word, off := bitPos/64, uint(bitPos%64)
+	for word+2 > len(v.words) {
+		v.words = append(v.words, 0)
+	}
+	v.words[word] |= code << off
+	if off+uint(v.width) > 64 {
+		v.words[word+1] |= code >> (64 - off)
+	}
+	v.n++
+}
+
+// Get returns the code at position i.
+func (v *Vector) Get(i int) uint32 {
+	if i < 0 || i >= v.n {
+		panic(fmt.Sprintf("bitpack: index %d out of range [0,%d)", i, v.n))
+	}
+	return v.get(i)
+}
+
+func (v *Vector) get(i int) uint32 {
+	bitPos := i * int(v.width)
+	word, off := bitPos/64, uint(bitPos%64)
+	val := v.words[word] >> off
+	if off+uint(v.width) > 64 {
+		val |= v.words[word+1] << (64 - off)
+	}
+	return uint32(val & (1<<v.width - 1))
+}
+
+// Set overwrites the code at position i. The new code must fit the
+// current width; Set is used only by in-place re-encoders that have
+// already widened the vector.
+func (v *Vector) Set(i int, code uint32) {
+	if i < 0 || i >= v.n {
+		panic(fmt.Sprintf("bitpack: index %d out of range [0,%d)", i, v.n))
+	}
+	if uint8(bits.Len32(code)) > v.width {
+		panic(fmt.Sprintf("bitpack: code %d does not fit width %d", code, v.width))
+	}
+	mask := uint64(1)<<v.width - 1
+	bitPos := i * int(v.width)
+	word, off := bitPos/64, uint(bitPos%64)
+	v.words[word] = v.words[word]&^(mask<<off) | uint64(code)<<off
+	if off+uint(v.width) > 64 {
+		hi := uint(v.width) - (64 - off)
+		himask := uint64(1)<<hi - 1
+		v.words[word+1] = v.words[word+1]&^himask | uint64(code)>>(64-off)
+	}
+}
+
+// Repack rewrites the vector at a new, wider width.
+func (v *Vector) Repack(width uint8) {
+	if width <= v.width {
+		return
+	}
+	nv := NewWidth(width)
+	nv.words = make([]uint64, 0, v.n*int(width)/64+2)
+	for i := 0; i < v.n; i++ {
+		nv.appendRaw(uint64(v.get(i)))
+	}
+	*v = *nv
+}
+
+// DecodeBlock decodes codes [start, start+len(out)) into out and
+// returns the number decoded (short at the tail). Operators use this
+// for vectorized, block-at-a-time processing (§3.1).
+func (v *Vector) DecodeBlock(start int, out []uint32) int {
+	if start < 0 {
+		panic("bitpack: negative start")
+	}
+	n := v.n - start
+	if n <= 0 {
+		return 0
+	}
+	if n > len(out) {
+		n = len(out)
+	}
+	for i := 0; i < n; i++ {
+		out[i] = v.get(start + i)
+	}
+	return n
+}
+
+// ScanEqual appends to hits the positions in [from, to) whose code
+// equals target, scanning the packed words directly.
+func (v *Vector) ScanEqual(target uint32, from, to int, hits []int) []int {
+	if from < 0 {
+		from = 0
+	}
+	if to > v.n {
+		to = v.n
+	}
+	for i := from; i < to; i++ {
+		if v.get(i) == target {
+			hits = append(hits, i)
+		}
+	}
+	return hits
+}
+
+// ScanRange appends to hits the positions in [from, to) whose code c
+// satisfies lo <= c <= hi. Sorted-dictionary range predicates compile
+// to exactly this code-range scan (§4.3, Fig. 10).
+func (v *Vector) ScanRange(lo, hi uint32, from, to int, hits []int) []int {
+	if lo > hi {
+		return hits
+	}
+	if from < 0 {
+		from = 0
+	}
+	if to > v.n {
+		to = v.n
+	}
+	for i := from; i < to; i++ {
+		if c := v.get(i); c >= lo && c <= hi {
+			hits = append(hits, i)
+		}
+	}
+	return hits
+}
+
+// Truncate discards all codes from position n onward.
+func (v *Vector) Truncate(n int) {
+	if n < 0 || n > v.n {
+		panic(fmt.Sprintf("bitpack: truncate to %d out of range [0,%d]", n, v.n))
+	}
+	// Zero the tail so future appends OR into clean words.
+	for i := n; i < v.n; i++ {
+		v.Set(i, 0)
+	}
+	v.n = n
+	if keep := n*int(v.width)/64 + 1; keep < len(v.words) {
+		v.words = v.words[:keep]
+	}
+}
+
+// Clone returns an independent copy.
+func (v *Vector) Clone() *Vector {
+	words := make([]uint64, len(v.words))
+	copy(words, v.words)
+	return &Vector{words: words, n: v.n, width: v.width}
+}
+
+// Words exposes the packed words for serialization.
+func (v *Vector) Words() []uint64 { return v.words }
+
+// FromWords reconstructs a vector from serialized state.
+func FromWords(words []uint64, n int, width uint8) (*Vector, error) {
+	if width == 0 || width > MaxWidth {
+		return nil, fmt.Errorf("bitpack: width %d out of range", width)
+	}
+	if need := (n*int(width) + 63) / 64; len(words) < need {
+		return nil, fmt.Errorf("bitpack: %d words cannot hold %d codes of width %d", len(words), n, width)
+	}
+	return &Vector{words: words, n: n, width: width}, nil
+}

@@ -1,0 +1,252 @@
+package calc
+
+import (
+	"fmt"
+	"sync"
+
+	"repro/internal/engine"
+	"repro/internal/mvcc"
+	"repro/internal/types"
+)
+
+// Registry holds named calc graphs ("calc views … registered in an
+// application-level content repository", §2.1) consumable as virtual
+// tables from any other graph.
+type Registry struct {
+	mu    sync.RWMutex
+	views map[string]registered
+}
+
+type registered struct {
+	graph *Graph
+	root  *Node
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{views: map[string]registered{}}
+}
+
+// Register stores a compiled graph under a name.
+func (r *Registry) Register(name string, g *Graph, root *Node) error {
+	if err := g.Validate(); err != nil {
+		return err
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if _, dup := r.views[name]; dup {
+		return fmt.Errorf("calc: view %q already registered", name)
+	}
+	r.views[name] = registered{graph: g, root: root}
+	return nil
+}
+
+// lookup resolves a registered view.
+func (r *Registry) lookup(name string) (registered, bool) {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	v, ok := r.views[name]
+	return v, ok
+}
+
+// Env carries execution context: the transaction supplying snapshots
+// and the registry for view resolution.
+type Env struct {
+	Txn      *mvcc.Txn
+	Registry *Registry
+}
+
+// Execute compiles (validates + optimizes) and runs the graph,
+// returning the materialized result of root. Shared subexpressions
+// are evaluated once; Combine branches run on parallel goroutines.
+func Execute(g *Graph, root *Node, env Env) ([][]types.Value, error) {
+	if err := g.Validate(); err != nil {
+		return nil, err
+	}
+	g.Optimize()
+	ex := &executor{env: env, memo: map[*Node]*memoEntry{}, cons: g.consumers()}
+	return ex.eval(root)
+}
+
+type memoEntry struct {
+	once sync.Once
+	rows [][]types.Value
+	err  error
+}
+
+type executor struct {
+	env  Env
+	mu   sync.Mutex
+	memo map[*Node]*memoEntry
+	cons map[*Node]int
+}
+
+func (ex *executor) entry(n *Node) *memoEntry {
+	ex.mu.Lock()
+	defer ex.mu.Unlock()
+	e, ok := ex.memo[n]
+	if !ok {
+		e = &memoEntry{}
+		ex.memo[n] = e
+	}
+	return e
+}
+
+// eval evaluates a node with memoization (safe under the concurrent
+// evaluation that Combine triggers).
+func (ex *executor) eval(n *Node) ([][]types.Value, error) {
+	e := ex.entry(n)
+	e.once.Do(func() {
+		e.rows, e.err = ex.compute(n)
+	})
+	return e.rows, e.err
+}
+
+func (ex *executor) compute(n *Node) ([][]types.Value, error) {
+	switch n.kind {
+	case KindTable:
+		scan := &engine.TableScan{Table: n.table, Txn: ex.env.Txn, Pred: n.pred, Cols: n.tableCols, AsOf: n.asOf}
+		return engine.Collect(scan)
+	case KindValues:
+		return n.rows, nil
+	case KindView:
+		if ex.env.Registry == nil {
+			return nil, fmt.Errorf("calc: view %q without registry", n.viewName)
+		}
+		v, ok := ex.env.Registry.lookup(n.viewName)
+		if !ok {
+			return nil, fmt.Errorf("calc: unknown view %q", n.viewName)
+		}
+		// Views execute in their own graph with the same environment.
+		return Execute(v.graph, v.root, ex.env)
+	case KindFilter:
+		in, err := ex.eval(n.inputs[0])
+		if err != nil {
+			return nil, err
+		}
+		return engine.Collect(&engine.Filter{In: engine.NewSliceSource(in), Pred: n.pred})
+	case KindProject:
+		in, err := ex.eval(n.inputs[0])
+		if err != nil {
+			return nil, err
+		}
+		return engine.Collect(&engine.Project{In: engine.NewSliceSource(in), Cols: n.cols})
+	case KindJoin:
+		left, err := ex.eval(n.inputs[0])
+		if err != nil {
+			return nil, err
+		}
+		right, err := ex.eval(n.inputs[1])
+		if err != nil {
+			return nil, err
+		}
+		return engine.Collect(&engine.HashJoin{
+			Left: engine.NewSliceSource(left), Right: engine.NewSliceSource(right),
+			LeftCol: n.leftCol, RightCol: n.rightCol,
+		})
+	case KindAggregate:
+		// Fuse Aggregate(table) into a single scan-aggregate when the
+		// scan has no other consumer (otherwise CSE keeps the shared
+		// materialized scan).
+		if child := n.inputs[0]; child.kind == KindTable && child.tableCols == nil && ex.cons[child] <= 1 {
+			return engine.Collect(&engine.TableAggregate{
+				Table: child.table, Txn: ex.env.Txn, AsOf: child.asOf,
+				Pred: child.pred, GroupBy: n.groupBy, Aggs: n.aggs,
+			})
+		}
+		in, err := ex.eval(n.inputs[0])
+		if err != nil {
+			return nil, err
+		}
+		return engine.Collect(&engine.HashAggregate{
+			In: engine.NewSliceSource(in), GroupBy: n.groupBy, Aggs: n.aggs,
+		})
+	case KindUnion:
+		var ins []engine.Iterator
+		for _, c := range n.inputs {
+			rows, err := ex.eval(c)
+			if err != nil {
+				return nil, err
+			}
+			ins = append(ins, engine.NewSliceSource(rows))
+		}
+		return engine.Collect(&engine.Union{Ins: ins})
+	case KindSort:
+		in, err := ex.eval(n.inputs[0])
+		if err != nil {
+			return nil, err
+		}
+		return engine.Collect(&engine.Sort{In: engine.NewSliceSource(in), Keys: n.sortKeys})
+	case KindLimit:
+		in, err := ex.eval(n.inputs[0])
+		if err != nil {
+			return nil, err
+		}
+		return engine.Collect(&engine.Limit{In: engine.NewSliceSource(in), N: n.limit})
+	case KindScript:
+		in, err := ex.eval(n.inputs[0])
+		if err != nil {
+			return nil, err
+		}
+		return n.script(in)
+	case KindStarJoin:
+		fact, err := ex.eval(n.inputs[0])
+		if err != nil {
+			return nil, err
+		}
+		var dims []engine.Dimension
+		for _, d := range n.dims {
+			rows, err := ex.eval(d.node)
+			if err != nil {
+				return nil, err
+			}
+			dims = append(dims, engine.Dimension{
+				In: engine.NewSliceSource(rows), KeyCol: d.keyCol,
+				FactCol: d.factCol, Payload: d.payload,
+			})
+		}
+		return engine.Collect(&engine.StarJoin{Fact: engine.NewSliceSource(fact), Dims: dims})
+	case KindSplit:
+		in, err := ex.eval(n.inputs[0])
+		if err != nil {
+			return nil, err
+		}
+		var out [][]types.Value
+		for i, row := range in {
+			var part int
+			if n.partCol >= 0 && n.partCol < len(row) {
+				part = int(types.Hash(row[n.partCol]) % uint64(n.parts))
+			} else {
+				part = i % n.parts // round-robin
+			}
+			if part == n.partIdx {
+				out = append(out, row)
+			}
+		}
+		return out, nil
+	case KindCombine:
+		// Application-defined data parallelism: branches execute
+		// concurrently (§2.1).
+		results := make([][][]types.Value, len(n.inputs))
+		errs := make([]error, len(n.inputs))
+		var wg sync.WaitGroup
+		for i, c := range n.inputs {
+			wg.Add(1)
+			go func(i int, c *Node) {
+				defer wg.Done()
+				results[i], errs[i] = ex.eval(c)
+			}(i, c)
+		}
+		wg.Wait()
+		var out [][]types.Value
+		for i := range results {
+			if errs[i] != nil {
+				return nil, errs[i]
+			}
+			out = append(out, results[i]...)
+		}
+		return out, nil
+	default:
+		return nil, fmt.Errorf("calc: cannot execute node kind %v", n.kind)
+	}
+}

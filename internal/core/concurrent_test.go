@@ -1,0 +1,214 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"repro/internal/mvcc"
+	"repro/internal/types"
+)
+
+// TestConcurrentHTAP runs OLTP writers, OLAP scanners, and the
+// background merge scheduler against one table and checks the final
+// state is exactly the set of committed keys — the paper's headline
+// scenario of "both transactional and analytical workloads on the
+// same physical database" (§1). Run with -race.
+func TestConcurrentHTAP(t *testing.T) {
+	db, err := OpenDatabase(DBOptions{AutoMerge: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer db.Close()
+	tab, err := db.CreateTable(TableConfig{
+		Name: "orders", Schema: orderSchema(),
+		L1MaxRows: 64, L2MaxRows: 256,
+		Compress: true, CompactDicts: true, CheckUnique: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	const writers = 4
+	const perWriter = 300
+	var committed sync.Map // key → qty
+	var aborts atomic.Int64
+	var wg sync.WaitGroup
+	for w := 0; w < writers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < perWriter; i++ {
+				key := int64(w*perWriter + i)
+				tx := db.Begin(mvcc.TxnSnapshot)
+				_, err := tab.Insert(tx, orow(key, fmt.Sprintf("cust%d", key%17), key%50))
+				if err != nil {
+					db.Abort(tx)
+					aborts.Add(1)
+					continue
+				}
+				if i%5 == 0 {
+					// Update churn: exercises delete+insert versioning.
+					if _, err := tab.UpdateKey(tx, types.Int(key), orow(key, "updated", key%50+1)); err != nil {
+						db.Abort(tx)
+						aborts.Add(1)
+						continue
+					}
+				}
+				if err := db.Commit(tx); err != nil {
+					t.Errorf("commit: %v", err)
+					return
+				}
+				committed.Store(key, true)
+			}
+		}(w)
+	}
+
+	// OLAP scanners run throughout: each scan must see a consistent
+	// count (no torn states, no duplicates).
+	stopScan := make(chan struct{})
+	var scanWg sync.WaitGroup
+	for r := 0; r < 2; r++ {
+		scanWg.Add(1)
+		go func() {
+			defer scanWg.Done()
+			for {
+				select {
+				case <-stopScan:
+					return
+				default:
+				}
+				v := tab.View(nil)
+				seen := map[int64]int{}
+				v.ScanAll(func(_ types.RowID, row []types.Value) bool {
+					seen[row[0].I]++
+					return true
+				})
+				v.Close()
+				for k, n := range seen {
+					if n > 1 {
+						t.Errorf("key %d visible %d times in one snapshot", k, n)
+						return
+					}
+				}
+				time.Sleep(time.Millisecond)
+			}
+		}()
+	}
+
+	wg.Wait()
+	close(stopScan)
+	scanWg.Wait()
+
+	// Drain all pending merges deterministically.
+	for {
+		if _, err := tab.MergeL1(); err != nil {
+			t.Fatal(err)
+		}
+		stats, err := tab.MergeMain()
+		if err != nil && !errors.Is(err, nil) {
+			t.Fatal(err)
+		}
+		st := tab.Stats()
+		if st.L1Rows == 0 && st.L2Rows == 0 && st.FrozenL2Rows == 0 {
+			break
+		}
+		_ = stats
+	}
+
+	want := 0
+	committed.Range(func(any, any) bool { want++; return true })
+	if got := countRows(tab); got != want {
+		t.Fatalf("final count = %d, want %d (aborts=%d)", got, want, aborts.Load())
+	}
+	// Every committed key resolves by point lookup.
+	v := tab.View(nil)
+	defer v.Close()
+	missing := 0
+	committed.Range(func(k, _ any) bool {
+		if v.Get(types.Int(k.(int64))) == nil {
+			missing++
+		}
+		return missing < 5
+	})
+	if missing > 0 {
+		t.Errorf("%d committed keys missing", missing)
+	}
+	st := tab.Stats()
+	if st.MainMerges == 0 {
+		t.Error("scheduler never merged to main")
+	}
+	t.Logf("final stats: %+v", st)
+}
+
+// TestConcurrentReadersDuringMerges pins old snapshots while merges
+// run and checks they keep seeing their frozen state.
+func TestConcurrentReadersDuringMerges(t *testing.T) {
+	db := memDB(t)
+	tab := mkTable(t, db, TableConfig{L1MaxRows: 10})
+	mustInsert(t, db, tab, orow(1, "first", 1))
+
+	pinned := db.Begin(mvcc.TxnSnapshot) // snapshot: only row 1
+
+	for i := int64(2); i <= 50; i++ {
+		mustInsert(t, db, tab, orow(i, "more", i))
+		if i%10 == 0 {
+			tab.MergeL1()
+			if _, err := tab.MergeMain(); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	v := tab.View(pinned)
+	got := v.Count()
+	v.Close()
+	if got != 1 {
+		t.Errorf("pinned snapshot sees %d rows, want 1", got)
+	}
+	db.Commit(pinned)
+	if got := countRows(tab); got != 50 {
+		t.Errorf("latest sees %d rows", got)
+	}
+}
+
+// TestWatermarkBlocksGCThenReleases verifies deleted versions survive
+// merges while an old snapshot exists and are collected afterwards.
+func TestWatermarkBlocksGCThenReleases(t *testing.T) {
+	db := memDB(t)
+	tab := mkTable(t, db, TableConfig{})
+	mustInsert(t, db, tab, orow(1, "victim", 1), orow(2, "other", 2))
+	tab.MergeL1()
+	tab.MergeMain()
+
+	pinned := db.Begin(mvcc.TxnSnapshot)
+	tx := db.Begin(mvcc.TxnSnapshot)
+	tab.DeleteKey(tx, types.Int(1))
+	db.Commit(tx)
+
+	// Merge with the pin in place: version must survive physically.
+	mustInsert(t, db, tab, orow(3, "new", 3))
+	tab.MergeL1()
+	if _, err := tab.MergeMain(); err != nil {
+		t.Fatal(err)
+	}
+	vOld := tab.View(pinned)
+	if vOld.Get(types.Int(1)) == nil {
+		t.Error("pinned snapshot lost deleted row")
+	}
+	vOld.Close()
+	db.Commit(pinned)
+
+	// Pin released: next merge collects it.
+	mustInsert(t, db, tab, orow(4, "newer", 4))
+	tab.MergeL1()
+	if _, err := tab.MergeMain(); err != nil {
+		t.Fatal(err)
+	}
+	st := tab.Stats()
+	if st.MainRows != 3 || st.Tombstones != 0 {
+		t.Errorf("after release: %+v", st)
+	}
+}

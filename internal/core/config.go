@@ -1,0 +1,130 @@
+// Package core implements the paper's primary contribution: the
+// unified table (§3) — one logical table backed by the three-stage
+// record life cycle (L1-delta → L2-delta → main) with MVCC snapshot
+// isolation, redo logging, savepoint-based persistence, and the merge
+// machinery of §4 — and the Database that owns transactions, the log,
+// the pager, and the background merge scheduler.
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/types"
+)
+
+// MergeStrategy selects the L2→main merge variant (§4).
+type MergeStrategy uint8
+
+const (
+	// MergeClassic is the full merge of §4.1.
+	MergeClassic MergeStrategy = iota
+	// MergeResort is the re-sorting merge of §4.2.
+	MergeResort
+	// MergePartial is the partial merge of §4.3 (passive/active split).
+	MergePartial
+)
+
+func (s MergeStrategy) String() string {
+	switch s {
+	case MergeResort:
+		return "resort"
+	case MergePartial:
+		return "partial"
+	default:
+		return "classic"
+	}
+}
+
+// TableConfig configures a unified table.
+type TableConfig struct {
+	// Name is the table name, unique within the database.
+	Name string
+	// Schema describes the columns and primary key.
+	Schema *types.Schema
+	// L1MaxRows triggers the L1→L2 merge; the paper sizes the L1-delta
+	// at 10,000–100,000 rows (§3).
+	L1MaxRows int
+	// L1MergeBatch bounds rows moved per L1→L2 merge step.
+	L1MergeBatch int
+	// L2MaxRows triggers closing the L2-delta and scheduling an
+	// L2→main merge; the paper sizes the L2-delta up to ~10M rows.
+	L2MaxRows int
+	// Strategy selects the L2→main merge variant.
+	Strategy MergeStrategy
+	// ActiveMainMax promotes the active main to passive (starting a
+	// new chain part) when it exceeds this row count; 0 disables
+	// promotion. Only meaningful with MergePartial.
+	ActiveMainMax int
+	// Compress enables cost-based value-index compression in the main.
+	Compress bool
+	// CompactDicts discards dictionary garbage at merges (§4.1).
+	CompactDicts bool
+	// Indexed lists extra columns with inverted indexes (the key
+	// column is always indexed).
+	Indexed []int
+	// Historic marks the table as a history table: merges never
+	// garbage-collect old versions, enabling unbounded time travel
+	// ("a table has to be defined of type 'historic' during creation
+	// time", §4.3).
+	Historic bool
+	// CheckUnique enforces the primary-key uniqueness constraint on
+	// inserts (via the inverted indexes of all three stages, §3.1).
+	CheckUnique bool
+}
+
+// withDefaults fills unset fields with the paper-guided defaults.
+func (c TableConfig) withDefaults() (TableConfig, error) {
+	if c.Name == "" {
+		return c, fmt.Errorf("core: table needs a name")
+	}
+	if c.Schema == nil {
+		return c, fmt.Errorf("core: table %q needs a schema", c.Name)
+	}
+	if err := c.Schema.Validate(); err != nil {
+		return c, err
+	}
+	if c.L1MaxRows <= 0 {
+		c.L1MaxRows = 10_000
+	}
+	if c.L1MergeBatch <= 0 {
+		c.L1MergeBatch = c.L1MaxRows
+	}
+	if c.L2MaxRows <= 0 {
+		c.L2MaxRows = 1_000_000
+	}
+	for _, col := range c.Indexed {
+		if col < 0 || col >= len(c.Schema.Columns) {
+			return c, fmt.Errorf("core: indexed column %d out of range", col)
+		}
+	}
+	return c, nil
+}
+
+// indexedFlags returns the per-column inverted-index selection.
+func (c TableConfig) indexedFlags() []bool {
+	flags := make([]bool, len(c.Schema.Columns))
+	if c.Schema.Key >= 0 {
+		flags[c.Schema.Key] = true
+	}
+	for _, col := range c.Indexed {
+		flags[col] = true
+	}
+	return flags
+}
+
+// TableStats is a point-in-time snapshot of a table's physical state
+// (the record-life-cycle picture of Fig. 4/11).
+type TableStats struct {
+	Name string
+	// Row versions per stage (live and dead).
+	L1Rows, L2Rows, FrozenL2Rows, MainRows int
+	// MainParts is the chain length (1 = fully merged, ≥2 = split
+	// passive/active).
+	MainParts int
+	// Approximate heap bytes per stage.
+	L1Bytes, L2Bytes, MainBytes int
+	// Tombstones counts registered main-row deletes awaiting GC.
+	Tombstones int
+	// Merge counters.
+	L1Merges, MainMerges, MergeFailures uint64
+}

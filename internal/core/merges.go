@@ -1,0 +1,196 @@
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/dict"
+	"repro/internal/l2delta"
+	"repro/internal/merge"
+	"repro/internal/wal"
+)
+
+// MergeL1 runs one incremental L1→L2 merge step (§3.1, Fig. 6) under
+// the exclusive latch, migrating up to the configured batch of
+// settled row versions and truncating the L1-delta. It returns the
+// number of rows moved.
+func (t *Table) MergeL1() (int, error) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	newL1, moved, dropped := merge.L1ToL2(t.l1, t.l2, t.cfg.L1MergeBatch)
+	if moved == 0 && dropped == 0 {
+		return 0, nil
+	}
+	t.l1 = newL1
+	t.l1Merges.Add(1)
+	seq := t.mergeSeq.Add(1)
+	// Data movement is not redo-logged; only the merge event is
+	// ("obviously the event of the merge is written to the log",
+	// §3.2).
+	if err := t.db.logMergeEvent(t.cfg.Name, wal.MergeL1L2, seq); err != nil {
+		return moved, err
+	}
+	return moved, nil
+}
+
+// RotateL2 closes the open L2-delta generation and opens a fresh one
+// ("as soon as an L2-delta-to-main merge is started, the current
+// L2-delta is closed for updates and a new empty L2-delta structure
+// is created", §3.1). It returns the closed generation, or nil if the
+// open generation was empty.
+func (t *Table) RotateL2() *l2delta.Store {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.rotateL2Locked()
+}
+
+func (t *Table) rotateL2Locked() *l2delta.Store {
+	if t.l2.Len() == 0 {
+		return nil
+	}
+	closed := t.l2
+	closed.Close()
+	t.frozen = append(t.frozen, closed)
+	t.l2 = l2delta.New(t.cfg.Schema, t.cfg.Indexed)
+	return closed
+}
+
+// MergeMain merges the oldest frozen L2-delta generation (rotating
+// the open one first if none is frozen) into the main store using the
+// configured strategy. The heavy computation runs outside the latch
+// on immutable inputs; only the final structure swap is latched. If
+// the merge fails, the frozen generation stays queued and the system
+// keeps operating on the new L2-delta (§3.1's failure semantics).
+//
+// It returns the merge statistics, or nil when there was nothing to
+// merge.
+func (t *Table) MergeMain() (*merge.Stats, error) {
+	return t.mergeMain(nil)
+}
+
+// mergeMain lets tests inject a fail point.
+func (t *Table) mergeMain(failPoint func(string) error) (*merge.Stats, error) {
+	t.mu.Lock()
+	if len(t.frozen) == 0 {
+		t.rotateL2Locked()
+	}
+	if len(t.frozen) == 0 {
+		t.mu.Unlock()
+		return nil, nil
+	}
+	if t.mergeInFlight {
+		t.mu.Unlock()
+		return nil, fmt.Errorf("core: merge already in flight on %q", t.cfg.Name)
+	}
+	t.mergeInFlight = true
+	t.pendingDeletes = nil
+	source := t.frozen[0]
+	oldMain := t.main
+	t.mu.Unlock()
+
+	watermark := t.db.mgr.Watermark()
+	if t.cfg.Historic {
+		// History tables never garbage-collect: all versions stay
+		// reachable for time travel.
+		watermark = 0
+	}
+	opts := merge.Options{
+		Watermark:    watermark,
+		Compress:     t.cfg.Compress,
+		CompactDicts: t.cfg.CompactDicts,
+		Indexed:      t.cfg.indexedFlags(),
+		FailPoint:    failPoint,
+	}
+
+	var (
+		newMain = oldMain
+		stats   *merge.Stats
+		err     error
+	)
+	switch t.cfg.Strategy {
+	case MergeResort:
+		newMain, stats, err = merge.Resort(source, oldMain, t.tombs, opts)
+	case MergePartial:
+		newPart := false
+		if n := oldMain.NumParts(); n > 0 && t.cfg.ActiveMainMax > 0 {
+			if active := oldMain.Parts()[n-1]; active.NumRows() >= t.cfg.ActiveMainMax {
+				newPart = true // promote the active main to passive
+			}
+		}
+		newMain, stats, err = merge.Partial(source, oldMain, t.tombs, opts, newPart)
+	default:
+		newMain, stats, err = merge.Classic(source, oldMain, t.tombs, opts)
+	}
+
+	t.mu.Lock()
+	t.mergeInFlight = false
+	if err != nil {
+		pending := t.pendingDeletes
+		t.pendingDeletes = nil
+		_ = pending // old generation keeps its marks; nothing to undo
+		t.mu.Unlock()
+		t.mergeFailures.Add(1)
+		return nil, err
+	}
+	// Deletes that landed while the merge was computing may have been
+	// missed by the collect pass: adopt their stamps into the registry
+	// and flag the rows in the new generation. Adoption is idempotent
+	// for main-originated deletes (the registry already holds the same
+	// stamp) and installs the L2 row stamp for frozen-delta deletes.
+	remark := t.pendingDeletes
+	t.pendingDeletes = nil
+	t.frozen = t.frozen[1:]
+	t.main = newMain
+	t.mainMerges.Add(1)
+	seq := t.mergeSeq.Add(1)
+	for _, pd := range remark {
+		if newMain.MarkDeletedByRowID(pd.id) {
+			t.tombs.Adopt(pd.id, pd.st)
+		}
+	}
+	// Physically dropped rows no longer need tombstones.
+	t.tombs.Forget(stats.DroppedRowIDs...)
+	logErr := t.db.logMergeEvent(t.cfg.Name, wal.MergeL2Main, seq)
+	t.mu.Unlock()
+	if logErr != nil {
+		return stats, logErr
+	}
+	return stats, nil
+}
+
+// GlobalSortedDict exposes the table content of one column as a
+// single sorted dictionary: "dictionaries of two delta structures are
+// computed (only for L1-delta) and sorted (for both L1-delta and
+// L2-delta) and merged with the main dictionary on the fly" (§3.1).
+func (t *Table) GlobalSortedDict(col int) *dict.Sorted {
+	t.mu.RLock()
+	l1 := t.l1
+	l1Border := l1.Len()
+	gens := t.l2Generations()
+	borders := make([]int, len(gens))
+	for i, g := range gens {
+		borders[i] = g.Len()
+	}
+	main := t.main
+	t.mu.RUnlock()
+
+	kind := t.cfg.Schema.Columns[col].Kind
+	merged := main.GlobalDict(col)
+	// Compute the L1 dictionary on the fly.
+	deltaVals := dict.NewUnsorted(kind)
+	for pos := 0; pos < l1Border; pos++ {
+		if v := l1.At(pos).Values[col]; !v.IsNull() {
+			deltaVals.GetOrAdd(v)
+		}
+	}
+	// The L2 dictionaries already exist; fold them in.
+	for gi, g := range gens {
+		d := g.Dict(col)
+		n := d.Len()
+		_ = borders[gi]
+		for c := 0; c < n; c++ {
+			deltaVals.GetOrAdd(d.At(uint32(c)))
+		}
+	}
+	res := dict.Merge(merged, deltaVals)
+	return res.Dict
+}

@@ -1,0 +1,433 @@
+package core
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"repro/internal/dict"
+	"repro/internal/l1delta"
+	"repro/internal/l2delta"
+	"repro/internal/mainstore"
+	"repro/internal/mvcc"
+	"repro/internal/persist"
+	"repro/internal/types"
+	"repro/internal/wal"
+)
+
+// rowLocator lets log replay apply a delete to a row wherever the
+// snapshot placed it.
+type rowLocator struct {
+	stamp *mvcc.Stamp   // L1/L2 rows: the row's own stamp
+	table *Table        // main rows: tombstone registry target
+	loc   mainstore.Loc // main rows: position for the deleted flag
+	main  bool
+}
+
+// pendingStamp is a marker stamp restored from the snapshot, awaiting
+// the owning transaction's fate from the log.
+type pendingStamp struct {
+	st       *mvcc.Stamp
+	isCreate bool
+}
+
+// recoveryState accumulates replay context.
+type recoveryState struct {
+	db       *Database
+	rows     map[types.RowID]rowLocator
+	pending  map[uint64][]pendingStamp // txn id → snapshot marker stamps
+	ops      map[uint64][]*wal.Record  // txn id → buffered post-savepoint DML
+	maxTxn   uint64
+	maxRowID types.RowID
+}
+
+// recover restores the last savepoint and replays the redo log:
+// "during recovery, the system reloads the last snapshot of the
+// L2-delta … a new version of the main … can be used to reload the
+// main store" (§3.2). Transactions without a commit record are rolled
+// back; committed ones are re-applied in log order.
+func (db *Database) recover(opts DBOptions) error {
+	st := &recoveryState{
+		db:      db,
+		rows:    map[types.RowID]rowLocator{},
+		pending: map[uint64][]pendingStamp{},
+		ops:     map[uint64][]*wal.Record{},
+	}
+	if _, err := os.Stat(db.dataPath); err == nil {
+		if err := st.loadSnapshot(opts); err != nil {
+			return err
+		}
+	}
+	walDir := filepath.Join(opts.Dir, "wal")
+	if _, err := os.Stat(walDir); err == nil {
+		l, err := wal.Open(walDir, wal.Options{})
+		if err != nil {
+			return err
+		}
+		replayErr := l.Replay(st.apply)
+		closeErr := l.Close()
+		if replayErr != nil {
+			return replayErr
+		}
+		if closeErr != nil {
+			return closeErr
+		}
+	}
+	// Transactions still pending after replay crashed while active:
+	// roll them back.
+	for _, stamps := range st.pending {
+		for _, p := range stamps {
+			if p.isCreate {
+				p.st.SetCreate(mvcc.Aborted)
+			} else {
+				p.st.SetDelete(0)
+			}
+		}
+	}
+	db.bumpRowID(st.maxRowID)
+	return nil
+}
+
+func (st *recoveryState) loadSnapshot(opts DBOptions) error {
+	pager, err := persist.Open(st.db.dataPath, opts.PageSize)
+	if err != nil {
+		return err
+	}
+	defer pager.Close()
+	if !pager.HasFile("meta") {
+		return nil // created but never savepointed
+	}
+	meta, err := pager.ReadFile("meta")
+	if err != nil {
+		return err
+	}
+	d := persist.NewDecoder(meta)
+	ver, err := d.U64()
+	if err != nil || ver != snapshotVersion {
+		return fmt.Errorf("core: snapshot version %d unsupported (%v)", ver, err)
+	}
+	lastTS, err := d.U64()
+	if err != nil {
+		return err
+	}
+	st.db.mgr.Bump(lastTS)
+	nextRow, err := d.U64()
+	if err != nil {
+		return err
+	}
+	st.maxRowID = types.RowID(nextRow)
+	ntables, err := d.U64()
+	if err != nil {
+		return err
+	}
+	names := make([]string, ntables)
+	for i := range names {
+		if names[i], err = d.Str(); err != nil {
+			return err
+		}
+	}
+	for _, name := range names {
+		img, err := pager.ReadFile("table/" + name)
+		if err != nil {
+			return err
+		}
+		if err := st.restoreTable(persist.NewDecoder(img)); err != nil {
+			return fmt.Errorf("core: restoring table %q: %w", name, err)
+		}
+	}
+	return nil
+}
+
+// trackMarker registers a raw stamp field for post-replay resolution.
+func (st *recoveryState) trackMarker(raw uint64, s *mvcc.Stamp, isCreate bool) {
+	if !mvcc.IsMarker(raw) {
+		return
+	}
+	txn := raw &^ (uint64(1) << 63)
+	if txn > st.maxTxn {
+		st.maxTxn = txn
+	}
+	st.pending[txn] = append(st.pending[txn], pendingStamp{st: s, isCreate: isCreate})
+}
+
+func (st *recoveryState) restoreTable(d *persist.Decoder) error {
+	cfg, err := decodeConfig(d)
+	if err != nil {
+		return err
+	}
+	t, err := st.db.CreateTable(cfg)
+	if err != nil {
+		return err
+	}
+	ncols := len(cfg.Schema.Columns)
+
+	readStampedRow := func() (types.RowID, *mvcc.Stamp, []types.Value, error) {
+		idU, err := d.U64()
+		if err != nil {
+			return 0, nil, nil, err
+		}
+		create, err := d.U64()
+		if err != nil {
+			return 0, nil, nil, err
+		}
+		del, err := d.U64()
+		if err != nil {
+			return 0, nil, nil, err
+		}
+		s := mvcc.NewStamp(create)
+		s.SetDelete(del)
+		st.trackMarker(create, s, true)
+		st.trackMarker(del, s, false)
+		row := make([]types.Value, ncols)
+		for i := range row {
+			if row[i], err = d.Value(); err != nil {
+				return 0, nil, nil, err
+			}
+		}
+		return types.RowID(idU), s, row, nil
+	}
+
+	// L1 image.
+	n, err := d.U64()
+	if err != nil {
+		return err
+	}
+	for i := uint64(0); i < n; i++ {
+		id, s, row, err := readStampedRow()
+		if err != nil {
+			return err
+		}
+		t.l1.Append(&l1delta.Row{ID: id, Values: row, Stamp: s})
+		st.rows[id] = rowLocator{stamp: s}
+		if id > st.maxRowID {
+			st.maxRowID = id
+		}
+	}
+
+	// L2 generations (all closed at savepoint time → restored frozen).
+	ngens, err := d.U64()
+	if err != nil {
+		return err
+	}
+	for g := uint64(0); g < ngens; g++ {
+		gen := l2delta.New(cfg.Schema, cfg.Indexed)
+		nrows, err := d.U64()
+		if err != nil {
+			return err
+		}
+		for i := uint64(0); i < nrows; i++ {
+			id, s, row, err := readStampedRow()
+			if err != nil {
+				return err
+			}
+			gen.AppendRow(row, id, s)
+			st.rows[id] = rowLocator{stamp: s}
+			if id > st.maxRowID {
+				st.maxRowID = id
+			}
+		}
+		gen.Close()
+		t.frozen = append(t.frozen, gen)
+	}
+
+	// Main chain.
+	nparts, err := d.U64()
+	if err != nil {
+		return err
+	}
+	var parts []*mainstore.Part
+	for p := uint64(0); p < nparts; p++ {
+		part, err := st.decodePart(d, t, cfg, len(parts))
+		if err != nil {
+			return err
+		}
+		parts = append(parts, part)
+	}
+	if len(parts) > 0 {
+		t.main = mainstore.NewStore(cfg.Schema, parts...)
+	}
+	// Register main row locators.
+	for pi, p := range t.main.Parts() {
+		for pos := 0; pos < p.NumRows(); pos++ {
+			id := p.RowID(pos)
+			st.rows[id] = rowLocator{table: t, loc: mainstore.Loc{Part: pi, Pos: pos}, main: true}
+			if id > st.maxRowID {
+				st.maxRowID = id
+			}
+		}
+	}
+
+	// Tombstones.
+	ntombs, err := d.U64()
+	if err != nil {
+		return err
+	}
+	for i := uint64(0); i < ntombs; i++ {
+		idU, err := d.U64()
+		if err != nil {
+			return err
+		}
+		create, err := d.U64()
+		if err != nil {
+			return err
+		}
+		del, err := d.U64()
+		if err != nil {
+			return err
+		}
+		s := mvcc.NewStamp(create)
+		s.SetDelete(del)
+		st.trackMarker(del, s, false)
+		id := types.RowID(idU)
+		t.tombs.Adopt(id, s)
+		t.main.MarkDeletedByRowID(id)
+	}
+	return nil
+}
+
+func (st *recoveryState) decodePart(d *persist.Decoder, t *Table, cfg TableConfig, _ int) (*mainstore.Part, error) {
+	n, err := d.U64()
+	if err != nil {
+		return nil, err
+	}
+	idsU, err := d.U64s()
+	if err != nil {
+		return nil, err
+	}
+	cts, err := d.U64s()
+	if err != nil {
+		return nil, err
+	}
+	if uint64(len(idsU)) != n || uint64(len(cts)) != n {
+		return nil, fmt.Errorf("core: part row arrays mismatch")
+	}
+	ids := make([]types.RowID, n)
+	for i, u := range idsU {
+		ids[i] = types.RowID(u)
+	}
+	ncols := len(cfg.Schema.Columns)
+	dicts := make([]*dict.Sorted, ncols)
+	offsets := make([]uint32, ncols)
+	codes := make([][]uint32, ncols)
+	nulls := make([][]uint64, ncols)
+	for ci := 0; ci < ncols; ci++ {
+		off, err := d.U64()
+		if err != nil {
+			return nil, err
+		}
+		offsets[ci] = uint32(off)
+		dn, err := d.U64()
+		if err != nil {
+			return nil, err
+		}
+		values := make([]types.Value, dn)
+		for i := range values {
+			if values[i], err = d.Value(); err != nil {
+				return nil, err
+			}
+		}
+		dicts[ci] = dict.NewSortedFromValues(cfg.Schema.Columns[ci].Kind, values)
+		if codes[ci], err = d.U32s(); err != nil {
+			return nil, err
+		}
+		if nulls[ci], err = d.U64s(); err != nil {
+			return nil, err
+		}
+	}
+	return mainstore.RestorePart(cfg.Schema, dicts, offsets, cfg.indexedFlags(), codes, nulls, ids, cts, cfg.Compress)
+}
+
+// apply processes one redo record during replay.
+func (st *recoveryState) apply(rec *wal.Record) error {
+	if rec.Txn > st.maxTxn {
+		st.maxTxn = rec.Txn
+	}
+	switch rec.Type {
+	case wal.RecInsert, wal.RecBulk, wal.RecDelete:
+		st.ops[rec.Txn] = append(st.ops[rec.Txn], rec)
+	case wal.RecCommit:
+		ts := st.db.mgr.LastCommitted() + 1
+		if rec.TS > ts {
+			ts = rec.TS
+		}
+		// Finalize snapshot marker stamps.
+		for _, p := range st.pending[rec.Txn] {
+			if p.isCreate {
+				p.st.SetCreate(ts)
+			} else {
+				p.st.SetDelete(ts)
+			}
+		}
+		delete(st.pending, rec.Txn)
+		// Apply the transaction's post-savepoint operations.
+		for _, op := range st.ops[rec.Txn] {
+			if err := st.applyOp(op, ts); err != nil {
+				return err
+			}
+		}
+		delete(st.ops, rec.Txn)
+		st.db.mgr.Bump(ts)
+	case wal.RecAbort:
+		for _, p := range st.pending[rec.Txn] {
+			if p.isCreate {
+				p.st.SetCreate(mvcc.Aborted)
+			} else {
+				p.st.SetDelete(0)
+			}
+		}
+		delete(st.pending, rec.Txn)
+		delete(st.ops, rec.Txn)
+	case wal.RecCreateTable:
+		if st.db.Table(rec.Table) != nil {
+			return nil // already restored from the snapshot
+		}
+		cfg, err := decodeConfig(persist.NewDecoder(rec.Payload))
+		if err != nil {
+			return fmt.Errorf("core: corrupt create-table record for %q: %w", rec.Table, err)
+		}
+		if _, err := st.db.CreateTable(cfg); err != nil {
+			return err
+		}
+	case wal.RecMerge, wal.RecSavepoint:
+		// Structural events: data movement is never redo-logged (§3.2).
+	}
+	return nil
+}
+
+func (st *recoveryState) applyOp(rec *wal.Record, ts uint64) error {
+	t := st.db.Table(rec.Table)
+	if t == nil {
+		return fmt.Errorf("core: log references unknown table %q", rec.Table)
+	}
+	switch rec.Type {
+	case wal.RecInsert, wal.RecBulk:
+		for i, row := range rec.Rows {
+			id := rec.RowIDs[i]
+			s := mvcc.NewStamp(ts)
+			if rec.Type == wal.RecBulk {
+				t.l2.AppendRow(row, id, s)
+			} else {
+				t.l1.Append(&l1delta.Row{ID: id, Values: row, Stamp: s})
+			}
+			st.rows[id] = rowLocator{stamp: s}
+			if id > st.maxRowID {
+				st.maxRowID = id
+			}
+		}
+	case wal.RecDelete:
+		for _, id := range rec.RowIDs {
+			loc, ok := st.rows[id]
+			if !ok {
+				return fmt.Errorf("core: delete of unknown row %d", id)
+			}
+			if loc.main {
+				s, _ := loc.table.tombs.Claim(id, loc.table.main.CreateTS(loc.loc), ts)
+				s.SetDelete(ts)
+				loc.table.main.MarkDeleted(loc.loc)
+			} else {
+				loc.stamp.SetDelete(ts)
+			}
+		}
+	}
+	return nil
+}

@@ -1,0 +1,324 @@
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/l1delta"
+	"repro/internal/l2delta"
+	"repro/internal/mainstore"
+	"repro/internal/mvcc"
+	"repro/internal/persist"
+	"repro/internal/types"
+	"repro/internal/wal"
+)
+
+const snapshotVersion = 1
+
+// tableCapture is the consistent cut of one table taken inside the
+// savepoint's critical phase.
+type tableCapture struct {
+	t      *Table
+	l1Rows []*l1delta.Row
+	l2Gens []*l2delta.Store // all closed
+	main   *mainstore.Store
+	tombs  map[types.RowID]*mvcc.Stamp
+}
+
+// Savepoint persists a consistent snapshot of every table (L1 image,
+// closed L2-delta generations, main store, tombstones) plus the
+// database metadata, then truncates the redo log — the short-term
+// recovery mechanism of §3.2 (Fig. 5): "after the savepoint, the REDO
+// log can be truncated". In-flight transactions are captured as raw
+// stamp markers; replay of the post-savepoint log resolves them to
+// commits or aborts.
+func (db *Database) Savepoint() error {
+	if db.dataPath == "" {
+		return fmt.Errorf("core: in-memory database has no savepoints")
+	}
+	db.savepointMu.Lock()
+	defer db.savepointMu.Unlock()
+
+	// Critical phase: with all table latches and the commit latch
+	// held, rotate the log and capture immutable references. No commit
+	// can straddle the rotation, so a transaction's ops and its commit
+	// record always land on the same side of the savepoint or are
+	// reconciled through marker stamps.
+	tables := db.Tables()
+	for _, t := range tables {
+		t.mu.Lock()
+	}
+	db.commitMu.Lock()
+	if db.log != nil {
+		if err := db.log.Rotate(); err != nil {
+			db.commitMu.Unlock()
+			for i := len(tables) - 1; i >= 0; i-- {
+				tables[i].mu.Unlock()
+			}
+			return err
+		}
+	}
+	captures := make([]tableCapture, 0, len(tables))
+	for _, t := range tables {
+		t.rotateL2Locked() // close the open generation: all L2 images immutable
+		c := tableCapture{t: t, main: t.main}
+		c.l1Rows = append([]*l1delta.Row(nil), t.l1.Rows()...)
+		c.l2Gens = append([]*l2delta.Store(nil), t.frozen...)
+		c.tombs = map[types.RowID]*mvcc.Stamp{}
+		for _, loc := range allTombstones(t.main, t.tombs) {
+			c.tombs[loc.id] = loc.st
+		}
+		captures = append(captures, c)
+	}
+	lastTS := db.mgr.LastCommitted()
+	nextRow := db.rowID.Load()
+	db.commitMu.Unlock()
+	for i := len(tables) - 1; i >= 0; i-- {
+		tables[i].mu.Unlock()
+	}
+
+	// Serialization phase: everything captured is immutable except
+	// stamps, which are read atomically (a racing commit finalization
+	// is benign either way).
+	pager, err := persist.Open(db.dataPath, db.pageSize)
+	if err != nil {
+		return err
+	}
+	defer pager.Close()
+
+	meta := persist.NewEncoder()
+	meta.U64(snapshotVersion)
+	meta.U64(lastTS)
+	meta.U64(nextRow)
+	meta.U64(uint64(len(captures)))
+	for _, c := range captures {
+		meta.Str(c.t.cfg.Name)
+	}
+	if err := pager.WriteFile("meta", meta.Bytes()); err != nil {
+		pager.Rollback()
+		return err
+	}
+	for _, c := range captures {
+		img, err := encodeTable(c)
+		if err != nil {
+			pager.Rollback()
+			return err
+		}
+		if err := pager.WriteFile("table/"+c.t.cfg.Name, img); err != nil {
+			pager.Rollback()
+			return err
+		}
+	}
+	if err := pager.Commit(); err != nil {
+		pager.Rollback()
+		return err
+	}
+	if db.log != nil {
+		if err := db.log.Append(&wal.Record{Type: wal.RecSavepoint, TS: pager.Generation()}); err != nil {
+			return err
+		}
+		if err := db.log.Sync(); err != nil {
+			return err
+		}
+		return db.log.DropBefore()
+	}
+	return nil
+}
+
+type tombEntry struct {
+	id types.RowID
+	st *mvcc.Stamp
+}
+
+// allTombstones snapshots the registry entries relevant to the store.
+func allTombstones(main *mainstore.Store, tombs *mainstore.Tombstones) []tombEntry {
+	var out []tombEntry
+	for _, p := range main.Parts() {
+		for pos := 0; pos < p.NumRows(); pos++ {
+			id := p.RowID(pos)
+			if st := tombs.Get(id); st != nil {
+				out = append(out, tombEntry{id: id, st: st})
+			}
+		}
+	}
+	return out
+}
+
+// encodeTable serializes a table capture.
+func encodeTable(c tableCapture) ([]byte, error) {
+	e := persist.NewEncoder()
+	encodeConfig(e, c.t.cfg)
+
+	// L1 image: raw stamps preserve in-flight markers.
+	e.U64(uint64(len(c.l1Rows)))
+	for _, r := range c.l1Rows {
+		e.U64(uint64(r.ID))
+		e.U64(r.Stamp.Create())
+		e.U64(r.Stamp.Delete())
+		for _, v := range r.Values {
+			e.Value(v)
+		}
+	}
+
+	// L2 generations.
+	e.U64(uint64(len(c.l2Gens)))
+	for _, g := range c.l2Gens {
+		e.U64(uint64(g.Len()))
+		for pos := 0; pos < g.Len(); pos++ {
+			st := g.Stamp(pos)
+			e.U64(uint64(g.RowID(pos)))
+			e.U64(st.Create())
+			e.U64(st.Delete())
+			for ci := range c.t.cfg.Schema.Columns {
+				e.Value(g.Value(pos, ci))
+			}
+		}
+	}
+
+	// Main chain.
+	parts := c.main.Parts()
+	e.U64(uint64(len(parts)))
+	for _, p := range parts {
+		encodePart(e, c.t.cfg.Schema, p)
+	}
+
+	// Tombstones.
+	e.U64(uint64(len(c.tombs)))
+	for id, st := range c.tombs {
+		e.U64(uint64(id))
+		e.U64(st.Create())
+		e.U64(st.Delete())
+	}
+	return e.Bytes(), nil
+}
+
+func encodeConfig(e *persist.Encoder, cfg TableConfig) {
+	e.Str(cfg.Name)
+	s := cfg.Schema
+	e.U64(uint64(len(s.Columns)))
+	for _, col := range s.Columns {
+		e.Str(col.Name)
+		e.U64(uint64(col.Kind))
+		e.Bool(col.Nullable)
+	}
+	e.I64(int64(s.Key))
+	e.U64(uint64(cfg.L1MaxRows))
+	e.U64(uint64(cfg.L1MergeBatch))
+	e.U64(uint64(cfg.L2MaxRows))
+	e.U64(uint64(cfg.Strategy))
+	e.U64(uint64(cfg.ActiveMainMax))
+	e.Bool(cfg.Compress)
+	e.Bool(cfg.CompactDicts)
+	idx := make([]uint32, len(cfg.Indexed))
+	for i, c := range cfg.Indexed {
+		idx[i] = uint32(c)
+	}
+	e.U32s(idx)
+	e.Bool(cfg.Historic)
+	e.Bool(cfg.CheckUnique)
+}
+
+func decodeConfig(d *persist.Decoder) (TableConfig, error) {
+	var cfg TableConfig
+	var err error
+	if cfg.Name, err = d.Str(); err != nil {
+		return cfg, err
+	}
+	ncols, err := d.U64()
+	if err != nil {
+		return cfg, err
+	}
+	cols := make([]types.Column, ncols)
+	for i := range cols {
+		if cols[i].Name, err = d.Str(); err != nil {
+			return cfg, err
+		}
+		k, err := d.U64()
+		if err != nil {
+			return cfg, err
+		}
+		cols[i].Kind = types.Kind(k)
+		if cols[i].Nullable, err = d.Bool(); err != nil {
+			return cfg, err
+		}
+	}
+	key, err := d.I64()
+	if err != nil {
+		return cfg, err
+	}
+	if cfg.Schema, err = types.NewSchema(cols, int(key)); err != nil {
+		return cfg, err
+	}
+	u := func(dst *int) error {
+		v, err := d.U64()
+		*dst = int(v)
+		return err
+	}
+	if err := u(&cfg.L1MaxRows); err != nil {
+		return cfg, err
+	}
+	if err := u(&cfg.L1MergeBatch); err != nil {
+		return cfg, err
+	}
+	if err := u(&cfg.L2MaxRows); err != nil {
+		return cfg, err
+	}
+	strat, err := d.U64()
+	if err != nil {
+		return cfg, err
+	}
+	cfg.Strategy = MergeStrategy(strat)
+	if err := u(&cfg.ActiveMainMax); err != nil {
+		return cfg, err
+	}
+	if cfg.Compress, err = d.Bool(); err != nil {
+		return cfg, err
+	}
+	if cfg.CompactDicts, err = d.Bool(); err != nil {
+		return cfg, err
+	}
+	idx, err := d.U32s()
+	if err != nil {
+		return cfg, err
+	}
+	for _, c := range idx {
+		cfg.Indexed = append(cfg.Indexed, int(c))
+	}
+	if cfg.Historic, err = d.Bool(); err != nil {
+		return cfg, err
+	}
+	if cfg.CheckUnique, err = d.Bool(); err != nil {
+		return cfg, err
+	}
+	return cfg, nil
+}
+
+func encodePart(e *persist.Encoder, schema *types.Schema, p *mainstore.Part) {
+	n := p.NumRows()
+	e.U64(uint64(n))
+	ids := make([]uint64, n)
+	cts := make([]uint64, n)
+	for pos := 0; pos < n; pos++ {
+		ids[pos] = uint64(p.RowID(pos))
+		cts[pos] = p.CreateTS(pos)
+	}
+	e.U64s(ids)
+	e.U64s(cts)
+	for ci := range schema.Columns {
+		d := p.Dict(ci)
+		e.U64(uint64(p.CodeOffset(ci)))
+		e.U64(uint64(d.Len()))
+		for c := 0; c < d.Len(); c++ {
+			e.Value(d.At(uint32(c)))
+		}
+		codes := make([]uint32, n)
+		nulls := make([]uint64, (n+63)/64)
+		for pos := 0; pos < n; pos++ {
+			codes[pos] = p.Values(ci).Get(pos)
+			if p.IsNull(pos, ci) {
+				nulls[pos/64] |= 1 << (pos % 64)
+			}
+		}
+		e.U32s(codes)
+		e.U64s(nulls)
+	}
+}

@@ -1,0 +1,76 @@
+package core
+
+import (
+	"sync"
+	"time"
+)
+
+// scheduler drives the asynchronous record propagation: it watches
+// every table and runs L1→L2 merges when the L1-delta exceeds its
+// configured size and L2→main merges when the L2-delta does — "the
+// record life cycle is organized in a way to asynchronously propagate
+// individual records through the system without interfering with
+// currently running database operations" (§3.1). Merges into the main
+// are "scheduled with a very low frequency" (§4.4) relative to the
+// frequent, incremental L1 merges.
+type scheduler struct {
+	db    *Database
+	stopC chan struct{}
+	wg    sync.WaitGroup
+	// interval is the poll period; kept short because thresholds, not
+	// time, gate the work.
+	interval time.Duration
+}
+
+func newScheduler(db *Database) *scheduler {
+	return &scheduler{db: db, stopC: make(chan struct{}), interval: 2 * time.Millisecond}
+}
+
+func (s *scheduler) start() {
+	s.wg.Add(1)
+	go s.loop()
+}
+
+func (s *scheduler) stop() {
+	close(s.stopC)
+	s.wg.Wait()
+}
+
+func (s *scheduler) loop() {
+	defer s.wg.Done()
+	ticker := time.NewTicker(s.interval)
+	defer ticker.Stop()
+	for {
+		select {
+		case <-s.stopC:
+			return
+		case <-ticker.C:
+			s.pass()
+		}
+	}
+}
+
+// pass runs at most one merge step per table per tick.
+func (s *scheduler) pass() {
+	for _, t := range s.db.Tables() {
+		t.mu.RLock()
+		l1Full := t.l1.Len() >= t.cfg.L1MaxRows
+		l2Full := t.l2.Len() >= t.cfg.L2MaxRows
+		pending := len(t.frozen) > 0
+		busy := t.mergeInFlight
+		t.mu.RUnlock()
+
+		if l1Full {
+			_, _ = t.MergeL1()
+		}
+		if l2Full && !busy {
+			t.RotateL2()
+			pending = true
+		}
+		if pending && !busy {
+			// ErrNotSettled and injected failures leave the generation
+			// queued; the next tick retries (§3.1).
+			_, _ = t.MergeMain()
+		}
+	}
+}

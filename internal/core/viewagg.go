@@ -1,0 +1,152 @@
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/l1delta"
+	"repro/internal/types"
+)
+
+// NumGroup is one group of a vectorized numeric aggregation: the
+// group value (Null for the NULL group), the row count, and per data
+// column the non-NULL count and integer/float sums. Count, Sum, and
+// Avg derive from these; Min/Max take the generic path.
+type NumGroup struct {
+	Key   types.Value
+	Count int64
+	Cnt   []int64
+	SumI  []int64
+	SumF  []float64
+}
+
+// AggregateNumeric computes count and per-column sums of the numeric
+// dataCols grouped by groupCol, using the per-stage code-level
+// kernels: each stage accumulates into arrays indexed by its own
+// dictionary codes (no per-row hashing or value boxing), and the few
+// resulting groups are merged by value (§4.1, [15]).
+func (v *View) AggregateNumeric(groupCol int, dataCols []int) ([]NumGroup, error) {
+	schema := v.t.cfg.Schema
+	for _, c := range dataCols {
+		switch schema.Columns[c].Kind {
+		case types.KindInt64, types.KindFloat64, types.KindDate, types.KindBool:
+		default:
+			return nil, fmt.Errorf("core: AggregateNumeric over non-numeric column %q", schema.Columns[c].Name)
+		}
+	}
+	nd := len(dataCols)
+	merged := map[types.Value]*NumGroup{}
+	var order []*NumGroup
+	var nullGroup *NumGroup
+	fold := func(key types.Value, isNull bool, count int64, cnt []int64, sumI []int64, sumF []float64) {
+		if count == 0 {
+			return
+		}
+		var g *NumGroup
+		if isNull {
+			if nullGroup == nil {
+				nullGroup = &NumGroup{Key: types.Null, Cnt: make([]int64, nd), SumI: make([]int64, nd), SumF: make([]float64, nd)}
+				order = append(order, nullGroup)
+			}
+			g = nullGroup
+		} else {
+			g = merged[key]
+			if g == nil {
+				g = &NumGroup{Key: key, Cnt: make([]int64, nd), SumI: make([]int64, nd), SumF: make([]float64, nd)}
+				merged[key] = g
+				order = append(order, g)
+			}
+		}
+		g.Count += count
+		for k := 0; k < nd; k++ {
+			g.Cnt[k] += cnt[k]
+			g.SumI[k] += sumI[k]
+			g.SumF[k] += sumF[k]
+		}
+	}
+	// foldSpace drains one code space's accumulators.
+	foldSpace := func(resolve func(uint32) types.Value, counts []int64, colCnt, colSumI [][]int64, colSumF [][]float64) {
+		nullIdx := len(counts) - 1
+		cnt := make([]int64, nd)
+		sumI := make([]int64, nd)
+		sumF := make([]float64, nd)
+		for code := range counts {
+			if counts[code] == 0 {
+				continue
+			}
+			for k := 0; k < nd; k++ {
+				cnt[k] = colCnt[k][code]
+				sumI[k] = colSumI[k][code]
+				sumF[k] = colSumF[k][code]
+			}
+			if code == nullIdx {
+				fold(types.Null, true, counts[code], cnt, sumI, sumF)
+			} else {
+				fold(resolve(uint32(code)), false, counts[code], cnt, sumI, sumF)
+			}
+		}
+	}
+	alloc := func(card int) ([]int64, [][]int64, [][]int64, [][]float64) {
+		counts := make([]int64, card+1)
+		colCnt := make([][]int64, nd)
+		colSumI := make([][]int64, nd)
+		colSumF := make([][]float64, nd)
+		for k := 0; k < nd; k++ {
+			colCnt[k] = make([]int64, card+1)
+			colSumI[k] = make([]int64, card+1)
+			colSumF[k] = make([]float64, card+1)
+		}
+		return counts, colCnt, colSumI, colSumF
+	}
+
+	// L1-delta: row format, accumulated straight into the merged
+	// groups (the L1-delta holds few rows, so per-row fold cost is
+	// irrelevant here).
+	if v.l1Border > 0 {
+		cnt := make([]int64, nd)
+		sumI := make([]int64, nd)
+		sumF := make([]float64, nd)
+		v.l1.ScanVisible(v.l1Border, v.snap, v.self, func(_ int, r *l1delta.Row) bool {
+			for k, c := range dataCols {
+				cnt[k], sumI[k], sumF[k] = 0, 0, 0
+				val := r.Values[c]
+				if val.IsNull() {
+					continue
+				}
+				cnt[k] = 1
+				if val.Kind == types.KindFloat64 {
+					sumF[k] = val.F
+				} else {
+					sumI[k] = val.I
+				}
+			}
+			gv := r.Values[groupCol]
+			fold(gv, gv.IsNull(), 1, cnt, sumI, sumF)
+			return true
+		})
+	}
+
+	// L2-delta generations.
+	for gi, g := range v.l2s {
+		if v.borders[gi] == 0 {
+			continue
+		}
+		d := g.Dict(groupCol)
+		counts, colCnt, colSumI, colSumF := alloc(d.Len())
+		g.AccumNumeric(groupCol, dataCols, v.borders[gi], v.snap, v.self, counts, colCnt, colSumI, colSumF)
+		foldSpace(func(c uint32) types.Value { return d.At(c) }, counts, colCnt, colSumI, colSumF)
+	}
+
+	// Main chain.
+	if v.main.NumRows() > 0 {
+		counts, colCnt, colSumI, colSumF := alloc(v.main.Cardinality(groupCol))
+		v.main.AccumNumeric(groupCol, dataCols, v.tombs, v.snap, v.self, counts, colCnt, colSumI, colSumF)
+		main := v.main
+		foldSpace(func(c uint32) types.Value { return main.ResolveCode(groupCol, c) }, counts, colCnt, colSumI, colSumF)
+	}
+
+	out := make([]NumGroup, len(order))
+	for i, g := range order {
+		out[i] = *g
+	}
+	return out, nil
+}

@@ -1,0 +1,225 @@
+// Package csvio loads CSV data into unified tables (through the bulk
+// path that bypasses the L1-delta, §3) and dumps snapshot-consistent
+// table contents back to CSV. Used by cmd/hanaload and handy for
+// getting real data into examples.
+package csvio
+
+import (
+	"encoding/csv"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+
+	"repro/internal/core"
+	"repro/internal/mvcc"
+	"repro/internal/types"
+)
+
+// LoadOptions configures Load.
+type LoadOptions struct {
+	// HasHeader skips (and validates) the first row as column names.
+	HasHeader bool
+	// BatchRows sets the bulk-insert transaction size (default 10k).
+	BatchRows int
+	// NullToken is the cell value representing SQL NULL (default "",
+	// accepted only for nullable columns).
+	NullToken string
+}
+
+// Load streams CSV rows into the table via batched bulk-insert
+// transactions and returns the number of rows loaded.
+func Load(db *core.Database, t *core.Table, r io.Reader, opts LoadOptions) (int, error) {
+	if opts.BatchRows <= 0 {
+		opts.BatchRows = 10_000
+	}
+	schema := t.Schema()
+	cr := csv.NewReader(r)
+	cr.FieldsPerRecord = len(schema.Columns)
+	cr.ReuseRecord = true
+
+	if opts.HasHeader {
+		hdr, err := cr.Read()
+		if err != nil {
+			return 0, fmt.Errorf("csvio: reading header: %w", err)
+		}
+		for i, name := range hdr {
+			if !strings.EqualFold(strings.TrimSpace(name), schema.Columns[i].Name) {
+				return 0, fmt.Errorf("csvio: header column %d is %q, schema has %q", i, name, schema.Columns[i].Name)
+			}
+		}
+	}
+
+	total := 0
+	batch := make([][]types.Value, 0, opts.BatchRows)
+	flush := func() error {
+		if len(batch) == 0 {
+			return nil
+		}
+		tx := db.Begin(mvcc.TxnSnapshot)
+		if _, err := t.BulkInsert(tx, batch); err != nil {
+			db.Abort(tx)
+			return err
+		}
+		if err := db.Commit(tx); err != nil {
+			return err
+		}
+		total += len(batch)
+		batch = batch[:0]
+		return nil
+	}
+	line := 0
+	for {
+		rec, err := cr.Read()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			return total, fmt.Errorf("csvio: %w", err)
+		}
+		line++
+		row := make([]types.Value, len(rec))
+		for i, cell := range rec {
+			v, err := ParseValue(schema.Columns[i].Kind, cell, opts.NullToken)
+			if err != nil {
+				return total, fmt.Errorf("csvio: row %d column %q: %w", line, schema.Columns[i].Name, err)
+			}
+			row[i] = v
+		}
+		batch = append(batch, row)
+		if len(batch) >= opts.BatchRows {
+			if err := flush(); err != nil {
+				return total, err
+			}
+		}
+	}
+	return total, flush()
+}
+
+// ParseValue converts one CSV cell to a typed value. nullToken maps
+// to SQL NULL.
+func ParseValue(kind types.Kind, cell, nullToken string) (types.Value, error) {
+	if cell == nullToken {
+		return types.Null, nil
+	}
+	switch kind {
+	case types.KindInt64:
+		n, err := strconv.ParseInt(cell, 10, 64)
+		if err != nil {
+			return types.Null, err
+		}
+		return types.Int(n), nil
+	case types.KindFloat64:
+		f, err := strconv.ParseFloat(cell, 64)
+		if err != nil {
+			return types.Null, err
+		}
+		return types.Float(f), nil
+	case types.KindString:
+		return types.Str(cell), nil
+	case types.KindDate:
+		// ISO date or raw day number.
+		if n, err := strconv.ParseInt(cell, 10, 64); err == nil {
+			return types.Date(n), nil
+		}
+		var y, m, d int
+		if _, err := fmt.Sscanf(cell, "%d-%d-%d", &y, &m, &d); err != nil {
+			return types.Null, fmt.Errorf("bad date %q", cell)
+		}
+		days := daysSinceEpoch(y, m, d)
+		return types.Date(days), nil
+	case types.KindBool:
+		b, err := strconv.ParseBool(cell)
+		if err != nil {
+			return types.Null, err
+		}
+		return types.Bool(b), nil
+	default:
+		return types.Null, fmt.Errorf("unsupported kind %v", kind)
+	}
+}
+
+func daysSinceEpoch(y, m, d int) int64 {
+	// Civil-days algorithm (Howard Hinnant), no time package needed.
+	if m <= 2 {
+		y--
+	}
+	era := y / 400
+	if y < 0 {
+		era = (y - 399) / 400
+	}
+	yoe := y - era*400
+	mp := (m + 9) % 12
+	doy := (153*mp+2)/5 + d - 1
+	doe := yoe*365 + yoe/4 - yoe/100 + doy
+	return int64(era)*146097 + int64(doe) - 719468
+}
+
+// Dump writes the table's visible rows as CSV (header first) and
+// returns the number of rows written. nullToken renders SQL NULL.
+func Dump(t *core.Table, w io.Writer, nullToken string) (int, error) {
+	schema := t.Schema()
+	cw := csv.NewWriter(w)
+	hdr := make([]string, len(schema.Columns))
+	for i, c := range schema.Columns {
+		hdr[i] = c.Name
+	}
+	if err := cw.Write(hdr); err != nil {
+		return 0, err
+	}
+	v := t.View(nil)
+	defer v.Close()
+	n := 0
+	var werr error
+	rec := make([]string, len(schema.Columns))
+	v.ScanAll(func(_ types.RowID, row []types.Value) bool {
+		for i, val := range row {
+			if val.IsNull() {
+				rec[i] = nullToken
+			} else {
+				rec[i] = val.String()
+			}
+		}
+		if werr = cw.Write(rec); werr != nil {
+			return false
+		}
+		n++
+		return true
+	})
+	if werr != nil {
+		return n, werr
+	}
+	cw.Flush()
+	return n, cw.Error()
+}
+
+// ParseSchemaSpec builds a schema from a compact spec like
+// "id:int,customer:varchar,amount:double:null" with the key given by
+// ordinal. Kinds: int, double, varchar, date, bool.
+func ParseSchemaSpec(spec string, key int) (*types.Schema, error) {
+	var cols []types.Column
+	for _, part := range strings.Split(spec, ",") {
+		fields := strings.Split(strings.TrimSpace(part), ":")
+		if len(fields) < 2 {
+			return nil, fmt.Errorf("csvio: column spec %q needs name:kind", part)
+		}
+		col := types.Column{Name: fields[0]}
+		switch strings.ToLower(fields[1]) {
+		case "int", "bigint":
+			col.Kind = types.KindInt64
+		case "double", "float":
+			col.Kind = types.KindFloat64
+		case "varchar", "string":
+			col.Kind = types.KindString
+		case "date":
+			col.Kind = types.KindDate
+		case "bool", "boolean":
+			col.Kind = types.KindBool
+		default:
+			return nil, fmt.Errorf("csvio: unknown kind %q", fields[1])
+		}
+		col.Nullable = len(fields) > 2 && strings.EqualFold(fields[2], "null")
+		cols = append(cols, col)
+	}
+	return types.NewSchema(cols, key)
+}

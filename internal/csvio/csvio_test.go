@@ -1,0 +1,148 @@
+package csvio
+
+import (
+	"strconv"
+	"strings"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/types"
+)
+
+func testTable(t *testing.T) (*core.Database, *core.Table) {
+	t.Helper()
+	db, err := core.OpenDatabase(core.DBOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { db.Close() })
+	schema, err := ParseSchemaSpec("id:int,name:varchar:null,amount:double,day:date,ok:bool", 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tab, err := db.CreateTable(core.TableConfig{
+		Name: "t", Schema: schema, CheckUnique: true, Compress: true, CompactDicts: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return db, tab
+}
+
+const sample = `id,name,amount,day,ok
+1,Acme,9.5,2012-05-20,true
+2,,3.25,15000,false
+3,Bolt,0,1970-01-01,true
+`
+
+func TestLoadDumpRoundtrip(t *testing.T) {
+	db, tab := testTable(t)
+	n, err := Load(db, tab, strings.NewReader(sample), LoadOptions{HasHeader: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != 3 {
+		t.Fatalf("loaded %d", n)
+	}
+	// NULL cell parsed for the nullable column.
+	v := tab.View(nil)
+	m := v.Get(types.Int(2))
+	v.Close()
+	if m == nil || !m.Row[1].IsNull() || m.Row[2].F != 3.25 {
+		t.Fatalf("row 2 = %+v", m)
+	}
+	// ISO date round-trips.
+	v = tab.View(nil)
+	m1 := v.Get(types.Int(1))
+	v.Close()
+	if m1.Row[3].String() != "2012-05-20" {
+		t.Fatalf("date = %s", m1.Row[3])
+	}
+	if m1.Row[4].AsBool() != true {
+		t.Fatal("bool lost")
+	}
+
+	var out strings.Builder
+	dn, err := Dump(tab, &out, "")
+	if err != nil || dn != 3 {
+		t.Fatalf("dump: %d %v", dn, err)
+	}
+	// Reload the dump into a fresh table: identical content.
+	db2, tab2 := testTable(t)
+	if _, err := Load(db2, tab2, strings.NewReader(out.String()), LoadOptions{HasHeader: true}); err != nil {
+		t.Fatal(err)
+	}
+	var out2 strings.Builder
+	Dump(tab2, &out2, "")
+	if out.String() != out2.String() {
+		t.Fatalf("roundtrip mismatch:\n%s\nvs\n%s", out.String(), out2.String())
+	}
+}
+
+func TestLoadErrors(t *testing.T) {
+	db, tab := testTable(t)
+	cases := []struct {
+		name, data string
+	}{
+		{"bad header", "id,nope,amount,day,ok\n1,a,1,1,true\n"},
+		{"bad int", "x,a,1,1,true\n"},
+		{"bad bool", "1,a,1,1,maybe\n"},
+		{"bad date", "1,a,1,20-xx,true\n"},
+		{"short row", "1,a\n"},
+		{"null in non-nullable", "1,a,,1,true\n"},
+	}
+	for _, c := range cases {
+		opts := LoadOptions{HasHeader: strings.Contains(c.name, "header")}
+		if _, err := Load(db, tab, strings.NewReader(c.data), opts); err == nil {
+			t.Errorf("%s: accepted", c.name)
+		}
+	}
+	// Duplicate keys rejected by the unique constraint.
+	if _, err := Load(db, tab, strings.NewReader("7,a,1,1,true\n7,b,1,1,true\n"), LoadOptions{}); err == nil {
+		t.Error("duplicate keys accepted")
+	}
+}
+
+func TestBatching(t *testing.T) {
+	db, tab := testTable(t)
+	var b strings.Builder
+	for i := 0; i < 257; i++ {
+		b.WriteString(strconv.Itoa(i) + ",n,1,1,true\n")
+	}
+	n, err := Load(db, tab, strings.NewReader(b.String()), LoadOptions{BatchRows: 64})
+	if err != nil || n != 257 {
+		t.Fatalf("n=%d err=%v", n, err)
+	}
+	v := tab.View(nil)
+	defer v.Close()
+	if v.Count() != 257 {
+		t.Fatalf("count = %d", v.Count())
+	}
+}
+
+func TestParseSchemaSpecErrors(t *testing.T) {
+	if _, err := ParseSchemaSpec("id", 0); err == nil {
+		t.Error("missing kind accepted")
+	}
+	if _, err := ParseSchemaSpec("id:wat", 0); err == nil {
+		t.Error("bad kind accepted")
+	}
+	if _, err := ParseSchemaSpec("id:int", 5); err == nil {
+		t.Error("bad key ordinal accepted")
+	}
+}
+
+func TestDaysSinceEpoch(t *testing.T) {
+	cases := map[[3]int]int64{
+		{1970, 1, 1}:   0,
+		{1970, 1, 2}:   1,
+		{1969, 12, 31}: -1,
+		{2012, 5, 20}:  15480,
+		{2000, 3, 1}:   11017,
+	}
+	for in, want := range cases {
+		if got := daysSinceEpoch(in[0], in[1], in[2]); got != want {
+			t.Errorf("daysSinceEpoch(%v) = %d, want %d", in, got, want)
+		}
+	}
+}

@@ -1,0 +1,233 @@
+package dict
+
+import (
+	"repro/internal/types"
+)
+
+// FastPath labels which §4.1 merge optimization applied.
+type FastPath uint8
+
+const (
+	// FastPathNone means the general two-way dictionary merge ran.
+	FastPathNone FastPath = iota
+	// FastPathSubset means every delta value already existed in the
+	// main dictionary, so "the first phase of a dictionary generation
+	// is skipped resulting in stable positions of the main entries".
+	FastPathSubset
+	// FastPathAppend means every delta value was greater than the main
+	// maximum (e.g. increasing timestamps), so "the dictionary of the
+	// L2-delta can be directly added to the main dictionary".
+	FastPathAppend
+)
+
+func (f FastPath) String() string {
+	switch f {
+	case FastPathSubset:
+		return "subset"
+	case FastPathAppend:
+		return "append"
+	default:
+		return "none"
+	}
+}
+
+// MergeResult is the outcome of merging an unsorted delta dictionary
+// into a sorted main dictionary: the new dictionary plus the position
+// mapping tables of Fig. 7 that re-encode both value indexes.
+type MergeResult struct {
+	// Dict is the merged, sorted dictionary. On the subset fast path
+	// it is the main dictionary itself (positions are stable).
+	Dict *Sorted
+	// MainStable reports that old main codes are valid in Dict
+	// unchanged (subset and append fast paths).
+	MainStable bool
+	// MainMap maps old main codes to new codes; nil when MainStable.
+	MainMap []uint32
+	// DeltaMap maps delta codes to new codes.
+	DeltaMap []uint32
+	// Path records which fast path, if any, applied.
+	Path FastPath
+}
+
+// Merge merges the delta dictionary into the main dictionary,
+// discarding nothing (filtering of deleted records happens at the
+// value-index level). main may be nil (first merge of a column).
+func Merge(main *Sorted, delta *Unsorted) MergeResult {
+	if main == nil || main.Len() == 0 {
+		return firstMerge(delta)
+	}
+	d := delta.Len()
+	res := MergeResult{DeltaMap: make([]uint32, d)}
+
+	// Fast-path probe: look every distinct delta value up in the main
+	// dictionary, tracking whether all hit (subset) or all exceed the
+	// main maximum (append-only).
+	maxMain, _ := main.Max()
+	allFound, allAbove := true, true
+	for c := 0; c < d; c++ {
+		v := delta.At(uint32(c))
+		if code, ok := main.Lookup(v); ok {
+			res.DeltaMap[c] = code
+			allAbove = false
+		} else {
+			allFound = false
+			if types.Compare(v, maxMain) <= 0 {
+				allAbove = false
+			}
+		}
+		if !allFound && !allAbove {
+			break
+		}
+	}
+
+	switch {
+	case d == 0 || allFound:
+		res.Dict = main
+		res.MainStable = true
+		res.Path = FastPathSubset
+		return res
+	case allAbove:
+		return appendMerge(main, delta)
+	default:
+		return generalMerge(main, delta)
+	}
+}
+
+// firstMerge builds the initial sorted dictionary straight from the
+// delta.
+func firstMerge(delta *Unsorted) MergeResult {
+	perm := delta.SortedPermutation()
+	values := make([]types.Value, len(perm))
+	deltaMap := make([]uint32, len(perm))
+	for rank, code := range perm {
+		values[rank] = delta.At(code)
+		deltaMap[code] = uint32(rank)
+	}
+	return MergeResult{
+		Dict:       NewSortedFromValues(delta.Kind(), values),
+		MainStable: true, // vacuously: old main was empty
+		DeltaMap:   deltaMap,
+		Path:       FastPathNone,
+	}
+}
+
+// appendMerge extends the main dictionary with the sorted delta
+// values; main codes stay stable.
+func appendMerge(main *Sorted, delta *Unsorted) MergeResult {
+	m := main.Len()
+	perm := delta.SortedPermutation()
+	values := make([]types.Value, 0, m+len(perm))
+	for c := 0; c < m; c++ {
+		values = append(values, main.At(uint32(c)))
+	}
+	deltaMap := make([]uint32, len(perm))
+	for rank, code := range perm {
+		values = append(values, delta.At(code))
+		deltaMap[code] = uint32(m + rank)
+	}
+	return MergeResult{
+		Dict:       NewSortedFromValues(main.Kind(), values),
+		MainStable: true,
+		DeltaMap:   deltaMap,
+		Path:       FastPathAppend,
+	}
+}
+
+// generalMerge is the classic two-way merge of Fig. 7: walk the sorted
+// main codes and the sorted permutation of the delta, emit each
+// distinct value once, and record old→new position mappings for both
+// sides.
+func generalMerge(main *Sorted, delta *Unsorted) MergeResult {
+	m, d := main.Len(), delta.Len()
+	perm := delta.SortedPermutation()
+	values := make([]types.Value, 0, m+d)
+	mainMap := make([]uint32, m)
+	deltaMap := make([]uint32, d)
+
+	mi, di := 0, 0
+	for mi < m || di < d {
+		var take int // -1 main, +1 delta, 0 both (duplicate value)
+		switch {
+		case mi >= m:
+			take = 1
+		case di >= d:
+			take = -1
+		default:
+			cmp := types.Compare(main.At(uint32(mi)), delta.At(perm[di]))
+			switch {
+			case cmp < 0:
+				take = -1
+			case cmp > 0:
+				take = 1
+			default:
+				take = 0
+			}
+		}
+		newCode := uint32(len(values))
+		switch take {
+		case -1:
+			values = append(values, main.At(uint32(mi)))
+			mainMap[mi] = newCode
+			mi++
+		case 1:
+			values = append(values, delta.At(perm[di]))
+			deltaMap[perm[di]] = newCode
+			di++
+		case 0:
+			values = append(values, main.At(uint32(mi)))
+			mainMap[mi] = newCode
+			deltaMap[perm[di]] = newCode
+			mi++
+			di++
+		}
+	}
+	return MergeResult{
+		Dict:     NewSortedFromValues(main.Kind(), values),
+		MainMap:  mainMap,
+		DeltaMap: deltaMap,
+		Path:     FastPathNone,
+	}
+}
+
+// MergeSorted merges two sorted dictionaries (used by the full merge
+// that collapses a passive/active main pair, §4.3). Both mapping
+// tables are always produced.
+func MergeSorted(a, b *Sorted) (merged *Sorted, aMap, bMap []uint32) {
+	an, bn := a.Len(), b.Len()
+	values := make([]types.Value, 0, an+bn)
+	aMap = make([]uint32, an)
+	bMap = make([]uint32, bn)
+	ai, bi := 0, 0
+	for ai < an || bi < bn {
+		newCode := uint32(len(values))
+		switch {
+		case ai >= an:
+			values = append(values, b.At(uint32(bi)))
+			bMap[bi] = newCode
+			bi++
+		case bi >= bn:
+			values = append(values, a.At(uint32(ai)))
+			aMap[ai] = newCode
+			ai++
+		default:
+			cmp := types.Compare(a.At(uint32(ai)), b.At(uint32(bi)))
+			switch {
+			case cmp < 0:
+				values = append(values, a.At(uint32(ai)))
+				aMap[ai] = newCode
+				ai++
+			case cmp > 0:
+				values = append(values, b.At(uint32(bi)))
+				bMap[bi] = newCode
+				bi++
+			default:
+				values = append(values, a.At(uint32(ai)))
+				aMap[ai] = newCode
+				bMap[bi] = newCode
+				ai++
+				bi++
+			}
+		}
+	}
+	return NewSortedFromValues(a.Kind(), values), aMap, bMap
+}

@@ -1,0 +1,209 @@
+// Package dict implements the per-column dictionaries of the unified
+// table: the append-only, unsorted dictionary of the L2-delta with
+// its secondary hash index (paper §3, "the dictionary is unsorted
+// requiring secondary index structures to optimally support point
+// query access patterns"), and the sorted, prefix-coded dictionary of
+// the main store (§3, §4.1). It also implements the dictionary merge
+// that drives the L2-delta-to-main merge, including the subset and
+// append-only fast paths the paper describes.
+//
+// Dictionaries never store SQL NULL; column stores track NULLs in a
+// separate bitmap and reserve code 0 in the value vector for them.
+package dict
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/types"
+)
+
+// Unsorted is the L2-delta dictionary: values are assigned codes in
+// arrival order and are never reorganized ("inserts new entries at
+// the end of the dictionary to avoid any major restructuring"). A
+// hash index supports O(1) value→code lookups for unique-constraint
+// checks and point queries.
+type Unsorted struct {
+	kind types.Kind
+
+	ints   []int64
+	floats []float64
+	strs   []string
+
+	intIdx   map[int64]uint32
+	floatIdx map[float64]uint32
+	strIdx   map[string]uint32
+}
+
+// NewUnsorted returns an empty unsorted dictionary for a column kind.
+func NewUnsorted(kind types.Kind) *Unsorted {
+	u := &Unsorted{kind: kind}
+	switch kind {
+	case types.KindString:
+		u.strIdx = make(map[string]uint32)
+	case types.KindFloat64:
+		u.floatIdx = make(map[float64]uint32)
+	case types.KindInt64, types.KindDate, types.KindBool:
+		u.intIdx = make(map[int64]uint32)
+	default:
+		panic(fmt.Sprintf("dict: invalid kind %v", kind))
+	}
+	return u
+}
+
+// Kind returns the column kind the dictionary encodes.
+func (u *Unsorted) Kind() types.Kind { return u.kind }
+
+// Len returns the number of distinct values.
+func (u *Unsorted) Len() int {
+	switch u.kind {
+	case types.KindString:
+		return len(u.strs)
+	case types.KindFloat64:
+		return len(u.floats)
+	default:
+		return len(u.ints)
+	}
+}
+
+// GetOrAdd returns the code for v, adding it at the end of the
+// dictionary if absent. v must be non-NULL and of the dictionary's
+// kind.
+func (u *Unsorted) GetOrAdd(v types.Value) uint32 {
+	u.checkValue(v)
+	switch u.kind {
+	case types.KindString:
+		if c, ok := u.strIdx[v.S]; ok {
+			return c
+		}
+		c := uint32(len(u.strs))
+		u.strs = append(u.strs, v.S)
+		u.strIdx[v.S] = c
+		return c
+	case types.KindFloat64:
+		if c, ok := u.floatIdx[v.F]; ok {
+			return c
+		}
+		c := uint32(len(u.floats))
+		u.floats = append(u.floats, v.F)
+		u.floatIdx[v.F] = c
+		return c
+	default:
+		if c, ok := u.intIdx[v.I]; ok {
+			return c
+		}
+		c := uint32(len(u.ints))
+		u.ints = append(u.ints, v.I)
+		u.intIdx[v.I] = c
+		return c
+	}
+}
+
+// Lookup returns the code for v and whether it is present.
+func (u *Unsorted) Lookup(v types.Value) (uint32, bool) {
+	u.checkValue(v)
+	switch u.kind {
+	case types.KindString:
+		c, ok := u.strIdx[v.S]
+		return c, ok
+	case types.KindFloat64:
+		c, ok := u.floatIdx[v.F]
+		return c, ok
+	default:
+		c, ok := u.intIdx[v.I]
+		return c, ok
+	}
+}
+
+// At returns the value stored at code c.
+func (u *Unsorted) At(c uint32) types.Value {
+	switch u.kind {
+	case types.KindString:
+		return types.Str(u.strs[c])
+	case types.KindFloat64:
+		return types.Float(u.floats[c])
+	default:
+		return types.Value{Kind: u.kind, I: u.ints[c]}
+	}
+}
+
+// MemSize approximates the heap footprint in bytes, including the
+// hash index (the memory-for-speed trade the L2-delta makes, Fig. 11).
+func (u *Unsorted) MemSize() int {
+	switch u.kind {
+	case types.KindString:
+		n := 0
+		for _, s := range u.strs {
+			n += len(s) + 16
+		}
+		return n*2 + 48 // strings + index entries
+	case types.KindFloat64:
+		return len(u.floats)*8*2 + 48
+	default:
+		return len(u.ints)*8*2 + 48
+	}
+}
+
+// NumericSlices exposes the backing arrays of numeric dictionaries
+// (ints covers INT64/DATE/BOOLEAN); both are nil for string
+// dictionaries.
+func (u *Unsorted) NumericSlices() (ints []int64, floats []float64) {
+	return u.ints, u.floats
+}
+
+// SortedPermutation returns the dictionary's codes ordered by value:
+// perm[rank] = code. The L1→L2 and L2→main merges, the global sorted
+// dictionary iterator, and range predicates on the L2-delta all sort
+// the unsorted dictionary on the fly (§3.1).
+func (u *Unsorted) SortedPermutation() []uint32 {
+	n := u.Len()
+	perm := make([]uint32, n)
+	for i := range perm {
+		perm[i] = uint32(i)
+	}
+	switch u.kind {
+	case types.KindString:
+		sort.Slice(perm, func(a, b int) bool { return u.strs[perm[a]] < u.strs[perm[b]] })
+	case types.KindFloat64:
+		sort.Slice(perm, func(a, b int) bool { return u.floats[perm[a]] < u.floats[perm[b]] })
+	default:
+		sort.Slice(perm, func(a, b int) bool { return u.ints[perm[a]] < u.ints[perm[b]] })
+	}
+	return perm
+}
+
+// RangeCodes returns the set of codes whose values fall in [lo, hi]
+// (inclusive bounds; a NULL bound means unbounded on that side).
+// Because the dictionary is unsorted this is a full dictionary scan —
+// the price the L2-delta pays for cheap inserts.
+func (u *Unsorted) RangeCodes(lo, hi types.Value, loInc, hiInc bool) []uint32 {
+	var out []uint32
+	n := u.Len()
+	for c := 0; c < n; c++ {
+		v := u.At(uint32(c))
+		if !lo.IsNull() {
+			cmp := types.Compare(v, lo)
+			if cmp < 0 || (cmp == 0 && !loInc) {
+				continue
+			}
+		}
+		if !hi.IsNull() {
+			cmp := types.Compare(v, hi)
+			if cmp > 0 || (cmp == 0 && !hiInc) {
+				continue
+			}
+		}
+		out = append(out, uint32(c))
+	}
+	return out
+}
+
+func (u *Unsorted) checkValue(v types.Value) {
+	if v.IsNull() {
+		panic("dict: NULL has no dictionary code")
+	}
+	want := u.kind
+	if v.Kind != want {
+		panic(fmt.Sprintf("dict: value kind %v, dictionary kind %v", v.Kind, want))
+	}
+}

@@ -1,0 +1,341 @@
+package engine
+
+import (
+	"fmt"
+	"reflect"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/expr"
+	"repro/internal/mvcc"
+	"repro/internal/rowstore"
+	"repro/internal/types"
+)
+
+func rows(vals ...[]types.Value) [][]types.Value { return vals }
+
+func ints(vs ...int64) []types.Value {
+	out := make([]types.Value, len(vs))
+	for i, v := range vs {
+		out[i] = types.Int(v)
+	}
+	return out
+}
+
+func TestSliceSourceAndCollect(t *testing.T) {
+	src := NewSliceSource(rows(ints(1), ints(2), ints(3)))
+	got, err := Collect(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 3 || got[1][0].I != 2 {
+		t.Fatalf("got = %v", got)
+	}
+	// Next before Open errors.
+	s2 := NewSliceSource(nil)
+	if _, _, err := s2.Next(); err != ErrNotOpen {
+		t.Errorf("err = %v", err)
+	}
+}
+
+func TestFilterProjectLimit(t *testing.T) {
+	src := NewSliceSource(rows(ints(1, 10), ints(2, 20), ints(3, 30), ints(4, 40)))
+	it := &Limit{N: 2, In: &Project{
+		Cols: []int{1},
+		In:   &Filter{In: src, Pred: expr.Cmp{Col: 0, Op: expr.OpGe, Val: types.Int(2)}},
+	}}
+	got, err := Collect(it)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := rows(ints(20), ints(30))
+	if !reflect.DeepEqual(got, want) {
+		t.Errorf("got %v, want %v", got, want)
+	}
+}
+
+func TestUnion(t *testing.T) {
+	u := &Union{Ins: []Iterator{
+		NewSliceSource(rows(ints(1))),
+		NewSliceSource(nil),
+		NewSliceSource(rows(ints(2), ints(3))),
+	}}
+	got, err := Collect(u)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 3 || got[2][0].I != 3 {
+		t.Errorf("got = %v", got)
+	}
+}
+
+func TestHashJoin(t *testing.T) {
+	left := NewSliceSource(rows(ints(1, 100), ints(2, 200), ints(3, 300), ints(2, 201)))
+	right := NewSliceSource(rows(ints(2, 7), ints(3, 8), ints(9, 9)))
+	j := &HashJoin{Left: left, Right: right, LeftCol: 0, RightCol: 0}
+	got, err := Collect(j)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Keys 2 (twice on the left), 3 match.
+	if len(got) != 3 {
+		t.Fatalf("got = %v", got)
+	}
+	for _, row := range got {
+		if len(row) != 4 || row[0].I != row[2].I {
+			t.Errorf("bad join row %v", row)
+		}
+	}
+}
+
+func TestHashJoinNullKeysNeverMatch(t *testing.T) {
+	left := NewSliceSource(rows([]types.Value{types.Null, types.Int(1)}))
+	right := NewSliceSource(rows([]types.Value{types.Null, types.Int(2)}))
+	j := &HashJoin{Left: left, Right: right, LeftCol: 0, RightCol: 0}
+	got, err := Collect(j)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 0 {
+		t.Errorf("NULL keys joined: %v", got)
+	}
+}
+
+func TestHashAggregate(t *testing.T) {
+	src := NewSliceSource(rows(
+		[]types.Value{types.Str("a"), types.Int(1), types.Float(0.5)},
+		[]types.Value{types.Str("b"), types.Int(2), types.Float(1.5)},
+		[]types.Value{types.Str("a"), types.Int(3), types.Float(2.5)},
+		[]types.Value{types.Str("a"), types.Null, types.Float(3.5)},
+	))
+	agg := &HashAggregate{
+		In:      src,
+		GroupBy: []int{0},
+		Aggs: []Agg{
+			{Func: AggCount}, {Func: AggSum, Col: 1}, {Func: AggMin, Col: 1},
+			{Func: AggMax, Col: 1}, {Func: AggAvg, Col: 2},
+		},
+	}
+	got, err := Collect(agg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 2 {
+		t.Fatalf("groups = %v", got)
+	}
+	byKey := map[string][]types.Value{}
+	for _, r := range got {
+		byKey[r[0].S] = r
+	}
+	a := byKey["a"]
+	if a[1].I != 3 { // count counts rows
+		t.Errorf("count(a) = %v", a[1])
+	}
+	if a[2].I != 4 { // sum skips NULL
+		t.Errorf("sum(a) = %v", a[2])
+	}
+	if a[3].I != 1 || a[4].I != 3 {
+		t.Errorf("min/max(a) = %v/%v", a[3], a[4])
+	}
+	if av := a[5].F; av < 2.16 || av > 2.17 {
+		t.Errorf("avg(a) = %v", a[5])
+	}
+}
+
+func TestHashAggregateGlobalEmptyInput(t *testing.T) {
+	agg := &HashAggregate{In: NewSliceSource(nil), Aggs: []Agg{{Func: AggCount}, {Func: AggSum, Col: 0}}}
+	got, err := Collect(agg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 1 || got[0][0].I != 0 {
+		t.Errorf("global empty agg = %v", got)
+	}
+}
+
+func TestSort(t *testing.T) {
+	src := NewSliceSource(rows(ints(2, 9), ints(1, 8), ints(2, 7), ints(0, 6)))
+	s := &Sort{In: src, Keys: []SortSpec{{Col: 0}, {Col: 1, Desc: true}}}
+	got, err := Collect(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := rows(ints(0, 6), ints(1, 8), ints(2, 9), ints(2, 7))
+	if !reflect.DeepEqual(got, want) {
+		t.Errorf("got %v", got)
+	}
+}
+
+func newCoreTable(t *testing.T) (*core.Database, *core.Table) {
+	t.Helper()
+	db, err := core.OpenDatabase(core.DBOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { db.Close() })
+	tab, err := db.CreateTable(core.TableConfig{
+		Name: "t",
+		Schema: types.MustSchema([]types.Column{
+			{Name: "id", Kind: types.KindInt64},
+			{Name: "region", Kind: types.KindString},
+			{Name: "amount", Kind: types.KindInt64},
+		}, 0),
+		Compress: true, CompactDicts: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return db, tab
+}
+
+func TestTableScanWithPushdown(t *testing.T) {
+	db, tab := newCoreTable(t)
+	regions := []string{"EMEA", "APJ", "AMER"}
+	tx := db.Begin(mvcc.TxnSnapshot)
+	for i := int64(1); i <= 30; i++ {
+		if _, err := tab.Insert(tx, []types.Value{types.Int(i), types.Str(regions[i%3]), types.Int(i * 10)}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	db.Commit(tx)
+	// Spread across stages.
+	tab.MergeL1()
+	tab.MergeMain()
+	tx2 := db.Begin(mvcc.TxnSnapshot)
+	for i := int64(31); i <= 40; i++ {
+		tab.Insert(tx2, []types.Value{types.Int(i), types.Str(regions[i%3]), types.Int(i * 10)})
+	}
+	db.Commit(tx2)
+
+	scan := &TableScan{Table: tab, Pred: expr.And{
+		expr.Cmp{Col: 1, Op: expr.OpEq, Val: types.Str("EMEA")},
+		expr.Cmp{Col: 2, Op: expr.OpLe, Val: types.Int(300)},
+	}}
+	got, err := Collect(scan)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := 0
+	for i := int64(1); i <= 40; i++ {
+		if regions[i%3] == "EMEA" && i*10 <= 300 {
+			want++
+		}
+	}
+	if len(got) != want {
+		t.Errorf("scan rows = %d, want %d", len(got), want)
+	}
+	for _, r := range got {
+		if r[1].S != "EMEA" || r[2].I > 300 {
+			t.Errorf("predicate violated: %v", r)
+		}
+	}
+}
+
+func TestRowStoreScan(t *testing.T) {
+	rs, err := rowstore.New(types.MustSchema([]types.Column{
+		{Name: "id", Kind: types.KindInt64},
+		{Name: "v", Kind: types.KindInt64},
+	}, 0), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := int64(1); i <= 10; i++ {
+		rs.Insert(ints(i, i*2))
+	}
+	scan := &RowStoreScan{Store: rs, Pred: expr.Cmp{Col: 1, Op: expr.OpGt, Val: types.Int(10)}}
+	got, err := Collect(scan)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 5 {
+		t.Errorf("rows = %d", len(got))
+	}
+}
+
+func TestStarJoin(t *testing.T) {
+	// Fact: (custID, prodID, revenue)
+	fact := NewSliceSource(rows(
+		ints(1, 10, 100), ints(2, 10, 200), ints(1, 20, 300),
+		ints(3, 10, 400), // cust 3 not in (filtered) dim
+		ints(1, 30, 500), // prod 30 not in dim
+	))
+	customers := NewSliceSource(rows(
+		[]types.Value{types.Int(1), types.Str("acme")},
+		[]types.Value{types.Int(2), types.Str("bolt")},
+	))
+	products := NewSliceSource(rows(
+		[]types.Value{types.Int(10), types.Str("widget")},
+		[]types.Value{types.Int(20), types.Str("gadget")},
+	))
+	sj := &StarJoin{
+		Fact: fact,
+		Dims: []Dimension{
+			{In: customers, KeyCol: 0, FactCol: 0, Payload: []int{1}},
+			{In: products, KeyCol: 0, FactCol: 1, Payload: []int{1}},
+		},
+	}
+	// Group by customer name, sum revenue.
+	agg := &HashAggregate{In: sj, GroupBy: []int{3}, Aggs: []Agg{{Func: AggSum, Col: 2}}}
+	got, err := Collect(agg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sums := map[string]int64{}
+	for _, r := range got {
+		sums[r[0].S] = r[1].I
+	}
+	if sums["acme"] != 400 || sums["bolt"] != 200 {
+		t.Errorf("sums = %v", sums)
+	}
+}
+
+func TestStarJoinDuplicateDimKeyRejected(t *testing.T) {
+	sj := &StarJoin{
+		Fact: NewSliceSource(nil),
+		Dims: []Dimension{{
+			In:     NewSliceSource(rows(ints(1, 1), ints(1, 2))),
+			KeyCol: 0, FactCol: 0,
+		}},
+	}
+	if err := sj.Open(); err == nil {
+		t.Error("duplicate dimension key accepted")
+	}
+}
+
+func TestPipelineComposition(t *testing.T) {
+	// A deeper tree: scan → filter → join → aggregate → sort → limit.
+	db, tab := newCoreTable(t)
+	tx := db.Begin(mvcc.TxnSnapshot)
+	for i := int64(1); i <= 50; i++ {
+		tab.Insert(tx, []types.Value{types.Int(i), types.Str(fmt.Sprintf("r%d", i%5)), types.Int(i)})
+	}
+	db.Commit(tx)
+
+	dims := NewSliceSource(rows(
+		[]types.Value{types.Str("r1"), types.Str("one")},
+		[]types.Value{types.Str("r2"), types.Str("two")},
+	))
+	plan := &Limit{N: 1, In: &Sort{
+		Keys: []SortSpec{{Col: 1, Desc: true}},
+		In: &HashAggregate{
+			GroupBy: []int{4}, // dim label
+			Aggs:    []Agg{{Func: AggSum, Col: 2}},
+			In: &HashJoin{
+				Left:    &TableScan{Table: tab},
+				Right:   dims,
+				LeftCol: 1, RightCol: 0,
+			},
+		},
+	}}
+	got, err := Collect(plan)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 1 {
+		t.Fatalf("got = %v", got)
+	}
+	// r2 rows: 2,7,...,47 sum = 245; r1: 1,6,...,46 sum = 235.
+	if got[0][0].S != "two" || got[0][1].I != 245 {
+		t.Errorf("top group = %v", got[0])
+	}
+}

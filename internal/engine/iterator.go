@@ -1,0 +1,82 @@
+// Package engine implements the physical operators of the "Engine
+// Layer" (paper §2.2): relational operators (scan, filter, project,
+// hash join, aggregation, sort, union) and the OLAP star-join
+// operator optimized for fact/dimension schemas. Operators follow the
+// classical ONC (Open-Next-Close) protocol [3] for pipelined
+// execution; sources over the unified table use the "materialize
+// all" strategy to keep their statement latch short (§3.1 describes
+// both modes; the optimizer mixes them).
+package engine
+
+import (
+	"errors"
+
+	"repro/internal/types"
+)
+
+// Iterator is the Open-Next-Close operator protocol.
+type Iterator interface {
+	// Open prepares the operator (and its children) for iteration.
+	Open() error
+	// Next returns the next row; ok is false at end of stream. The
+	// returned slice must not be modified by the caller.
+	Next() (row []types.Value, ok bool, err error)
+	// Close releases resources (and closes children).
+	Close() error
+}
+
+// ErrNotOpen reports Next on an unopened iterator.
+var ErrNotOpen = errors.New("engine: iterator not open")
+
+// Collect drains an iterator into a materialized result, handling
+// Open/Close.
+func Collect(it Iterator) ([][]types.Value, error) {
+	if err := it.Open(); err != nil {
+		return nil, err
+	}
+	defer it.Close()
+	var out [][]types.Value
+	for {
+		row, ok, err := it.Next()
+		if err != nil {
+			return nil, err
+		}
+		if !ok {
+			return out, nil
+		}
+		out = append(out, types.CloneRow(row))
+	}
+}
+
+// SliceSource replays a materialized row set; script nodes and tests
+// use it, and the calc-graph executor wraps shared intermediate
+// results in it.
+type SliceSource struct {
+	Rows [][]types.Value
+	pos  int
+	open bool
+}
+
+// NewSliceSource wraps rows.
+func NewSliceSource(rows [][]types.Value) *SliceSource {
+	return &SliceSource{Rows: rows}
+}
+
+// Open implements Iterator.
+func (s *SliceSource) Open() error { s.pos = 0; s.open = true; return nil }
+
+// Next implements Iterator.
+func (s *SliceSource) Next() ([]types.Value, bool, error) {
+	if !s.open {
+		return nil, false, ErrNotOpen
+	}
+	if s.pos >= len(s.Rows) {
+		return nil, false, nil
+	}
+	row := s.Rows[s.pos]
+	s.pos++
+	return row, true, nil
+}
+
+// Close implements Iterator.
+func (s *SliceSource) Close() error { s.open = false; return nil }

@@ -1,0 +1,433 @@
+package engine
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/expr"
+	"repro/internal/types"
+)
+
+// Filter passes through rows satisfying the predicate (pipelined).
+type Filter struct {
+	In   Iterator
+	Pred expr.Predicate
+}
+
+// Open implements Iterator.
+func (f *Filter) Open() error { return f.In.Open() }
+
+// Next implements Iterator.
+func (f *Filter) Next() ([]types.Value, bool, error) {
+	for {
+		row, ok, err := f.In.Next()
+		if err != nil || !ok {
+			return nil, false, err
+		}
+		if f.Pred == nil || f.Pred.Eval(row) {
+			return row, true, nil
+		}
+	}
+}
+
+// Close implements Iterator.
+func (f *Filter) Close() error { return f.In.Close() }
+
+// Project emits the selected columns in order (pipelined).
+type Project struct {
+	In   Iterator
+	Cols []int
+	buf  []types.Value
+}
+
+// Open implements Iterator.
+func (p *Project) Open() error {
+	p.buf = make([]types.Value, len(p.Cols))
+	return p.In.Open()
+}
+
+// Next implements Iterator.
+func (p *Project) Next() ([]types.Value, bool, error) {
+	row, ok, err := p.In.Next()
+	if err != nil || !ok {
+		return nil, false, err
+	}
+	for i, c := range p.Cols {
+		p.buf[i] = row[c]
+	}
+	return p.buf, true, nil
+}
+
+// Close implements Iterator.
+func (p *Project) Close() error { return p.In.Close() }
+
+// Limit passes through at most N rows.
+type Limit struct {
+	In Iterator
+	N  int
+	n  int
+}
+
+// Open implements Iterator.
+func (l *Limit) Open() error { l.n = 0; return l.In.Open() }
+
+// Next implements Iterator.
+func (l *Limit) Next() ([]types.Value, bool, error) {
+	if l.n >= l.N {
+		return nil, false, nil
+	}
+	row, ok, err := l.In.Next()
+	if err != nil || !ok {
+		return nil, false, err
+	}
+	l.n++
+	return row, true, nil
+}
+
+// Close implements Iterator.
+func (l *Limit) Close() error { return l.In.Close() }
+
+// Union concatenates its inputs (schema-compatible by contract).
+type Union struct {
+	Ins []Iterator
+	cur int
+}
+
+// Open implements Iterator.
+func (u *Union) Open() error {
+	u.cur = 0
+	for _, in := range u.Ins {
+		if err := in.Open(); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Next implements Iterator.
+func (u *Union) Next() ([]types.Value, bool, error) {
+	for u.cur < len(u.Ins) {
+		row, ok, err := u.Ins[u.cur].Next()
+		if err != nil {
+			return nil, false, err
+		}
+		if ok {
+			return row, true, nil
+		}
+		u.cur++
+	}
+	return nil, false, nil
+}
+
+// Close implements Iterator.
+func (u *Union) Close() error {
+	var first error
+	for _, in := range u.Ins {
+		if err := in.Close(); err != nil && first == nil {
+			first = err
+		}
+	}
+	return first
+}
+
+// HashJoin is an equi-join: the right (build) side is hashed in Open,
+// the left (probe) side streams. Output rows are left columns
+// followed by right columns.
+type HashJoin struct {
+	Left, Right       Iterator
+	LeftCol, RightCol int
+
+	table map[types.Value][][]types.Value
+	// probe state
+	leftRow []types.Value
+	matches [][]types.Value
+	mi      int
+	buf     []types.Value
+}
+
+// Open implements Iterator.
+func (j *HashJoin) Open() error {
+	if err := j.Right.Open(); err != nil {
+		return err
+	}
+	j.table = make(map[types.Value][][]types.Value)
+	for {
+		row, ok, err := j.Right.Next()
+		if err != nil {
+			return err
+		}
+		if !ok {
+			break
+		}
+		k := row[j.RightCol]
+		if k.IsNull() {
+			continue
+		}
+		j.table[k] = append(j.table[k], types.CloneRow(row))
+	}
+	if err := j.Right.Close(); err != nil {
+		return err
+	}
+	j.leftRow, j.matches, j.mi = nil, nil, 0
+	return j.Left.Open()
+}
+
+// Next implements Iterator.
+func (j *HashJoin) Next() ([]types.Value, bool, error) {
+	for {
+		if j.mi < len(j.matches) {
+			right := j.matches[j.mi]
+			j.mi++
+			j.buf = j.buf[:0]
+			j.buf = append(j.buf, j.leftRow...)
+			j.buf = append(j.buf, right...)
+			return j.buf, true, nil
+		}
+		row, ok, err := j.Left.Next()
+		if err != nil || !ok {
+			return nil, false, err
+		}
+		k := row[j.LeftCol]
+		if k.IsNull() {
+			continue
+		}
+		if m := j.table[k]; len(m) > 0 {
+			j.leftRow = types.CloneRow(row)
+			j.matches, j.mi = m, 0
+		}
+	}
+}
+
+// Close implements Iterator.
+func (j *HashJoin) Close() error { return j.Left.Close() }
+
+// AggFunc enumerates aggregate functions.
+type AggFunc uint8
+
+const (
+	// AggCount counts rows (Col ignored).
+	AggCount AggFunc = iota
+	// AggSum sums a numeric column.
+	AggSum
+	// AggMin takes the minimum.
+	AggMin
+	// AggMax takes the maximum.
+	AggMax
+	// AggAvg averages a numeric column.
+	AggAvg
+)
+
+func (f AggFunc) String() string {
+	switch f {
+	case AggSum:
+		return "sum"
+	case AggMin:
+		return "min"
+	case AggMax:
+		return "max"
+	case AggAvg:
+		return "avg"
+	default:
+		return "count"
+	}
+}
+
+// Agg is one aggregate specification.
+type Agg struct {
+	Func AggFunc
+	Col  int
+}
+
+// aggState accumulates one aggregate for one group.
+type aggState struct {
+	count int64
+	sumI  int64
+	sumF  float64
+	isF   bool
+	min   types.Value
+	max   types.Value
+}
+
+func (s *aggState) add(f AggFunc, v types.Value) {
+	if f == AggCount {
+		s.count++
+		return
+	}
+	if v.IsNull() {
+		return
+	}
+	s.count++
+	switch v.Kind {
+	case types.KindFloat64:
+		s.isF = true
+		s.sumF += v.F
+	default:
+		s.sumI += v.I
+	}
+	if s.min.IsNull() || types.Less(v, s.min) {
+		s.min = v
+	}
+	if s.max.IsNull() || types.Less(s.max, v) {
+		s.max = v
+	}
+}
+
+// merge folds another accumulator into s (combining per-code-space
+// partial aggregates).
+func (s *aggState) merge(o *aggState) {
+	s.count += o.count
+	s.sumI += o.sumI
+	s.sumF += o.sumF
+	s.isF = s.isF || o.isF
+	if !o.min.IsNull() && (s.min.IsNull() || types.Less(o.min, s.min)) {
+		s.min = o.min
+	}
+	if !o.max.IsNull() && (s.max.IsNull() || types.Less(s.max, o.max)) {
+		s.max = o.max
+	}
+}
+
+func (s *aggState) result(f AggFunc) types.Value {
+	switch f {
+	case AggCount:
+		return types.Int(s.count)
+	case AggSum:
+		if s.isF {
+			return types.Float(s.sumF)
+		}
+		return types.Int(s.sumI)
+	case AggMin:
+		return s.min
+	case AggMax:
+		return s.max
+	case AggAvg:
+		if s.count == 0 {
+			return types.Null
+		}
+		if s.isF {
+			return types.Float(s.sumF / float64(s.count))
+		}
+		return types.Float(float64(s.sumI) / float64(s.count))
+	}
+	return types.Null
+}
+
+// HashAggregate groups by the GroupBy columns and computes the Aggs.
+// Output rows are group columns followed by aggregate results; with
+// no GroupBy a single global row is produced. A blocking operator:
+// the input is consumed in Open.
+type HashAggregate struct {
+	In      Iterator
+	GroupBy []int
+	Aggs    []Agg
+
+	out *SliceSource
+}
+
+// Open implements Iterator.
+func (a *HashAggregate) Open() error {
+	if err := a.In.Open(); err != nil {
+		return err
+	}
+	acc := newGroupAcc(len(a.GroupBy), a.Aggs)
+	for {
+		row, ok, err := a.In.Next()
+		if err != nil {
+			return err
+		}
+		if !ok {
+			break
+		}
+		acc.add(row, a.GroupBy, a.Aggs)
+	}
+	if err := a.In.Close(); err != nil {
+		return err
+	}
+	a.out = NewSliceSource(acc.rows(a.GroupBy, a.Aggs))
+	return a.out.Open()
+}
+
+// Next implements Iterator.
+func (a *HashAggregate) Next() ([]types.Value, bool, error) {
+	if a.out == nil {
+		return nil, false, ErrNotOpen
+	}
+	return a.out.Next()
+}
+
+// Close implements Iterator.
+func (a *HashAggregate) Close() error {
+	if a.out != nil {
+		return a.out.Close()
+	}
+	return nil
+}
+
+func rowsEqual(a, b []types.Value) bool {
+	for i := range a {
+		an, bn := a[i].IsNull(), b[i].IsNull()
+		if an != bn {
+			return false
+		}
+		if !an && !types.Equal(a[i], b[i]) {
+			return false
+		}
+	}
+	return true
+}
+
+// SortSpec orders by a column.
+type SortSpec struct {
+	Col  int
+	Desc bool
+}
+
+// Sort is a blocking order-by operator.
+type Sort struct {
+	In   Iterator
+	Keys []SortSpec
+
+	out *SliceSource
+}
+
+// Open implements Iterator.
+func (s *Sort) Open() error {
+	rows, err := Collect(s.In)
+	if err != nil {
+		return err
+	}
+	sort.SliceStable(rows, func(a, b int) bool {
+		for _, k := range s.Keys {
+			c := types.Compare(rows[a][k.Col], rows[b][k.Col])
+			if c == 0 {
+				continue
+			}
+			if k.Desc {
+				return c > 0
+			}
+			return c < 0
+		}
+		return false
+	})
+	s.out = NewSliceSource(rows)
+	return s.out.Open()
+}
+
+// Next implements Iterator.
+func (s *Sort) Next() ([]types.Value, bool, error) {
+	if s.out == nil {
+		return nil, false, ErrNotOpen
+	}
+	return s.out.Next()
+}
+
+// Close implements Iterator.
+func (s *Sort) Close() error {
+	if s.out != nil {
+		return s.out.Close()
+	}
+	return nil
+}
+
+// String renders an Agg for plans.
+func (a Agg) String() string { return fmt.Sprintf("%v(col%d)", a.Func, a.Col) }

@@ -1,0 +1,125 @@
+package engine
+
+import (
+	"repro/internal/core"
+	"repro/internal/expr"
+	"repro/internal/mvcc"
+	"repro/internal/rowstore"
+	"repro/internal/types"
+)
+
+// TableScan reads a unified table with optional predicate pushdown:
+// resolvable column ranges are pushed into the dictionary scans of
+// the table's stages, the residual predicate filters row-at-a-time
+// (§4.1's operators "directly leverage existing dictionaries").
+//
+// Open pins the statement view, materializes the matching rows, and
+// releases the latch, so downstream pipeline stages never hold it.
+type TableScan struct {
+	Table *core.Table
+	Txn   *mvcc.Txn
+	Pred  expr.Predicate
+	// Cols, when non-nil, projects the scan to the listed columns (in
+	// that order) — late materialization: the columnar stages decode
+	// only these columns. Pred still references the table's original
+	// ordinals.
+	Cols []int
+	// AsOf, when non-zero, reads at an explicit snapshot (time
+	// travel); Txn is ignored then.
+	AsOf uint64
+
+	src *SliceSource
+}
+
+// Open implements Iterator.
+func (s *TableScan) Open() error {
+	var v *core.View
+	if s.AsOf != 0 {
+		v = s.Table.AsOf(s.AsOf)
+	} else {
+		v = s.Table.View(s.Txn)
+	}
+	defer v.Close()
+	var rows [][]types.Value
+	switch {
+	case s.Pred == nil && s.Cols != nil:
+		// Pure projection: block-decode only the selected columns.
+		v.ScanCols(s.Cols, func(_ types.RowID, vals []types.Value) bool {
+			rows = append(rows, types.CloneRow(vals))
+			return true
+		})
+	case s.Pred == nil:
+		v.ScanAll(func(_ types.RowID, row []types.Value) bool {
+			rows = append(rows, row)
+			return true
+		})
+	default:
+		v.Filter(s.Pred, func(m core.Match) bool {
+			if s.Cols != nil {
+				out := make([]types.Value, len(s.Cols))
+				for i, c := range s.Cols {
+					out[i] = m.Row[c]
+				}
+				rows = append(rows, out)
+			} else {
+				rows = append(rows, m.Row)
+			}
+			return true
+		})
+	}
+	s.src = NewSliceSource(rows)
+	return s.src.Open()
+}
+
+// Next implements Iterator.
+func (s *TableScan) Next() ([]types.Value, bool, error) {
+	if s.src == nil {
+		return nil, false, ErrNotOpen
+	}
+	return s.src.Next()
+}
+
+// Close implements Iterator.
+func (s *TableScan) Close() error {
+	if s.src != nil {
+		return s.src.Close()
+	}
+	return nil
+}
+
+// RowStoreScan reads the baseline row store with a residual filter.
+type RowStoreScan struct {
+	Store *rowstore.Store
+	Pred  expr.Predicate
+
+	src *SliceSource
+}
+
+// Open implements Iterator.
+func (s *RowStoreScan) Open() error {
+	var rows [][]types.Value
+	s.Store.Scan(func(_ types.RowID, row []types.Value) bool {
+		if s.Pred == nil || s.Pred.Eval(row) {
+			rows = append(rows, types.CloneRow(row))
+		}
+		return true
+	})
+	s.src = NewSliceSource(rows)
+	return s.src.Open()
+}
+
+// Next implements Iterator.
+func (s *RowStoreScan) Next() ([]types.Value, bool, error) {
+	if s.src == nil {
+		return nil, false, ErrNotOpen
+	}
+	return s.src.Next()
+}
+
+// Close implements Iterator.
+func (s *RowStoreScan) Close() error {
+	if s.src != nil {
+		return s.src.Close()
+	}
+	return nil
+}

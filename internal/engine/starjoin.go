@@ -1,0 +1,92 @@
+package engine
+
+import (
+	"fmt"
+
+	"repro/internal/types"
+)
+
+// Dimension describes one arm of a star join: a (pre-filtered)
+// dimension input, the dimension's key column, the fact table's
+// foreign-key column, and the dimension columns carried into the
+// output.
+type Dimension struct {
+	In      Iterator
+	KeyCol  int
+	FactCol int
+	Payload []int
+}
+
+// StarJoin is the OLAP operator of §2.2: "OLAP operators are
+// optimized for star-join scenarios with fact and dimension tables".
+// Every dimension is hashed once (dimension tables are small); the
+// fact stream is probed against all of them in one pass — a fact row
+// survives only if it matches every dimension (semijoin reduction).
+// Output rows are the fact columns followed by each surviving
+// dimension's payload columns, ready for HashAggregate.
+type StarJoin struct {
+	Fact Iterator
+	Dims []Dimension
+
+	tables []map[types.Value][]types.Value
+	buf    []types.Value
+}
+
+// Open implements Iterator.
+func (s *StarJoin) Open() error {
+	s.tables = make([]map[types.Value][]types.Value, len(s.Dims))
+	for i, d := range s.Dims {
+		rows, err := Collect(d.In)
+		if err != nil {
+			return err
+		}
+		tbl := make(map[types.Value][]types.Value, len(rows))
+		for _, row := range rows {
+			k := row[d.KeyCol]
+			if k.IsNull() {
+				continue
+			}
+			if _, dup := tbl[k]; dup {
+				return fmt.Errorf("engine: star join dimension %d has duplicate key %v", i, k)
+			}
+			payload := make([]types.Value, len(d.Payload))
+			for j, c := range d.Payload {
+				payload[j] = row[c]
+			}
+			tbl[k] = payload
+		}
+		s.tables[i] = tbl
+	}
+	return s.Fact.Open()
+}
+
+// Next implements Iterator.
+func (s *StarJoin) Next() ([]types.Value, bool, error) {
+	if s.tables == nil {
+		return nil, false, ErrNotOpen
+	}
+probe:
+	for {
+		row, ok, err := s.Fact.Next()
+		if err != nil || !ok {
+			return nil, false, err
+		}
+		s.buf = s.buf[:0]
+		s.buf = append(s.buf, row...)
+		for i, d := range s.Dims {
+			k := row[d.FactCol]
+			if k.IsNull() {
+				continue probe
+			}
+			payload, hit := s.tables[i][k]
+			if !hit {
+				continue probe
+			}
+			s.buf = append(s.buf, payload...)
+		}
+		return s.buf, true, nil
+	}
+}
+
+// Close implements Iterator.
+func (s *StarJoin) Close() error { return s.Fact.Close() }

@@ -1,0 +1,452 @@
+package engine
+
+import (
+	"repro/internal/core"
+	"repro/internal/expr"
+	"repro/internal/mvcc"
+	"repro/internal/rowstore"
+	"repro/internal/types"
+)
+
+// TableAggregate fuses a unified-table scan with grouping and
+// aggregation: the view's block-decoding columnar scan feeds the
+// aggregate states directly, with no intermediate row
+// materialization — the scan-based aggregation pattern the main store
+// is optimized for (§3, §5). The calc executor compiles
+// Aggregate(Table) pairs to this operator.
+type TableAggregate struct {
+	Table *core.Table
+	Txn   *mvcc.Txn
+	AsOf  uint64
+	// Pred filters rows (evaluated on the projected columns when
+	// PredOnProjection is set, on full rows otherwise).
+	Pred expr.Predicate
+	// GroupBy and Aggs reference the table's original column
+	// ordinals.
+	GroupBy []int
+	Aggs    []Agg
+
+	out *SliceSource
+}
+
+// Open implements Iterator: it runs the whole aggregation.
+func (a *TableAggregate) Open() error {
+	var v *core.View
+	if a.AsOf != 0 {
+		v = a.Table.AsOf(a.AsOf)
+	} else {
+		v = a.Table.View(a.Txn)
+	}
+	defer v.Close()
+
+	if a.Pred == nil && len(a.GroupBy) == 1 {
+		if a.numericOnly() {
+			// Fully vectorized: per-stage kernels accumulate counts
+			// and sums indexed by dictionary codes, touching only the
+			// decoded code blocks and the dictionaries' numeric
+			// backing arrays (§4.1, [15]).
+			rows, err := a.numericGrouped(v)
+			if err != nil {
+				return err
+			}
+			a.out = NewSliceSource(rows)
+			return a.out.Open()
+		}
+		// Code-level grouping: accumulate into arrays indexed by the
+		// grouping column's dictionary codes, one array per code
+		// space, and merge the (few) groups by value at the end —
+		// no per-row hashing (§4.1).
+		rows, err := a.groupedByCode(v)
+		if err != nil {
+			return err
+		}
+		a.out = NewSliceSource(rows)
+		return a.out.Open()
+	}
+	acc := newGroupAcc(len(a.GroupBy), a.Aggs)
+	if a.Pred != nil {
+		// Predicates need full rows; use the filtering scan.
+		v.Filter(a.Pred, func(m core.Match) bool {
+			acc.add(m.Row, a.GroupBy, a.Aggs)
+			return true
+		})
+	} else {
+		// Pure aggregation: decode only the needed columns.
+		cols, gIdx, aIdx := neededColumns(a.GroupBy, a.Aggs)
+		v.ScanCols(cols, func(_ types.RowID, vals []types.Value) bool {
+			acc.addProjected(vals, gIdx, aIdx, a.Aggs)
+			return true
+		})
+	}
+	a.out = NewSliceSource(acc.rows(a.GroupBy, a.Aggs))
+	return a.out.Open()
+}
+
+// numericOnly reports whether every aggregate derives from count and
+// sum over a numeric column (Count, Sum, Avg).
+func (a *TableAggregate) numericOnly() bool {
+	schema := a.Table.Schema()
+	for _, spec := range a.Aggs {
+		switch spec.Func {
+		case AggCount:
+		case AggSum, AggAvg:
+			switch schema.Columns[spec.Col].Kind {
+			case types.KindInt64, types.KindFloat64, types.KindDate, types.KindBool:
+			default:
+				return false
+			}
+		default:
+			return false
+		}
+	}
+	return true
+}
+
+// numericGrouped executes via the view's vectorized kernel.
+func (a *TableAggregate) numericGrouped(v *core.View) ([][]types.Value, error) {
+	schema := a.Table.Schema()
+	var dataCols []int
+	aIdx := make([]int, len(a.Aggs))
+	remap := map[int]int{}
+	for i, spec := range a.Aggs {
+		if spec.Func == AggCount {
+			aIdx[i] = -1
+			continue
+		}
+		p, ok := remap[spec.Col]
+		if !ok {
+			p = len(dataCols)
+			dataCols = append(dataCols, spec.Col)
+			remap[spec.Col] = p
+		}
+		aIdx[i] = p
+	}
+	groups, err := v.AggregateNumeric(a.GroupBy[0], dataCols)
+	if err != nil {
+		return nil, err
+	}
+	out := make([][]types.Value, 0, len(groups))
+	for _, g := range groups {
+		row := make([]types.Value, 0, 1+len(a.Aggs))
+		row = append(row, g.Key)
+		for i, spec := range a.Aggs {
+			switch spec.Func {
+			case AggCount:
+				row = append(row, types.Int(g.Count))
+			case AggSum:
+				k := aIdx[i]
+				if g.Cnt[k] == 0 {
+					// Match aggState semantics: an all-NULL sum is 0.
+					row = append(row, types.Int(0))
+				} else if schema.Columns[spec.Col].Kind == types.KindFloat64 {
+					row = append(row, types.Float(g.SumF[k]))
+				} else {
+					row = append(row, types.Int(g.SumI[k]))
+				}
+			case AggAvg:
+				k := aIdx[i]
+				if g.Cnt[k] == 0 {
+					row = append(row, types.Null)
+				} else {
+					total := g.SumF[k] + float64(g.SumI[k])
+					row = append(row, types.Float(total/float64(g.Cnt[k])))
+				}
+			}
+		}
+		out = append(out, row)
+	}
+	return out, nil
+}
+
+// spaceStates is the accumulator of one code space: a flat array of
+// aggState, len(aggs) entries per code, plus a NULL-group slot.
+type spaceStates struct {
+	states []aggState
+	seen   []bool
+	null   []aggState
+	hasNul bool
+}
+
+func (sp *spaceStates) grow(code int, naggs int) {
+	need := (code + 1) * naggs
+	for len(sp.states) < need {
+		sp.states = append(sp.states, aggState{})
+	}
+	for len(sp.seen) <= code {
+		sp.seen = append(sp.seen, false)
+	}
+}
+
+func (a *TableAggregate) groupedByCode(v *core.View) ([][]types.Value, error) {
+	naggs := len(a.Aggs)
+	dataCols := make([]int, 0, naggs)
+	aIdx := make([]int, naggs)
+	remap := map[int]int{}
+	for i, spec := range a.Aggs {
+		if spec.Func == AggCount {
+			aIdx[i] = -1
+			continue
+		}
+		p, ok := remap[spec.Col]
+		if !ok {
+			p = len(dataCols)
+			dataCols = append(dataCols, spec.Col)
+			remap[spec.Col] = p
+		}
+		aIdx[i] = p
+	}
+
+	var spaces []*spaceStates
+	meta := v.ScanGrouped(a.GroupBy[0], dataCols, func(space int, code int32, vals []types.Value) bool {
+		for space >= len(spaces) {
+			spaces = append(spaces, &spaceStates{})
+		}
+		sp := spaces[space]
+		var states []aggState
+		if code < 0 {
+			if !sp.hasNul {
+				sp.null = make([]aggState, naggs)
+				sp.hasNul = true
+			}
+			states = sp.null
+		} else {
+			sp.grow(int(code), naggs)
+			sp.seen[code] = true
+			states = sp.states[int(code)*naggs : (int(code)+1)*naggs]
+		}
+		for i, spec := range a.Aggs {
+			var val types.Value
+			if aIdx[i] >= 0 {
+				val = vals[aIdx[i]]
+			}
+			states[i].add(spec.Func, val)
+		}
+		return true
+	})
+
+	// Merge per-space partials by group value (group cardinality is
+	// small relative to row count, so hashing here is negligible).
+	type finalGroup struct {
+		key    types.Value
+		states []aggState
+	}
+	byValue := map[types.Value]*finalGroup{}
+	var order []*finalGroup
+	var nullGroup *finalGroup
+	fold := func(key types.Value, isNull bool, states []aggState) {
+		var g *finalGroup
+		if isNull {
+			if nullGroup == nil {
+				nullGroup = &finalGroup{key: types.Null, states: make([]aggState, naggs)}
+				order = append(order, nullGroup)
+			}
+			g = nullGroup
+		} else {
+			g = byValue[key]
+			if g == nil {
+				g = &finalGroup{key: key, states: make([]aggState, naggs)}
+				byValue[key] = g
+				order = append(order, g)
+			}
+		}
+		for i := range states {
+			g.states[i].merge(&states[i])
+		}
+	}
+	for si, sp := range spaces {
+		if sp == nil {
+			continue
+		}
+		for code := range sp.seen {
+			if !sp.seen[code] {
+				continue
+			}
+			val := meta[si].Resolve(uint32(code))
+			fold(val, false, sp.states[code*naggs:(code+1)*naggs])
+		}
+		if sp.hasNul {
+			fold(types.Null, true, sp.null)
+		}
+	}
+	out := make([][]types.Value, 0, len(order))
+	for _, g := range order {
+		row := make([]types.Value, 0, 1+naggs)
+		row = append(row, g.key)
+		for i, spec := range a.Aggs {
+			row = append(row, g.states[i].result(spec.Func))
+		}
+		out = append(out, row)
+	}
+	return out, nil
+}
+
+// Next implements Iterator.
+func (a *TableAggregate) Next() ([]types.Value, bool, error) {
+	if a.out == nil {
+		return nil, false, ErrNotOpen
+	}
+	return a.out.Next()
+}
+
+// Close implements Iterator.
+func (a *TableAggregate) Close() error {
+	if a.out != nil {
+		return a.out.Close()
+	}
+	return nil
+}
+
+// RowStoreAggregate is the equivalent fused scan-aggregate over the
+// update-in-place baseline, keeping the E08 comparison symmetric.
+type RowStoreAggregate struct {
+	Store   *rowstore.Store
+	Pred    expr.Predicate
+	GroupBy []int
+	Aggs    []Agg
+
+	out *SliceSource
+}
+
+// Open implements Iterator.
+func (a *RowStoreAggregate) Open() error {
+	acc := newGroupAcc(len(a.GroupBy), a.Aggs)
+	a.Store.Scan(func(_ types.RowID, row []types.Value) bool {
+		if a.Pred == nil || a.Pred.Eval(row) {
+			acc.add(row, a.GroupBy, a.Aggs)
+		}
+		return true
+	})
+	a.out = NewSliceSource(acc.rows(a.GroupBy, a.Aggs))
+	return a.out.Open()
+}
+
+// Next implements Iterator.
+func (a *RowStoreAggregate) Next() ([]types.Value, bool, error) {
+	if a.out == nil {
+		return nil, false, ErrNotOpen
+	}
+	return a.out.Next()
+}
+
+// Close implements Iterator.
+func (a *RowStoreAggregate) Close() error {
+	if a.out != nil {
+		return a.out.Close()
+	}
+	return nil
+}
+
+// neededColumns computes the deduplicated projection for a pure
+// aggregation and the positions of group/agg columns within it.
+func neededColumns(groupBy []int, aggs []Agg) (cols []int, gIdx []int, aIdx []int) {
+	remap := map[int]int{}
+	use := func(c int) int {
+		if p, ok := remap[c]; ok {
+			return p
+		}
+		p := len(cols)
+		cols = append(cols, c)
+		remap[c] = p
+		return p
+	}
+	gIdx = make([]int, len(groupBy))
+	for i, c := range groupBy {
+		gIdx[i] = use(c)
+	}
+	aIdx = make([]int, len(aggs))
+	for i, a := range aggs {
+		if a.Func == AggCount {
+			aIdx[i] = -1
+			continue
+		}
+		aIdx[i] = use(a.Col)
+	}
+	if len(cols) == 0 {
+		// COUNT(*)-only plans still need one physical column to drive
+		// the scan.
+		cols = append(cols, 0)
+	}
+	return cols, gIdx, aIdx
+}
+
+// groupAcc is the shared grouping accumulator.
+type groupAcc struct {
+	groups map[uint64][]*aggGroup
+	order  []*aggGroup
+	keybuf []types.Value
+}
+
+type aggGroup struct {
+	key    []types.Value
+	states []aggState
+}
+
+func newGroupAcc(nkeys int, aggs []Agg) *groupAcc {
+	return &groupAcc{
+		groups: map[uint64][]*aggGroup{},
+		keybuf: make([]types.Value, nkeys),
+	}
+}
+
+func (g *groupAcc) group(aggs []Agg) *aggGroup {
+	h := types.HashRow(g.keybuf)
+	for _, cand := range g.groups[h] {
+		if rowsEqual(cand.key, g.keybuf) {
+			return cand
+		}
+	}
+	grp := &aggGroup{key: types.CloneRow(g.keybuf), states: make([]aggState, len(aggs))}
+	g.groups[h] = append(g.groups[h], grp)
+	g.order = append(g.order, grp)
+	return grp
+}
+
+// add accumulates a full row addressed by original ordinals.
+func (g *groupAcc) add(row []types.Value, groupBy []int, aggs []Agg) {
+	for i, c := range groupBy {
+		g.keybuf[i] = row[c]
+	}
+	grp := g.group(aggs)
+	for i, spec := range aggs {
+		var v types.Value
+		if spec.Func != AggCount {
+			v = row[spec.Col]
+		}
+		grp.states[i].add(spec.Func, v)
+	}
+}
+
+// addProjected accumulates an already-projected row via precomputed
+// positions.
+func (g *groupAcc) addProjected(vals []types.Value, gIdx, aIdx []int, aggs []Agg) {
+	for i, p := range gIdx {
+		g.keybuf[i] = vals[p]
+	}
+	grp := g.group(aggs)
+	for i, spec := range aggs {
+		var v types.Value
+		if aIdx[i] >= 0 {
+			v = vals[aIdx[i]]
+		}
+		grp.states[i].add(spec.Func, v)
+	}
+}
+
+// rows materializes the results (global aggregates yield one row even
+// on empty input).
+func (g *groupAcc) rows(groupBy []int, aggs []Agg) [][]types.Value {
+	order := g.order
+	if len(groupBy) == 0 && len(order) == 0 {
+		order = append(order, &aggGroup{states: make([]aggState, len(aggs))})
+	}
+	out := make([][]types.Value, 0, len(order))
+	for _, grp := range order {
+		row := make([]types.Value, 0, len(grp.key)+len(aggs))
+		row = append(row, grp.key...)
+		for i, spec := range aggs {
+			row = append(row, grp.states[i].result(spec.Func))
+		}
+		out = append(out, row)
+	}
+	return out
+}

@@ -1,0 +1,602 @@
+package experiments
+
+import (
+	"fmt"
+	"math/rand"
+	"time"
+
+	"repro/internal/benchfmt"
+	"repro/internal/core"
+	"repro/internal/types"
+	"repro/internal/workload"
+)
+
+// E01Lifecycle walks one batch of records through the full life cycle
+// (Fig. 4): inserts land in the L1-delta, the L1→L2 merge pivots them
+// into the columnar L2-delta, the L2→main merge lands them in the
+// compressed main — each stage trading write locality for read
+// efficiency and footprint.
+func E01Lifecycle(cfg Config) (*benchfmt.Report, error) {
+	n := cfg.n(50_000)
+	db, err := memDB()
+	if err != nil {
+		return nil, err
+	}
+	defer db.Close()
+	t, err := orderTable(db, "orders", core.TableConfig{L1MaxRows: n + 1})
+	if err != nil {
+		return nil, err
+	}
+	rep := &benchfmt.Report{
+		ID: "E01", Title: "Record life cycle walkthrough (Fig. 4)",
+		Claim:  "records propagate L1→L2→main, ending in the most read-efficient, most compressed store",
+		Header: []string{"phase", "L1 rows", "L2 rows", "main rows", "heap", "bytes/row"},
+	}
+	gen := workload.NewOrderGen(cfg.Seed, 10_000, 1_000)
+	rows := gen.Rows(n)
+
+	snap := func(phase string, d time.Duration) {
+		st := t.Stats()
+		total := st.L1Bytes + st.L2Bytes + st.MainBytes
+		rep.AddRow(phase, fmtInt(st.L1Rows), fmtInt(st.L2Rows+st.FrozenL2Rows), fmtInt(st.MainRows),
+			benchfmt.Bytes(total), benchfmt.PerRow(total, n))
+		if d > 0 {
+			rep.AddNote("%s took %s (%s)", phase, benchfmt.Dur(d), benchfmt.Rate(n, d))
+		}
+	}
+	d, err := timeIt(func() error { return insertRows(db, t, rows) })
+	if err != nil {
+		return nil, err
+	}
+	snap("after inserts (L1)", d)
+	d, err = timeIt(func() error {
+		for {
+			moved, err := t.MergeL1()
+			if err != nil || moved == 0 {
+				return err
+			}
+		}
+	})
+	if err != nil {
+		return nil, err
+	}
+	snap("after L1→L2 merge", d)
+	d, err = timeIt(func() error { _, err := t.MergeMain(); return err })
+	if err != nil {
+		return nil, err
+	}
+	snap("after L2→main merge", d)
+
+	// Every record still answers by key with its original content.
+	v := t.View(nil)
+	missing := 0
+	for i := 0; i < 100; i++ {
+		if v.Get(rows[i*len(rows)/100][0]) == nil {
+			missing++
+		}
+	}
+	v.Close()
+	if missing > 0 {
+		return nil, fmt.Errorf("E01: %d keys lost in propagation", missing)
+	}
+	rep.AddNote("100/100 sampled keys still resolve after full propagation")
+	return rep, nil
+}
+
+// E02L1L2Merge measures the incremental L1→L2 merge (Fig. 6): its
+// cost scales with the migrated batch and is independent of how large
+// the receiving L2-delta already is (append-only dictionaries and
+// vectors).
+func E02L1L2Merge(cfg Config) (*benchfmt.Report, error) {
+	rep := &benchfmt.Report{
+		ID: "E02", Title: "Incremental L1→L2 merge (Fig. 6)",
+		Claim:  "the L1→L2 merge is incremental: cost tracks the batch size, not the target size",
+		Header: []string{"existing L2 rows", "batch", "merge time", "rows/s"},
+	}
+	for _, existing := range []int{0, cfg.n(100_000), cfg.n(300_000)} {
+		for _, batch := range []int{cfg.n(1_000), cfg.n(10_000), cfg.n(50_000)} {
+			db, err := memDB()
+			if err != nil {
+				return nil, err
+			}
+			t, err := orderTable(db, "orders", core.TableConfig{L1MaxRows: 1 << 30, L1MergeBatch: batch})
+			if err != nil {
+				db.Close()
+				return nil, err
+			}
+			gen := workload.NewOrderGen(cfg.Seed, 10_000, 1_000)
+			if existing > 0 {
+				if err := bulkLoad(db, t, gen.Rows(existing)); err != nil {
+					db.Close()
+					return nil, err
+				}
+			}
+			// Median of three merge steps smooths allocator noise.
+			if err := insertRows(db, t, gen.Rows(3*batch)); err != nil {
+				db.Close()
+				return nil, err
+			}
+			d, err := medianOf(3, func() error { _, err := t.MergeL1(); return err })
+			if err != nil {
+				db.Close()
+				return nil, err
+			}
+			rep.AddRow(fmtInt(existing), fmtInt(batch), benchfmt.Dur(d), benchfmt.Rate(batch, d))
+			db.Close()
+		}
+	}
+	return rep, nil
+}
+
+// narrowSchema is a two-column table isolating one dictionary column.
+func narrowSchema() *types.Schema {
+	return types.MustSchema([]types.Column{
+		{Name: "id", Kind: types.KindInt64},
+		{Name: "val", Kind: types.KindString},
+	}, 0)
+}
+
+func narrowRows(startID int64, n int, word func(i int) string) [][]types.Value {
+	out := make([][]types.Value, n)
+	for i := range out {
+		out[i] = []types.Value{types.Int(startID + int64(i)), types.Str(word(i))}
+	}
+	return out
+}
+
+// E03ClassicMerge measures the classic L2→main merge (Fig. 7): cost
+// grows with the size of the main being rewritten, and the §4.1
+// dictionary fast paths (subset, append-only) cut the dictionary
+// phase.
+func E03ClassicMerge(cfg Config) (*benchfmt.Report, error) {
+	rep := &benchfmt.Report{
+		ID: "E03", Title: "Classic L2→main merge and fast paths (Fig. 7)",
+		Claim:  "a full merge rewrites the main (cost grows with main size); subset/append dictionaries skip phase 1",
+		Header: []string{"main rows", "delta rows", "delta dict", "merge time", "city fast path"},
+	}
+	delta := cfg.n(20_000)
+	mainWord := func(i int) string { return fmt.Sprintf("word-%04d", i%1000) }
+
+	// Part 1: merge time vs main size (disjoint delta dictionary).
+	for _, mainN := range []int{cfg.n(50_000), cfg.n(200_000), cfg.n(500_000)} {
+		db, err := memDB()
+		if err != nil {
+			return nil, err
+		}
+		t, err := db.CreateTable(core.TableConfig{
+			Name: "t", Schema: narrowSchema(), Compress: true, CompactDicts: true,
+		})
+		if err != nil {
+			db.Close()
+			return nil, err
+		}
+		if err := bulkLoad(db, t, narrowRows(1, mainN, mainWord)); err != nil {
+			db.Close()
+			return nil, err
+		}
+		if err := drainToMain(t); err != nil {
+			db.Close()
+			return nil, err
+		}
+		if err := bulkLoad(db, t, narrowRows(int64(mainN)+1, delta,
+			func(i int) string { return fmt.Sprintf("fresh-%05d", i%2000) })); err != nil {
+			db.Close()
+			return nil, err
+		}
+		var stats fastPathStats
+		d, err := timeIt(func() error { return mergeOnce(t, &stats) })
+		if err != nil {
+			db.Close()
+			return nil, err
+		}
+		rep.AddRow(fmtInt(mainN), fmtInt(delta), "disjoint", benchfmt.Dur(d), stats.city)
+		db.Close()
+	}
+
+	// Part 2: fast paths at fixed sizes.
+	mainN := cfg.n(200_000)
+	cases := []struct {
+		name string
+		word func(i int) string
+	}{
+		{"disjoint", func(i int) string { return fmt.Sprintf("fresh-%05d", i%2000) }},
+		{"subset", mainWord},
+		{"append", func(i int) string { return fmt.Sprintf("zzz-%07d", i) }},
+	}
+	for _, c := range cases {
+		db, err := memDB()
+		if err != nil {
+			return nil, err
+		}
+		t, err := db.CreateTable(core.TableConfig{
+			Name: "t", Schema: narrowSchema(), Compress: true, CompactDicts: true,
+		})
+		if err != nil {
+			db.Close()
+			return nil, err
+		}
+		if err := bulkLoad(db, t, narrowRows(1, mainN, mainWord)); err != nil {
+			db.Close()
+			return nil, err
+		}
+		if err := drainToMain(t); err != nil {
+			db.Close()
+			return nil, err
+		}
+		if err := bulkLoad(db, t, narrowRows(int64(mainN)+1, delta, c.word)); err != nil {
+			db.Close()
+			return nil, err
+		}
+		var stats fastPathStats
+		d, err := timeIt(func() error { return mergeOnce(t, &stats) })
+		if err != nil {
+			db.Close()
+			return nil, err
+		}
+		rep.AddRow(fmtInt(mainN), fmtInt(delta), c.name, benchfmt.Dur(d), stats.city)
+		db.Close()
+	}
+	rep.AddNote("'city fast path' is the dictionary fast path of the val column (§4.1)")
+	return rep, nil
+}
+
+type fastPathStats struct{ city string }
+
+func mergeOnce(t *core.Table, out *fastPathStats) error {
+	stats, err := t.MergeMain()
+	if err != nil {
+		return err
+	}
+	if stats != nil && len(stats.FastPaths) > 1 {
+		out.city = stats.FastPaths[1].String()
+	}
+	return nil
+}
+
+// E04ResortMerge compares the classic merge against the re-sorting
+// merge (Fig. 8) on a wide, low-cardinality table (the fact-table
+// shape §4.2 targets): re-sorting clusters the repetitive columns so
+// run-length/cluster coding bites across all of them, shrinking the
+// main and speeding scans, at extra merge cost.
+func E04ResortMerge(cfg Config) (*benchfmt.Report, error) {
+	n := cfg.n(150_000)
+	rep := &benchfmt.Report{
+		ID: "E04", Title: "Re-sorting merge compression gain (Fig. 8)",
+		Claim:  "re-sorting the table by statistics-chosen columns raises cross-column compression at extra merge cost",
+		Header: []string{"strategy", "merge time", "main heap", "dim columns", "dim B/row", "clustered-col scan"},
+	}
+	// id + five low-cardinality dimension columns + one measure: the
+	// shape where positional re-sorting pays across columns.
+	schema := types.MustSchema([]types.Column{
+		{Name: "id", Kind: types.KindInt64},
+		{Name: "region", Kind: types.KindString},
+		{Name: "country", Kind: types.KindString},
+		{Name: "category", Kind: types.KindString},
+		{Name: "status", Kind: types.KindString},
+		{Name: "priority", Kind: types.KindInt64},
+		{Name: "qty", Kind: types.KindInt64},
+	}, 0)
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	rows := make([][]types.Value, n)
+	for i := range rows {
+		rows[i] = []types.Value{
+			types.Int(int64(i + 1)),
+			types.Str(workload.Regions[rng.Intn(len(workload.Regions))]),
+			types.Str(fmt.Sprintf("country-%02d", rng.Intn(30))),
+			types.Str(workload.Categories[rng.Intn(len(workload.Categories))]),
+			types.Str(workload.Statuses[rng.Intn(len(workload.Statuses))]),
+			types.Int(int64(rng.Intn(3))),
+			types.Int(int64(rng.Intn(50))),
+		}
+	}
+	for _, strat := range []core.MergeStrategy{core.MergeClassic, core.MergeResort} {
+		db, err := memDB()
+		if err != nil {
+			return nil, err
+		}
+		t, err := db.CreateTable(core.TableConfig{
+			Name: "facts", Schema: schema, Strategy: strat,
+			Compress: true, CompactDicts: true,
+		})
+		if err != nil {
+			db.Close()
+			return nil, err
+		}
+		if err := bulkLoad(db, t, rows); err != nil {
+			db.Close()
+			return nil, err
+		}
+		d, err := timeIt(func() error { return drainToMain(t) })
+		if err != nil {
+			db.Close()
+			return nil, err
+		}
+		st := t.Stats()
+		// Aggregate over a now-clustered column (count+sum by region).
+		scanD, err := medianOf(3, func() error {
+			v := t.View(nil)
+			defer v.Close()
+			_, err := v.AggregateNumeric(1, []int{6})
+			return err
+		})
+		if err != nil {
+			db.Close()
+			return nil, err
+		}
+		// Footprint of the five compressible dimension columns — the
+		// quantity the positional re-sort acts on (the id column,
+		// per-row metadata, and the PK inverted index are invariant).
+		dimBytes := 0
+		for col := 1; col <= 5; col++ {
+			dimBytes += t.MainColumnBytes(col)
+		}
+		rep.AddRow(strat.String(), benchfmt.Dur(d), benchfmt.Bytes(st.MainBytes),
+			benchfmt.Bytes(dimBytes), benchfmt.PerRow(dimBytes, n), benchfmt.Dur(scanD))
+		db.Close()
+	}
+	rep.AddNote("schema: id + 5 low-cardinality dimension columns + measure; %d rows, shuffled arrival order", n)
+	return rep, nil
+}
+
+// E05PartialMerge compares repeated full merges against partial
+// merges (Fig. 9): the partial merge rebuilds only the active main,
+// so its cost tracks the delta, not the accumulated table.
+func E05PartialMerge(cfg Config) (*benchfmt.Report, error) {
+	base := cfg.n(300_000)
+	deltaN := cfg.n(20_000)
+	const rounds = 5
+	rep := &benchfmt.Report{
+		ID: "E05", Title: "Partial merge cost (Fig. 9)",
+		Claim:  "partial merges leave the passive main untouched: per-merge cost stays near the delta size while full merges pay for the whole table",
+		Header: []string{"strategy", "round", "merge time", "main parts"},
+	}
+	for _, strat := range []core.MergeStrategy{core.MergeClassic, core.MergePartial} {
+		db, err := memDB()
+		if err != nil {
+			return nil, err
+		}
+		t, err := orderTable(db, "orders", core.TableConfig{
+			Strategy: strat, ActiveMainMax: base, // promote once the base is passive
+		})
+		if err != nil {
+			db.Close()
+			return nil, err
+		}
+		gen := workload.NewOrderGen(cfg.Seed, 10_000, 1_000)
+		if err := bulkLoad(db, t, gen.Rows(base)); err != nil {
+			db.Close()
+			return nil, err
+		}
+		if err := drainToMain(t); err != nil {
+			db.Close()
+			return nil, err
+		}
+		var total time.Duration
+		for round := 1; round <= rounds; round++ {
+			if err := bulkLoad(db, t, gen.Rows(deltaN)); err != nil {
+				db.Close()
+				return nil, err
+			}
+			d, err := timeIt(func() error { _, err := t.MergeMain(); return err })
+			if err != nil {
+				db.Close()
+				return nil, err
+			}
+			total += d
+			rep.AddRow(strat.String(), fmtInt(round), benchfmt.Dur(d), fmtInt(t.Stats().MainParts))
+		}
+		rep.AddNote("%s: total merge time over %d rounds: %s", strat, rounds, benchfmt.Dur(total))
+		db.Close()
+	}
+	return rep, nil
+}
+
+// E06SplitMainQuery measures point and range queries against a
+// single-part main versus a passive/active split main (Fig. 10).
+func E06SplitMainQuery(cfg Config) (*benchfmt.Report, error) {
+	n := cfg.n(200_000)
+	rep := &benchfmt.Report{
+		ID: "E06", Title: "Queries on split main (Fig. 10)",
+		Claim:  "point and range access stay efficient on a split main: passive dictionary first, active dictionary second, range scans broken into partial code ranges",
+		Header: []string{"main layout", "point q (1k keys)", "range q", "range rows"},
+	}
+	layouts := []struct {
+		name     string
+		activePt int // percent of rows landing in the active main
+	}{
+		{"single part", 0}, {"10% active", 10}, {"50% active", 50},
+	}
+	for _, lay := range layouts {
+		db, err := memDB()
+		if err != nil {
+			return nil, err
+		}
+		strat := core.MergeClassic
+		if lay.activePt > 0 {
+			strat = core.MergePartial
+		}
+		passiveRows := n * (100 - lay.activePt) / 100
+		t, err := orderTable(db, "orders", core.TableConfig{
+			// Promote once the passive load is merged, so the second
+			// load builds a separate active part.
+			Strategy: strat, ActiveMainMax: passiveRows,
+		})
+		if err != nil {
+			db.Close()
+			return nil, err
+		}
+		gen := workload.NewOrderGen(cfg.Seed, 10_000, 1_000)
+		if err := bulkLoad(db, t, gen.Rows(passiveRows)); err != nil {
+			db.Close()
+			return nil, err
+		}
+		if err := drainToMain(t); err != nil {
+			db.Close()
+			return nil, err
+		}
+		if lay.activePt > 0 {
+			if err := bulkLoad(db, t, gen.Rows(n-passiveRows)); err != nil {
+				db.Close()
+				return nil, err
+			}
+			if err := drainToMain(t); err != nil {
+				db.Close()
+				return nil, err
+			}
+			if parts := t.Stats().MainParts; parts < 2 {
+				db.Close()
+				return nil, fmt.Errorf("E06: expected split main, got %d parts", parts)
+			}
+		}
+		rng := rand.New(rand.NewSource(cfg.Seed))
+		pointD, err := medianOf(3, func() error {
+			v := t.View(nil)
+			defer v.Close()
+			for i := 0; i < 1000; i++ {
+				v.Get(types.Int(1 + rng.Int63n(int64(n))))
+			}
+			return nil
+		})
+		if err != nil {
+			db.Close()
+			return nil, err
+		}
+		var rangeRows int
+		rangeD, err := medianOf(3, func() error {
+			v := t.View(nil)
+			defer v.Close()
+			rangeRows = 0
+			v.ScanRange(1, types.Str("C"), types.Str("D"), true, false, func(core.Match) bool {
+				rangeRows++
+				return true
+			})
+			return nil
+		})
+		if err != nil {
+			db.Close()
+			return nil, err
+		}
+		rep.AddRow(lay.name, benchfmt.Dur(pointD), benchfmt.Dur(rangeD), fmtInt(rangeRows))
+		db.Close()
+	}
+	return rep, nil
+}
+
+// E07Matrix quantifies the qualitative characteristics matrix of
+// Fig. 11: per stage, write throughput, point-query and scan
+// performance, and memory footprint.
+func E07Matrix(cfg Config) (*benchfmt.Report, error) {
+	n := cfg.n(100_000)
+	rep := &benchfmt.Report{
+		ID: "E07", Title: "Life-cycle characteristics matrix (Fig. 11)",
+		Claim:  "L1: write-optimized, largest footprint; L2: balanced; main: read-optimized, smallest footprint",
+		Header: []string{"stage", "write", "point q (1k)", "column scan", "heap", "bytes/row"},
+	}
+	gen := workload.NewOrderGen(cfg.Seed, 10_000, 1_000)
+	rows := gen.Rows(n)
+	rng := rand.New(rand.NewSource(cfg.Seed))
+
+	measure := func(stage string, t *core.Table, db *core.Database, writeD time.Duration, bytes int) error {
+		pointD, err := medianOf(3, func() error {
+			v := t.View(nil)
+			defer v.Close()
+			for i := 0; i < 1000; i++ {
+				v.Get(types.Int(1 + rng.Int63n(int64(n))))
+			}
+			return nil
+		})
+		if err != nil {
+			return err
+		}
+		scanD, err := medianOf(3, func() error {
+			v := t.View(nil)
+			defer v.Close()
+			var sum int64
+			v.ScanColumn(5, func(_ types.RowID, val types.Value) bool {
+				sum += val.I
+				return true
+			})
+			return nil
+		})
+		if err != nil {
+			return err
+		}
+		rep.AddRow(stage, benchfmt.Rate(n, writeD), benchfmt.Dur(pointD),
+			benchfmt.Rate(n, scanD), benchfmt.Bytes(bytes), benchfmt.PerRow(bytes, n))
+		return nil
+	}
+
+	// Stage 1: rows held in the L1-delta.
+	{
+		db, err := memDB()
+		if err != nil {
+			return nil, err
+		}
+		t, err := orderTable(db, "orders", core.TableConfig{L1MaxRows: n + 1})
+		if err != nil {
+			db.Close()
+			return nil, err
+		}
+		writeD, err := timeIt(func() error { return insertRows(db, t, rows) })
+		if err != nil {
+			db.Close()
+			return nil, err
+		}
+		if err := measure("L1-delta (row, uncompressed)", t, db, writeD, t.Stats().L1Bytes); err != nil {
+			db.Close()
+			return nil, err
+		}
+		db.Close()
+	}
+	// Stage 2: rows held in the L2-delta (bulk path).
+	{
+		db, err := memDB()
+		if err != nil {
+			return nil, err
+		}
+		t, err := orderTable(db, "orders", core.TableConfig{})
+		if err != nil {
+			db.Close()
+			return nil, err
+		}
+		writeD, err := timeIt(func() error { return bulkLoad(db, t, rows) })
+		if err != nil {
+			db.Close()
+			return nil, err
+		}
+		if err := measure("L2-delta (column, unsorted dict)", t, db, writeD, t.Stats().L2Bytes); err != nil {
+			db.Close()
+			return nil, err
+		}
+		db.Close()
+	}
+	// Stage 3: rows merged into the compressed main.
+	{
+		db, err := memDB()
+		if err != nil {
+			return nil, err
+		}
+		t, err := orderTable(db, "orders", core.TableConfig{Strategy: core.MergeResort})
+		if err != nil {
+			db.Close()
+			return nil, err
+		}
+		loadD, err := timeIt(func() error {
+			if err := bulkLoad(db, t, rows); err != nil {
+				return err
+			}
+			return drainToMain(t)
+		})
+		if err != nil {
+			db.Close()
+			return nil, err
+		}
+		if err := measure("main (column, sorted dict, compressed)", t, db, loadD, t.Stats().MainBytes); err != nil {
+			db.Close()
+			return nil, err
+		}
+		db.Close()
+	}
+	rep.AddNote("write column: L1 = single-row transactions, L2 = bulk load, main = bulk load + full merge")
+	return rep, nil
+}

@@ -1,0 +1,159 @@
+// Package experiments reproduces, as measurements, every figure of
+// the paper's technical sections (the paper is an architecture paper:
+// its figures illustrate mechanisms and claims rather than plotting
+// numbers, so each experiment quantifies the claimed characteristic
+// on this implementation — see DESIGN.md §5 for the index).
+//
+// Each experiment builds its own workload, runs the mechanism, and
+// returns a benchfmt.Report; cmd/hanabench prints them and
+// EXPERIMENTS.md records paper-vs-measured per experiment.
+package experiments
+
+import (
+	"fmt"
+	"sort"
+	"time"
+
+	"repro/internal/benchfmt"
+	"repro/internal/core"
+	"repro/internal/mvcc"
+	"repro/internal/types"
+	"repro/internal/workload"
+)
+
+// Config scales the experiments; Scale 1.0 targets a ~1-minute
+// single-core full run per experiment group.
+type Config struct {
+	Scale float64
+	Seed  int64
+}
+
+// DefaultConfig is the standard run.
+var DefaultConfig = Config{Scale: 1.0, Seed: 42}
+
+func (c Config) n(base int) int {
+	n := int(float64(base) * c.Scale)
+	if n < 10 {
+		n = 10
+	}
+	return n
+}
+
+// Experiment is a runnable reproduction.
+type Experiment struct {
+	ID    string
+	Title string
+	Run   func(Config) (*benchfmt.Report, error)
+}
+
+// All lists the experiments in paper order.
+func All() []Experiment {
+	return []Experiment{
+		{"E01", "Record life cycle walkthrough (Fig. 4)", E01Lifecycle},
+		{"E02", "Incremental L1→L2 merge (Fig. 6)", E02L1L2Merge},
+		{"E03", "Classic L2→main merge and fast paths (Fig. 7)", E03ClassicMerge},
+		{"E04", "Re-sorting merge compression gain (Fig. 8)", E04ResortMerge},
+		{"E05", "Partial merge cost (Fig. 9)", E05PartialMerge},
+		{"E06", "Queries on split main (Fig. 10)", E06SplitMainQuery},
+		{"E07", "Life-cycle characteristics matrix (Fig. 11)", E07Matrix},
+		{"E08", "End of the column store myth (§1/§5)", E08Myth},
+		{"E09", "MVCC isolation levels (§1)", E09MVCC},
+		{"E10", "Logging, savepoints, recovery (Fig. 5)", E10Persistence},
+		{"E11", "Calc graph execution (Fig. 2/3)", E11CalcGraph},
+		{"E12", "Unified table access (§3.1)", E12UnifiedAccess},
+	}
+}
+
+// ByID returns the experiment with the given id.
+func ByID(id string) (Experiment, bool) {
+	for _, e := range All() {
+		if e.ID == id {
+			return e, true
+		}
+	}
+	return Experiment{}, false
+}
+
+// --- shared helpers ---
+
+// memDB opens an in-memory database without the scheduler (the
+// experiments drive merges explicitly for determinism).
+func memDB() (*core.Database, error) {
+	return core.OpenDatabase(core.DBOptions{})
+}
+
+// orderTable creates the standard order table.
+func orderTable(db *core.Database, name string, cfg core.TableConfig) (*core.Table, error) {
+	cfg.Name = name
+	cfg.Schema = workload.OrderSchema()
+	if cfg.L1MaxRows == 0 {
+		cfg.L1MaxRows = 10_000
+	}
+	cfg.Compress = true
+	cfg.CompactDicts = true
+	return db.CreateTable(cfg)
+}
+
+// insertRows commits rows one transaction per row (OLTP path).
+func insertRows(db *core.Database, t *core.Table, rows [][]types.Value) error {
+	for _, r := range rows {
+		tx := db.Begin(mvcc.TxnSnapshot)
+		if _, err := t.Insert(tx, r); err != nil {
+			tx.Abort()
+			return err
+		}
+		if err := db.Commit(tx); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// bulkLoad commits rows in one bulk transaction (L2 path).
+func bulkLoad(db *core.Database, t *core.Table, rows [][]types.Value) error {
+	tx := db.Begin(mvcc.TxnSnapshot)
+	if _, err := t.BulkInsert(tx, rows); err != nil {
+		tx.Abort()
+		return err
+	}
+	return db.Commit(tx)
+}
+
+// drainToMain pushes everything through both merges.
+func drainToMain(t *core.Table) error {
+	for {
+		if _, err := t.MergeL1(); err != nil {
+			return err
+		}
+		if _, err := t.MergeMain(); err != nil {
+			return err
+		}
+		st := t.Stats()
+		if st.L1Rows == 0 && st.L2Rows == 0 && st.FrozenL2Rows == 0 {
+			return nil
+		}
+	}
+}
+
+// timeIt measures fn.
+func timeIt(fn func() error) (time.Duration, error) {
+	start := time.Now()
+	err := fn()
+	return time.Since(start), err
+}
+
+// medianOf runs fn reps times and returns the median duration.
+func medianOf(reps int, fn func() error) (time.Duration, error) {
+	ds := make([]time.Duration, 0, reps)
+	for i := 0; i < reps; i++ {
+		d, err := timeIt(fn)
+		if err != nil {
+			return 0, err
+		}
+		ds = append(ds, d)
+	}
+	sort.Slice(ds, func(a, b int) bool { return ds[a] < ds[b] })
+	return ds[len(ds)/2], nil
+}
+
+func fmtInt(n int) string { return fmt.Sprintf("%d", n) }

@@ -1,0 +1,42 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestAllExperimentsRunAtTinyScale executes every experiment at a
+// small scale, checking each produces a populated report and hits no
+// internal consistency failure (several experiments verify invariants
+// and return errors when the mechanism misbehaves).
+func TestAllExperimentsRunAtTinyScale(t *testing.T) {
+	cfg := Config{Scale: 0.02, Seed: 7}
+	for _, e := range All() {
+		e := e
+		t.Run(e.ID, func(t *testing.T) {
+			rep, err := e.Run(cfg)
+			if err != nil {
+				t.Fatalf("%s: %v", e.ID, err)
+			}
+			if rep.ID != e.ID {
+				t.Errorf("report id %q, want %q", rep.ID, e.ID)
+			}
+			if len(rep.Rows) == 0 {
+				t.Error("empty report")
+			}
+			out := rep.String()
+			if !strings.Contains(out, e.ID) || !strings.Contains(out, "paper claim") {
+				t.Errorf("malformed report:\n%s", out)
+			}
+		})
+	}
+}
+
+func TestByID(t *testing.T) {
+	if _, ok := ByID("E05"); !ok {
+		t.Error("E05 missing")
+	}
+	if _, ok := ByID("E99"); ok {
+		t.Error("E99 should not exist")
+	}
+}

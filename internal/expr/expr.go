@@ -1,0 +1,328 @@
+// Package expr provides the predicate expressions evaluated by table
+// scans and filter operators, plus the decomposition helpers the
+// optimizer uses to push comparison predicates down onto dictionary
+// code ranges (the "special operators working directly on dictionary
+// encoded columns" of paper §4.1).
+package expr
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/types"
+)
+
+// Op is a comparison operator.
+type Op uint8
+
+const (
+	// OpEq is =.
+	OpEq Op = iota
+	// OpNe is <>.
+	OpNe
+	// OpLt is <.
+	OpLt
+	// OpLe is <=.
+	OpLe
+	// OpGt is >.
+	OpGt
+	// OpGe is >=.
+	OpGe
+)
+
+func (o Op) String() string {
+	switch o {
+	case OpEq:
+		return "="
+	case OpNe:
+		return "<>"
+	case OpLt:
+		return "<"
+	case OpLe:
+		return "<="
+	case OpGt:
+		return ">"
+	case OpGe:
+		return ">="
+	default:
+		return "?"
+	}
+}
+
+// Predicate evaluates to a boolean over a row. SQL three-valued logic
+// is collapsed: any comparison involving NULL is false (sufficient
+// for the workloads reproduced here).
+type Predicate interface {
+	// Eval reports whether the row satisfies the predicate.
+	Eval(row []types.Value) bool
+	// String renders the predicate for plans and diagnostics.
+	String() string
+}
+
+// Cmp compares a column against a constant.
+type Cmp struct {
+	Col int
+	Op  Op
+	Val types.Value
+}
+
+// Eval implements Predicate.
+func (c Cmp) Eval(row []types.Value) bool {
+	v := row[c.Col]
+	if v.IsNull() || c.Val.IsNull() {
+		return false
+	}
+	r := types.Compare(v, c.Val)
+	switch c.Op {
+	case OpEq:
+		return r == 0
+	case OpNe:
+		return r != 0
+	case OpLt:
+		return r < 0
+	case OpLe:
+		return r <= 0
+	case OpGt:
+		return r > 0
+	case OpGe:
+		return r >= 0
+	}
+	return false
+}
+
+func (c Cmp) String() string { return fmt.Sprintf("col%d %v %v", c.Col, c.Op, c.Val) }
+
+// Between tests lo <= col <= hi with configurable inclusivity.
+type Between struct {
+	Col          int
+	Lo, Hi       types.Value // NULL bound = unbounded
+	LoInc, HiInc bool
+}
+
+// Eval implements Predicate.
+func (b Between) Eval(row []types.Value) bool {
+	v := row[b.Col]
+	if v.IsNull() {
+		return false
+	}
+	if !b.Lo.IsNull() {
+		r := types.Compare(v, b.Lo)
+		if r < 0 || (r == 0 && !b.LoInc) {
+			return false
+		}
+	}
+	if !b.Hi.IsNull() {
+		r := types.Compare(v, b.Hi)
+		if r > 0 || (r == 0 && !b.HiInc) {
+			return false
+		}
+	}
+	return true
+}
+
+func (b Between) String() string {
+	return fmt.Sprintf("col%d in %s%v,%v%s", b.Col, bracket(b.LoInc, "[", "("), b.Lo, b.Hi, bracket(b.HiInc, "]", ")"))
+}
+
+func bracket(inc bool, a, b string) string {
+	if inc {
+		return a
+	}
+	return b
+}
+
+// In tests membership in a constant list.
+type In struct {
+	Col  int
+	Vals []types.Value
+}
+
+// Eval implements Predicate.
+func (in In) Eval(row []types.Value) bool {
+	v := row[in.Col]
+	if v.IsNull() {
+		return false
+	}
+	for _, c := range in.Vals {
+		if !c.IsNull() && types.Equal(v, c) {
+			return true
+		}
+	}
+	return false
+}
+
+func (in In) String() string {
+	parts := make([]string, len(in.Vals))
+	for i, v := range in.Vals {
+		parts[i] = v.String()
+	}
+	return fmt.Sprintf("col%d IN (%s)", in.Col, strings.Join(parts, ","))
+}
+
+// Like tests a string column against a constant prefix (the LIKE
+// 'abc%' pattern, the only LIKE shape the scans accelerate).
+type Like struct {
+	Col    int
+	Prefix string
+}
+
+// Eval implements Predicate.
+func (l Like) Eval(row []types.Value) bool {
+	v := row[l.Col]
+	return v.Kind == types.KindString && strings.HasPrefix(v.S, l.Prefix)
+}
+
+func (l Like) String() string { return fmt.Sprintf("col%d LIKE %q+%%", l.Col, l.Prefix) }
+
+// IsNull tests a column for SQL NULL.
+type IsNull struct {
+	Col int
+	Neg bool // true = IS NOT NULL
+}
+
+// Eval implements Predicate.
+func (p IsNull) Eval(row []types.Value) bool { return row[p.Col].IsNull() != p.Neg }
+
+func (p IsNull) String() string {
+	if p.Neg {
+		return fmt.Sprintf("col%d IS NOT NULL", p.Col)
+	}
+	return fmt.Sprintf("col%d IS NULL", p.Col)
+}
+
+// And is a conjunction.
+type And []Predicate
+
+// Eval implements Predicate.
+func (a And) Eval(row []types.Value) bool {
+	for _, p := range a {
+		if !p.Eval(row) {
+			return false
+		}
+	}
+	return true
+}
+
+func (a And) String() string { return join(a, " AND ") }
+
+// Or is a disjunction.
+type Or []Predicate
+
+// Eval implements Predicate.
+func (o Or) Eval(row []types.Value) bool {
+	for _, p := range o {
+		if p.Eval(row) {
+			return true
+		}
+	}
+	return false
+}
+
+func (o Or) String() string { return join(o, " OR ") }
+
+// Not negates a predicate.
+type Not struct{ P Predicate }
+
+// Eval implements Predicate.
+func (n Not) Eval(row []types.Value) bool { return !n.P.Eval(row) }
+
+func (n Not) String() string { return "NOT (" + n.P.String() + ")" }
+
+// Const is a constant predicate (TRUE scans everything).
+type Const bool
+
+// Eval implements Predicate.
+func (c Const) Eval([]types.Value) bool { return bool(c) }
+
+func (c Const) String() string {
+	if c {
+		return "TRUE"
+	}
+	return "FALSE"
+}
+
+func join(ps []Predicate, sep string) string {
+	parts := make([]string, len(ps))
+	for i, p := range ps {
+		parts[i] = "(" + p.String() + ")"
+	}
+	return strings.Join(parts, sep)
+}
+
+// Conjuncts flattens nested ANDs into a list of conjuncts; a non-AND
+// predicate is its own single conjunct.
+func Conjuncts(p Predicate) []Predicate {
+	if p == nil {
+		return nil
+	}
+	if a, ok := p.(And); ok {
+		var out []Predicate
+		for _, c := range a {
+			out = append(out, Conjuncts(c)...)
+		}
+		return out
+	}
+	return []Predicate{p}
+}
+
+// ColumnRange is a per-column value range a scan can resolve directly
+// in a dictionary: Lo/Hi with inclusivity, NULL bound = unbounded.
+type ColumnRange struct {
+	Col          int
+	Lo, Hi       types.Value
+	LoInc, HiInc bool
+}
+
+// Pushdown splits a predicate into dictionary-resolvable column
+// ranges and a residual predicate evaluated row-at-a-time. Only
+// top-level conjuncts of the forms =, <, <=, >, >=, and Between are
+// pushed; everything else stays in the residual. residual is nil when
+// fully pushed.
+func Pushdown(p Predicate) (ranges []ColumnRange, residual Predicate) {
+	var rest And
+	for _, c := range Conjuncts(p) {
+		switch t := c.(type) {
+		case Cmp:
+			if r, ok := cmpToRange(t); ok {
+				ranges = append(ranges, r)
+				continue
+			}
+		case Between:
+			ranges = append(ranges, ColumnRange{Col: t.Col, Lo: t.Lo, Hi: t.Hi, LoInc: t.LoInc, HiInc: t.HiInc})
+			continue
+		case Const:
+			if bool(t) {
+				continue
+			}
+		}
+		rest = append(rest, c)
+	}
+	switch len(rest) {
+	case 0:
+		return ranges, nil
+	case 1:
+		return ranges, rest[0]
+	default:
+		return ranges, rest
+	}
+}
+
+func cmpToRange(c Cmp) (ColumnRange, bool) {
+	if c.Val.IsNull() {
+		return ColumnRange{}, false
+	}
+	switch c.Op {
+	case OpEq:
+		return ColumnRange{Col: c.Col, Lo: c.Val, Hi: c.Val, LoInc: true, HiInc: true}, true
+	case OpLt:
+		return ColumnRange{Col: c.Col, Hi: c.Val}, true
+	case OpLe:
+		return ColumnRange{Col: c.Col, Hi: c.Val, HiInc: true}, true
+	case OpGt:
+		return ColumnRange{Col: c.Col, Lo: c.Val}, true
+	case OpGe:
+		return ColumnRange{Col: c.Col, Lo: c.Val, LoInc: true}, true
+	default:
+		return ColumnRange{}, false
+	}
+}

@@ -1,0 +1,184 @@
+package expr
+
+import (
+	"testing"
+
+	"repro/internal/types"
+)
+
+func row(vs ...types.Value) []types.Value { return vs }
+
+func TestCmpAllOps(t *testing.T) {
+	r := row(types.Int(5))
+	cases := []struct {
+		op   Op
+		val  int64
+		want bool
+	}{
+		{OpEq, 5, true}, {OpEq, 6, false},
+		{OpNe, 5, false}, {OpNe, 6, true},
+		{OpLt, 6, true}, {OpLt, 5, false},
+		{OpLe, 5, true}, {OpLe, 4, false},
+		{OpGt, 4, true}, {OpGt, 5, false},
+		{OpGe, 5, true}, {OpGe, 6, false},
+	}
+	for _, c := range cases {
+		p := Cmp{Col: 0, Op: c.op, Val: types.Int(c.val)}
+		if got := p.Eval(r); got != c.want {
+			t.Errorf("%s on 5: got %v", p, got)
+		}
+	}
+}
+
+func TestNullComparisonsAreFalse(t *testing.T) {
+	r := row(types.Null)
+	for _, op := range []Op{OpEq, OpNe, OpLt, OpLe, OpGt, OpGe} {
+		if (Cmp{Col: 0, Op: op, Val: types.Int(1)}).Eval(r) {
+			t.Errorf("NULL %v 1 should be false", op)
+		}
+	}
+	if (Cmp{Col: 0, Op: OpEq, Val: types.Null}).Eval(row(types.Int(1))) {
+		t.Error("1 = NULL should be false")
+	}
+}
+
+func TestBetween(t *testing.T) {
+	p := Between{Col: 0, Lo: types.Int(10), Hi: types.Int(20), LoInc: true, HiInc: false}
+	for v, want := range map[int64]bool{9: false, 10: true, 15: true, 20: false, 21: false} {
+		if got := p.Eval(row(types.Int(v))); got != want {
+			t.Errorf("Between(%d) = %v, want %v", v, got, want)
+		}
+	}
+	unbounded := Between{Col: 0, Lo: types.Null, Hi: types.Int(5), HiInc: true}
+	if !unbounded.Eval(row(types.Int(-100))) {
+		t.Error("unbounded lo should accept -100")
+	}
+	if (Between{Col: 0, Lo: types.Null, Hi: types.Null}).Eval(row(types.Null)) {
+		t.Error("NULL row never matches Between")
+	}
+}
+
+func TestInLikeIsNull(t *testing.T) {
+	in := In{Col: 0, Vals: []types.Value{types.Str("a"), types.Str("c")}}
+	if !in.Eval(row(types.Str("c"))) || in.Eval(row(types.Str("b"))) {
+		t.Error("In misbehaves")
+	}
+	if in.Eval(row(types.Null)) {
+		t.Error("NULL IN (...) should be false")
+	}
+	like := Like{Col: 0, Prefix: "Wall"}
+	if !like.Eval(row(types.Str("Walldorf"))) || like.Eval(row(types.Str("Berlin"))) {
+		t.Error("Like misbehaves")
+	}
+	if !(IsNull{Col: 0}).Eval(row(types.Null)) || (IsNull{Col: 0}).Eval(row(types.Int(1))) {
+		t.Error("IsNull misbehaves")
+	}
+	if (IsNull{Col: 0, Neg: true}).Eval(row(types.Null)) {
+		t.Error("IS NOT NULL on NULL should be false")
+	}
+}
+
+func TestBooleanCombinators(t *testing.T) {
+	r := row(types.Int(5), types.Str("x"))
+	a := Cmp{Col: 0, Op: OpGt, Val: types.Int(3)}
+	b := Cmp{Col: 1, Op: OpEq, Val: types.Str("x")}
+	c := Cmp{Col: 0, Op: OpLt, Val: types.Int(4)}
+	if !(And{a, b}).Eval(r) || (And{a, c}).Eval(r) {
+		t.Error("And misbehaves")
+	}
+	if !(Or{c, b}).Eval(r) || (Or{c, Not{b}}).Eval(r) {
+		t.Error("Or misbehaves")
+	}
+	if !Const(true).Eval(r) || Const(false).Eval(r) {
+		t.Error("Const misbehaves")
+	}
+	if !(Not{c}).Eval(r) {
+		t.Error("Not misbehaves")
+	}
+}
+
+func TestConjunctsFlattens(t *testing.T) {
+	a := Cmp{Col: 0, Op: OpEq, Val: types.Int(1)}
+	b := Cmp{Col: 1, Op: OpEq, Val: types.Int(2)}
+	c := Cmp{Col: 2, Op: OpEq, Val: types.Int(3)}
+	got := Conjuncts(And{a, And{b, c}})
+	if len(got) != 3 {
+		t.Fatalf("Conjuncts = %v", got)
+	}
+	if got := Conjuncts(a); len(got) != 1 {
+		t.Fatalf("single conjunct = %v", got)
+	}
+	if got := Conjuncts(nil); got != nil {
+		t.Fatalf("nil conjuncts = %v", got)
+	}
+}
+
+func TestPushdown(t *testing.T) {
+	p := And{
+		Cmp{Col: 0, Op: OpEq, Val: types.Str("DE")},
+		Cmp{Col: 1, Op: OpGe, Val: types.Int(10)},
+		Between{Col: 2, Lo: types.Float(1), Hi: types.Float(2), LoInc: true, HiInc: true},
+		Like{Col: 3, Prefix: "x"}, // not pushable
+		Const(true),               // dropped
+	}
+	ranges, residual := Pushdown(p)
+	if len(ranges) != 3 {
+		t.Fatalf("ranges = %v", ranges)
+	}
+	if ranges[0].Col != 0 || !types.Equal(ranges[0].Lo, types.Str("DE")) || !ranges[0].LoInc || !ranges[0].HiInc {
+		t.Errorf("eq range = %+v", ranges[0])
+	}
+	if ranges[1].Col != 1 || !ranges[1].LoInc || !ranges[1].Hi.IsNull() {
+		t.Errorf("ge range = %+v", ranges[1])
+	}
+	if _, ok := residual.(Like); !ok {
+		t.Errorf("residual = %v", residual)
+	}
+
+	// Fully pushable → nil residual.
+	ranges, residual = Pushdown(Cmp{Col: 0, Op: OpLt, Val: types.Int(9)})
+	if residual != nil || len(ranges) != 1 || ranges[0].LoInc || !ranges[0].Lo.IsNull() {
+		t.Errorf("lt pushdown: %v %v", ranges, residual)
+	}
+
+	// Ne is not pushable.
+	ranges, residual = Pushdown(Cmp{Col: 0, Op: OpNe, Val: types.Int(9)})
+	if len(ranges) != 0 || residual == nil {
+		t.Errorf("ne pushdown: %v %v", ranges, residual)
+	}
+
+	// Multi-residual becomes an And.
+	_, residual = Pushdown(And{Like{Col: 0, Prefix: "a"}, Like{Col: 1, Prefix: "b"}})
+	if _, ok := residual.(And); !ok {
+		t.Errorf("multi residual = %T", residual)
+	}
+}
+
+func TestStringRendering(t *testing.T) {
+	p := And{
+		Cmp{Col: 0, Op: OpEq, Val: types.Int(1)},
+		Or{Like{Col: 1, Prefix: "a"}, Not{IsNull{Col: 2}}},
+	}
+	s := p.String()
+	if s == "" {
+		t.Error("empty String()")
+	}
+	for _, frag := range []string{"col0 = 1", "LIKE", "NOT"} {
+		if !contains(s, frag) {
+			t.Errorf("String() = %q missing %q", s, frag)
+		}
+	}
+}
+
+func contains(s, sub string) bool {
+	return len(s) >= len(sub) && (s == sub || len(s) > 0 && index(s, sub) >= 0)
+}
+
+func index(s, sub string) int {
+	for i := 0; i+len(sub) <= len(s); i++ {
+		if s[i:i+len(sub)] == sub {
+			return i
+		}
+	}
+	return -1
+}

@@ -1,0 +1,220 @@
+package l1delta
+
+import (
+	"testing"
+
+	"repro/internal/mvcc"
+	"repro/internal/types"
+)
+
+func testSchema() *types.Schema {
+	return types.MustSchema([]types.Column{
+		{Name: "id", Kind: types.KindInt64},
+		{Name: "name", Kind: types.KindString, Nullable: true},
+	}, 0)
+}
+
+func committedRow(m *mvcc.Manager, id int64, name string) *Row {
+	tx := m.Begin(mvcc.TxnSnapshot)
+	st := mvcc.NewStamp(tx.Marker())
+	tx.RecordCreate(st)
+	tx.Commit()
+	return &Row{ID: types.RowID(id), Values: []types.Value{types.Int(id), types.Str(name)}, Stamp: st}
+}
+
+func TestAppendAndLookup(t *testing.T) {
+	m := mvcc.NewManager()
+	s := New(testSchema())
+	for i := int64(1); i <= 5; i++ {
+		pos := s.Append(committedRow(m, i, "n"))
+		if pos != int(i-1) {
+			t.Errorf("Append pos = %d, want %d", pos, i-1)
+		}
+	}
+	if s.Len() != 5 {
+		t.Fatalf("Len = %d", s.Len())
+	}
+	if got := s.LookupKey(types.Int(3)); len(got) != 1 || got[0] != 2 {
+		t.Errorf("LookupKey(3) = %v", got)
+	}
+	if got := s.LookupKey(types.Int(99)); got != nil {
+		t.Errorf("LookupKey(99) = %v", got)
+	}
+	if r := s.At(2); r.ID != 3 {
+		t.Errorf("At(2).ID = %d", r.ID)
+	}
+}
+
+func TestDuplicateKeyVersionsShareIndexBucket(t *testing.T) {
+	m := mvcc.NewManager()
+	s := New(testSchema())
+	s.Append(committedRow(m, 7, "a"))
+	s.Append(committedRow(m, 7, "b")) // new version of key 7
+	if got := s.LookupKey(types.Int(7)); len(got) != 2 {
+		t.Errorf("LookupKey(7) = %v, want 2 positions", got)
+	}
+}
+
+func TestScanVisibleRespectsSnapshotAndBorder(t *testing.T) {
+	m := mvcc.NewManager()
+	s := New(testSchema())
+	s.Append(committedRow(m, 1, "a"))
+	snapBetween := m.LastCommitted()
+	s.Append(committedRow(m, 2, "b"))
+
+	var seen []int64
+	s.ScanVisible(s.Len(), snapBetween, 0, func(_ int, r *Row) bool {
+		seen = append(seen, r.Values[0].I)
+		return true
+	})
+	if len(seen) != 1 || seen[0] != 1 {
+		t.Errorf("snapshot scan saw %v", seen)
+	}
+
+	// Border: captured length hides later appends.
+	seen = nil
+	s.ScanVisible(1, m.LastCommitted(), 0, func(_ int, r *Row) bool {
+		seen = append(seen, r.Values[0].I)
+		return true
+	})
+	if len(seen) != 1 {
+		t.Errorf("border scan saw %v", seen)
+	}
+
+	// Early stop.
+	count := 0
+	s.ScanVisible(s.Len(), m.LastCommitted(), 0, func(int, *Row) bool {
+		count++
+		return false
+	})
+	if count != 1 {
+		t.Errorf("early stop scanned %d", count)
+	}
+}
+
+func TestScanVisibleHidesUncommittedAndDeleted(t *testing.T) {
+	m := mvcc.NewManager()
+	s := New(testSchema())
+	s.Append(committedRow(m, 1, "a"))
+
+	// Uncommitted insert by another txn.
+	tx := m.Begin(mvcc.TxnSnapshot)
+	st := mvcc.NewStamp(tx.Marker())
+	tx.RecordCreate(st)
+	s.Append(&Row{ID: 2, Values: []types.Value{types.Int(2), types.Str("x")}, Stamp: st})
+
+	// Committed delete of row 1.
+	del := m.Begin(mvcc.TxnSnapshot)
+	if !s.At(0).Stamp.ClaimDelete(del.Marker()) {
+		t.Fatal("claim failed")
+	}
+	del.RecordDelete(s.At(0).Stamp)
+	del.Commit()
+
+	var seen []int64
+	s.ScanVisible(s.Len(), m.LastCommitted(), 0, func(_ int, r *Row) bool {
+		seen = append(seen, r.Values[0].I)
+		return true
+	})
+	if len(seen) != 0 {
+		t.Errorf("scan saw %v, want nothing", seen)
+	}
+
+	// The inserting transaction sees its own uncommitted row — and,
+	// because its snapshot predates the delete commit, still sees
+	// row 1 as well.
+	seen = nil
+	s.ScanVisible(s.Len(), tx.ReadTS(), tx.Marker(), func(_ int, r *Row) bool {
+		seen = append(seen, r.Values[0].I)
+		return true
+	})
+	if len(seen) != 2 || seen[0] != 1 || seen[1] != 2 {
+		t.Errorf("own scan saw %v, want [1 2]", seen)
+	}
+}
+
+func TestSettledPrefix(t *testing.T) {
+	m := mvcc.NewManager()
+	s := New(testSchema())
+	s.Append(committedRow(m, 1, "a"))
+	s.Append(committedRow(m, 2, "b"))
+
+	tx := m.Begin(mvcc.TxnSnapshot)
+	st := mvcc.NewStamp(tx.Marker())
+	tx.RecordCreate(st)
+	s.Append(&Row{ID: 3, Values: []types.Value{types.Int(3), types.Str("c")}, Stamp: st})
+	s.Append(committedRow(m, 4, "d"))
+
+	if got := s.SettledPrefix(s.Len()); got != 2 {
+		t.Errorf("SettledPrefix = %d, want 2 (stops at open txn)", got)
+	}
+	if got := s.SettledPrefix(1); got != 1 {
+		t.Errorf("SettledPrefix limited = %d", got)
+	}
+	tx.Commit()
+	if got := s.SettledPrefix(s.Len()); got != 4 {
+		t.Errorf("SettledPrefix after commit = %d, want 4", got)
+	}
+
+	// A pending (uncommitted) delete also blocks settling.
+	d := m.Begin(mvcc.TxnSnapshot)
+	s.At(0).Stamp.ClaimDelete(d.Marker())
+	d.RecordDelete(s.At(0).Stamp)
+	if got := s.SettledPrefix(s.Len()); got != 0 {
+		t.Errorf("SettledPrefix with pending delete = %d, want 0", got)
+	}
+	d.Abort()
+	if got := s.SettledPrefix(s.Len()); got != 4 {
+		t.Errorf("SettledPrefix after abort = %d, want 4", got)
+	}
+}
+
+func TestTruncatePrefixSharesRows(t *testing.T) {
+	m := mvcc.NewManager()
+	s := New(testSchema())
+	for i := int64(1); i <= 4; i++ {
+		s.Append(committedRow(m, i, "x"))
+	}
+	ns := s.TruncatePrefix(3)
+	if ns.Len() != 1 {
+		t.Fatalf("new Len = %d", ns.Len())
+	}
+	if ns.At(0) != s.At(3) {
+		t.Error("surviving row not shared")
+	}
+	// Key index rebuilt with new positions.
+	if got := ns.LookupKey(types.Int(4)); len(got) != 1 || got[0] != 0 {
+		t.Errorf("LookupKey on truncated store = %v", got)
+	}
+	if got := ns.LookupKey(types.Int(1)); got != nil {
+		t.Errorf("migrated key still indexed: %v", got)
+	}
+	// Old generation unchanged (pinned readers).
+	if s.Len() != 4 {
+		t.Errorf("old generation mutated: %d", s.Len())
+	}
+}
+
+func TestMemSizeGrowsPerRow(t *testing.T) {
+	m := mvcc.NewManager()
+	s := New(testSchema())
+	base := s.MemSize()
+	s.Append(committedRow(m, 1, "some name"))
+	if s.MemSize() <= base {
+		t.Error("MemSize did not grow on append")
+	}
+}
+
+func TestNoKeySchema(t *testing.T) {
+	schema := types.MustSchema([]types.Column{{Name: "v", Kind: types.KindInt64}}, -1)
+	s := New(schema)
+	m := mvcc.NewManager()
+	tx := m.Begin(mvcc.TxnSnapshot)
+	st := mvcc.NewStamp(tx.Marker())
+	tx.RecordCreate(st)
+	tx.Commit()
+	s.Append(&Row{ID: 1, Values: []types.Value{types.Int(9)}, Stamp: st})
+	if got := s.LookupKey(types.Int(9)); got != nil {
+		t.Errorf("LookupKey without key column = %v", got)
+	}
+}

@@ -1,0 +1,73 @@
+package mainstore
+
+import (
+	"sync"
+
+	"repro/internal/mvcc"
+	"repro/internal/types"
+)
+
+// Tombstones is the table-wide registry of delete stamps for rows
+// that live in the immutable main store. The main keeps rows
+// physically until a merge garbage-collects them; logical deletes are
+// recorded here, keyed by the record's life-long RowID, so that merge
+// generations can swap freely while pinned readers and in-flight
+// transactions keep writing through the same stamp objects.
+type Tombstones struct {
+	mu sync.RWMutex
+	m  map[types.RowID]*mvcc.Stamp
+}
+
+// NewTombstones returns an empty registry.
+func NewTombstones() *Tombstones {
+	return &Tombstones{m: make(map[types.RowID]*mvcc.Stamp)}
+}
+
+// Get returns the delete stamp registered for id, or nil.
+func (t *Tombstones) Get(id types.RowID) *mvcc.Stamp {
+	t.mu.RLock()
+	s := t.m[id]
+	t.mu.RUnlock()
+	return s
+}
+
+// Claim registers (or reuses) a stamp for id and claims its delete
+// field for marker. It returns the stamp and whether the claim
+// succeeded; a failed claim is a write-write conflict. createTS seeds
+// the stamp's create field so the stamp is self-describing.
+func (t *Tombstones) Claim(id types.RowID, createTS, marker uint64) (*mvcc.Stamp, bool) {
+	t.mu.Lock()
+	s, ok := t.m[id]
+	if !ok {
+		s = mvcc.NewStamp(createTS)
+		t.m[id] = s
+	}
+	t.mu.Unlock()
+	return s, s.ClaimDelete(marker)
+}
+
+// Adopt registers an existing stamp (a row migrating from the
+// L2-delta whose delete is pending or not yet collectable).
+func (t *Tombstones) Adopt(id types.RowID, s *mvcc.Stamp) {
+	t.mu.Lock()
+	t.m[id] = s
+	t.mu.Unlock()
+}
+
+// Forget removes the entries of rows a merge physically discarded or
+// whose pending delete turned out aborted.
+func (t *Tombstones) Forget(ids ...types.RowID) {
+	t.mu.Lock()
+	for _, id := range ids {
+		delete(t.m, id)
+	}
+	t.mu.Unlock()
+}
+
+// Len returns the number of registered tombstones.
+func (t *Tombstones) Len() int {
+	t.mu.RLock()
+	n := len(t.m)
+	t.mu.RUnlock()
+	return n
+}

@@ -1,0 +1,297 @@
+package merge
+
+import (
+	"sort"
+
+	"repro/internal/dict"
+	"repro/internal/l2delta"
+	"repro/internal/mainstore"
+	"repro/internal/types"
+)
+
+// Classic performs the full L2-delta-to-main merge of §4.1 (Fig. 7):
+// per column, the unsorted delta dictionary is merged into the sorted
+// main dictionary (collapsing a partial-merge chain first), position
+// mapping tables re-encode both value indexes, delta entries are
+// appended after the main entries, and garbage-collected versions —
+// together with dictionary entries only they referenced — are
+// discarded. The result is a single-part main generation.
+func Classic(l2 *l2delta.Store, main *mainstore.Store, tombs *mainstore.Tombstones, o Options) (*mainstore.Store, *Stats, error) {
+	return fullMerge(l2, main, tombs, o, false)
+}
+
+// Resort performs the re-sorting merge of §4.2 (Fig. 8): a full merge
+// that additionally re-orders the table's rows by statistics-chosen
+// sort columns to maximize cross-column compression, producing the
+// row position mapping table that bridges merged and unmerged columns.
+func Resort(l2 *l2delta.Store, main *mainstore.Store, tombs *mainstore.Tombstones, o Options) (*mainstore.Store, *Stats, error) {
+	return fullMerge(l2, main, tombs, o, true)
+}
+
+func fullMerge(l2 *l2delta.Store, main *mainstore.Store, tombs *mainstore.Tombstones, o Options, resort bool) (*mainstore.Store, *Stats, error) {
+	schema := schemaOf(l2, main)
+	ncols := len(schema.Columns)
+	stats := &Stats{Kind: "classic", FastPaths: make([]dict.FastPath, ncols)}
+	if resort {
+		stats.Kind = "resort"
+	}
+	if err := failAt(o, "collect"); err != nil {
+		return nil, nil, err
+	}
+	survivors, droppedIDs, err := collect(main, 0, l2, tombs, o)
+	if err != nil {
+		return nil, nil, err
+	}
+	stats.DroppedRowIDs = droppedIDs
+	stats.RowsDropped = len(droppedIDs)
+	for _, s := range survivors {
+		if s.fromMain {
+			stats.RowsMain++
+		} else {
+			stats.RowsDelta++
+		}
+	}
+
+	// Per-column phase 1+2 (Fig. 7): dictionary merge, then value
+	// index re-encoding through the mapping tables.
+	nrows := len(survivors)
+	codesBy := make([][]uint32, ncols)
+	nullsBy := make([][]bool, ncols)
+	dicts := make([]*dict.Sorted, ncols)
+	for ci := 0; ci < ncols; ci++ {
+		if err := failAt(o, "column"); err != nil {
+			return nil, nil, err
+		}
+		oldDict, chainMap := collapseChain(main, ci)
+		var deltaDict *dict.Unsorted
+		if l2 != nil {
+			deltaDict = l2.Dict(ci)
+		} else {
+			deltaDict = dict.NewUnsorted(schema.Columns[ci].Kind)
+		}
+		res := dict.Merge(oldDict, deltaDict)
+		stats.FastPaths[ci] = res.Path
+
+		codes := make([]uint32, nrows)
+		nulls := make([]bool, nrows)
+		used := make([]bool, res.Dict.Len())
+		for ri, s := range survivors {
+			if s.fromMain {
+				p := main.Parts()[s.loc.Part]
+				if p.IsNull(s.loc.Pos, ci) {
+					nulls[ri] = true
+					continue
+				}
+				g := p.Values(ci).Get(s.loc.Pos)
+				if chainMap != nil {
+					g = chainMap[g]
+				}
+				if !res.MainStable {
+					g = res.MainMap[g]
+				}
+				codes[ri] = g
+				used[g] = true
+			} else {
+				if l2.IsNull(s.pos, ci) {
+					nulls[ri] = true
+					continue
+				}
+				c := res.DeltaMap[l2.Codes(ci).Get(s.pos)]
+				codes[ri] = c
+				used[c] = true
+			}
+		}
+		final := res.Dict
+		if o.CompactDicts {
+			var garbage int
+			final, garbage = compactDict(res.Dict, used, codes, nulls)
+			stats.DictGarbage += garbage
+		}
+		dicts[ci] = final
+		codesBy[ci] = codes
+		nullsBy[ci] = nulls
+	}
+
+	// Row order: main entries first, delta appended (§4.1) — unless
+	// re-sorting, which orders rows by the chosen sort columns.
+	order := make([]int, nrows)
+	for i := range order {
+		order[i] = i
+	}
+	if resort && nrows > 1 {
+		stats.SortColumns = chooseSortColumns(schema, dicts, nrows)
+		keys := stats.SortColumns
+		sort.SliceStable(order, func(a, b int) bool {
+			ra, rb := order[a], order[b]
+			for _, ci := range keys {
+				na, nb := nullsBy[ci][ra], nullsBy[ci][rb]
+				if na != nb {
+					return na // NULLs first
+				}
+				if na {
+					continue
+				}
+				ca, cb := codesBy[ci][ra], codesBy[ci][rb]
+				if ca != cb {
+					return ca < cb
+				}
+			}
+			return false
+		})
+		stats.RowMap = order
+	}
+
+	if err := failAt(o, "build"); err != nil {
+		return nil, nil, err
+	}
+	offsets := make([]uint32, ncols)
+	b := mainstore.NewPartBuilder(schema, dicts, offsets, o.indexed(schema))
+	rowCodes := make([]uint32, ncols)
+	rowNulls := make([]bool, ncols)
+	for _, ri := range order {
+		s := survivors[ri]
+		for ci := 0; ci < ncols; ci++ {
+			rowCodes[ci] = codesBy[ci][ri]
+			rowNulls[ci] = nullsBy[ci][ri]
+		}
+		b.AppendRow(rowCodes, rowNulls, s.id, s.createTS, s.tomb != nil)
+	}
+	part := b.Seal(o.Compress)
+	ns := mainstore.NewStore(schema, part)
+	// Adopt carried-over delete stamps from the L2-delta.
+	for _, s := range survivors {
+		if !s.fromMain && s.tomb != nil {
+			tombs.Adopt(s.id, s.tomb)
+		}
+	}
+	return ns, stats, nil
+}
+
+func schemaOf(l2 *l2delta.Store, main *mainstore.Store) *types.Schema {
+	if l2 != nil {
+		return l2.Schema()
+	}
+	return main.Schema()
+}
+
+// collapseChain merges a multi-part chain's local dictionaries into
+// one sorted dictionary and returns the remap from global chain codes
+// to codes in the collapsed dictionary (nil when already single-part
+// or empty).
+func collapseChain(main *mainstore.Store, ci int) (*dict.Sorted, []uint32) {
+	if main == nil || main.NumParts() == 0 {
+		return nil, nil
+	}
+	parts := main.Parts()
+	if len(parts) == 1 {
+		return parts[0].Dict(ci), nil
+	}
+	// Iteratively merge, composing each part's local→collapsed map.
+	merged := parts[0].Dict(ci)
+	remaps := make([][]uint32, len(parts)) // nil = identity
+	for pi := 1; pi < len(parts); pi++ {
+		m2, aMap, bMap := dict.MergeSorted(merged, parts[pi].Dict(ci))
+		for pj := 0; pj < pi; pj++ {
+			remaps[pj] = compose(remaps[pj], aMap, parts[pj].Dict(ci).Len())
+		}
+		remaps[pi] = bMap
+		merged = m2
+	}
+	total := 0
+	for _, p := range parts {
+		total += p.Dict(ci).Len()
+	}
+	chainMap := make([]uint32, total)
+	for pi, p := range parts {
+		off := p.CodeOffset(ci)
+		n := p.Dict(ci).Len()
+		for l := 0; l < n; l++ {
+			if remaps[pi] == nil {
+				chainMap[int(off)+l] = uint32(l)
+			} else {
+				chainMap[int(off)+l] = remaps[pi][l]
+			}
+		}
+	}
+	return merged, chainMap
+}
+
+// compose returns prev∘next: the map that first applies prev (nil =
+// identity over n codes) and then next.
+func compose(prev, next []uint32, n int) []uint32 {
+	out := make([]uint32, n)
+	for i := 0; i < n; i++ {
+		c := uint32(i)
+		if prev != nil {
+			c = prev[i]
+		}
+		out[i] = next[c]
+	}
+	return out
+}
+
+// compactDict removes dictionary entries no surviving row references,
+// rewriting codes in place, and returns the compacted dictionary and
+// the number of discarded entries.
+func compactDict(d *dict.Sorted, used []bool, codes []uint32, nulls []bool) (*dict.Sorted, int) {
+	garbage := 0
+	for _, u := range used {
+		if !u {
+			garbage++
+		}
+	}
+	if garbage == 0 {
+		return d, 0
+	}
+	remap := make([]uint32, len(used))
+	var values []types.Value
+	for c, u := range used {
+		if u {
+			remap[c] = uint32(len(values))
+			values = append(values, d.At(uint32(c)))
+		}
+	}
+	nd := dict.NewSortedFromValues(d.Kind(), values)
+	for i := range codes {
+		if !nulls[i] {
+			codes[i] = remap[codes[i]]
+		}
+	}
+	return nd, garbage
+}
+
+// chooseSortColumns picks the re-sorting merge's sort keys: columns
+// ordered by ascending cardinality (most repetitive first), skipping
+// columns that are unique or constant — the statistics-driven "best
+// sort order" decision of §4.2 (after [9]).
+func chooseSortColumns(schema *types.Schema, dicts []*dict.Sorted, nrows int) []int {
+	type cand struct {
+		col  int
+		card int
+	}
+	var cands []cand
+	for ci, d := range dicts {
+		card := d.Len()
+		if card <= 1 || card >= nrows {
+			continue // constant or unique: no run-length to gain
+		}
+		cands = append(cands, cand{ci, card})
+	}
+	sort.Slice(cands, func(a, b int) bool {
+		if cands[a].card != cands[b].card {
+			return cands[a].card < cands[b].card
+		}
+		return cands[a].col < cands[b].col
+	})
+	// Cap the lexicographic key depth: sorting cost grows with every
+	// key while the marginal clustering gain shrinks once group sizes
+	// approach 1.
+	if len(cands) > 6 {
+		cands = cands[:6]
+	}
+	out := make([]int, len(cands))
+	for i, c := range cands {
+		out[i] = c.col
+	}
+	return out
+}

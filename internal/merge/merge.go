@@ -1,0 +1,197 @@
+// Package merge implements the record-propagation steps of the
+// unified table (paper §3.1 and §4): the incremental L1→L2 merge and
+// the three variants of the L2-delta-to-main merge — classic (§4.1),
+// re-sorting (§4.2), and partial (§4.3) — including the subset and
+// append-only dictionary fast paths and garbage collection of
+// versions no active snapshot can see.
+//
+// Merge functions are pure with respect to their immutable inputs
+// (a closed L2-delta generation and the previous main generation) and
+// produce a fresh main generation; the unified table swaps
+// generations under its latch. Only the L1→L2 merge mutates a live
+// structure (the open L2-delta) and therefore runs under the table's
+// exclusive latch — the paper calls this step "minimally invasive".
+package merge
+
+import (
+	"errors"
+	"fmt"
+
+	"repro/internal/dict"
+	"repro/internal/l1delta"
+	"repro/internal/l2delta"
+	"repro/internal/mainstore"
+	"repro/internal/mvcc"
+	"repro/internal/types"
+)
+
+// ErrNotSettled reports that the closed L2-delta still contains
+// versions with in-flight transaction markers; the scheduler retries
+// the merge later ("the system still operates with the new L2-delta
+// and retries the merge", §3.1).
+var ErrNotSettled = errors.New("merge: L2-delta contains unsettled versions")
+
+// Stats describes what a merge did.
+type Stats struct {
+	// Kind names the merge variant.
+	Kind string
+	// RowsMain and RowsDelta count the surviving input rows.
+	RowsMain, RowsDelta int
+	// RowsDropped counts versions garbage-collected (deleted before
+	// the watermark or created by aborted transactions).
+	RowsDropped int
+	// FastPaths records the §4.1 dictionary fast path per column.
+	FastPaths []dict.FastPath
+	// SortColumns lists the re-sorting merge's sort key ordinals
+	// (empty otherwise).
+	SortColumns []int
+	// RowMap is the re-sorting merge's row position mapping table
+	// (Fig. 8): RowMap[newPos] = oldPos. Nil for other variants.
+	RowMap []int
+	// DictGarbage counts dictionary entries discarded by compaction
+	// ("the new dictionary contains only valid entries", §4.1).
+	DictGarbage int
+	// DroppedRowIDs lists the ids of physically discarded rows so the
+	// table can clear their tombstones.
+	DroppedRowIDs []types.RowID
+}
+
+// L1ToL2 migrates up to maxRows settled row versions from the head of
+// the L1-delta into the open L2-delta (§3.1, Fig. 6): rows are
+// pivoted to columns, dictionary codes are resolved in one pass and
+// appended in a second, and the migrated prefix is truncated from a
+// fresh L1 generation. Versions of aborted transactions are dropped.
+// The caller must hold the table's exclusive latch.
+func L1ToL2(l1 *l1delta.Store, l2 *l2delta.Store, maxRows int) (newL1 *l1delta.Store, moved int, dropped int) {
+	if maxRows <= 0 || l1.Len() == 0 {
+		return l1, 0, 0
+	}
+	n := l1.SettledPrefix(maxRows)
+	if n == 0 {
+		return l1, 0, 0
+	}
+	values := make([][]types.Value, 0, n)
+	ids := make([]types.RowID, 0, n)
+	stamps := make([]*mvcc.Stamp, 0, n)
+	for pos := 0; pos < n; pos++ {
+		r := l1.At(pos)
+		if r.Stamp.Create() == mvcc.Aborted {
+			dropped++
+			continue
+		}
+		values = append(values, r.Values)
+		ids = append(ids, r.ID)
+		stamps = append(stamps, r.Stamp)
+	}
+	l2.AppendBatch(values, ids, stamps)
+	return l1.TruncatePrefix(n), len(values), dropped
+}
+
+// Options configures an L2→main merge.
+type Options struct {
+	// Watermark is the oldest snapshot any active transaction holds;
+	// versions deleted at or before it are physically discarded.
+	Watermark uint64
+	// Compress enables cost-based value-index compression (otherwise
+	// plain bit-packing).
+	Compress bool
+	// CompactDicts discards dictionary entries referenced only by
+	// dropped rows. Disabling it is the ablation of §4.1's
+	// "valid entries only" property.
+	CompactDicts bool
+	// Indexed selects the columns that rebuild inverted indexes; nil
+	// defaults to just the key column.
+	Indexed []bool
+	// FailPoint, when non-nil, is consulted at named stages and lets
+	// tests inject merge failures (§3.1's retry semantics).
+	FailPoint func(stage string) error
+}
+
+func (o *Options) indexed(schema *types.Schema) []bool {
+	if o.Indexed != nil {
+		return o.Indexed
+	}
+	idx := make([]bool, len(schema.Columns))
+	if schema.Key >= 0 {
+		idx[schema.Key] = true
+	}
+	return idx
+}
+
+// survivor is one row that outlives the merge.
+type survivor struct {
+	fromMain bool
+	loc      mainstore.Loc // when fromMain
+	pos      int           // L2 position otherwise
+	id       types.RowID
+	createTS uint64
+	tomb     *mvcc.Stamp // pending/uncollectable delete to carry over
+}
+
+// collect gathers surviving rows from the old main chain (full merges
+// only) and the closed L2-delta, applying garbage collection.
+func collect(main *mainstore.Store, fromPart int, l2 *l2delta.Store, tombs *mainstore.Tombstones, o Options) ([]survivor, []types.RowID, error) {
+	var out []survivor
+	var droppedIDs []types.RowID
+	if main != nil {
+		for pi := fromPart; pi < main.NumParts(); pi++ {
+			p := main.Parts()[pi]
+			for pos := 0; pos < p.NumRows(); pos++ {
+				id := p.RowID(pos)
+				st := tombs.Get(id)
+				if st != nil && collectable(st.Delete(), o.Watermark) {
+					droppedIDs = append(droppedIDs, id)
+					continue
+				}
+				out = append(out, survivor{
+					fromMain: true,
+					loc:      mainstore.Loc{Part: pi, Pos: pos},
+					id:       id,
+					createTS: p.CreateTS(pos),
+					tomb:     st,
+				})
+			}
+		}
+	}
+	if l2 != nil {
+		for pos := 0; pos < l2.Len(); pos++ {
+			st := l2.Stamp(pos)
+			create := st.Create()
+			switch {
+			case create == mvcc.Aborted:
+				droppedIDs = append(droppedIDs, l2.RowID(pos))
+				continue
+			case mvcc.IsMarker(create):
+				return nil, nil, ErrNotSettled
+			}
+			del := st.Delete()
+			if collectable(del, o.Watermark) {
+				droppedIDs = append(droppedIDs, l2.RowID(pos))
+				continue
+			}
+			s := survivor{pos: pos, id: l2.RowID(pos), createTS: create}
+			if del != 0 && del != mvcc.Aborted {
+				// Pending or not-yet-collectable delete: the stamp must
+				// survive into the tombstone registry.
+				s.tomb = st
+			}
+			out = append(out, s)
+		}
+	}
+	return out, droppedIDs, nil
+}
+
+// collectable reports whether a raw delete stamp allows physical
+// removal: a committed delete at or before the watermark.
+func collectable(del, watermark uint64) bool {
+	return mvcc.IsCommitted(del) && del <= watermark
+}
+
+func failAt(o Options, stage string) error {
+	if o.FailPoint != nil {
+		if err := o.FailPoint(stage); err != nil {
+			return fmt.Errorf("merge: injected failure at %s: %w", stage, err)
+		}
+	}
+	return nil
+}

@@ -1,0 +1,214 @@
+package merge
+
+import (
+	"repro/internal/dict"
+	"repro/internal/l2delta"
+	"repro/internal/mainstore"
+	"repro/internal/types"
+)
+
+// Partial performs the partial merge of §4.3 (Fig. 9): the passive
+// main parts stay untouched; the L2-delta merges with the active main
+// (the last part of the chain) into a rebuilt active part whose local
+// dictionary continues the passive encoding at n+1 and whose value
+// index may reference passive codes. With newPart set, a fresh active
+// part is started instead — the previous active main is thereby
+// promoted to passive, extending the chain ("the procedure can be
+// easily extended to multiple passive main structures").
+func Partial(l2 *l2delta.Store, main *mainstore.Store, tombs *mainstore.Tombstones, o Options, newPart bool) (*mainstore.Store, *Stats, error) {
+	schema := schemaOf(l2, main)
+	ncols := len(schema.Columns)
+	stats := &Stats{Kind: "partial", FastPaths: make([]dict.FastPath, ncols)}
+
+	var passive []*mainstore.Part
+	activeFrom := 0
+	if main != nil {
+		parts := main.Parts()
+		if newPart || len(parts) == 0 {
+			passive = parts
+			activeFrom = len(parts)
+		} else {
+			passive = parts[:len(parts)-1]
+			activeFrom = len(parts) - 1
+		}
+	}
+
+	if err := failAt(o, "collect"); err != nil {
+		return nil, nil, err
+	}
+	survivors, droppedIDs, err := collect(main, activeFrom, l2, tombs, o)
+	if err != nil {
+		return nil, nil, err
+	}
+	stats.DroppedRowIDs = droppedIDs
+	stats.RowsDropped = len(droppedIDs)
+	for _, s := range survivors {
+		if s.fromMain {
+			stats.RowsMain++
+		} else {
+			stats.RowsDelta++
+		}
+	}
+
+	var activeOld *mainstore.Part
+	if main != nil && activeFrom < main.NumParts() {
+		activeOld = main.Parts()[activeFrom]
+	}
+
+	nrows := len(survivors)
+	codesBy := make([][]uint32, ncols)
+	nullsBy := make([][]bool, ncols)
+	dicts := make([]*dict.Sorted, ncols)
+	offsets := make([]uint32, ncols)
+	for ci := 0; ci < ncols; ci++ {
+		if err := failAt(o, "column"); err != nil {
+			return nil, nil, err
+		}
+		// P = cardinality owned by the passive chain.
+		var prefix uint32
+		for _, p := range passive {
+			prefix += uint32(p.Dict(ci).Len())
+		}
+		offsets[ci] = prefix
+
+		var oldActive *dict.Sorted
+		if activeOld != nil {
+			oldActive = activeOld.Dict(ci)
+		}
+
+		// Split the delta dictionary: values already in the passive
+		// chain resolve to passive codes; only genuinely new values
+		// enter the active dictionary ("the dictionary of the active
+		// main only holds new values not yet present in the passive
+		// main's dictionary", §4.3).
+		var deltaDict *dict.Unsorted
+		kind := schema.Columns[ci].Kind
+		filtered := dict.NewUnsorted(kind)
+		var passiveCode []uint32 // l2 code → passive global code
+		var inPassive []bool
+		var filteredOf []uint32 // l2 code → filtered dict code
+		if l2 != nil {
+			deltaDict = l2.Dict(ci)
+			n := deltaDict.Len()
+			passiveCode = make([]uint32, n)
+			inPassive = make([]bool, n)
+			filteredOf = make([]uint32, n)
+			for c := 0; c < n; c++ {
+				v := deltaDict.At(uint32(c))
+				if g, ok := lookupPassive(passive, ci, v); ok {
+					passiveCode[c] = g
+					inPassive[c] = true
+					continue
+				}
+				filteredOf[c] = filtered.GetOrAdd(v)
+			}
+		}
+		res := dict.Merge(oldActive, filtered)
+		stats.FastPaths[ci] = res.Path
+
+		codes := make([]uint32, nrows)
+		nulls := make([]bool, nrows)
+		used := make([]bool, res.Dict.Len())
+		for ri, s := range survivors {
+			if s.fromMain {
+				if activeOld.IsNull(s.loc.Pos, ci) {
+					nulls[ri] = true
+					continue
+				}
+				g := activeOld.Values(ci).Get(s.loc.Pos)
+				if g < prefix {
+					codes[ri] = g // passive reference: stable
+					continue
+				}
+				local := g - prefix
+				if !res.MainStable {
+					local = res.MainMap[local]
+				}
+				codes[ri] = prefix + local
+				used[local] = true
+			} else {
+				if l2.IsNull(s.pos, ci) {
+					nulls[ri] = true
+					continue
+				}
+				c := l2.Codes(ci).Get(s.pos)
+				if inPassive[c] {
+					codes[ri] = passiveCode[c]
+					continue
+				}
+				local := res.DeltaMap[filteredOf[c]]
+				codes[ri] = prefix + local
+				used[local] = true
+			}
+		}
+		final := res.Dict
+		if o.CompactDicts {
+			var garbage int
+			final, garbage = compactActive(res.Dict, used, codes, nulls, prefix)
+			stats.DictGarbage += garbage
+		}
+		dicts[ci] = final
+		codesBy[ci] = codes
+		nullsBy[ci] = nulls
+	}
+
+	if err := failAt(o, "build"); err != nil {
+		return nil, nil, err
+	}
+	b := mainstore.NewPartBuilder(schema, dicts, offsets, o.indexed(schema))
+	rowCodes := make([]uint32, ncols)
+	rowNulls := make([]bool, ncols)
+	for ri, s := range survivors {
+		for ci := 0; ci < ncols; ci++ {
+			rowCodes[ci] = codesBy[ci][ri]
+			rowNulls[ci] = nullsBy[ci][ri]
+		}
+		b.AppendRow(rowCodes, rowNulls, s.id, s.createTS, s.tomb != nil)
+	}
+	parts := append(append([]*mainstore.Part{}, passive...), b.Seal(o.Compress))
+	ns := mainstore.NewStore(schema, parts...)
+	for _, s := range survivors {
+		if !s.fromMain && s.tomb != nil {
+			tombs.Adopt(s.id, s.tomb)
+		}
+	}
+	return ns, stats, nil
+}
+
+func lookupPassive(passive []*mainstore.Part, ci int, v types.Value) (uint32, bool) {
+	for _, p := range passive {
+		if local, ok := p.Dict(ci).Lookup(v); ok {
+			return p.CodeOffset(ci) + local, true
+		}
+	}
+	return 0, false
+}
+
+// compactActive removes unused entries from the merged active
+// dictionary, rewriting only codes at or above the passive prefix.
+func compactActive(d *dict.Sorted, used []bool, codes []uint32, nulls []bool, prefix uint32) (*dict.Sorted, int) {
+	garbage := 0
+	for _, u := range used {
+		if !u {
+			garbage++
+		}
+	}
+	if garbage == 0 {
+		return d, 0
+	}
+	remap := make([]uint32, len(used))
+	var values []types.Value
+	for c, u := range used {
+		if u {
+			remap[c] = uint32(len(values))
+			values = append(values, d.At(uint32(c)))
+		}
+	}
+	nd := dict.NewSortedFromValues(d.Kind(), values)
+	for i := range codes {
+		if !nulls[i] && codes[i] >= prefix {
+			codes[i] = prefix + remap[codes[i]-prefix]
+		}
+	}
+	return nd, garbage
+}

@@ -1,0 +1,224 @@
+// Package types defines the value model shared by every storage and
+// query component of the unified table: column data types, typed
+// values, rows, schemas, and the comparison/hashing primitives the
+// dictionaries, indexes, and operators are built on.
+package types
+
+import (
+	"fmt"
+	"hash/maphash"
+	"math"
+	"strconv"
+	"strings"
+	"time"
+)
+
+// Kind enumerates the column data types supported by the engine.
+// The set mirrors the paper's "common data types" shared by all
+// stages of the unified table (§3.1).
+type Kind uint8
+
+const (
+	// KindInvalid is the zero Kind; it never appears in a valid schema.
+	KindInvalid Kind = iota
+	// KindInt64 is a 64-bit signed integer.
+	KindInt64
+	// KindFloat64 is a 64-bit IEEE-754 float.
+	KindFloat64
+	// KindString is a variable-length UTF-8 string.
+	KindString
+	// KindDate is a day-precision date stored as days since the Unix epoch.
+	KindDate
+	// KindBool is a boolean.
+	KindBool
+)
+
+// String returns the SQL-ish name of the kind.
+func (k Kind) String() string {
+	switch k {
+	case KindInt64:
+		return "BIGINT"
+	case KindFloat64:
+		return "DOUBLE"
+	case KindString:
+		return "VARCHAR"
+	case KindDate:
+		return "DATE"
+	case KindBool:
+		return "BOOLEAN"
+	default:
+		return "INVALID"
+	}
+}
+
+// Valid reports whether k is one of the defined data types.
+func (k Kind) Valid() bool { return k > KindInvalid && k <= KindBool }
+
+// Value is a single typed cell. Numeric kinds use I or F; strings use
+// S. Dates and booleans are carried in I (days since epoch, 0/1).
+// A Value with Kind==KindInvalid represents SQL NULL.
+type Value struct {
+	Kind Kind
+	I    int64
+	F    float64
+	S    string
+}
+
+// Null is the SQL NULL value.
+var Null = Value{}
+
+// Int returns an INT64 value.
+func Int(v int64) Value { return Value{Kind: KindInt64, I: v} }
+
+// Float returns a DOUBLE value.
+func Float(v float64) Value { return Value{Kind: KindFloat64, F: v} }
+
+// Str returns a VARCHAR value.
+func Str(v string) Value { return Value{Kind: KindString, S: v} }
+
+// Bool returns a BOOLEAN value.
+func Bool(v bool) Value {
+	if v {
+		return Value{Kind: KindBool, I: 1}
+	}
+	return Value{Kind: KindBool}
+}
+
+// Date returns a DATE value for the given day count since the Unix epoch.
+func Date(daysSinceEpoch int64) Value { return Value{Kind: KindDate, I: daysSinceEpoch} }
+
+// DateOf returns a DATE value for the calendar day of t (UTC).
+func DateOf(t time.Time) Value {
+	return Date(t.UTC().Truncate(24*time.Hour).Unix() / 86400)
+}
+
+// IsNull reports whether v is SQL NULL.
+func (v Value) IsNull() bool { return v.Kind == KindInvalid }
+
+// AsBool returns the boolean interpretation of a BOOLEAN value.
+func (v Value) AsBool() bool { return v.Kind == KindBool && v.I != 0 }
+
+// Time returns the time corresponding to a DATE value.
+func (v Value) Time() time.Time { return time.Unix(v.I*86400, 0).UTC() }
+
+// String renders the value for diagnostics and the CLI.
+func (v Value) String() string {
+	switch v.Kind {
+	case KindInt64:
+		return strconv.FormatInt(v.I, 10)
+	case KindFloat64:
+		return strconv.FormatFloat(v.F, 'g', -1, 64)
+	case KindString:
+		return v.S
+	case KindDate:
+		return v.Time().Format("2006-01-02")
+	case KindBool:
+		if v.I != 0 {
+			return "true"
+		}
+		return "false"
+	default:
+		return "NULL"
+	}
+}
+
+// Compare orders two values of the same kind. NULL sorts before every
+// non-NULL value; two NULLs compare equal. Comparing non-NULL values
+// of different kinds panics: the planner guarantees type agreement.
+func Compare(a, b Value) int {
+	if a.IsNull() || b.IsNull() {
+		switch {
+		case a.IsNull() && b.IsNull():
+			return 0
+		case a.IsNull():
+			return -1
+		default:
+			return 1
+		}
+	}
+	if a.Kind != b.Kind {
+		panic(fmt.Sprintf("types: comparing %v with %v", a.Kind, b.Kind))
+	}
+	switch a.Kind {
+	case KindInt64, KindDate, KindBool:
+		switch {
+		case a.I < b.I:
+			return -1
+		case a.I > b.I:
+			return 1
+		}
+		return 0
+	case KindFloat64:
+		switch {
+		case a.F < b.F:
+			return -1
+		case a.F > b.F:
+			return 1
+		}
+		return 0
+	case KindString:
+		return strings.Compare(a.S, b.S)
+	}
+	return 0
+}
+
+// Equal reports whether two values are equal under Compare.
+func Equal(a, b Value) bool { return Compare(a, b) == 0 }
+
+// Less reports whether a sorts strictly before b.
+func Less(a, b Value) bool { return Compare(a, b) < 0 }
+
+var hashSeed = maphash.MakeSeed()
+
+// Hash returns a stable in-process hash of the value, used by hash
+// joins, group-by tables, and the L1-delta key index.
+func Hash(v Value) uint64 {
+	var h maphash.Hash
+	h.SetSeed(hashSeed)
+	h.WriteByte(byte(v.Kind))
+	switch v.Kind {
+	case KindString:
+		h.WriteString(v.S)
+	case KindFloat64:
+		var buf [8]byte
+		putUint64(buf[:], uint64(floatBits(v.F)))
+		h.Write(buf[:])
+	default:
+		var buf [8]byte
+		putUint64(buf[:], uint64(v.I))
+		h.Write(buf[:])
+	}
+	return h.Sum64()
+}
+
+// HashRow hashes the concatenation of a row's values.
+func HashRow(row []Value) uint64 {
+	var h maphash.Hash
+	h.SetSeed(hashSeed)
+	for _, v := range row {
+		var buf [8]byte
+		putUint64(buf[:], Hash(v))
+		h.Write(buf[:])
+	}
+	return h.Sum64()
+}
+
+func putUint64(b []byte, v uint64) {
+	_ = b[7]
+	b[0] = byte(v)
+	b[1] = byte(v >> 8)
+	b[2] = byte(v >> 16)
+	b[3] = byte(v >> 24)
+	b[4] = byte(v >> 32)
+	b[5] = byte(v >> 40)
+	b[6] = byte(v >> 48)
+	b[7] = byte(v >> 56)
+}
+
+func floatBits(f float64) uint64 {
+	// Normalize -0 to +0 so equal floats hash equally.
+	if f == 0 {
+		f = 0
+	}
+	return math.Float64bits(f)
+}

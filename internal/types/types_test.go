@@ -1,0 +1,261 @@
+package types
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+func TestKindString(t *testing.T) {
+	cases := map[Kind]string{
+		KindInt64:   "BIGINT",
+		KindFloat64: "DOUBLE",
+		KindString:  "VARCHAR",
+		KindDate:    "DATE",
+		KindBool:    "BOOLEAN",
+		KindInvalid: "INVALID",
+	}
+	for k, want := range cases {
+		if got := k.String(); got != want {
+			t.Errorf("Kind(%d).String() = %q, want %q", k, got, want)
+		}
+	}
+}
+
+func TestKindValid(t *testing.T) {
+	if KindInvalid.Valid() {
+		t.Error("KindInvalid should not be valid")
+	}
+	for _, k := range []Kind{KindInt64, KindFloat64, KindString, KindDate, KindBool} {
+		if !k.Valid() {
+			t.Errorf("%v should be valid", k)
+		}
+	}
+	if Kind(250).Valid() {
+		t.Error("out-of-range kind should not be valid")
+	}
+}
+
+func TestValueConstructors(t *testing.T) {
+	if v := Int(42); v.Kind != KindInt64 || v.I != 42 {
+		t.Errorf("Int(42) = %+v", v)
+	}
+	if v := Float(1.5); v.Kind != KindFloat64 || v.F != 1.5 {
+		t.Errorf("Float(1.5) = %+v", v)
+	}
+	if v := Str("x"); v.Kind != KindString || v.S != "x" {
+		t.Errorf("Str(x) = %+v", v)
+	}
+	if v := Bool(true); !v.AsBool() {
+		t.Errorf("Bool(true) = %+v", v)
+	}
+	if v := Bool(false); v.AsBool() {
+		t.Errorf("Bool(false) = %+v", v)
+	}
+	if !Null.IsNull() {
+		t.Error("Null should be null")
+	}
+	if Int(0).IsNull() {
+		t.Error("Int(0) should not be null")
+	}
+}
+
+func TestDateRoundtrip(t *testing.T) {
+	day := time.Date(2012, 5, 20, 0, 0, 0, 0, time.UTC) // SIGMOD'12 start
+	v := DateOf(day)
+	if v.Kind != KindDate {
+		t.Fatalf("kind = %v", v.Kind)
+	}
+	if got := v.Time(); !got.Equal(day) {
+		t.Errorf("Time() = %v, want %v", got, day)
+	}
+	if got := v.String(); got != "2012-05-20" {
+		t.Errorf("String() = %q", got)
+	}
+}
+
+func TestValueString(t *testing.T) {
+	cases := []struct {
+		v    Value
+		want string
+	}{
+		{Int(-7), "-7"},
+		{Float(2.25), "2.25"},
+		{Str("Walldorf"), "Walldorf"},
+		{Bool(true), "true"},
+		{Bool(false), "false"},
+		{Null, "NULL"},
+	}
+	for _, c := range cases {
+		if got := c.v.String(); got != c.want {
+			t.Errorf("%+v.String() = %q, want %q", c.v, got, c.want)
+		}
+	}
+}
+
+func TestCompareOrdering(t *testing.T) {
+	cases := []struct {
+		a, b Value
+		want int
+	}{
+		{Int(1), Int(2), -1},
+		{Int(2), Int(1), 1},
+		{Int(3), Int(3), 0},
+		{Float(1.5), Float(2.5), -1},
+		{Str("a"), Str("b"), -1},
+		{Str("b"), Str("b"), 0},
+		{Bool(false), Bool(true), -1},
+		{Date(10), Date(20), -1},
+		{Null, Int(0), -1},
+		{Int(0), Null, 1},
+		{Null, Null, 0},
+	}
+	for _, c := range cases {
+		if got := Compare(c.a, c.b); got != c.want {
+			t.Errorf("Compare(%v,%v) = %d, want %d", c.a, c.b, got, c.want)
+		}
+	}
+}
+
+func TestCompareMismatchedKindsPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic comparing INT to VARCHAR")
+		}
+	}()
+	Compare(Int(1), Str("1"))
+}
+
+func TestCompareIsTotalOrderOnInts(t *testing.T) {
+	f := func(a, b, c int64) bool {
+		va, vb, vc := Int(a), Int(b), Int(c)
+		// antisymmetry
+		if Compare(va, vb) != -Compare(vb, va) {
+			return false
+		}
+		// transitivity of <=
+		if Compare(va, vb) <= 0 && Compare(vb, vc) <= 0 && Compare(va, vc) > 0 {
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestHashEqualValuesEqualHashes(t *testing.T) {
+	f := func(s string, i int64) bool {
+		return Hash(Str(s)) == Hash(Str(s)) && Hash(Int(i)) == Hash(Int(i))
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+	// Different kinds with same payload must not collide systematically.
+	if Hash(Int(5)) == Hash(Date(5)) {
+		t.Error("Int(5) and Date(5) hash equal; kind not mixed in")
+	}
+}
+
+func TestHashNegativeZero(t *testing.T) {
+	if Hash(Float(0)) != Hash(Float(math.Copysign(0, -1))) {
+		t.Error("+0 and -0 should hash identically")
+	}
+}
+
+func TestHashRow(t *testing.T) {
+	r1 := []Value{Int(1), Str("a")}
+	r2 := []Value{Int(1), Str("a")}
+	r3 := []Value{Str("a"), Int(1)}
+	if HashRow(r1) != HashRow(r2) {
+		t.Error("equal rows must hash equal")
+	}
+	if HashRow(r1) == HashRow(r3) {
+		t.Error("order must matter in row hash")
+	}
+}
+
+func testSchema(t *testing.T) *Schema {
+	t.Helper()
+	s, err := NewSchema([]Column{
+		{Name: "id", Kind: KindInt64},
+		{Name: "name", Kind: KindString, Nullable: true},
+		{Name: "amount", Kind: KindFloat64},
+	}, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+func TestSchemaValidateRejects(t *testing.T) {
+	cases := []struct {
+		name string
+		cols []Column
+		key  int
+	}{
+		{"empty", nil, -1},
+		{"dup", []Column{{Name: "a", Kind: KindInt64}, {Name: "a", Kind: KindInt64}}, -1},
+		{"noname", []Column{{Name: "", Kind: KindInt64}}, -1},
+		{"badkind", []Column{{Name: "a"}}, -1},
+		{"keyrange", []Column{{Name: "a", Kind: KindInt64}}, 5},
+		{"nullkey", []Column{{Name: "a", Kind: KindInt64, Nullable: true}}, 0},
+	}
+	for _, c := range cases {
+		if _, err := NewSchema(c.cols, c.key); err == nil {
+			t.Errorf("%s: want error", c.name)
+		}
+	}
+}
+
+func TestSchemaCheckRow(t *testing.T) {
+	s := testSchema(t)
+	if err := s.CheckRow([]Value{Int(1), Str("a"), Float(2)}); err != nil {
+		t.Errorf("valid row rejected: %v", err)
+	}
+	if err := s.CheckRow([]Value{Int(1), Null, Float(2)}); err != nil {
+		t.Errorf("nullable NULL rejected: %v", err)
+	}
+	if err := s.CheckRow([]Value{Null, Str("a"), Float(2)}); err == nil {
+		t.Error("NULL in non-nullable column accepted")
+	}
+	if err := s.CheckRow([]Value{Int(1), Str("a")}); err == nil {
+		t.Error("wrong arity accepted")
+	}
+	if err := s.CheckRow([]Value{Str("1"), Str("a"), Float(2)}); err == nil {
+		t.Error("wrong kind accepted")
+	}
+}
+
+func TestSchemaLookupAndString(t *testing.T) {
+	s := testSchema(t)
+	if got := s.ColumnIndex("amount"); got != 2 {
+		t.Errorf("ColumnIndex(amount) = %d", got)
+	}
+	if got := s.ColumnIndex("nope"); got != -1 {
+		t.Errorf("ColumnIndex(nope) = %d", got)
+	}
+	want := "(id BIGINT PRIMARY KEY, name VARCHAR, amount DOUBLE NOT NULL)"
+	if got := s.String(); got != want {
+		t.Errorf("String() = %q, want %q", got, want)
+	}
+}
+
+func TestCloneRow(t *testing.T) {
+	r := []Value{Int(1), Str("x")}
+	c := CloneRow(r)
+	c[0] = Int(2)
+	if r[0].I != 1 {
+		t.Error("CloneRow aliases the original")
+	}
+}
+
+func TestMustSchemaPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("MustSchema should panic on invalid schema")
+		}
+	}()
+	MustSchema(nil, -1)
+}

@@ -1,0 +1,253 @@
+// Package wal implements the REDO log of the persistence layer
+// (paper §3.2, Fig. 5): "logging for the REDO purpose is performed
+// only once when new data is entering the system, either within the
+// L1-delta or for bulk inserts within the L2-delta". Merges are not
+// redo-logged — only a merge event record is written "to ensure a
+// consistent database state after restart" — and the log is truncated
+// after every savepoint.
+//
+// Records are length-prefixed and CRC-checksummed; replay stops
+// cleanly at a torn tail. Segments rotate at savepoints so truncation
+// is a file deletion.
+package wal
+
+import (
+	"bytes"
+	"encoding/binary"
+	"fmt"
+	"math"
+
+	"repro/internal/types"
+)
+
+// RecordType tags a log record.
+type RecordType uint8
+
+const (
+	// RecInsert is a single-row insert entering the L1-delta.
+	RecInsert RecordType = iota + 1
+	// RecDelete is a logical delete of a row id.
+	RecDelete
+	// RecBulk is a bulk insert entering the L2-delta directly.
+	RecBulk
+	// RecCommit finalizes a transaction with its commit timestamp.
+	RecCommit
+	// RecAbort rolls a transaction back.
+	RecAbort
+	// RecMerge is the merge event marker (no data movement is logged).
+	RecMerge
+	// RecSavepoint marks a completed savepoint (segments before it are
+	// obsolete).
+	RecSavepoint
+	// RecCreateTable logs a DDL table creation; Payload carries the
+	// engine-encoded table configuration.
+	RecCreateTable
+)
+
+func (t RecordType) String() string {
+	switch t {
+	case RecInsert:
+		return "insert"
+	case RecDelete:
+		return "delete"
+	case RecBulk:
+		return "bulk"
+	case RecCommit:
+		return "commit"
+	case RecAbort:
+		return "abort"
+	case RecMerge:
+		return "merge"
+	case RecSavepoint:
+		return "savepoint"
+	case RecCreateTable:
+		return "create-table"
+	default:
+		return fmt.Sprintf("record(%d)", uint8(t))
+	}
+}
+
+// MergeKind distinguishes the two merge steps in RecMerge records.
+type MergeKind uint8
+
+const (
+	// MergeL1L2 is the incremental L1→L2 merge.
+	MergeL1L2 MergeKind = iota + 1
+	// MergeL2Main is an L2→main merge (classic, re-sort, or partial).
+	MergeL2Main
+)
+
+// Record is one log entry. Field usage depends on Type:
+//
+//	RecInsert:    Txn, Table, RowIDs[0], Rows[0]
+//	RecDelete:    Txn, Table, RowIDs[0]
+//	RecBulk:      Txn, Table, RowIDs, Rows
+//	RecCommit:    Txn, TS
+//	RecAbort:     Txn
+//	RecMerge:     Table, Merge, TS (merge sequence)
+//	RecSavepoint: TS (savepoint id)
+type Record struct {
+	Type   RecordType
+	Txn    uint64
+	TS     uint64
+	Table  string
+	Merge  MergeKind
+	RowIDs []types.RowID
+	Rows   [][]types.Value
+	// Payload carries opaque engine data (RecCreateTable).
+	Payload []byte
+}
+
+// Encode serializes the record body (without framing).
+func (r *Record) Encode() []byte {
+	var b bytes.Buffer
+	b.WriteByte(byte(r.Type))
+	writeUvarint(&b, r.Txn)
+	writeUvarint(&b, r.TS)
+	writeString(&b, r.Table)
+	b.WriteByte(byte(r.Merge))
+	writeUvarint(&b, uint64(len(r.RowIDs)))
+	for _, id := range r.RowIDs {
+		writeUvarint(&b, uint64(id))
+	}
+	writeUvarint(&b, uint64(len(r.Rows)))
+	for _, row := range r.Rows {
+		writeUvarint(&b, uint64(len(row)))
+		for _, v := range row {
+			encodeValue(&b, v)
+		}
+	}
+	writeUvarint(&b, uint64(len(r.Payload)))
+	b.Write(r.Payload)
+	return b.Bytes()
+}
+
+// DecodeRecord parses a record body.
+func DecodeRecord(p []byte) (*Record, error) {
+	b := bytes.NewBuffer(p)
+	t, err := b.ReadByte()
+	if err != nil {
+		return nil, err
+	}
+	r := &Record{Type: RecordType(t)}
+	if r.Txn, err = binary.ReadUvarint(b); err != nil {
+		return nil, err
+	}
+	if r.TS, err = binary.ReadUvarint(b); err != nil {
+		return nil, err
+	}
+	if r.Table, err = readString(b); err != nil {
+		return nil, err
+	}
+	mk, err := b.ReadByte()
+	if err != nil {
+		return nil, err
+	}
+	r.Merge = MergeKind(mk)
+	nids, err := binary.ReadUvarint(b)
+	if err != nil {
+		return nil, err
+	}
+	for i := uint64(0); i < nids; i++ {
+		id, err := binary.ReadUvarint(b)
+		if err != nil {
+			return nil, err
+		}
+		r.RowIDs = append(r.RowIDs, types.RowID(id))
+	}
+	nrows, err := binary.ReadUvarint(b)
+	if err != nil {
+		return nil, err
+	}
+	for i := uint64(0); i < nrows; i++ {
+		ncols, err := binary.ReadUvarint(b)
+		if err != nil {
+			return nil, err
+		}
+		row := make([]types.Value, ncols)
+		for j := range row {
+			if row[j], err = decodeValue(b); err != nil {
+				return nil, err
+			}
+		}
+		r.Rows = append(r.Rows, row)
+	}
+	np, err := binary.ReadUvarint(b)
+	if err != nil {
+		return nil, err
+	}
+	if np > uint64(b.Len()) {
+		return nil, fmt.Errorf("wal: payload length %d exceeds buffer", np)
+	}
+	if np > 0 {
+		r.Payload = make([]byte, np)
+		copy(r.Payload, b.Next(int(np)))
+	}
+	return r, nil
+}
+
+func writeUvarint(b *bytes.Buffer, v uint64) {
+	var tmp [binary.MaxVarintLen64]byte
+	b.Write(tmp[:binary.PutUvarint(tmp[:], v)])
+}
+
+func writeString(b *bytes.Buffer, s string) {
+	writeUvarint(b, uint64(len(s)))
+	b.WriteString(s)
+}
+
+func readString(b *bytes.Buffer) (string, error) {
+	n, err := binary.ReadUvarint(b)
+	if err != nil {
+		return "", err
+	}
+	if n > uint64(b.Len()) {
+		return "", fmt.Errorf("wal: string length %d exceeds buffer", n)
+	}
+	return string(b.Next(int(n))), nil
+}
+
+func encodeValue(b *bytes.Buffer, v types.Value) {
+	b.WriteByte(byte(v.Kind))
+	switch v.Kind {
+	case types.KindInvalid: // NULL
+	case types.KindString:
+		writeString(b, v.S)
+	case types.KindFloat64:
+		writeUvarint(b, math.Float64bits(v.F))
+	default:
+		writeUvarint(b, uint64(v.I))
+	}
+}
+
+func decodeValue(b *bytes.Buffer) (types.Value, error) {
+	k, err := b.ReadByte()
+	if err != nil {
+		return types.Null, err
+	}
+	kind := types.Kind(k)
+	switch kind {
+	case types.KindInvalid:
+		return types.Null, nil
+	case types.KindString:
+		s, err := readString(b)
+		if err != nil {
+			return types.Null, err
+		}
+		return types.Str(s), nil
+	case types.KindFloat64:
+		bits, err := binary.ReadUvarint(b)
+		if err != nil {
+			return types.Null, err
+		}
+		return types.Float(math.Float64frombits(bits)), nil
+	case types.KindInt64, types.KindDate, types.KindBool:
+		u, err := binary.ReadUvarint(b)
+		if err != nil {
+			return types.Null, err
+		}
+		return types.Value{Kind: kind, I: int64(u)}, nil
+	default:
+		return types.Null, fmt.Errorf("wal: invalid value kind %d", k)
+	}
+}
