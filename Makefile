@@ -1,0 +1,28 @@
+GO ?= go
+
+.PHONY: all build test vet race bench check
+
+all: check
+
+build:
+	$(GO) build ./...
+
+# Tier-1 gate: must always pass.
+test: build
+	$(GO) test ./...
+
+vet:
+	$(GO) vet ./...
+
+# Race-detector pass over the packages with concurrent machinery
+# (scheduler, column-parallel merge, HTAP stress tests).
+race:
+	$(GO) test -race ./internal/core/... ./internal/merge/...
+
+race-all:
+	$(GO) test -race ./...
+
+bench:
+	$(GO) test -run xxx -bench . -benchtime 1x .
+
+check: test vet race

@@ -206,6 +206,40 @@ func BenchmarkE03_ClassicMerge_AppendDict(b *testing.B) {
 	benchClassicMerge(b, func(i int) string { return fmt.Sprintf("zzz-%07d", i) })
 }
 
+// --- E03b: column-parallel merge scaling (§4.1) ---
+
+// BenchmarkE03_MergeWorkers measures the same classic L2→main merge
+// with the column worker pool at 1/2/4/8 workers. The order schema has
+// seven columns, so speedup saturates near min(workers, 7).
+func BenchmarkE03_MergeWorkers(b *testing.B) {
+	const mainN, deltaN = 60_000, 20_000
+	gen := workload.NewOrderGen(1, 10_000, 1_000)
+	base := gen.Rows(mainN)
+	delta := gen.Rows(deltaN)
+	for _, workers := range []int{1, 2, 4, 8} {
+		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				b.StopTimer()
+				db := hana.MustOpen(hana.Options{})
+				cfg := orderCfg("orders")
+				cfg.MergeWorkers = workers
+				tab, _ := db.CreateTable(cfg)
+				loadBulk(db, tab, base)
+				drain(tab)
+				loadBulk(db, tab, delta)
+				b.StartTimer()
+				if _, err := tab.MergeMain(); err != nil {
+					b.Fatal(err)
+				}
+				b.StopTimer()
+				db.Close()
+				b.StartTimer()
+			}
+			b.SetBytes(mainN + deltaN)
+		})
+	}
+}
+
 // --- E04: classic vs re-sorting merge ---
 
 func benchStrategyMerge(b *testing.B, strat hana.MergeStrategy) {

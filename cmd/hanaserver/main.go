@@ -360,9 +360,9 @@ func (s *session) table(w *bufio.Writer, cmd string, t *hana.Table, args []strin
 		fmt.Fprintln(w, "OK")
 	case "STATS":
 		st := t.Stats()
-		fmt.Fprintf(w, "OK l1=%d l2=%d frozen=%d main=%d parts=%d tombstones=%d l1merges=%d mainmerges=%d\n",
+		fmt.Fprintf(w, "OK l1=%d l2=%d frozen=%d main=%d parts=%d tombstones=%d l1merges=%d mainmerges=%d mergefailures=%d lasterr=%q\n",
 			st.L1Rows, st.L2Rows, st.FrozenL2Rows, st.MainRows, st.MainParts,
-			st.Tombstones, st.L1Merges, st.MainMerges)
+			st.Tombstones, st.L1Merges, st.MainMerges, st.MergeFailures, st.LastMergeError)
 	}
 }
 

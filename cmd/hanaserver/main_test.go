@@ -82,6 +82,9 @@ func TestProtocolEndToEnd(t *testing.T) {
 	if !strings.Contains(stats, "main=2") {
 		t.Fatalf("STATS → %q", stats)
 	}
+	if !strings.Contains(stats, "mergefailures=0") || !strings.Contains(stats, `lasterr=""`) {
+		t.Fatalf("STATS missing merge-error surface → %q", stats)
+	}
 	c.expectOK("DELETE orders 2")
 	if got := c.expectOK("COUNT orders"); got != "OK 1" {
 		t.Fatalf("COUNT after delete → %q", got)

@@ -144,6 +144,116 @@ func TestConcurrentHTAP(t *testing.T) {
 	t.Logf("final stats: %+v", st)
 }
 
+// TestConcurrentMultiTableStress hammers several tables at once:
+// writers, snapshot scanners, and global-dictionary readers race the
+// scheduler's concurrent column-parallel main merges. The thresholds
+// are tiny so every lifecycle transition (L1→L2 merge, L2 rotation,
+// parallel L2→main merge) happens continuously under load. Run with
+// -race; its job is to surface latch violations, not to measure.
+func TestConcurrentMultiTableStress(t *testing.T) {
+	db, err := OpenDatabase(DBOptions{AutoMerge: true, MaxMainMerges: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer db.Close()
+
+	const ntables = 3
+	const writers = 2
+	const perWriter = 150
+	tabs := make([]*Table, ntables)
+	for i := range tabs {
+		tabs[i], err = db.CreateTable(TableConfig{
+			Name: fmt.Sprintf("stress%d", i), Schema: orderSchema(),
+			L1MaxRows: 16, L2MaxRows: 48, MergeWorkers: 4,
+			Compress: true, CompactDicts: true, CheckUnique: true,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	var wg sync.WaitGroup
+	for ti, tab := range tabs {
+		for w := 0; w < writers; w++ {
+			wg.Add(1)
+			go func(tab *Table, w int) {
+				defer wg.Done()
+				for i := 0; i < perWriter; i++ {
+					key := int64(w*perWriter + i + 1)
+					tx := db.Begin(mvcc.TxnSnapshot)
+					if _, err := tab.Insert(tx, orow(key, fmt.Sprintf("cust%d", key%23), key%7)); err != nil {
+						t.Errorf("insert: %v", err)
+						db.Abort(tx)
+						return
+					}
+					if err := db.Commit(tx); err != nil {
+						t.Errorf("commit: %v", err)
+						return
+					}
+				}
+			}(tab, w)
+		}
+		// Per-table reader: alternates snapshot scans with global
+		// sorted-dictionary construction, both racing live merges.
+		wg.Add(1)
+		go func(tab *Table) {
+			defer wg.Done()
+			for round := 0; round < 60; round++ {
+				v := tab.View(nil)
+				seen := map[int64]int{}
+				v.ScanAll(func(_ types.RowID, row []types.Value) bool {
+					seen[row[0].I]++
+					return true
+				})
+				v.Close()
+				for k, n := range seen {
+					if n > 1 {
+						t.Errorf("key %d visible %d times", k, n)
+						return
+					}
+				}
+				d := tab.GlobalSortedDict(1)
+				for c := 1; c < d.Len(); c++ {
+					if !types.Less(d.At(uint32(c-1)), d.At(uint32(c))) {
+						t.Errorf("global dict out of order at %d", c)
+						return
+					}
+				}
+				time.Sleep(time.Millisecond)
+			}
+		}(tab)
+		_ = ti
+	}
+	wg.Wait()
+
+	for _, tab := range tabs {
+		// Drain what the scheduler has not yet propagated, then check
+		// nothing was lost or duplicated across the three stages.
+		for {
+			if _, err := tab.MergeL1(); err != nil {
+				t.Fatal(err)
+			}
+			if _, err := tab.MergeMain(); err != nil {
+				t.Fatal(err)
+			}
+			st := tab.Stats()
+			if st.L1Rows == 0 && st.L2Rows == 0 && st.FrozenL2Rows == 0 {
+				break
+			}
+		}
+		st := tab.Stats()
+		if got := countRows(tab); got != writers*perWriter {
+			t.Errorf("%s: %d rows, want %d (%+v)", tab.Name(), got, writers*perWriter, st)
+		}
+		if st.LastMergeError != "" {
+			t.Errorf("%s: surfaced merge error %q", tab.Name(), st.LastMergeError)
+		}
+		if got := tab.GlobalSortedDict(1).Len(); got != 23 {
+			t.Errorf("%s: final global dict %d entries, want 23", tab.Name(), got)
+		}
+	}
+}
+
 // TestConcurrentReadersDuringMerges pins old snapshots while merges
 // run and checks they keep seeing their frozen state.
 func TestConcurrentReadersDuringMerges(t *testing.T) {

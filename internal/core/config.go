@@ -51,6 +51,11 @@ type TableConfig struct {
 	L2MaxRows int
 	// Strategy selects the L2→main merge variant.
 	Strategy MergeStrategy
+	// MergeWorkers bounds the per-column worker pool of the L2→main
+	// merge ("this step is basically executed per column", §4.1):
+	// 0 sizes the pool to runtime.GOMAXPROCS, 1 forces the sequential
+	// path. The merged output is identical for every worker count.
+	MergeWorkers int
 	// ActiveMainMax promotes the active main to passive (starting a
 	// new chain part) when it exceeds this row count; 0 disables
 	// promotion. Only meaningful with MergePartial.
@@ -127,4 +132,9 @@ type TableStats struct {
 	Tombstones int
 	// Merge counters.
 	L1Merges, MainMerges, MergeFailures uint64
+	// LastMergeError is the message of the most recent failed L2→main
+	// merge, empty after a successful merge. Together with
+	// MergeFailures it surfaces merge errors the background scheduler
+	// would otherwise retry silently.
+	LastMergeError string
 }

@@ -339,7 +339,7 @@ func TestMergeMainFailureKeepsGenerationQueued(t *testing.T) {
 			return boom
 		}
 		return nil
-	}); !errors.Is(err, boom) {
+	}, true); !errors.Is(err, boom) {
 		t.Fatalf("err = %v", err)
 	}
 	st := tab.Stats()
@@ -385,7 +385,7 @@ func TestDeleteDuringInFlightMerge(t *testing.T) {
 				<-release
 			}
 			return nil
-		})
+		}, true)
 		done <- err
 	}()
 	<-entered
@@ -433,7 +433,7 @@ func TestDeleteFrozenRowDuringInFlightMerge(t *testing.T) {
 				<-release
 			}
 			return nil
-		})
+		}, true)
 		done <- err
 	}()
 	<-entered
@@ -491,7 +491,7 @@ func TestAbortedDeleteDuringInFlightMerge(t *testing.T) {
 				<-release
 			}
 			return nil
-		})
+		}, true)
 		done <- err
 	}()
 	<-entered

@@ -46,6 +46,12 @@ type DBOptions struct {
 	PageSize int
 	// AutoMerge starts the background merge scheduler.
 	AutoMerge bool
+	// MaxMainMerges caps how many L2→main merges the scheduler runs
+	// concurrently across all tables (each merge is itself
+	// column-parallel, so a small cap saturates the machine); 0 means
+	// the default of 2. At most one main merge runs per table
+	// regardless of the cap.
+	MaxMainMerges int
 }
 
 // OpenDatabase opens (and, when a directory is given, recovers) a
@@ -70,7 +76,7 @@ func OpenDatabase(opts DBOptions) (*Database, error) {
 		db.log = l
 	}
 	if opts.AutoMerge {
-		db.scheduler = newScheduler(db)
+		db.scheduler = newScheduler(db, opts.MaxMainMerges)
 		db.scheduler.start()
 	}
 	return db, nil

@@ -16,6 +16,24 @@ import (
 func (t *Table) MergeL1() (int, error) {
 	t.mu.Lock()
 	defer t.mu.Unlock()
+	return t.mergeL1Locked()
+}
+
+// MergeL1IfFull is the scheduler's entry point: the L1MaxRows
+// threshold is evaluated under the same latch acquisition as the
+// merge itself, so a tick can never act on a stale row count (another
+// tick or an explicit MergeL1 may have drained the L1-delta since the
+// threshold was last observed).
+func (t *Table) MergeL1IfFull() (int, error) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if t.l1.Len() < t.cfg.L1MaxRows {
+		return 0, nil
+	}
+	return t.mergeL1Locked()
+}
+
+func (t *Table) mergeL1Locked() (int, error) {
 	newL1, moved, dropped := merge.L1ToL2(t.l1, t.l2, t.cfg.L1MergeBatch)
 	if moved == 0 && dropped == 0 {
 		return 0, nil
@@ -43,6 +61,21 @@ func (t *Table) RotateL2() *l2delta.Store {
 	return t.rotateL2Locked()
 }
 
+// RotateL2IfFull rotates the open L2-delta only if it still holds at
+// least min rows, with the threshold re-evaluated under the exclusive
+// latch. This is the race-free form the scheduler uses: checking the
+// threshold under a read latch and rotating later can close a
+// generation another actor just rotated (now tiny), producing
+// needless fragment merges. It reports whether a rotation happened.
+func (t *Table) RotateL2IfFull(min int) bool {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if t.l2.Len() < min {
+		return false
+	}
+	return t.rotateL2Locked() != nil
+}
+
 func (t *Table) rotateL2Locked() *l2delta.Store {
 	if t.l2.Len() == 0 {
 		return nil
@@ -52,6 +85,15 @@ func (t *Table) rotateL2Locked() *l2delta.Store {
 	t.frozen = append(t.frozen, closed)
 	t.l2 = l2delta.New(t.cfg.Schema, t.cfg.Indexed)
 	return closed
+}
+
+// needsMainMerge reports whether the scheduler should dispatch a main
+// merge for this table: a frozen generation is queued, or the open
+// L2-delta has reached its rotation threshold.
+func (t *Table) needsMainMerge() bool {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	return len(t.frozen) > 0 || t.l2.Len() >= t.cfg.L2MaxRows
 }
 
 // MergeMain merges the oldest frozen L2-delta generation (rotating
@@ -64,13 +106,24 @@ func (t *Table) rotateL2Locked() *l2delta.Store {
 // It returns the merge statistics, or nil when there was nothing to
 // merge.
 func (t *Table) MergeMain() (*merge.Stats, error) {
-	return t.mergeMain(nil)
+	return t.mergeMain(nil, true)
 }
 
-// mergeMain lets tests inject a fail point.
-func (t *Table) mergeMain(failPoint func(string) error) (*merge.Stats, error) {
+// MergeMainQueued merges the oldest frozen generation but never
+// rotates the open L2-delta: when nothing is frozen it is a no-op.
+// The scheduler pairs it with RotateL2IfFull so the decision to close
+// a generation is always made on latched state.
+func (t *Table) MergeMainQueued() (*merge.Stats, error) {
+	return t.mergeMain(nil, false)
+}
+
+// mergeMain lets tests inject a fail point; autoRotate selects
+// whether an empty frozen queue may be refilled from the open
+// L2-delta regardless of its size (the explicit MergeMain/drain
+// behavior) or left alone (the scheduler's queued behavior).
+func (t *Table) mergeMain(failPoint func(string) error, autoRotate bool) (*merge.Stats, error) {
 	t.mu.Lock()
-	if len(t.frozen) == 0 {
+	if len(t.frozen) == 0 && autoRotate {
 		t.rotateL2Locked()
 	}
 	if len(t.frozen) == 0 {
@@ -98,6 +151,7 @@ func (t *Table) mergeMain(failPoint func(string) error) (*merge.Stats, error) {
 		Compress:     t.cfg.Compress,
 		CompactDicts: t.cfg.CompactDicts,
 		Indexed:      t.cfg.indexedFlags(),
+		Workers:      t.cfg.MergeWorkers,
 		FailPoint:    failPoint,
 	}
 
@@ -129,6 +183,8 @@ func (t *Table) mergeMain(failPoint func(string) error) (*merge.Stats, error) {
 		_ = pending // old generation keeps its marks; nothing to undo
 		t.mu.Unlock()
 		t.mergeFailures.Add(1)
+		msg := err.Error()
+		t.lastMergeErr.Store(&msg)
 		return nil, err
 	}
 	// Deletes that landed while the merge was computing may have been
@@ -150,6 +206,7 @@ func (t *Table) mergeMain(failPoint func(string) error) (*merge.Stats, error) {
 	// Physically dropped rows no longer need tombstones.
 	t.tombs.Forget(stats.DroppedRowIDs...)
 	logErr := t.db.logMergeEvent(t.cfg.Name, wal.MergeL2Main, seq)
+	t.lastMergeErr.Store(nil)
 	t.mu.Unlock()
 	if logErr != nil {
 		return stats, logErr
@@ -162,35 +219,52 @@ func (t *Table) mergeMain(failPoint func(string) error) (*merge.Stats, error) {
 // computed (only for L1-delta) and sorted (for both L1-delta and
 // L2-delta) and merged with the main dictionary on the fly" (§3.1).
 func (t *Table) GlobalSortedDict(col int) *dict.Sorted {
+	return t.globalSortedDict(col, nil)
+}
+
+// globalSortedDict lets tests inject a mutation between the border
+// snapshot and the fold (mirroring mergeMain's fail point). The
+// snapshot captures, per L2 generation, the dictionary length
+// observed under the latch: the open generation keeps appending
+// dictionary codes after the latch is released, and folding up to the
+// live d.Len() would leak values committed after the snapshot into
+// the merged global dictionary. The fold itself re-acquires the
+// shared latch so it never reads a dictionary an appender is growing.
+func (t *Table) globalSortedDict(col int, borderHook func()) *dict.Sorted {
 	t.mu.RLock()
 	l1 := t.l1
 	l1Border := l1.Len()
 	gens := t.l2Generations()
-	borders := make([]int, len(gens))
+	dictBorders := make([]int, len(gens))
 	for i, g := range gens {
-		borders[i] = g.Len()
+		dictBorders[i] = g.Dict(col).Len()
 	}
 	main := t.main
 	t.mu.RUnlock()
 
+	if borderHook != nil {
+		borderHook()
+	}
+
 	kind := t.cfg.Schema.Columns[col].Kind
 	merged := main.GlobalDict(col)
-	// Compute the L1 dictionary on the fly.
 	deltaVals := dict.NewUnsorted(kind)
+	t.mu.RLock()
+	// Compute the L1 dictionary on the fly, up to the snapshot border.
 	for pos := 0; pos < l1Border; pos++ {
 		if v := l1.At(pos).Values[col]; !v.IsNull() {
 			deltaVals.GetOrAdd(v)
 		}
 	}
-	// The L2 dictionaries already exist; fold them in.
+	// The L2 dictionaries already exist; fold them in, capped at the
+	// length each had when the snapshot was taken.
 	for gi, g := range gens {
 		d := g.Dict(col)
-		n := d.Len()
-		_ = borders[gi]
-		for c := 0; c < n; c++ {
+		for c := 0; c < dictBorders[gi]; c++ {
 			deltaVals.GetOrAdd(d.At(uint32(c)))
 		}
 	}
+	t.mu.RUnlock()
 	res := dict.Merge(merged, deltaVals)
 	return res.Dict
 }

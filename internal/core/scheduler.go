@@ -13,6 +13,13 @@ import (
 // currently running database operations" (§3.1). Merges into the main
 // are "scheduled with a very low frequency" (§4.4) relative to the
 // frequent, incremental L1 merges.
+//
+// L1 merges run inline on the tick goroutine (they are incremental
+// and latched, §3.1's "minimally invasive" step). Main merges are
+// dispatched to per-table goroutines so that one table's long main
+// merge never starves another table's propagation, with two layers of
+// backpressure: at most one main-merge goroutine per table, and a
+// global semaphore capping how many main merges compute concurrently.
 type scheduler struct {
 	db    *Database
 	stopC chan struct{}
@@ -20,10 +27,30 @@ type scheduler struct {
 	// interval is the poll period; kept short because thresholds, not
 	// time, gate the work.
 	interval time.Duration
+
+	// mainSem caps the L2→main merges running concurrently across all
+	// tables — each merge already fans out per column, so a small
+	// number of concurrent merges saturates the machine.
+	mainSem chan struct{}
+
+	// mu guards dispatched: the tables that currently have a
+	// main-merge goroutine (waiting or running). One goroutine per
+	// table at a time; a tick never stacks a second.
+	mu         sync.Mutex
+	dispatched map[string]bool
 }
 
-func newScheduler(db *Database) *scheduler {
-	return &scheduler{db: db, stopC: make(chan struct{}), interval: 2 * time.Millisecond}
+func newScheduler(db *Database, maxMainMerges int) *scheduler {
+	if maxMainMerges <= 0 {
+		maxMainMerges = 2
+	}
+	return &scheduler{
+		db:         db,
+		stopC:      make(chan struct{}),
+		interval:   2 * time.Millisecond,
+		mainSem:    make(chan struct{}, maxMainMerges),
+		dispatched: map[string]bool{},
+	}
 }
 
 func (s *scheduler) start() {
@@ -50,27 +77,55 @@ func (s *scheduler) loop() {
 	}
 }
 
-// pass runs at most one merge step per table per tick.
+// pass runs at most one L1 merge step per table per tick and
+// dispatches main merges for tables with work queued. All thresholds
+// are re-evaluated under the table latch by the entry points called
+// here, never acted on from a stale read-latched snapshot.
 func (s *scheduler) pass() {
 	for _, t := range s.db.Tables() {
-		t.mu.RLock()
-		l1Full := t.l1.Len() >= t.cfg.L1MaxRows
-		l2Full := t.l2.Len() >= t.cfg.L2MaxRows
-		pending := len(t.frozen) > 0
-		busy := t.mergeInFlight
-		t.mu.RUnlock()
-
-		if l1Full {
-			_, _ = t.MergeL1()
+		if _, err := t.MergeL1IfFull(); err != nil {
+			// L1 merge errors (redo-log append failures) surface like
+			// main-merge errors instead of vanishing with the tick.
+			t.noteMergeErr(err)
 		}
-		if l2Full && !busy {
-			t.RotateL2()
-			pending = true
-		}
-		if pending && !busy {
-			// ErrNotSettled and injected failures leave the generation
-			// queued; the next tick retries (§3.1).
-			_, _ = t.MergeMain()
+		if t.needsMainMerge() {
+			s.dispatchMain(t)
 		}
 	}
+}
+
+// dispatchMain hands t's main merge to a goroutine unless one is
+// already in flight for it.
+func (s *scheduler) dispatchMain(t *Table) {
+	s.mu.Lock()
+	if s.dispatched[t.cfg.Name] {
+		s.mu.Unlock()
+		return
+	}
+	s.dispatched[t.cfg.Name] = true
+	s.mu.Unlock()
+
+	s.wg.Add(1)
+	go func() {
+		defer s.wg.Done()
+		defer func() {
+			s.mu.Lock()
+			delete(s.dispatched, t.cfg.Name)
+			s.mu.Unlock()
+		}()
+		// Global backpressure: wait for a merge slot, abandoning the
+		// dispatch on shutdown.
+		select {
+		case s.mainSem <- struct{}{}:
+		case <-s.stopC:
+			return
+		}
+		defer func() { <-s.mainSem }()
+		// Close the open generation only if it is still full now, on
+		// latched state; then merge whatever is queued. Failed merges
+		// leave the generation frozen — counted and surfaced by
+		// mergeMain — and the next tick retries (§3.1).
+		t.RotateL2IfFull(t.cfg.L2MaxRows)
+		_, _ = t.MergeMainQueued()
+	}()
 }

@@ -53,6 +53,11 @@ type Table struct {
 	mainMerges    atomic.Uint64
 	mergeFailures atomic.Uint64
 	mergeSeq      atomic.Uint64
+	// lastMergeErr surfaces the most recent main-merge failure to
+	// Stats readers (nil after a successful merge); the scheduler
+	// retries failed merges, so without this field errors would only
+	// ever be visible as a counter.
+	lastMergeErr atomic.Pointer[string]
 }
 
 func newTable(db *Database, cfg TableConfig) *Table {
@@ -65,6 +70,15 @@ func newTable(db *Database, cfg TableConfig) *Table {
 	t.l2 = l2delta.New(cfg.Schema, cfg.Indexed)
 	t.main = mainstore.EmptyStore(cfg.Schema)
 	return t
+}
+
+// noteMergeErr records err as the table's last merge error (Stats'
+// LastMergeError) without touching the failure counter; mergeMain
+// maintains both for main merges, the scheduler uses this for L1
+// merge errors.
+func (t *Table) noteMergeErr(err error) {
+	msg := err.Error()
+	t.lastMergeErr.Store(&msg)
 }
 
 // Name returns the table name.
@@ -381,5 +395,8 @@ func (t *Table) Stats() TableStats {
 		s.L2Bytes += f.MemSize()
 	}
 	s.MergeFailures = t.mergeFailures.Load()
+	if msg := t.lastMergeErr.Load(); msg != nil {
+		s.LastMergeError = *msg
+	}
 	return s
 }

@@ -53,14 +53,18 @@ func fullMerge(l2 *l2delta.Store, main *mainstore.Store, tombs *mainstore.Tombst
 	}
 
 	// Per-column phase 1+2 (Fig. 7): dictionary merge, then value
-	// index re-encoding through the mapping tables.
+	// index re-encoding through the mapping tables. The columns are
+	// independent — each one reads only immutable inputs and writes
+	// only its own output slots — so the pool fans them out across
+	// cores ("this step is basically executed per column", §4.1).
 	nrows := len(survivors)
 	codesBy := make([][]uint32, ncols)
 	nullsBy := make([][]bool, ncols)
 	dicts := make([]*dict.Sorted, ncols)
-	for ci := 0; ci < ncols; ci++ {
+	garbageBy := make([]int, ncols)
+	colErr := runColumns(ncols, o.Workers, func(ci int) error {
 		if err := failAt(o, "column"); err != nil {
-			return nil, nil, err
+			return err
 		}
 		oldDict, chainMap := collapseChain(main, ci)
 		var deltaDict *dict.Unsorted
@@ -103,13 +107,18 @@ func fullMerge(l2 *l2delta.Store, main *mainstore.Store, tombs *mainstore.Tombst
 		}
 		final := res.Dict
 		if o.CompactDicts {
-			var garbage int
-			final, garbage = compactDict(res.Dict, used, codes, nulls)
-			stats.DictGarbage += garbage
+			final, garbageBy[ci] = compactDict(res.Dict, used, codes, nulls)
 		}
 		dicts[ci] = final
 		codesBy[ci] = codes
 		nullsBy[ci] = nulls
+		return nil
+	})
+	if colErr != nil {
+		return nil, nil, colErr
+	}
+	for _, g := range garbageBy {
+		stats.DictGarbage += g
 	}
 
 	// Row order: main entries first, delta appended (§4.1) — unless

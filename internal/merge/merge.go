@@ -102,8 +102,15 @@ type Options struct {
 	// Indexed selects the columns that rebuild inverted indexes; nil
 	// defaults to just the key column.
 	Indexed []bool
+	// Workers bounds the per-column worker pool of the L2→main merge
+	// ("this step is basically executed per column", §4.1): 0 means
+	// one worker per available CPU, 1 forces the sequential reference
+	// path. Output is identical for every worker count.
+	Workers int
 	// FailPoint, when non-nil, is consulted at named stages and lets
-	// tests inject merge failures (§3.1's retry semantics).
+	// tests inject merge failures (§3.1's retry semantics). The
+	// "column" stage runs on pool goroutines, so the hook must be
+	// goroutine-safe when Workers != 1.
 	FailPoint func(stage string) error
 }
 

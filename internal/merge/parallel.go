@@ -1,0 +1,71 @@
+package merge
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// runColumns executes fn(ci) for every column ordinal in [0, ncols),
+// fanning the calls out to a bounded worker pool. The paper observes
+// that the L2-delta-to-main merge "is basically executed per column"
+// (§4.1) and that per-column phases are independent because each
+// column owns its dictionary and value index, so columns parallelize
+// without coordination: every fn(ci) writes only to its own column
+// slot of the output arrays.
+//
+// workers <= 0 means one worker per available CPU; workers == 1 runs
+// the columns sequentially on the calling goroutine (the reference
+// path the golden tests compare against). The first error cancels the
+// remaining columns: workers stop claiming new ones, and the error
+// from the lowest-numbered failing column is returned so the surfaced
+// failure is deterministic when several columns fail in one pass.
+func runColumns(ncols, workers int, fn func(ci int) error) error {
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > ncols {
+		workers = ncols
+	}
+	if workers <= 1 {
+		for ci := 0; ci < ncols; ci++ {
+			if err := fn(ci); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+
+	var (
+		next   atomic.Int64 // next unclaimed column
+		failed atomic.Bool  // first-error cancellation flag
+		wg     sync.WaitGroup
+
+		mu       sync.Mutex
+		firstErr error
+		errCol   = ncols // column index of firstErr
+	)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for !failed.Load() {
+				ci := int(next.Add(1)) - 1
+				if ci >= ncols {
+					return
+				}
+				if err := fn(ci); err != nil {
+					failed.Store(true)
+					mu.Lock()
+					if ci < errCol {
+						firstErr, errCol = err, ci
+					}
+					mu.Unlock()
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	return firstErr
+}

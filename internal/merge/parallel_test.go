@@ -1,0 +1,227 @@
+package merge
+
+import (
+	"errors"
+	"fmt"
+	"sync/atomic"
+	"testing"
+
+	"repro/internal/l2delta"
+	"repro/internal/mainstore"
+	"repro/internal/mvcc"
+	"repro/internal/types"
+)
+
+func TestRunColumnsSequentialStopsAtFirstError(t *testing.T) {
+	boom := errors.New("boom")
+	calls := 0
+	err := runColumns(20, 1, func(ci int) error {
+		calls++
+		if ci == 10 {
+			return boom
+		}
+		return nil
+	})
+	if !errors.Is(err, boom) {
+		t.Fatalf("err = %v", err)
+	}
+	if calls != 11 {
+		t.Fatalf("sequential path ran %d columns, want 11", calls)
+	}
+}
+
+func TestRunColumnsParallelReturnsLowestFailingColumn(t *testing.T) {
+	// Columns are claimed in ascending order, so column 10 always runs
+	// before column 50 is claimed; with both failing, the surfaced
+	// error must deterministically be column 10's.
+	err10 := errors.New("col 10")
+	err50 := errors.New("col 50")
+	for round := 0; round < 50; round++ {
+		err := runColumns(64, 8, func(ci int) error {
+			switch ci {
+			case 10:
+				return err10
+			case 50:
+				return err50
+			}
+			return nil
+		})
+		if !errors.Is(err, err10) {
+			t.Fatalf("round %d: err = %v, want lowest failing column", round, err)
+		}
+	}
+}
+
+func TestRunColumnsCoversEveryColumn(t *testing.T) {
+	for _, workers := range []int{0, 1, 2, 3, 16, 100} {
+		var seen [37]atomic.Bool
+		if err := runColumns(len(seen), workers, func(ci int) error {
+			if seen[ci].Swap(true) {
+				return fmt.Errorf("column %d visited twice", ci)
+			}
+			return nil
+		}); err != nil {
+			t.Fatal(err)
+		}
+		for ci := range seen {
+			if !seen[ci].Load() {
+				t.Fatalf("workers=%d: column %d never visited", workers, ci)
+			}
+		}
+	}
+}
+
+// sameStore asserts byte-level equality of two main generations:
+// identical part structure, dictionaries, code offsets, value
+// indexes, null bitmaps, row ids, and create timestamps.
+func sameStore(t *testing.T, label string, a, b *mainstore.Store) {
+	t.Helper()
+	if a.NumParts() != b.NumParts() {
+		t.Fatalf("%s: parts %d vs %d", label, a.NumParts(), b.NumParts())
+	}
+	ncols := len(a.Schema().Columns)
+	for pi := 0; pi < a.NumParts(); pi++ {
+		pa, pb := a.Parts()[pi], b.Parts()[pi]
+		if pa.NumRows() != pb.NumRows() {
+			t.Fatalf("%s part %d: rows %d vs %d", label, pi, pa.NumRows(), pb.NumRows())
+		}
+		for ci := 0; ci < ncols; ci++ {
+			da, db := pa.Dict(ci), pb.Dict(ci)
+			if da.Len() != db.Len() {
+				t.Fatalf("%s part %d col %d: dict %d vs %d entries", label, pi, ci, da.Len(), db.Len())
+			}
+			for c := 0; c < da.Len(); c++ {
+				if !types.Equal(da.At(uint32(c)), db.At(uint32(c))) {
+					t.Fatalf("%s part %d col %d code %d: %v vs %v",
+						label, pi, ci, c, da.At(uint32(c)), db.At(uint32(c)))
+				}
+			}
+			if pa.CodeOffset(ci) != pb.CodeOffset(ci) {
+				t.Fatalf("%s part %d col %d: offset %d vs %d", label, pi, ci, pa.CodeOffset(ci), pb.CodeOffset(ci))
+			}
+			for pos := 0; pos < pa.NumRows(); pos++ {
+				na, nb := pa.IsNull(pos, ci), pb.IsNull(pos, ci)
+				if na != nb {
+					t.Fatalf("%s part %d col %d pos %d: null %v vs %v", label, pi, ci, pos, na, nb)
+				}
+				if na {
+					continue
+				}
+				if ga, gb := pa.Values(ci).Get(pos), pb.Values(ci).Get(pos); ga != gb {
+					t.Fatalf("%s part %d col %d pos %d: code %d vs %d", label, pi, ci, pos, ga, gb)
+				}
+			}
+		}
+		for pos := 0; pos < pa.NumRows(); pos++ {
+			if pa.RowID(pos) != pb.RowID(pos) || pa.CreateTS(pos) != pb.CreateTS(pos) {
+				t.Fatalf("%s part %d pos %d: row identity differs", label, pi, pos)
+			}
+		}
+	}
+}
+
+// TestParallelMergeGolden is the determinism gate of the parallel
+// column phase: for every merge variant, merging with a worker pool
+// must produce a main generation identical to the sequential path —
+// same dictionaries, same value indexes, same stats.
+func TestParallelMergeGolden(t *testing.T) {
+	build := func() (*mvcc.Manager, *l2deltaPair) {
+		m := mvcc.NewManager()
+		// A base main with churn: duplicated low-cardinality strings,
+		// NULLs, and a deleted row exercising GC + dict compaction.
+		var base [][]types.Value
+		for i := int64(1); i <= 40; i++ {
+			city := fmt.Sprintf("city-%02d", i%7)
+			if i%11 == 0 {
+				city = "" // NULL
+			}
+			base = append(base, row(i, city, i%5))
+		}
+		l2a := l2With(m, base...)
+		l2a.Close()
+
+		var delta [][]types.Value
+		for i := int64(41); i <= 70; i++ {
+			// Mix of subset values, fresh values, and NULLs.
+			city := fmt.Sprintf("city-%02d", i%13)
+			if i%9 == 0 {
+				city = ""
+			}
+			delta = append(delta, row(i, city, i%4))
+		}
+		l2b := l2With(m, delta...)
+		// Delete one delta row and one base row before the merge.
+		tx := m.Begin(mvcc.TxnSnapshot)
+		l2b.Stamp(3).ClaimDelete(tx.Marker())
+		tx.RecordDelete(l2b.Stamp(3))
+		tx.Commit()
+		l2b.Close()
+		return m, &l2deltaPair{base: l2a, delta: l2b}
+	}
+
+	for _, tc := range []struct {
+		name string
+		run  func(p *l2deltaPair, m *mvcc.Manager, workers int) (*mainstore.Store, *Stats, error)
+	}{
+		{"classic", func(p *l2deltaPair, m *mvcc.Manager, workers int) (*mainstore.Store, *Stats, error) {
+			tombs := mainstore.NewTombstones()
+			opts := defaultOpts(m)
+			opts.Workers = 1
+			main, _, err := Classic(p.base, nil, tombs, opts)
+			if err != nil {
+				return nil, nil, err
+			}
+			opts.Workers = workers
+			return Classic(p.delta, main, tombs, opts)
+		}},
+		{"resort", func(p *l2deltaPair, m *mvcc.Manager, workers int) (*mainstore.Store, *Stats, error) {
+			tombs := mainstore.NewTombstones()
+			opts := defaultOpts(m)
+			opts.Workers = 1
+			main, _, err := Classic(p.base, nil, tombs, opts)
+			if err != nil {
+				return nil, nil, err
+			}
+			opts.Workers = workers
+			return Resort(p.delta, main, tombs, opts)
+		}},
+		{"partial", func(p *l2deltaPair, m *mvcc.Manager, workers int) (*mainstore.Store, *Stats, error) {
+			tombs := mainstore.NewTombstones()
+			opts := defaultOpts(m)
+			opts.Workers = 1
+			main, _, err := Classic(p.base, nil, tombs, opts)
+			if err != nil {
+				return nil, nil, err
+			}
+			opts.Workers = workers
+			return Partial(p.delta, main, tombs, opts, true)
+		}},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			m1, p1 := build()
+			seq, seqStats, err := tc.run(p1, m1, 1)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for _, workers := range []int{2, 8} {
+				m2, p2 := build()
+				par, parStats, err := tc.run(p2, m2, workers)
+				if err != nil {
+					t.Fatal(err)
+				}
+				sameStore(t, fmt.Sprintf("%s workers=%d", tc.name, workers), seq, par)
+				if seqStats.DictGarbage != parStats.DictGarbage {
+					t.Errorf("workers=%d: DictGarbage %d vs %d", workers, seqStats.DictGarbage, parStats.DictGarbage)
+				}
+				if fmt.Sprint(seqStats.FastPaths) != fmt.Sprint(parStats.FastPaths) {
+					t.Errorf("workers=%d: FastPaths %v vs %v", workers, seqStats.FastPaths, parStats.FastPaths)
+				}
+			}
+		})
+	}
+}
+
+// l2deltaPair bundles the golden test's two generations.
+type l2deltaPair struct {
+	base, delta *l2delta.Store
+}

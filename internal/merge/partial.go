@@ -55,14 +55,18 @@ func Partial(l2 *l2delta.Store, main *mainstore.Store, tombs *mainstore.Tombston
 		activeOld = main.Parts()[activeFrom]
 	}
 
+	// Per-column rebuild of the active part; columns are independent
+	// (each writes only its own output slots), so the pool fans them
+	// out exactly like the full merge's column phase.
 	nrows := len(survivors)
 	codesBy := make([][]uint32, ncols)
 	nullsBy := make([][]bool, ncols)
 	dicts := make([]*dict.Sorted, ncols)
 	offsets := make([]uint32, ncols)
-	for ci := 0; ci < ncols; ci++ {
+	garbageBy := make([]int, ncols)
+	colErr := runColumns(ncols, o.Workers, func(ci int) error {
 		if err := failAt(o, "column"); err != nil {
-			return nil, nil, err
+			return err
 		}
 		// P = cardinality owned by the passive chain.
 		var prefix uint32
@@ -143,13 +147,18 @@ func Partial(l2 *l2delta.Store, main *mainstore.Store, tombs *mainstore.Tombston
 		}
 		final := res.Dict
 		if o.CompactDicts {
-			var garbage int
-			final, garbage = compactActive(res.Dict, used, codes, nulls, prefix)
-			stats.DictGarbage += garbage
+			final, garbageBy[ci] = compactActive(res.Dict, used, codes, nulls, prefix)
 		}
 		dicts[ci] = final
 		codesBy[ci] = codes
 		nullsBy[ci] = nulls
+		return nil
+	})
+	if colErr != nil {
+		return nil, nil, colErr
+	}
+	for _, g := range garbageBy {
+		stats.DictGarbage += g
 	}
 
 	if err := failAt(o, "build"); err != nil {
