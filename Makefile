@@ -1,6 +1,13 @@
 GO ?= go
 
-.PHONY: all build test vet race bench check
+.PHONY: all build test vet race bench fuzz torture check
+
+# Torture-harness knobs (see internal/torture): the seed and op count
+# for the differential run, overridable per invocation:
+#   make torture TORTURE_SEED=42 TORTURE_OPS=5000
+TORTURE_SEED ?= 1
+TORTURE_OPS  ?= 1000
+FUZZTIME     ?= 10s
 
 all: check
 
@@ -25,4 +32,19 @@ race-all:
 bench:
 	$(GO) test -run xxx -bench . -benchtime 1x .
 
-check: test vet race
+# Short coverage-guided fuzz runs over the three untrusted-input
+# surfaces: snapshot decoding, WAL record parsing, server tokenizing.
+# Go allows one -fuzz package per invocation, hence three runs.
+fuzz:
+	$(GO) test ./internal/persist -run '^$$' -fuzz FuzzDecoder -fuzztime $(FUZZTIME)
+	$(GO) test ./internal/wal -run '^$$' -fuzz FuzzWALRecord -fuzztime $(FUZZTIME)
+	$(GO) test ./cmd/hanaserver -run '^$$' -fuzz FuzzTokenize -fuzztime $(FUZZTIME)
+
+# Crash-torture sweep + seeded differential run against the oracle.
+# Reproduce a reported failure by re-running with the printed seed.
+torture:
+	$(GO) test ./internal/torture -run TestCrashTorture -v -count 1
+	TORTURE_SEED=$(TORTURE_SEED) TORTURE_OPS=$(TORTURE_OPS) \
+		$(GO) test ./internal/torture -run TestDifferentialOracle -v -count 1
+
+check: test vet race torture

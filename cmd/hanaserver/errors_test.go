@@ -1,0 +1,149 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+// expectErr issues cmd and requires an ERR reply, returning it.
+func (c *client) expectErr(cmd string) string {
+	c.t.Helper()
+	out := c.send(cmd)
+	last := out[len(out)-1]
+	if !strings.HasPrefix(last, "ERR") {
+		c.t.Fatalf("%q → %v, want ERR", cmd, out)
+	}
+	return last
+}
+
+func TestCreateErrors(t *testing.T) {
+	c := newClient(t)
+	cases := []struct {
+		cmd, wantFrag string
+	}{
+		{"CREATE t", "usage"},
+		{"CREATE t id:int v:int KEY", "KEY needs an ordinal"},
+		{"CREATE t id:int KEY x", "invalid syntax"},
+		{"CREATE t id:blob KEY 0", "unknown kind"},
+		{"CREATE t id:int KEY 7", ""}, // key ordinal out of range
+		{"CREATE t id:int KEY -2", ""},
+	}
+	for _, tc := range cases {
+		got := c.expectErr(tc.cmd)
+		if !strings.Contains(got, tc.wantFrag) {
+			t.Errorf("%q → %q, want fragment %q", tc.cmd, got, tc.wantFrag)
+		}
+	}
+	// A failed CREATE must not leave a half-registered table behind.
+	c.expectErr("COUNT t")
+	c.expectOK("CREATE t id:int v:varchar KEY 0")
+	c.expectErr("CREATE t id:int KEY 0") // duplicate name
+}
+
+func TestInsertErrors(t *testing.T) {
+	c := newClient(t)
+	c.expectOK("CREATE t id:int name:varchar qty:int:null KEY 0")
+	cases := []string{
+		"INSERT t",             // no values
+		"INSERT t 1 'x'",       // arity too low
+		"INSERT t 1 'x' 2 3",   // arity too high
+		"INSERT t oops 'x' 2",  // non-integer key
+		"INSERT t 1 'x' '2.5'", // quoted string into int column is still a string
+		"INSERT t NULL 'x' 2",  // NULL into non-nullable column
+	}
+	for _, cmd := range cases {
+		c.expectErr(cmd)
+	}
+	// Errors above must not have committed anything.
+	if got := c.expectOK("COUNT t"); got != "OK 0" {
+		t.Fatalf("COUNT after failed inserts → %q", got)
+	}
+	// NULL is fine where the schema allows it.
+	c.expectOK("INSERT t 1 'x' NULL")
+}
+
+func TestMissingTableErrors(t *testing.T) {
+	c := newClient(t)
+	for _, cmd := range []string{
+		"INSERT nope 1", "GET nope 1", "UPDATE nope 1 2", "DELETE nope 1",
+		"COUNT nope", "SCAN nope", "AGG nope 0 1", "MERGE nope", "STATS nope",
+	} {
+		got := c.expectErr(cmd)
+		if !strings.Contains(got, `no table "nope"`) {
+			t.Errorf("%q → %q, want missing-table error", cmd, got)
+		}
+	}
+	for _, cmd := range []string{"INSERT", "GET", "COUNT", "MERGE", "STATS"} {
+		got := c.expectErr(cmd)
+		if !strings.Contains(got, "missing table") {
+			t.Errorf("%q → %q, want missing-table usage error", cmd, got)
+		}
+	}
+}
+
+func TestTableUsageErrors(t *testing.T) {
+	c := newClient(t)
+	c.expectOK("CREATE t id:int v:varchar KEY 0")
+	c.expectOK("INSERT t 1 'x'")
+	c.expectErr("GET t")          // key required
+	c.expectErr("GET t 1 2")      // too many args
+	c.expectErr("GET t notanint") // key of the wrong kind
+	c.expectErr("UPDATE t")       // usage
+	c.expectErr("UPDATE t 1 2")   // row arity
+	c.expectErr("DELETE t")       // usage
+	c.expectErr("DELETE t 99")    // key not found
+	c.expectErr("AGG t 0")        // needs two ordinals
+	c.expectErr("AGG t zero one") // non-integer ordinals
+	c.expectErr("BOGUS t 1")      // unknown verb
+	if got := c.expectOK("COUNT t"); got != "OK 1" {
+		t.Fatalf("COUNT after usage errors → %q", got)
+	}
+}
+
+func TestTransactionStateErrors(t *testing.T) {
+	c := newClient(t)
+	c.expectErr("COMMIT") // no transaction open
+	c.expectErr("ABORT")
+	c.expectOK("BEGIN")
+	c.expectErr("BEGIN") // already open
+	c.expectOK("ABORT")
+	c.expectOK("BEGIN STMT") // statement-level isolation accepted
+	c.expectOK("COMMIT")
+}
+
+// STATS must expose every lifecycle counter; the numbers must track
+// the delta stages the paper's unified table moves rows through.
+func TestStatsFields(t *testing.T) {
+	c := newClient(t)
+	c.expectOK("CREATE t id:int v:varchar KEY 0")
+	c.expectOK("INSERT t 1 'a'")
+	c.expectOK("INSERT t 2 'b'")
+
+	stats := c.expectOK("STATS t")
+	for _, field := range []string{
+		"l1=", "l2=", "frozen=", "main=", "parts=", "tombstones=",
+		"l1merges=", "mainmerges=", "mergefailures=", "lasterr=",
+	} {
+		if !strings.Contains(stats, field) {
+			t.Errorf("STATS missing %q: %q", field, stats)
+		}
+	}
+	if !strings.Contains(stats, "l1=2") || !strings.Contains(stats, "main=0") {
+		t.Fatalf("fresh inserts not in L1: %q", stats)
+	}
+
+	c.expectOK("MERGE t")
+	stats = c.expectOK("STATS t")
+	if !strings.Contains(stats, "l1=0") || !strings.Contains(stats, "main=2") {
+		t.Fatalf("MERGE did not move rows to main: %q", stats)
+	}
+	if !strings.Contains(stats, "l1merges=1") || !strings.Contains(stats, "mainmerges=1") {
+		t.Fatalf("merge counters not advanced: %q", stats)
+	}
+
+	c.expectOK("DELETE t 2")
+	stats = c.expectOK("STATS t")
+	if !strings.Contains(stats, "tombstones=1") {
+		t.Fatalf("delete of a main row not counted as tombstone: %q", stats)
+	}
+}

@@ -1,0 +1,27 @@
+package main
+
+import "testing"
+
+// FuzzTokenize throws arbitrary client input at the command-line
+// tokenizer: the first thing the server runs on every network line,
+// so it must never panic, and a nil error must come with at least one
+// token (the dispatcher indexes fields[0] unconditionally).
+func FuzzTokenize(f *testing.F) {
+	f.Add("CREATE TABLE t (id INT KEY, name STR)")
+	f.Add("INSERT t 1 'a b' NULL")
+	f.Add("GET t 'multi word key'")
+	f.Add("''")
+	f.Add("   ")
+	f.Add("'unterminated")
+	f.Add("a''b 'c' ''")
+
+	f.Fuzz(func(t *testing.T, line string) {
+		fields, err := tokenize(line)
+		if err != nil {
+			return
+		}
+		if len(fields) == 0 {
+			t.Fatalf("tokenize(%q) returned no tokens without an error", line)
+		}
+	})
+}

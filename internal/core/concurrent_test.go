@@ -124,9 +124,13 @@ func TestConcurrentHTAP(t *testing.T) {
 	if got := countRows(tab); got != want {
 		t.Fatalf("final count = %d, want %d (aborts=%d)", got, want, aborts.Load())
 	}
-	// Every committed key resolves by point lookup.
+	// Every committed key resolves by point lookup. The view pins the
+	// table's shared latch, so it must close before the next
+	// latch-taking call (Stats below): with the scheduler's exclusive
+	// latch request queued in between, a second shared acquisition on
+	// the same goroutine deadlocks (sync.RWMutex readers queue behind
+	// waiting writers).
 	v := tab.View(nil)
-	defer v.Close()
 	missing := 0
 	committed.Range(func(k, _ any) bool {
 		if v.Get(types.Int(k.(int64))) == nil {
@@ -134,6 +138,7 @@ func TestConcurrentHTAP(t *testing.T) {
 		}
 		return missing < 5
 	})
+	v.Close()
 	if missing > 0 {
 		t.Errorf("%d committed keys missing", missing)
 	}

@@ -11,6 +11,7 @@ import (
 	"repro/internal/mvcc"
 	"repro/internal/persist"
 	"repro/internal/types"
+	"repro/internal/vfs"
 	"repro/internal/wal"
 )
 
@@ -26,6 +27,7 @@ type Database struct {
 	log         *wal.Log // nil = in-memory database
 	commitMu    sync.Mutex
 	savepointMu sync.Mutex
+	fs          vfs.FS
 	dataPath    string
 	pageSize    int
 	rowID       atomic.Uint64
@@ -44,6 +46,10 @@ type DBOptions struct {
 	SyncOnCommit bool
 	// PageSize configures the savepoint pager's virtual-file pages.
 	PageSize int
+	// FS selects the file system backing the pager and the redo log
+	// (nil = the real OS). Crash-torture and differential tests plug
+	// in vfs.MemFS / vfs.FaultFS here.
+	FS vfs.FS
 	// AutoMerge starts the background merge scheduler.
 	AutoMerge bool
 	// MaxMainMerges caps how many L2→main merges the scheduler runs
@@ -61,6 +67,10 @@ func OpenDatabase(opts DBOptions) (*Database, error) {
 		mgr:      mvcc.NewManager(),
 		tables:   map[string]*Table{},
 		pageSize: opts.PageSize,
+		fs:       opts.FS,
+	}
+	if db.fs == nil {
+		db.fs = vfs.OS
 	}
 	if opts.Dir != "" {
 		db.dataPath = filepath.Join(opts.Dir, "data.db")
@@ -69,7 +79,7 @@ func OpenDatabase(opts DBOptions) (*Database, error) {
 		if err := db.recover(opts); err != nil {
 			return nil, err
 		}
-		l, err := wal.Open(filepath.Join(opts.Dir, "wal"), wal.Options{SyncOnCommit: opts.SyncOnCommit})
+		l, err := wal.Open(filepath.Join(opts.Dir, "wal"), wal.Options{SyncOnCommit: opts.SyncOnCommit, FS: db.fs})
 		if err != nil {
 			return nil, err
 		}

@@ -1,8 +1,8 @@
 package core
 
 import (
+	"errors"
 	"fmt"
-	"os"
 	"path/filepath"
 
 	"repro/internal/dict"
@@ -39,6 +39,9 @@ type recoveryState struct {
 	ops      map[uint64][]*wal.Record  // txn id → buffered post-savepoint DML
 	maxTxn   uint64
 	maxRowID types.RowID
+	// walSeq is the first redo-log segment not yet reflected in the
+	// snapshot; older segments must not be replayed (double-apply).
+	walSeq int
 }
 
 // recover restores the last savepoint and replays the redo log:
@@ -53,18 +56,18 @@ func (db *Database) recover(opts DBOptions) error {
 		pending: map[uint64][]pendingStamp{},
 		ops:     map[uint64][]*wal.Record{},
 	}
-	if _, err := os.Stat(db.dataPath); err == nil {
+	if _, err := db.fs.Stat(db.dataPath); err == nil {
 		if err := st.loadSnapshot(opts); err != nil {
 			return err
 		}
 	}
 	walDir := filepath.Join(opts.Dir, "wal")
-	if _, err := os.Stat(walDir); err == nil {
-		l, err := wal.Open(walDir, wal.Options{})
+	if _, err := db.fs.Stat(walDir); err == nil {
+		l, err := wal.Open(walDir, wal.Options{FS: db.fs})
 		if err != nil {
 			return err
 		}
-		replayErr := l.Replay(st.apply)
+		replayErr := l.ReplayFrom(st.walSeq, st.apply)
 		closeErr := l.Close()
 		if replayErr != nil {
 			return replayErr
@@ -74,22 +77,47 @@ func (db *Database) recover(opts DBOptions) error {
 		}
 	}
 	// Transactions still pending after replay crashed while active:
-	// roll them back.
-	for _, stamps := range st.pending {
+	// roll them back. Only stamps that still carry the dead
+	// transaction's marker may be cleared — replayed operations of
+	// later committed transactions can have legitimately overwritten a
+	// marker (e.g. a committed delete of a row whose snapshot image
+	// holds a dead transaction's delete marker), and clearing those
+	// would resurrect the row.
+	for txn, stamps := range st.pending {
+		marker := mvcc.MarkerFor(txn)
 		for _, p := range stamps {
 			if p.isCreate {
-				p.st.SetCreate(mvcc.Aborted)
-			} else {
+				if p.st.Create() == marker {
+					p.st.SetCreate(mvcc.Aborted)
+				}
+			} else if p.st.Delete() == marker {
 				p.st.SetDelete(0)
 			}
 		}
 	}
 	db.bumpRowID(st.maxRowID)
+	// Restore the txn-id clock: ids at or below maxTxn still appear in
+	// the surviving log (and in snapshot marker stamps); handing them
+	// out again would let a future commit record resurrect a dead
+	// transaction's operations at the next replay.
+	db.mgr.BumpTxnID(st.maxTxn)
 	return nil
 }
 
 func (st *recoveryState) loadSnapshot(opts DBOptions) error {
-	pager, err := persist.Open(st.db.dataPath, opts.PageSize)
+	pager, err := persist.OpenFS(st.db.fs, st.db.dataPath, opts.PageSize)
+	if errors.Is(err, persist.ErrNoSuperblock) {
+		// A crash tore the store's very first initialization before any
+		// savepoint committed (a committed savepoint always leaves a
+		// valid superblock slot). The redo log is still complete — the
+		// log is only truncated after a successful savepoint — so the
+		// store holds nothing that replay cannot rebuild. Discard it;
+		// the next savepoint re-creates it from scratch.
+		if rmErr := st.db.fs.Remove(st.db.dataPath); rmErr != nil {
+			return fmt.Errorf("core: discarding uninitialized store: %w", rmErr)
+		}
+		return nil
+	}
 	if err != nil {
 		return err
 	}
@@ -103,7 +131,7 @@ func (st *recoveryState) loadSnapshot(opts DBOptions) error {
 	}
 	d := persist.NewDecoder(meta)
 	ver, err := d.U64()
-	if err != nil || ver != snapshotVersion {
+	if err != nil || ver < 1 || ver > snapshotVersion {
 		return fmt.Errorf("core: snapshot version %d unsupported (%v)", ver, err)
 	}
 	lastTS, err := d.U64()
@@ -116,6 +144,13 @@ func (st *recoveryState) loadSnapshot(opts DBOptions) error {
 		return err
 	}
 	st.maxRowID = types.RowID(nextRow)
+	if ver >= 2 {
+		walSeq, err := d.U64()
+		if err != nil {
+			return err
+		}
+		st.walSeq = int(walSeq)
+	}
 	ntables, err := d.U64()
 	if err != nil {
 		return err
@@ -320,6 +355,11 @@ func (st *recoveryState) decodePart(d *persist.Decoder, t *Table, cfg TableConfi
 		if err != nil {
 			return nil, err
 		}
+		if dn > uint64(d.Len()) {
+			// Every dictionary value takes at least one byte; a larger
+			// count is a corrupt image, not a huge allocation.
+			return nil, fmt.Errorf("core: dictionary size %d exceeds image", dn)
+		}
 		values := make([]types.Value, dn)
 		for i := range values {
 			if values[i], err = d.Value(); err != nil {
@@ -350,11 +390,15 @@ func (st *recoveryState) apply(rec *wal.Record) error {
 		if rec.TS > ts {
 			ts = rec.TS
 		}
-		// Finalize snapshot marker stamps.
+		// Finalize snapshot marker stamps (only where the marker is
+		// still in place — see the rollback loop in recover).
+		marker := mvcc.MarkerFor(rec.Txn)
 		for _, p := range st.pending[rec.Txn] {
 			if p.isCreate {
-				p.st.SetCreate(ts)
-			} else {
+				if p.st.Create() == marker {
+					p.st.SetCreate(ts)
+				}
+			} else if p.st.Delete() == marker {
 				p.st.SetDelete(ts)
 			}
 		}
@@ -368,10 +412,13 @@ func (st *recoveryState) apply(rec *wal.Record) error {
 		delete(st.ops, rec.Txn)
 		st.db.mgr.Bump(ts)
 	case wal.RecAbort:
+		marker := mvcc.MarkerFor(rec.Txn)
 		for _, p := range st.pending[rec.Txn] {
 			if p.isCreate {
-				p.st.SetCreate(mvcc.Aborted)
-			} else {
+				if p.st.Create() == marker {
+					p.st.SetCreate(mvcc.Aborted)
+				}
+			} else if p.st.Delete() == marker {
 				p.st.SetDelete(0)
 			}
 		}

@@ -12,7 +12,13 @@ import (
 	"repro/internal/wal"
 )
 
-const snapshotVersion = 1
+// snapshotVersion 2 added the redo-log segment sequence to the meta
+// image: recovery replays only segments at or after it, because older
+// segments hold records the snapshot already contains (they normally
+// get deleted right after the savepoint, but a crash between the
+// superblock flip and the deletion leaves them behind, and replaying
+// them would double-apply every pre-savepoint transaction).
+const snapshotVersion = 2
 
 // tableCapture is the consistent cut of one table taken inside the
 // savepoint's critical phase.
@@ -71,6 +77,10 @@ func (db *Database) Savepoint() error {
 	}
 	lastTS := db.mgr.LastCommitted()
 	nextRow := db.rowID.Load()
+	walSeq := 0
+	if db.log != nil {
+		walSeq = db.log.Seq() // segment the post-savepoint records start in
+	}
 	db.commitMu.Unlock()
 	for i := len(tables) - 1; i >= 0; i-- {
 		tables[i].mu.Unlock()
@@ -79,7 +89,7 @@ func (db *Database) Savepoint() error {
 	// Serialization phase: everything captured is immutable except
 	// stamps, which are read atomically (a racing commit finalization
 	// is benign either way).
-	pager, err := persist.Open(db.dataPath, db.pageSize)
+	pager, err := persist.OpenFS(db.fs, db.dataPath, db.pageSize)
 	if err != nil {
 		return err
 	}
@@ -89,6 +99,7 @@ func (db *Database) Savepoint() error {
 	meta.U64(snapshotVersion)
 	meta.U64(lastTS)
 	meta.U64(nextRow)
+	meta.U64(uint64(walSeq))
 	meta.U64(uint64(len(captures)))
 	for _, c := range captures {
 		meta.Str(c.t.cfg.Name)
@@ -226,6 +237,11 @@ func decodeConfig(d *persist.Decoder) (TableConfig, error) {
 	ncols, err := d.U64()
 	if err != nil {
 		return cfg, err
+	}
+	if ncols > uint64(d.Len()) {
+		// Every column needs at least one byte; a larger count means a
+		// corrupt image, not a huge allocation.
+		return cfg, fmt.Errorf("core: column count %d exceeds image", ncols)
 	}
 	cols := make([]types.Column, ncols)
 	for i := range cols {

@@ -63,6 +63,12 @@ func IsMarker(raw uint64) bool { return raw != Aborted && raw&txnBit != 0 }
 // IsCommitted reports whether a raw stamp is a commit timestamp.
 func IsCommitted(raw uint64) bool { return raw != 0 && raw != Aborted && raw&txnBit == 0 }
 
+// MarkerFor returns the marker stamp value of the given transaction
+// id, as Txn.Marker would; recovery uses it to check whether a
+// snapshot-restored stamp still carries a dead transaction's marker
+// before rolling it back.
+func MarkerFor(txn uint64) uint64 { return txn | txnBit }
+
 // Stamp is the version metadata of one record version: the create
 // and delete stamps. Fields are atomic because commit finalization
 // races with readers by design.
@@ -222,6 +228,21 @@ func (m *Manager) Bump(ts uint64) {
 	for {
 		cur := m.lastCommitted.Load()
 		if ts <= cur || m.lastCommitted.CompareAndSwap(cur, ts) {
+			return
+		}
+	}
+}
+
+// BumpTxnID advances the transaction-id counter to at least id.
+// Recovery uses it so new transactions never reuse an id that still
+// appears in the surviving redo log or in snapshot marker stamps: the
+// log is only truncated at savepoints, so after a plain restart a
+// reused id would let the new transaction's commit record adopt a
+// dead (rolled-back) transaction's replayed operations.
+func (m *Manager) BumpTxnID(id uint64) {
+	for {
+		cur := m.nextTxnID.Load()
+		if id <= cur || m.nextTxnID.CompareAndSwap(cur, id) {
 			return
 		}
 	}

@@ -16,10 +16,13 @@ package persist
 import (
 	"bytes"
 	"encoding/binary"
+	"errors"
 	"fmt"
 	"hash/crc32"
 	"os"
 	"sort"
+
+	"repro/internal/vfs"
 )
 
 const (
@@ -27,12 +30,22 @@ const (
 	superSlots    = 2          // double-buffered superblock
 	pagePtrSize   = 8          // trailing next-page pointer
 	minPageSize   = 128
+	maxPageSize   = 1 << 26 // sanity bound when probing possibly-torn superblocks
 	defaultPageSz = 4096
 )
 
+// ErrNoSuperblock reports a store whose superblock slots are both
+// invalid. Because every successful Commit leaves the alternate slot
+// untouched and valid, this can only mean the store was never
+// committed (a crash tore the very first initialization) or the file
+// was corrupted externally; either way no committed savepoint exists
+// in it, and callers holding a complete redo log may safely treat the
+// store as empty.
+var ErrNoSuperblock = errors.New("persist: no valid superblock")
+
 // Pager is a page-oriented store with named virtual files.
 type Pager struct {
-	f        *os.File
+	f        vfs.File
 	pageSize int
 	gen      uint64
 	// dir maps virtual file name → (root page, length in bytes).
@@ -52,16 +65,23 @@ type fileEntry struct {
 	length int64
 }
 
-// Open opens (or creates) a pager-backed store. pageSize is only used
-// when creating; an existing store keeps its configured size.
+// Open opens (or creates) a pager-backed store on the real file
+// system. pageSize is only used when creating; an existing store
+// keeps its configured size.
 func Open(path string, pageSize int) (*Pager, error) {
+	return OpenFS(vfs.OS, path, pageSize)
+}
+
+// OpenFS is Open on an explicit file system (fault injection, in-
+// memory stores).
+func OpenFS(fsys vfs.FS, path string, pageSize int) (*Pager, error) {
 	if pageSize <= 0 {
 		pageSize = defaultPageSz
 	}
 	if pageSize < minPageSize {
 		return nil, fmt.Errorf("persist: page size %d below minimum %d", pageSize, minPageSize)
 	}
-	f, err := os.OpenFile(path, os.O_CREATE|os.O_RDWR, 0o644)
+	f, err := fsys.OpenFile(path, os.O_CREATE|os.O_RDWR, 0o644)
 	if err != nil {
 		return nil, fmt.Errorf("persist: %w", err)
 	}
@@ -129,13 +149,17 @@ func (p *Pager) writeSuper() error {
 
 func (p *Pager) load() error {
 	// Read page size from slot 0 tentatively; both slots must agree on
-	// page size, so probe with a small read.
+	// page size, so probe with a small read. A short read (file torn
+	// mid-initialization) leaves the probe zeroed and fails the magic
+	// check, falling through to the slot scan.
 	var probe [40]byte
-	if _, err := p.f.ReadAt(probe[:], 0); err != nil {
-		return fmt.Errorf("persist: %w", err)
-	}
+	_, _ = p.f.ReadAt(probe[:], 0)
 	if binary.LittleEndian.Uint32(probe[0:4]) == magic {
-		p.pageSize = int(binary.LittleEndian.Uint64(probe[16:24]))
+		// A torn slot write can leave valid magic over a garbage size;
+		// only adopt a plausible value (the CRC check decides validity).
+		if ps := binary.LittleEndian.Uint64(probe[16:24]); ps >= minPageSize && ps <= maxPageSize {
+			p.pageSize = int(ps)
+		}
 	}
 	var best []byte
 	bestGen := uint64(0)
@@ -157,7 +181,7 @@ func (p *Pager) load() error {
 		}
 	}
 	if !found {
-		return fmt.Errorf("persist: no valid superblock")
+		return ErrNoSuperblock
 	}
 	p.gen = bestGen
 	p.pageSize = int(binary.LittleEndian.Uint64(best[16:24]))
@@ -386,6 +410,13 @@ func (p *Pager) Commit() error {
 			newDir[name] = e
 		}
 	}
+	// Barrier: page chains and the directory must be durable before
+	// the superblock flip makes them reachable — a flip that reaches
+	// disk ahead of its pages would point a recovered store at
+	// garbage.
+	if err := p.f.Sync(); err != nil {
+		return fmt.Errorf("persist: %w", err)
+	}
 	// Also free the previous directory chain.
 	oldDir := p.dir
 	p.dir = newDir
@@ -454,7 +485,7 @@ func decodeDir(data []byte) (map[string]fileEntry, error) {
 	if err != nil {
 		return nil, fmt.Errorf("persist: corrupt directory: %w", err)
 	}
-	dir := make(map[string]fileEntry, n)
+	dir := make(map[string]fileEntry, capHint(n, len(data)))
 	for i := uint64(0); i < n; i++ {
 		ln, err := binary.ReadUvarint(b)
 		if err != nil {

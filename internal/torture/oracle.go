@@ -1,0 +1,81 @@
+package torture
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/types"
+)
+
+// oracle is the trivially-correct model the differential harness
+// diffs the engine against: one flat map of key→row per table for the
+// committed state, plus an overlay for the single open transaction.
+// It knows nothing about deltas, merges, dictionaries, or logs —
+// which is the point: any behavior the engine's machinery adds on top
+// of plain map semantics is a bug.
+type oracle struct {
+	committed map[int64][]types.Value
+	// pending overlays the open transaction's uncommitted writes; a
+	// nil row is an uncommitted delete.
+	pending map[int64][]types.Value
+}
+
+func newOracle() *oracle {
+	return &oracle{committed: map[int64][]types.Value{}, pending: map[int64][]types.Value{}}
+}
+
+// visible reports the row for key as seen by the open transaction
+// (own writes included) — or by an outside reader when the overlay is
+// skipped.
+func (o *oracle) visible(key int64, withPending bool) ([]types.Value, bool) {
+	if withPending {
+		if row, ok := o.pending[key]; ok {
+			return row, row != nil
+		}
+	}
+	row, ok := o.committed[key]
+	return row, ok
+}
+
+func (o *oracle) insert(key int64, row []types.Value) { o.pending[key] = row }
+func (o *oracle) delete(key int64)                    { o.pending[key] = nil }
+
+// commit folds the overlay into the committed state.
+func (o *oracle) commit() {
+	for k, row := range o.pending {
+		if row == nil {
+			delete(o.committed, k)
+		} else {
+			o.committed[k] = row
+		}
+	}
+	o.pending = map[int64][]types.Value{}
+}
+
+// abort drops the overlay.
+func (o *oracle) abort() { o.pending = map[int64][]types.Value{} }
+
+// dump renders the state in the same canonical form as dumpTable.
+func (o *oracle) dump(withPending bool) []string {
+	var rows []string
+	for k, row := range o.committed {
+		if withPending {
+			if p, ok := o.pending[k]; ok {
+				if p != nil {
+					rows = append(rows, fmt.Sprintf("%v", p))
+				}
+				continue
+			}
+		}
+		rows = append(rows, fmt.Sprintf("%v", row))
+	}
+	if withPending {
+		for k, row := range o.pending {
+			if _, committed := o.committed[k]; !committed && row != nil {
+				rows = append(rows, fmt.Sprintf("%v", row))
+			}
+		}
+	}
+	sort.Strings(rows)
+	return rows
+}

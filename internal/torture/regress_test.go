@@ -1,0 +1,290 @@
+package torture
+
+import (
+	"io"
+	"os"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/mvcc"
+	"repro/internal/types"
+	"repro/internal/vfs"
+)
+
+// Pinned regression tests: every bug the torture harnesses surfaced
+// gets a minimal deterministic reproduction here, so a regression
+// fails with a named test instead of a sweep coordinate.
+
+const walSeg1 = "db/wal/wal-000001.log"
+
+func readVFile(t *testing.T, fs vfs.FS, path string) []byte {
+	t.Helper()
+	f, err := fs.OpenFile(path, os.O_RDONLY, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	data, err := io.ReadAll(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return data
+}
+
+func writeVFile(t *testing.T, fs vfs.FS, path string, data []byte, flag int) {
+	t.Helper()
+	f, err := fs.OpenFile(path, flag, 0o644)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	if _, err := f.Write(data); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func mustCommit(t *testing.T, db *core.Database, table string, keys ...int64) {
+	t.Helper()
+	tx := db.Begin(mvcc.TxnSnapshot)
+	for _, k := range keys {
+		if _, err := db.Table(table).Insert(tx, crow(k, "r", k)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := db.Commit(tx); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func countKey(t *testing.T, db *core.Database, table string, key int64) int {
+	t.Helper()
+	v := db.Table(table).View(nil)
+	defer v.Close()
+	return len(v.PointLookup(0, types.Int(key)))
+}
+
+// Bug: a crash between the savepoint's superblock flip and the
+// redo-log truncation leaves pre-savepoint segments on disk; replay
+// re-applied their records on top of the snapshot that already
+// contains them, duplicating every pre-savepoint transaction. The
+// snapshot now records the first post-savepoint segment (meta v2) and
+// recovery replays only from there.
+func TestRegressSavepointCrashDoubleApply(t *testing.T) {
+	fs := vfs.NewMemFS()
+	db, err := openTortureDB(fs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := db.CreateTable(tortureConfig(tortureTables()[0])); err != nil {
+		t.Fatal(err)
+	}
+	mustCommit(t, db, "t_classic", 1)
+	seg1 := readVFile(t, fs, walSeg1)
+
+	if err := db.Savepoint(); err != nil {
+		t.Fatal(err)
+	}
+	if err := db.Close(); err != nil {
+		t.Fatal(err)
+	}
+	// Resurrect the segment the savepoint dropped — the exact on-disk
+	// image of a crash after the flip but before the truncation.
+	writeVFile(t, fs, walSeg1, seg1, os.O_CREATE|os.O_WRONLY|os.O_TRUNC)
+
+	db2, err := openTortureDB(fs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer db2.Close()
+	if n := countKey(t, db2, "t_classic", 1); n != 1 {
+		t.Fatalf("pre-savepoint row applied %d times (segment replayed on top of the snapshot)", n)
+	}
+}
+
+// Bug: a torn frame at the redo-log tail was tolerated during replay
+// but never removed, so records appended after recovery landed behind
+// the torn bytes — and the NEXT replay, which stops at the first
+// invalid frame, silently dropped them. Open now truncates the torn
+// tail before positioning appends.
+func TestRegressTornTailOrphansNewAppends(t *testing.T) {
+	fs := vfs.NewMemFS()
+	db, err := openTortureDB(fs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := db.CreateTable(tortureConfig(tortureTables()[0])); err != nil {
+		t.Fatal(err)
+	}
+	mustCommit(t, db, "t_classic", 1)
+	if err := db.Close(); err != nil {
+		t.Fatal(err)
+	}
+	// A crash mid-append leaves half a frame at the tail.
+	writeVFile(t, fs, walSeg1, []byte{0xFF, 0xFF, 0xFF, 0xFF, 0xFF}, os.O_WRONLY|os.O_APPEND)
+
+	db2, err := openTortureDB(fs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mustCommit(t, db2, "t_classic", 2)
+	if err := db2.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	db3, err := openTortureDB(fs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer db3.Close()
+	for _, k := range []int64{1, 2} {
+		if n := countKey(t, db3, "t_classic", k); n != 1 {
+			t.Fatalf("key %d: %d rows after second recovery (append after torn tail orphaned)", k, n)
+		}
+	}
+}
+
+// Bug: a crash tearing the data store's very first superblock write
+// made the database unopenable forever. Both superblock slots being
+// invalid proves no savepoint ever committed, so the redo log is
+// still complete; recovery now discards the stillborn store and
+// replays the log.
+func TestRegressTornInitialSuperblock(t *testing.T) {
+	fs := vfs.NewMemFS()
+	db, err := openTortureDB(fs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := db.CreateTable(tortureConfig(tortureTables()[0])); err != nil {
+		t.Fatal(err)
+	}
+	mustCommit(t, db, "t_classic", 1)
+	if err := db.Close(); err != nil {
+		t.Fatal(err)
+	}
+	// The torn image of a first savepoint that died inside its first
+	// superblock write: a data file with no valid slot.
+	writeVFile(t, fs, "db/data.db", []byte("torn"), os.O_CREATE|os.O_WRONLY|os.O_TRUNC)
+
+	db2, err := openTortureDB(fs)
+	if err != nil {
+		t.Fatalf("recovery refused a stillborn data store: %v", err)
+	}
+	defer db2.Close()
+	if n := countKey(t, db2, "t_classic", 1); n != 1 {
+		t.Fatalf("key 1: %d rows (log not replayed after discarding the store)", n)
+	}
+	// The store must be fully usable again, savepoints included.
+	if err := db2.Savepoint(); err != nil {
+		t.Fatalf("savepoint after discarding stillborn store: %v", err)
+	}
+}
+
+// Bug: transaction ids restarted from 1 on every open while the redo
+// log survives until the next savepoint, so a new transaction could
+// reuse the id of a crashed one — and its commit record then adopted
+// the dead transaction's replayed operations, resurrecting rolled-back
+// rows. Recovery now bumps the id clock past every id in the log.
+func TestRegressTxnIDReuseAcrossRestart(t *testing.T) {
+	fs := vfs.NewMemFS()
+	db, err := openTortureDB(fs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := db.CreateTable(tortureConfig(tortureTables()[0])); err != nil {
+		t.Fatal(err)
+	}
+	// A transaction inserts key 1 and dies with the process.
+	tx := db.Begin(mvcc.TxnSnapshot)
+	if _, err := db.Table("t_classic").Insert(tx, crow(1, "dead", 1)); err != nil {
+		t.Fatal(err)
+	}
+	if err := db.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// The next incarnation's first transaction — which reused the dead
+	// transaction's id before the fix — commits key 2.
+	db2, err := openTortureDB(fs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n := countKey(t, db2, "t_classic", 1); n != 0 {
+		t.Fatalf("uncommitted insert survived restart: %d rows", n)
+	}
+	mustCommit(t, db2, "t_classic", 2)
+	if err := db2.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	db3, err := openTortureDB(fs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer db3.Close()
+	if n := countKey(t, db3, "t_classic", 1); n != 0 {
+		t.Fatalf("dead transaction resurrected by a reused txn id: key 1 has %d rows", n)
+	}
+	if n := countKey(t, db3, "t_classic", 2); n != 1 {
+		t.Fatalf("committed row lost: key 2 has %d rows", n)
+	}
+}
+
+// Bug: recovery's rollback of a dead transaction's snapshot marker
+// stamps cleared the delete field unconditionally — clobbering a
+// later committed delete of the same row applied during the same
+// replay, and resurrecting the row. Markers are now only rolled back
+// where the stamp still carries them.
+func TestRegressMarkerRollbackClobbersCommittedDelete(t *testing.T) {
+	fs := vfs.NewMemFS()
+	db, err := openTortureDB(fs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := db.CreateTable(tortureConfig(tortureTables()[0])); err != nil {
+		t.Fatal(err)
+	}
+	mustCommit(t, db, "t_classic", 1)
+	// A transaction marker-deletes key 1; a savepoint captures the
+	// marker; the transaction dies with the process.
+	tx := db.Begin(mvcc.TxnSnapshot)
+	if _, err := db.Table("t_classic").DeleteKey(tx, types.Int(1)); err != nil {
+		t.Fatal(err)
+	}
+	if err := db.Savepoint(); err != nil {
+		t.Fatal(err)
+	}
+	if err := db.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Next incarnation: the rollback freed the row, and a new
+	// transaction deletes it for real.
+	db2, err := openTortureDB(fs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n := countKey(t, db2, "t_classic", 1); n != 1 {
+		t.Fatalf("marker delete of a dead txn not rolled back: %d rows", n)
+	}
+	tx2 := db2.Begin(mvcc.TxnSnapshot)
+	if _, err := db2.Table("t_classic").DeleteKey(tx2, types.Int(1)); err != nil {
+		t.Fatal(err)
+	}
+	if err := db2.Commit(tx2); err != nil {
+		t.Fatal(err)
+	}
+	if err := db2.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Replay sees the snapshot's dead marker AND the committed delete;
+	// rolling back the former must not undo the latter.
+	db3, err := openTortureDB(fs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer db3.Close()
+	if n := countKey(t, db3, "t_classic", 1); n != 0 {
+		t.Fatalf("committed delete clobbered by dead-marker rollback: key 1 has %d rows", n)
+	}
+}

@@ -1,0 +1,168 @@
+package vfs
+
+import (
+	"errors"
+	"fmt"
+	"os"
+	"sync"
+)
+
+// ErrInjected is the error every faulted operation returns; callers
+// detect a simulated crash with errors.Is.
+var ErrInjected = errors.New("vfs: injected fault")
+
+// Plan configures deterministic fault injection.
+type Plan struct {
+	// FailAfter crashes the FailAfter-th mutating operation (1-based):
+	// that operation fails, and every later mutating operation fails
+	// too, simulating process death at an exact I/O step. 0 disables.
+	FailAfter int64
+	// TornBytes applies only the first TornBytes bytes of the crashing
+	// operation when it is a write — a torn page or short write. 0
+	// means the crashing write applies nothing.
+	TornBytes int
+	// DropSyncs makes Sync report success without making data durable
+	// — a lying disk. Combined with MemFS.DurableClone it shows what a
+	// power loss does to unsynced data.
+	DropSyncs bool
+}
+
+// FaultFS wraps an FS and injects faults per a Plan. Mutating
+// operations (writes, truncates, syncs, removes, creations) are
+// counted; reads are never faulted, mirroring a crash that kills the
+// writer while the image stays readable. A fault-free pass with
+// OpCount reveals the sweep range for crash-point torture.
+type FaultFS struct {
+	inner FS
+	plan  Plan
+
+	mu      sync.Mutex
+	ops     int64
+	crashed bool
+}
+
+// NewFaultFS wraps inner with a fault plan.
+func NewFaultFS(inner FS, plan Plan) *FaultFS {
+	return &FaultFS{inner: inner, plan: plan}
+}
+
+// OpCount returns the number of mutating operations attempted so far.
+func (f *FaultFS) OpCount() int64 {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.ops
+}
+
+// Crashed reports whether the crash point has been reached.
+func (f *FaultFS) Crashed() bool {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.crashed
+}
+
+// step counts one mutating operation. It returns torn=true when this
+// is the crashing operation itself (the caller may apply a torn
+// prefix), and a non-nil error when the operation must fail.
+func (f *FaultFS) step(op, name string) (torn bool, err error) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if f.crashed {
+		return false, fmt.Errorf("%s %s after crash: %w", op, name, ErrInjected)
+	}
+	f.ops++
+	if f.plan.FailAfter > 0 && f.ops >= f.plan.FailAfter {
+		f.crashed = true
+		return true, fmt.Errorf("%s %s at op %d: %w", op, name, f.ops, ErrInjected)
+	}
+	return false, nil
+}
+
+func (f *FaultFS) OpenFile(name string, flag int, perm os.FileMode) (File, error) {
+	if flag&(os.O_CREATE|os.O_TRUNC) != 0 {
+		if _, err := f.step("create", name); err != nil {
+			return nil, err
+		}
+	}
+	inner, err := f.inner.OpenFile(name, flag, perm)
+	if err != nil {
+		return nil, err
+	}
+	return &faultFile{fs: f, inner: inner, name: name}, nil
+}
+
+func (f *FaultFS) Remove(name string) error {
+	if _, err := f.step("remove", name); err != nil {
+		return err
+	}
+	return f.inner.Remove(name)
+}
+
+func (f *FaultFS) MkdirAll(path string, perm os.FileMode) error {
+	if _, err := f.step("mkdir", path); err != nil {
+		return err
+	}
+	return f.inner.MkdirAll(path, perm)
+}
+
+func (f *FaultFS) ReadDir(name string) ([]os.DirEntry, error) { return f.inner.ReadDir(name) }
+func (f *FaultFS) Stat(name string) (os.FileInfo, error)      { return f.inner.Stat(name) }
+
+// faultFile wraps a file handle; all handles share the FS's op
+// counter, so a crash point can land inside any open file.
+type faultFile struct {
+	fs    *FaultFS
+	inner File
+	name  string
+}
+
+func (h *faultFile) Read(p []byte) (int, error)              { return h.inner.Read(p) }
+func (h *faultFile) ReadAt(p []byte, off int64) (int, error) { return h.inner.ReadAt(p, off) }
+func (h *faultFile) Stat() (os.FileInfo, error)              { return h.inner.Stat() }
+func (h *faultFile) Close() error                            { return h.inner.Close() }
+
+func (h *faultFile) Write(p []byte) (int, error) {
+	torn, err := h.fs.step("write", h.name)
+	if err != nil {
+		if torn && h.fs.plan.TornBytes > 0 {
+			n := h.fs.plan.TornBytes
+			if n > len(p) {
+				n = len(p)
+			}
+			h.inner.Write(p[:n])
+		}
+		return 0, err
+	}
+	return h.inner.Write(p)
+}
+
+func (h *faultFile) WriteAt(p []byte, off int64) (int, error) {
+	torn, err := h.fs.step("writeat", h.name)
+	if err != nil {
+		if torn && h.fs.plan.TornBytes > 0 {
+			n := h.fs.plan.TornBytes
+			if n > len(p) {
+				n = len(p)
+			}
+			h.inner.WriteAt(p[:n], off)
+		}
+		return 0, err
+	}
+	return h.inner.WriteAt(p, off)
+}
+
+func (h *faultFile) Truncate(size int64) error {
+	if _, err := h.fs.step("truncate", h.name); err != nil {
+		return err
+	}
+	return h.inner.Truncate(size)
+}
+
+func (h *faultFile) Sync() error {
+	if _, err := h.fs.step("sync", h.name); err != nil {
+		return err
+	}
+	if h.fs.plan.DropSyncs {
+		return nil
+	}
+	return h.inner.Sync()
+}

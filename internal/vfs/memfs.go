@@ -1,0 +1,375 @@
+package vfs
+
+import (
+	"fmt"
+	"io"
+	gofs "io/fs"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+)
+
+// MemFS is a deterministic in-memory file system. It distinguishes
+// the applied view of a file (every write that reached the FS,
+// analogous to the OS page cache) from the durable view (the content
+// as of the last Sync), so crash models can choose what survives.
+//
+// Parent directories are auto-created on file creation; directory
+// metadata is always durable (directory-entry loss is not modeled).
+// All methods are safe for concurrent use.
+type MemFS struct {
+	mu    sync.Mutex
+	files map[string]*memFile
+	dirs  map[string]bool
+}
+
+type memFile struct {
+	data    []byte // applied view
+	durable []byte // as of the last Sync
+}
+
+// NewMemFS returns an empty in-memory file system.
+func NewMemFS() *MemFS {
+	return &MemFS{files: map[string]*memFile{}, dirs: map[string]bool{".": true}}
+}
+
+func norm(name string) string { return filepath.Clean(name) }
+
+// Clone deep-copies the file system, applied and durable views both.
+func (m *MemFS) Clone() *MemFS {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	out := NewMemFS()
+	for p, f := range m.files {
+		out.files[p] = &memFile{
+			data:    append([]byte(nil), f.data...),
+			durable: append([]byte(nil), f.durable...),
+		}
+	}
+	for d := range m.dirs {
+		out.dirs[d] = true
+	}
+	return out
+}
+
+// DurableClone copies the file system as a power loss would leave it:
+// every file reverts to its last-synced content; unsynced writes are
+// gone.
+func (m *MemFS) DurableClone() *MemFS {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	out := NewMemFS()
+	for p, f := range m.files {
+		out.files[p] = &memFile{
+			data:    append([]byte(nil), f.durable...),
+			durable: append([]byte(nil), f.durable...),
+		}
+	}
+	for d := range m.dirs {
+		out.dirs[d] = true
+	}
+	return out
+}
+
+// addDirs registers a path's ancestors as directories.
+func (m *MemFS) addDirs(name string) {
+	for d := filepath.Dir(name); d != "." && d != string(filepath.Separator); d = filepath.Dir(d) {
+		m.dirs[d] = true
+	}
+	m.dirs["."] = true
+}
+
+// OpenFile opens or creates a file. Supported flags: os.O_CREATE,
+// os.O_TRUNC, os.O_APPEND, and the access modes.
+func (m *MemFS) OpenFile(name string, flag int, _ os.FileMode) (File, error) {
+	name = norm(name)
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	f, ok := m.files[name]
+	if !ok {
+		if flag&os.O_CREATE == 0 {
+			return nil, &os.PathError{Op: "open", Path: name, Err: os.ErrNotExist}
+		}
+		if m.dirs[name] {
+			return nil, &os.PathError{Op: "open", Path: name, Err: fmt.Errorf("is a directory")}
+		}
+		f = &memFile{}
+		m.files[name] = f
+		m.addDirs(name)
+	} else if flag&os.O_TRUNC != 0 {
+		f.data = nil
+	}
+	return &memHandle{
+		fs: m, f: f, name: name,
+		append:   flag&os.O_APPEND != 0,
+		readable: flag&os.O_WRONLY == 0,
+		writable: flag&(os.O_WRONLY|os.O_RDWR) != 0,
+	}, nil
+}
+
+// Remove deletes a file.
+func (m *MemFS) Remove(name string) error {
+	name = norm(name)
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if _, ok := m.files[name]; !ok {
+		return &os.PathError{Op: "remove", Path: name, Err: os.ErrNotExist}
+	}
+	delete(m.files, name)
+	return nil
+}
+
+// MkdirAll registers a directory and its ancestors.
+func (m *MemFS) MkdirAll(path string, _ os.FileMode) error {
+	path = norm(path)
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.dirs[path] = true
+	m.addDirs(path)
+	return nil
+}
+
+// ReadDir lists the immediate children of a directory.
+func (m *MemFS) ReadDir(name string) ([]os.DirEntry, error) {
+	name = norm(name)
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if !m.dirs[name] {
+		return nil, &os.PathError{Op: "open", Path: name, Err: os.ErrNotExist}
+	}
+	seen := map[string]os.DirEntry{}
+	child := func(p string) (string, bool) {
+		var rel string
+		if name == "." {
+			rel = p
+		} else {
+			if !strings.HasPrefix(p, name+string(filepath.Separator)) {
+				return "", false
+			}
+			rel = p[len(name)+1:]
+		}
+		if i := strings.IndexByte(rel, filepath.Separator); i >= 0 {
+			rel = rel[:i]
+		}
+		return rel, rel != "" && rel != "."
+	}
+	for p, f := range m.files {
+		if c, ok := child(p); ok {
+			if _, dup := seen[c]; !dup {
+				isDir := norm(filepath.Join(name, c)) != p
+				seen[c] = memDirEntry{name: c, dir: isDir, size: int64(len(f.data))}
+			}
+		}
+	}
+	for p := range m.dirs {
+		if c, ok := child(p); ok {
+			if _, dup := seen[c]; !dup {
+				seen[c] = memDirEntry{name: c, dir: true}
+			}
+		}
+	}
+	out := make([]os.DirEntry, 0, len(seen))
+	for _, e := range seen {
+		out = append(out, e)
+	}
+	sort.Slice(out, func(a, b int) bool { return out[a].Name() < out[b].Name() })
+	return out, nil
+}
+
+// Stat reports on a file or directory.
+func (m *MemFS) Stat(name string) (os.FileInfo, error) {
+	name = norm(name)
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if f, ok := m.files[name]; ok {
+		return memFileInfo{name: filepath.Base(name), size: int64(len(f.data))}, nil
+	}
+	if m.dirs[name] {
+		return memFileInfo{name: filepath.Base(name), dir: true}, nil
+	}
+	return nil, &os.PathError{Op: "stat", Path: name, Err: os.ErrNotExist}
+}
+
+// FileNames lists all file paths, sorted (for tests and debugging).
+func (m *MemFS) FileNames() []string {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	out := make([]string, 0, len(m.files))
+	for p := range m.files {
+		out = append(out, p)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// memHandle is one open descriptor on a memFile.
+type memHandle struct {
+	fs       *MemFS
+	f        *memFile
+	name     string
+	pos      int64
+	append   bool
+	readable bool
+	writable bool
+	closed   bool
+}
+
+func (h *memHandle) check(write bool) error {
+	if h.closed {
+		return os.ErrClosed
+	}
+	if write && !h.writable {
+		return &os.PathError{Op: "write", Path: h.name, Err: os.ErrPermission}
+	}
+	if !write && !h.readable {
+		return &os.PathError{Op: "read", Path: h.name, Err: os.ErrPermission}
+	}
+	return nil
+}
+
+func (h *memHandle) Read(p []byte) (int, error) {
+	if err := h.check(false); err != nil {
+		return 0, err
+	}
+	h.fs.mu.Lock()
+	defer h.fs.mu.Unlock()
+	if h.pos >= int64(len(h.f.data)) {
+		return 0, io.EOF
+	}
+	n := copy(p, h.f.data[h.pos:])
+	h.pos += int64(n)
+	return n, nil
+}
+
+func (h *memHandle) ReadAt(p []byte, off int64) (int, error) {
+	if err := h.check(false); err != nil {
+		return 0, err
+	}
+	h.fs.mu.Lock()
+	defer h.fs.mu.Unlock()
+	if off >= int64(len(h.f.data)) {
+		return 0, io.EOF
+	}
+	n := copy(p, h.f.data[off:])
+	if n < len(p) {
+		return n, io.EOF
+	}
+	return n, nil
+}
+
+// writeLocked applies p at off, zero-extending as needed.
+func (h *memHandle) writeLocked(p []byte, off int64) {
+	end := off + int64(len(p))
+	if end > int64(len(h.f.data)) {
+		grown := make([]byte, end)
+		copy(grown, h.f.data)
+		h.f.data = grown
+	}
+	copy(h.f.data[off:], p)
+}
+
+func (h *memHandle) Write(p []byte) (int, error) {
+	if err := h.check(true); err != nil {
+		return 0, err
+	}
+	h.fs.mu.Lock()
+	defer h.fs.mu.Unlock()
+	if h.append {
+		h.pos = int64(len(h.f.data))
+	}
+	h.writeLocked(p, h.pos)
+	h.pos += int64(len(p))
+	return len(p), nil
+}
+
+func (h *memHandle) WriteAt(p []byte, off int64) (int, error) {
+	if err := h.check(true); err != nil {
+		return 0, err
+	}
+	h.fs.mu.Lock()
+	defer h.fs.mu.Unlock()
+	h.writeLocked(p, off)
+	return len(p), nil
+}
+
+func (h *memHandle) Truncate(size int64) error {
+	if err := h.check(true); err != nil {
+		return err
+	}
+	h.fs.mu.Lock()
+	defer h.fs.mu.Unlock()
+	if size <= int64(len(h.f.data)) {
+		h.f.data = h.f.data[:size]
+	} else {
+		grown := make([]byte, size)
+		copy(grown, h.f.data)
+		h.f.data = grown
+	}
+	return nil
+}
+
+func (h *memHandle) Sync() error {
+	if h.closed {
+		return os.ErrClosed
+	}
+	h.fs.mu.Lock()
+	defer h.fs.mu.Unlock()
+	h.f.durable = append([]byte(nil), h.f.data...)
+	return nil
+}
+
+func (h *memHandle) Stat() (os.FileInfo, error) {
+	if h.closed {
+		return nil, os.ErrClosed
+	}
+	h.fs.mu.Lock()
+	defer h.fs.mu.Unlock()
+	return memFileInfo{name: filepath.Base(h.name), size: int64(len(h.f.data))}, nil
+}
+
+func (h *memHandle) Close() error {
+	if h.closed {
+		return os.ErrClosed
+	}
+	h.closed = true
+	return nil
+}
+
+type memFileInfo struct {
+	name string
+	size int64
+	dir  bool
+}
+
+func (i memFileInfo) Name() string { return i.name }
+func (i memFileInfo) Size() int64  { return i.size }
+func (i memFileInfo) Mode() gofs.FileMode {
+	if i.dir {
+		return gofs.ModeDir | 0o755
+	}
+	return 0o644
+}
+func (i memFileInfo) ModTime() time.Time { return time.Time{} }
+func (i memFileInfo) IsDir() bool        { return i.dir }
+func (i memFileInfo) Sys() any           { return nil }
+
+type memDirEntry struct {
+	name string
+	dir  bool
+	size int64
+}
+
+func (e memDirEntry) Name() string { return e.name }
+func (e memDirEntry) IsDir() bool  { return e.dir }
+func (e memDirEntry) Type() gofs.FileMode {
+	if e.dir {
+		return gofs.ModeDir
+	}
+	return 0
+}
+func (e memDirEntry) Info() (gofs.FileInfo, error) {
+	return memFileInfo{name: e.name, size: e.size, dir: e.dir}, nil
+}

@@ -1,0 +1,58 @@
+// Package vfs abstracts the file operations of the persistence layer
+// (pager and redo log) behind small FS/File interfaces, so that
+// durability machinery can run against the real OS, a deterministic
+// in-memory store (MemFS), or a fault injector (FaultFS) that
+// simulates torn writes, I/O errors, and power loss at any I/O step.
+//
+// The paper's recovery claims — "a crash before the flip leaves the
+// previous savepoint fully intact" (§3.2) — are only testable if a
+// test can crash the store between any two writes; this package is
+// that capability.
+package vfs
+
+import (
+	"io"
+	"os"
+)
+
+// File is the subset of *os.File the persistence layer uses. Reads
+// through the io.Reader interface advance a per-handle cursor;
+// ReadAt/WriteAt are positioned. Writers opened with os.O_APPEND
+// append atomically at the end.
+type File interface {
+	io.Reader
+	io.Writer
+	io.ReaderAt
+	io.WriterAt
+	Truncate(size int64) error
+	Sync() error
+	Stat() (os.FileInfo, error)
+	Close() error
+}
+
+// FS is the subset of the os package the persistence layer uses.
+type FS interface {
+	OpenFile(name string, flag int, perm os.FileMode) (File, error)
+	Remove(name string) error
+	MkdirAll(path string, perm os.FileMode) error
+	ReadDir(name string) ([]os.DirEntry, error)
+	Stat(name string) (os.FileInfo, error)
+}
+
+// OS is the passthrough FS backed by the real operating system.
+var OS FS = osFS{}
+
+type osFS struct{}
+
+func (osFS) OpenFile(name string, flag int, perm os.FileMode) (File, error) {
+	f, err := os.OpenFile(name, flag, perm)
+	if err != nil {
+		return nil, err
+	}
+	return f, nil
+}
+
+func (osFS) Remove(name string) error                     { return os.Remove(name) }
+func (osFS) MkdirAll(path string, perm os.FileMode) error { return os.MkdirAll(path, perm) }
+func (osFS) ReadDir(name string) ([]os.DirEntry, error)   { return os.ReadDir(name) }
+func (osFS) Stat(name string) (os.FileInfo, error)        { return os.Stat(name) }

@@ -1,0 +1,261 @@
+package vfs
+
+import (
+	"bytes"
+	"errors"
+	"io"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func TestMemFSBasic(t *testing.T) {
+	m := NewMemFS()
+	f, err := m.OpenFile("dir/a.txt", os.O_CREATE|os.O_RDWR, 0o644)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.WriteAt([]byte("hello"), 0); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.WriteAt([]byte("X"), 10); err != nil {
+		t.Fatal(err)
+	}
+	st, err := f.Stat()
+	if err != nil || st.Size() != 11 {
+		t.Fatalf("size=%v err=%v", st, err)
+	}
+	buf := make([]byte, 11)
+	if _, err := f.ReadAt(buf, 0); err != nil {
+		t.Fatal(err)
+	}
+	if string(buf[:5]) != "hello" || buf[7] != 0 || buf[10] != 'X' {
+		t.Fatalf("content %q", buf)
+	}
+	if err := f.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.WriteAt([]byte("y"), 0); !errors.Is(err, os.ErrClosed) {
+		t.Fatalf("write after close: %v", err)
+	}
+	// Reopen read-only and read sequentially.
+	r, err := m.OpenFile("dir/a.txt", os.O_RDONLY, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	all, err := io.ReadAll(r)
+	if err != nil || len(all) != 11 {
+		t.Fatalf("read all: %d bytes, %v", len(all), err)
+	}
+	if _, err := r.Write([]byte("no")); err == nil {
+		t.Fatal("write on read-only handle succeeded")
+	}
+}
+
+func TestMemFSAppendAndTrunc(t *testing.T) {
+	m := NewMemFS()
+	f, _ := m.OpenFile("log", os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+	f.Write([]byte("aa"))
+	f.Write([]byte("bb"))
+	f.Close()
+	// A second append handle continues at the end.
+	g, _ := m.OpenFile("log", os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+	g.Write([]byte("cc"))
+	g.Close()
+	r, _ := m.OpenFile("log", os.O_RDONLY, 0)
+	got, _ := io.ReadAll(r)
+	if string(got) != "aabbcc" {
+		t.Fatalf("append content %q", got)
+	}
+	// O_TRUNC resets.
+	h, _ := m.OpenFile("log", os.O_CREATE|os.O_WRONLY|os.O_TRUNC, 0o644)
+	h.Write([]byte("z"))
+	h.Close()
+	st, _ := m.Stat("log")
+	if st.Size() != 1 {
+		t.Fatalf("after trunc size=%d", st.Size())
+	}
+	// Truncate to a prefix.
+	u, _ := m.OpenFile("log", os.O_RDWR, 0)
+	u.Write([]byte("abcdef"))
+	if err := u.Truncate(3); err != nil {
+		t.Fatal(err)
+	}
+	st2, _ := u.Stat()
+	if st2.Size() != 3 {
+		t.Fatalf("after Truncate size=%d", st2.Size())
+	}
+}
+
+func TestMemFSDirOps(t *testing.T) {
+	m := NewMemFS()
+	if err := m.MkdirAll("a/b", 0o755); err != nil {
+		t.Fatal(err)
+	}
+	for _, name := range []string{"a/b/w-1.log", "a/b/w-2.log", "a/b/sub/deep.log"} {
+		f, err := m.OpenFile(name, os.O_CREATE|os.O_WRONLY, 0o644)
+		if err != nil {
+			t.Fatal(err)
+		}
+		f.Close()
+	}
+	ents, err := m.ReadDir("a/b")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var names []string
+	for _, e := range ents {
+		names = append(names, e.Name())
+	}
+	want := []string{"sub", "w-1.log", "w-2.log"}
+	if len(names) != 3 || names[0] != want[0] || names[1] != want[1] || names[2] != want[2] {
+		t.Fatalf("ReadDir → %v, want %v", names, want)
+	}
+	if !ents[0].IsDir() || ents[1].IsDir() {
+		t.Fatalf("IsDir flags wrong: %v", ents)
+	}
+	if _, err := m.ReadDir("nope"); !errors.Is(err, os.ErrNotExist) {
+		t.Fatalf("missing dir: %v", err)
+	}
+	if err := m.Remove("a/b/w-1.log"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := m.Stat("a/b/w-1.log"); !errors.Is(err, os.ErrNotExist) {
+		t.Fatalf("stat removed: %v", err)
+	}
+	if st, err := m.Stat("a/b"); err != nil || !st.IsDir() {
+		t.Fatalf("dir stat: %v %v", st, err)
+	}
+}
+
+func TestMemFSDurableClone(t *testing.T) {
+	m := NewMemFS()
+	f, _ := m.OpenFile("f", os.O_CREATE|os.O_RDWR, 0o644)
+	f.Write([]byte("synced"))
+	f.Sync()
+	f.Write([]byte(" and not"))
+	applied := m.Clone()
+	durable := m.DurableClone()
+	read := func(fs *MemFS) string {
+		r, err := fs.OpenFile("f", os.O_RDONLY, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		b, _ := io.ReadAll(r)
+		return string(b)
+	}
+	if got := read(applied); got != "synced and not" {
+		t.Fatalf("applied clone %q", got)
+	}
+	if got := read(durable); got != "synced" {
+		t.Fatalf("durable clone %q", got)
+	}
+	// Clones are independent of the original.
+	f.Write([]byte("!"))
+	if got := read(applied); got != "synced and not" {
+		t.Fatalf("clone mutated: %q", got)
+	}
+}
+
+func TestFaultFSCrashPoint(t *testing.T) {
+	mem := NewMemFS()
+	ff := NewFaultFS(mem, Plan{FailAfter: 3})
+	f, err := ff.OpenFile("x", os.O_CREATE|os.O_RDWR, 0o644) // op 1
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.WriteAt([]byte("aa"), 0); err != nil { // op 2
+		t.Fatal(err)
+	}
+	if _, err := f.WriteAt([]byte("bb"), 2); !errors.Is(err, ErrInjected) { // op 3: crash
+		t.Fatalf("want injected fault, got %v", err)
+	}
+	if !ff.Crashed() {
+		t.Fatal("not crashed")
+	}
+	// Everything mutating keeps failing; reads still work.
+	if err := f.Sync(); !errors.Is(err, ErrInjected) {
+		t.Fatalf("sync after crash: %v", err)
+	}
+	buf := make([]byte, 2)
+	if _, err := f.ReadAt(buf, 0); err != nil || string(buf) != "aa" {
+		t.Fatalf("read after crash: %q %v", buf, err)
+	}
+	st, _ := mem.Stat("x")
+	if st.Size() != 2 {
+		t.Fatalf("crashing write applied: size=%d", st.Size())
+	}
+}
+
+func TestFaultFSTornWrite(t *testing.T) {
+	mem := NewMemFS()
+	ff := NewFaultFS(mem, Plan{FailAfter: 2, TornBytes: 3})
+	f, _ := ff.OpenFile("x", os.O_CREATE|os.O_RDWR, 0o644) // op 1
+	if _, err := f.WriteAt([]byte("abcdef"), 0); !errors.Is(err, ErrInjected) {
+		t.Fatal("no fault")
+	}
+	r, _ := mem.OpenFile("x", os.O_RDONLY, 0)
+	got, _ := io.ReadAll(r)
+	if !bytes.Equal(got, []byte("abc")) {
+		t.Fatalf("torn write left %q, want \"abc\"", got)
+	}
+}
+
+func TestFaultFSDropSyncs(t *testing.T) {
+	mem := NewMemFS()
+	ff := NewFaultFS(mem, Plan{DropSyncs: true})
+	f, _ := ff.OpenFile("x", os.O_CREATE|os.O_RDWR, 0o644)
+	f.Write([]byte("data"))
+	if err := f.Sync(); err != nil {
+		t.Fatal(err)
+	}
+	d := mem.DurableClone()
+	if _, err := d.OpenFile("x", os.O_RDONLY, 0); err != nil {
+		t.Fatal(err)
+	}
+	st, _ := d.Stat("x")
+	if st.Size() != 0 {
+		t.Fatalf("lying sync made data durable: %d bytes", st.Size())
+	}
+}
+
+func TestFaultFSOpCountDeterministic(t *testing.T) {
+	run := func() int64 {
+		mem := NewMemFS()
+		ff := NewFaultFS(mem, Plan{})
+		ff.MkdirAll("d", 0o755)
+		f, _ := ff.OpenFile("d/x", os.O_CREATE|os.O_RDWR, 0o644)
+		f.WriteAt([]byte("1234"), 0)
+		f.Sync()
+		f.Close()
+		ff.Remove("d/x")
+		return ff.OpCount()
+	}
+	a, b := run(), run()
+	if a != b || a == 0 {
+		t.Fatalf("op counts %d vs %d", a, b)
+	}
+}
+
+func TestOsFSPassthrough(t *testing.T) {
+	dir := t.TempDir()
+	p := filepath.Join(dir, "f")
+	f, err := OS.OpenFile(p, os.O_CREATE|os.O_RDWR, 0o644)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.WriteAt([]byte("ok"), 0); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Sync(); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+	ents, err := OS.ReadDir(dir)
+	if err != nil || len(ents) != 1 || ents[0].Name() != "f" {
+		t.Fatalf("ReadDir → %v, %v", ents, err)
+	}
+	if st, err := OS.Stat(p); err != nil || st.Size() != 2 {
+		t.Fatalf("Stat → %v, %v", st, err)
+	}
+}

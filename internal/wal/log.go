@@ -13,6 +13,8 @@ import (
 	"strconv"
 	"strings"
 	"sync"
+
+	"repro/internal/vfs"
 )
 
 // framing: [4B payload length][4B IEEE CRC of payload][payload].
@@ -26,8 +28,9 @@ const maxRecordSize = 64 << 20
 // are serialized internally; replay may run on a quiescent log only.
 type Log struct {
 	mu      sync.Mutex
+	fs      vfs.FS
 	dir     string
-	seg     *os.File
+	seg     vfs.File
 	w       *bufio.Writer
 	segSeq  int
 	syncing bool // fsync on every Sync call
@@ -39,15 +42,26 @@ type Options struct {
 	// benchmarks measure the engine, not the disk; durability-focused
 	// experiments switch it on.
 	SyncOnCommit bool
+	// FS selects the file system (nil = the real OS). Fault-injecting
+	// file systems plug in here.
+	FS vfs.FS
 }
 
 // Open opens (or creates) the log in dir and positions appends at the
-// newest segment.
+// newest segment. A torn tail left by a crash mid-append is truncated
+// to the last intact record, so that records appended from now on
+// stay reachable by future replays (replay stops at the first
+// invalid frame; appending after torn bytes would orphan everything
+// that follows).
 func Open(dir string, opts Options) (*Log, error) {
-	if err := os.MkdirAll(dir, 0o755); err != nil {
+	fsys := opts.FS
+	if fsys == nil {
+		fsys = vfs.OS
+	}
+	if err := fsys.MkdirAll(dir, 0o755); err != nil {
 		return nil, fmt.Errorf("wal: %w", err)
 	}
-	l := &Log{dir: dir, syncing: opts.SyncOnCommit}
+	l := &Log{fs: fsys, dir: dir, syncing: opts.SyncOnCommit}
 	segs, err := l.segments()
 	if err != nil {
 		return nil, err
@@ -55,6 +69,9 @@ func Open(dir string, opts Options) (*Log, error) {
 	l.segSeq = 1
 	if n := len(segs); n > 0 {
 		l.segSeq = segs[n-1]
+		if err := l.truncateTornTail(l.segSeq); err != nil {
+			return nil, err
+		}
 	}
 	if err := l.openSegment(l.segSeq, true); err != nil {
 		return nil, err
@@ -66,7 +83,7 @@ func segName(seq int) string { return fmt.Sprintf("wal-%06d.log", seq) }
 
 // segments returns the existing segment sequence numbers, ascending.
 func (l *Log) segments() ([]int, error) {
-	entries, err := os.ReadDir(l.dir)
+	entries, err := l.fs.ReadDir(l.dir)
 	if err != nil {
 		return nil, fmt.Errorf("wal: %w", err)
 	}
@@ -86,6 +103,62 @@ func (l *Log) segments() ([]int, error) {
 	return seqs, nil
 }
 
+// validPrefixLen walks a segment's frames and returns the byte length
+// of the longest prefix of intact records.
+func (l *Log) validPrefixLen(path string) (int64, error) {
+	f, err := l.fs.OpenFile(path, os.O_RDONLY, 0)
+	if err != nil {
+		return 0, fmt.Errorf("wal: %w", err)
+	}
+	defer f.Close()
+	r := bufio.NewReaderSize(f, 1<<16)
+	var valid int64
+	for {
+		var hdr [frameHeader]byte
+		if _, err := io.ReadFull(r, hdr[:]); err != nil {
+			return valid, nil // EOF or torn header
+		}
+		n := binary.LittleEndian.Uint32(hdr[0:4])
+		want := binary.LittleEndian.Uint32(hdr[4:8])
+		if n > maxRecordSize {
+			return valid, nil
+		}
+		payload := make([]byte, n)
+		if _, err := io.ReadFull(r, payload); err != nil {
+			return valid, nil // torn payload
+		}
+		if crc32.ChecksumIEEE(payload) != want {
+			return valid, nil
+		}
+		valid += frameHeader + int64(n)
+	}
+}
+
+// truncateTornTail cuts a segment back to its last intact record.
+func (l *Log) truncateTornTail(seq int) error {
+	path := filepath.Join(l.dir, segName(seq))
+	st, err := l.fs.Stat(path)
+	if err != nil {
+		return fmt.Errorf("wal: %w", err)
+	}
+	valid, err := l.validPrefixLen(path)
+	if err != nil {
+		return err
+	}
+	if valid == st.Size() {
+		return nil
+	}
+	f, err := l.fs.OpenFile(path, os.O_RDWR, 0)
+	if err != nil {
+		return fmt.Errorf("wal: %w", err)
+	}
+	defer f.Close()
+	if err := f.Truncate(valid); err != nil {
+		return fmt.Errorf("wal: truncating torn tail of %s: %w", path, err)
+	}
+	return f.Sync()
+}
+
 func (l *Log) openSegment(seq int, appendMode bool) error {
 	flags := os.O_CREATE | os.O_WRONLY
 	if appendMode {
@@ -93,13 +166,22 @@ func (l *Log) openSegment(seq int, appendMode bool) error {
 	} else {
 		flags |= os.O_TRUNC
 	}
-	f, err := os.OpenFile(filepath.Join(l.dir, segName(seq)), flags, 0o644)
+	f, err := l.fs.OpenFile(filepath.Join(l.dir, segName(seq)), flags, 0o644)
 	if err != nil {
 		return fmt.Errorf("wal: %w", err)
 	}
 	l.seg = f
 	l.w = bufio.NewWriterSize(f, 1<<16)
 	return nil
+}
+
+// Seq returns the current (newest) segment sequence number. The
+// savepoint mechanism records it in the snapshot so recovery can skip
+// segments whose records the snapshot already contains.
+func (l *Log) Seq() int {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.segSeq
 }
 
 // Append writes a record to the current segment.
@@ -172,7 +254,7 @@ func (l *Log) DropBefore() error {
 	}
 	for _, s := range segs {
 		if s < cur {
-			if err := os.Remove(filepath.Join(dir, segName(s))); err != nil {
+			if err := l.fs.Remove(filepath.Join(dir, segName(s))); err != nil {
 				return fmt.Errorf("wal: %w", err)
 			}
 		}
@@ -191,7 +273,7 @@ func (l *Log) Size() int64 {
 	segs, _ := l.segments()
 	var total int64
 	for _, s := range segs {
-		if fi, err := os.Stat(filepath.Join(l.dir, segName(s))); err == nil {
+		if fi, err := l.fs.Stat(filepath.Join(l.dir, segName(s))); err == nil {
 			total += fi.Size()
 		}
 	}
@@ -218,6 +300,16 @@ func (l *Log) Close() error {
 // takes whatever prefix is intact); corruption before the tail is
 // reported.
 func (l *Log) Replay(fn func(*Record) error) error {
+	return l.ReplayFrom(0, fn)
+}
+
+// ReplayFrom replays only segments with sequence number ≥ minSeq.
+// Records in older segments predate the savepoint that recorded
+// minSeq: their effects are part of the snapshot already, and
+// re-applying them would double-apply (the savepoint deletes those
+// segments, but a crash between the superblock flip and the deletion
+// leaves them on disk).
+func (l *Log) ReplayFrom(minSeq int, fn func(*Record) error) error {
 	l.mu.Lock()
 	if l.seg != nil {
 		if err := l.syncLocked(); err != nil {
@@ -232,16 +324,19 @@ func (l *Log) Replay(fn func(*Record) error) error {
 		return err
 	}
 	for i, seq := range segs {
+		if seq < minSeq {
+			continue
+		}
 		last := i == len(segs)-1
-		if err := replaySegment(filepath.Join(dir, segName(seq)), last, fn); err != nil {
+		if err := replaySegment(l.fs, filepath.Join(dir, segName(seq)), last, fn); err != nil {
 			return err
 		}
 	}
 	return nil
 }
 
-func replaySegment(path string, tolerateTail bool, fn func(*Record) error) error {
-	f, err := os.Open(path)
+func replaySegment(fsys vfs.FS, path string, tolerateTail bool, fn func(*Record) error) error {
+	f, err := fsys.OpenFile(path, os.O_RDONLY, 0)
 	if err != nil {
 		return fmt.Errorf("wal: %w", err)
 	}

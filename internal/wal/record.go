@@ -164,6 +164,11 @@ func DecodeRecord(p []byte) (*Record, error) {
 		if err != nil {
 			return nil, err
 		}
+		if ncols > uint64(b.Len()) {
+			// Every value takes at least one byte; a larger count is a
+			// corrupt record, not a huge allocation.
+			return nil, fmt.Errorf("wal: row width %d exceeds buffer", ncols)
+		}
 		row := make([]types.Value, ncols)
 		for j := range row {
 			if row[j], err = decodeValue(b); err != nil {
