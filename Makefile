@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test vet race bench fuzz torture check
+.PHONY: all build test vet race bench fuzz torture staticcheck check
 
 # Torture-harness knobs (see internal/torture): the seed and op count
 # for the differential run, overridable per invocation:
@@ -20,6 +20,16 @@ test: build
 
 vet:
 	$(GO) vet ./...
+
+# Extended static analysis, gated on the tool being installed so the
+# gate works on minimal containers (nothing is downloaded). Install
+# with: go install honnef.co/go/tools/cmd/staticcheck@latest
+staticcheck:
+	@if command -v staticcheck >/dev/null 2>&1; then \
+		staticcheck ./...; \
+	else \
+		echo "staticcheck not installed; skipping (go install honnef.co/go/tools/cmd/staticcheck@latest)"; \
+	fi
 
 # Race-detector pass over the packages with concurrent machinery
 # (scheduler, column-parallel merge, HTAP stress tests).
@@ -47,4 +57,4 @@ torture:
 	TORTURE_SEED=$(TORTURE_SEED) TORTURE_OPS=$(TORTURE_OPS) \
 		$(GO) test ./internal/torture -run TestDifferentialOracle -v -count 1
 
-check: test vet race torture
+check: test vet staticcheck race torture

@@ -13,6 +13,7 @@ import (
 	"testing"
 
 	hana "repro"
+	"repro/internal/engine"
 	"repro/internal/workload"
 )
 
@@ -670,5 +671,46 @@ func BenchmarkE12_UniqueCheckedInsert(b *testing.B) {
 			b.Fatal(err)
 		}
 		db.Commit(tx)
+	}
+}
+
+// --- E13: vectorized batch read path (§3.1) ---
+
+func benchScanAggregate(b *testing.B, batch bool, size int) {
+	f := mainFixture(b)
+	groupBy := []int{3}
+	aggs := []hana.Agg{{Func: hana.Count}, {Func: hana.Sum, Col: 5}, {Func: hana.Sum, Col: 6}}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		var err error
+		if batch {
+			_, err = hana.CollectBatches(&hana.BatchHashAggregate{
+				In: &hana.BatchTableScan{Table: f.tab, BatchSize: size}, GroupBy: groupBy, Aggs: aggs,
+			})
+		} else {
+			// The retained row-at-a-time reference pipeline.
+			_, err = engine.Collect(&engine.HashAggregate{
+				In: &engine.TableScan{Table: f.tab}, GroupBy: groupBy, Aggs: aggs,
+			})
+		}
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkE13_ScanAggregate_Rows(b *testing.B)       { benchScanAggregate(b, false, 0) }
+func BenchmarkE13_ScanAggregate_Batch(b *testing.B)      { benchScanAggregate(b, true, 0) }
+func BenchmarkE13_ScanAggregate_Batch64(b *testing.B)    { benchScanAggregate(b, true, 64) }
+func BenchmarkE13_ScanAggregate_Batch16384(b *testing.B) { benchScanAggregate(b, true, 16384) }
+
+func BenchmarkE13_LimitPushdown(b *testing.B) {
+	f := mainFixture(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		rows, err := hana.CollectBatches(&hana.BatchLimit{N: 10, In: &hana.BatchTableScan{Table: f.tab}})
+		if err != nil || len(rows) != 10 {
+			b.Fatalf("rows=%d err=%v", len(rows), err)
+		}
 	}
 }

@@ -316,14 +316,31 @@ func (s *session) table(w *bufio.Writer, cmd string, t *hana.Table, args []strin
 				limit = n
 			}
 		}
-		v := t.View(s.txn)
-		n := 0
-		v.ScanAll(func(_ hana.RowID, row []hana.Value) bool {
-			fmt.Fprintln(w, renderRow(row))
-			n++
-			return n < limit
-		})
-		v.Close()
+		// Vectorized streaming scan with the render limit pushed down:
+		// once satisfied, BatchLimit stops pulling and the table scan
+		// never decodes the rest.
+		it := &hana.BatchLimit{N: limit, In: &hana.BatchTableScan{Table: t, Txn: s.txn}}
+		if err := it.Open(); err != nil {
+			fmt.Fprintf(w, "ERR %v\n", err)
+			return
+		}
+		var buf []hana.Value
+		for {
+			b, err := it.Next()
+			if err != nil {
+				it.Close()
+				fmt.Fprintf(w, "ERR %v\n", err)
+				return
+			}
+			if b == nil {
+				break
+			}
+			for i := 0; i < b.Rows(); i++ {
+				buf = b.RowAt(i, buf)
+				fmt.Fprintln(w, renderRow(buf))
+			}
+		}
+		it.Close()
 		fmt.Fprintln(w, "END")
 	case "AGG":
 		if len(args) != 2 {

@@ -52,6 +52,7 @@ import (
 	"repro/internal/expr"
 	"repro/internal/mvcc"
 	"repro/internal/types"
+	"repro/internal/vec"
 )
 
 // Core database objects (aliases keep the full method sets).
@@ -130,6 +131,43 @@ type (
 	// SortSpec orders by a column.
 	SortSpec = engine.SortSpec
 )
+
+// Vectorized execution: the batch read path streams fixed-size column
+// batches (typed vectors + null bitmap + selection vector) from the
+// unified table's stages through batch operators, evaluating pushed-
+// down predicates on dictionary codes inside each stage.
+type (
+	// Batch is a block of rows in columnar layout.
+	Batch = vec.Batch
+	// BatchCol is one column vector of a batch.
+	BatchCol = vec.Col
+	// BatchIterator is the vectorized Open-Next-Close protocol.
+	BatchIterator = engine.BatchIterator
+	// BatchTableScan streams a table as column batches (the view stays
+	// pinned for the scan's lifetime; Close releases it).
+	BatchTableScan = engine.BatchTableScan
+	// BatchFilter refines selection vectors with a predicate.
+	BatchFilter = engine.BatchFilter
+	// BatchProject prunes batch columns (zero-copy).
+	BatchProject = engine.BatchProject
+	// BatchLimit truncates the stream and stops pulling when satisfied.
+	BatchLimit = engine.BatchLimit
+	// BatchHashJoin equi-joins two batch streams.
+	BatchHashJoin = engine.BatchHashJoin
+	// BatchHashAggregate groups and aggregates batch streams.
+	BatchHashAggregate = engine.BatchHashAggregate
+	// BatchToRows adapts batches to the row-at-a-time Iterator.
+	BatchToRows = engine.BatchToRows
+	// RowsToBatches adapts a row iterator to batches.
+	RowsToBatches = engine.RowsToBatches
+)
+
+// DefaultBatchSize is the batch row capacity used when
+// TableConfig.BatchSize is unset.
+const DefaultBatchSize = vec.DefaultBatchSize
+
+// CollectBatches drains a batch iterator into materialized rows.
+func CollectBatches(it BatchIterator) ([][]Value, error) { return engine.CollectBatches(it) }
 
 // Data type kinds.
 const (

@@ -105,8 +105,11 @@ func (ex *executor) eval(n *Node) ([][]types.Value, error) {
 func (ex *executor) compute(n *Node) ([][]types.Value, error) {
 	switch n.kind {
 	case KindTable:
-		scan := &engine.TableScan{Table: n.table, Txn: ex.env.Txn, Pred: n.pred, Cols: n.tableCols, AsOf: n.asOf}
-		return engine.Collect(scan)
+		// The vectorized scan streams column batches with code-level
+		// predicate pushdown instead of materializing inside the view
+		// latch.
+		scan := &engine.BatchTableScan{Table: n.table, Txn: ex.env.Txn, Pred: n.pred, Cols: n.tableCols, AsOf: n.asOf}
+		return engine.CollectBatches(scan)
 	case KindValues:
 		return n.rows, nil
 	case KindView:
@@ -132,6 +135,16 @@ func (ex *executor) compute(n *Node) ([][]types.Value, error) {
 		}
 		return engine.Collect(&engine.Project{In: engine.NewSliceSource(in), Cols: n.cols})
 	case KindJoin:
+		// When both sides are exclusively-owned table scans, join the
+		// batch streams directly: the probe side never materializes.
+		l, r := n.inputs[0], n.inputs[1]
+		if l.kind == KindTable && r.kind == KindTable && ex.cons[l] <= 1 && ex.cons[r] <= 1 {
+			return engine.CollectBatches(&engine.BatchHashJoin{
+				Left:    &engine.BatchTableScan{Table: l.table, Txn: ex.env.Txn, Pred: l.pred, Cols: l.tableCols, AsOf: l.asOf},
+				Right:   &engine.BatchTableScan{Table: r.table, Txn: ex.env.Txn, Pred: r.pred, Cols: r.tableCols, AsOf: r.asOf},
+				LeftCol: n.leftCol, RightCol: n.rightCol,
+			})
+		}
 		left, err := ex.eval(n.inputs[0])
 		if err != nil {
 			return nil, err
@@ -178,6 +191,18 @@ func (ex *executor) compute(n *Node) ([][]types.Value, error) {
 		}
 		return engine.Collect(&engine.Sort{In: engine.NewSliceSource(in), Keys: n.sortKeys})
 	case KindLimit:
+		// Limit over an exclusively-owned table scan stops pulling
+		// batches once satisfied — the scan never decodes the rest of
+		// the table (limit pushdown).
+		if child := n.inputs[0]; child.kind == KindTable && ex.cons[child] <= 1 {
+			return engine.CollectBatches(&engine.BatchLimit{
+				N: n.limit,
+				In: &engine.BatchTableScan{
+					Table: child.table, Txn: ex.env.Txn, Pred: child.pred,
+					Cols: child.tableCols, AsOf: child.asOf,
+				},
+			})
+		}
 		in, err := ex.eval(n.inputs[0])
 		if err != nil {
 			return nil, err

@@ -1,0 +1,183 @@
+package core
+
+import (
+	"sort"
+
+	"repro/internal/expr"
+	"repro/internal/types"
+	"repro/internal/vec"
+)
+
+// stageFiller is the per-stage batch producer contract: append up to
+// room rows to the output vectors, report the count and whether the
+// stage can produce more. l1delta.BatchScan, l2delta.BatchScan, and
+// mainstore.BatchScan all satisfy it.
+type stageFiller interface {
+	Fill(out []*vec.Col, room int) (int, bool)
+}
+
+// BatchScan streams the view's visible rows as column batches,
+// stitching the three life-cycle stages in order (L1-delta, L2-delta
+// generations, main chain). Pushed-down ranges are evaluated on
+// dictionary codes inside the columnar stages and on row values in
+// the L1-delta; the residual predicate is evaluated per batch here.
+// The returned batches are reused: consumers must finish with one
+// before pulling the next.
+type BatchScan struct {
+	v         *View
+	outCols   []int
+	scanCols  []int
+	outIdx    []int
+	residual  expr.Predicate
+	batchSize int
+	stages    []stageFiller
+	stage     int
+	scan      *vec.Batch
+	out       *vec.Batch
+	rowBuf    []types.Value
+}
+
+// NewBatchScan plans a batch scan producing the listed columns (nil =
+// all) for rows satisfying pred (nil = all). batchSize ≤ 0 selects
+// the table's configured BatchSize. The cursor is only valid while
+// the view is open.
+func (v *View) NewBatchScan(cols []int, pred expr.Predicate, batchSize int) *BatchScan {
+	schema := v.t.cfg.Schema
+	if cols == nil {
+		cols = make([]int, len(schema.Columns))
+		for i := range cols {
+			cols[i] = i
+		}
+	}
+	if batchSize <= 0 {
+		batchSize = v.t.cfg.BatchSize
+	}
+	if batchSize <= 0 {
+		batchSize = vec.DefaultBatchSize
+	}
+	c := &BatchScan{v: v, outCols: cols, batchSize: batchSize}
+
+	ranges, residual := expr.Pushdown(pred)
+	c.residual = residual
+
+	// The scan must cover the requested columns plus whatever the
+	// residual reads; unknown predicate shapes widen to every column.
+	need := map[int]bool{}
+	for _, col := range cols {
+		need[col] = true
+	}
+	if residual != nil {
+		if rcols, ok := expr.Columns(residual); ok {
+			for _, col := range rcols {
+				need[col] = true
+			}
+		} else {
+			for i := range schema.Columns {
+				need[i] = true
+			}
+		}
+	}
+	c.scanCols = make([]int, 0, len(need))
+	for col := range need {
+		c.scanCols = append(c.scanCols, col)
+	}
+	sort.Ints(c.scanCols)
+	at := make(map[int]int, len(c.scanCols))
+	for i, col := range c.scanCols {
+		at[col] = i
+	}
+	c.outIdx = make([]int, len(cols))
+	for i, col := range cols {
+		c.outIdx[i] = at[col]
+	}
+
+	kinds := make([]types.Kind, len(c.scanCols))
+	for i, col := range c.scanCols {
+		kinds[i] = schema.Columns[col].Kind
+	}
+	c.scan = vec.New(kinds)
+	c.out = c.scan.Project(c.outIdx)
+	c.rowBuf = make([]types.Value, len(schema.Columns))
+
+	// Stage cursors with the ranges pushed down: the L1-delta holds
+	// uncompressed rows, so ranges become a value-level filter there;
+	// the columnar stages resolve them to dictionary codes.
+	var l1Filter func([]types.Value) bool
+	if len(ranges) > 0 {
+		betweens := make([]expr.Between, len(ranges))
+		for i, r := range ranges {
+			betweens[i] = expr.Between{Col: r.Col, Lo: r.Lo, Hi: r.Hi, LoInc: r.LoInc, HiInc: r.HiInc}
+		}
+		l1Filter = func(vals []types.Value) bool {
+			for _, b := range betweens {
+				if !b.Eval(vals) {
+					return false
+				}
+			}
+			return true
+		}
+	}
+	c.stages = append(c.stages, v.l1.NewBatchScan(c.scanCols, v.l1Border, v.snap, v.self, l1Filter))
+	for gi, g := range v.l2s {
+		cur := g.NewBatchScan(c.scanCols, v.borders[gi], v.snap, v.self)
+		for _, r := range ranges {
+			cur.FilterRange(r.Col, r.Lo, r.Hi, r.LoInc, r.HiInc)
+		}
+		c.stages = append(c.stages, cur)
+	}
+	mcur := v.main.NewBatchScan(c.scanCols, v.tombs, v.snap, v.self)
+	for _, r := range ranges {
+		mcur.FilterRange(r.Col, r.Lo, r.Hi, r.LoInc, r.HiInc)
+	}
+	c.stages = append(c.stages, mcur)
+	return c
+}
+
+// Next returns the next non-empty batch of visible rows, or nil at
+// end of scan. The batch (and its vectors) is reused by the next
+// call.
+func (c *BatchScan) Next() *vec.Batch {
+	for {
+		c.scan.Reset()
+		n := 0
+		for n < c.batchSize && c.stage < len(c.stages) {
+			filled, more := c.stages[c.stage].Fill(c.scan.Cols, c.batchSize-n)
+			n += filled
+			if !more {
+				c.stage++
+			}
+		}
+		if n == 0 {
+			return nil
+		}
+		c.scan.SetLen(n)
+		if c.residual != nil {
+			c.scan.Select(func(pos int) bool {
+				for j, sc := range c.scanCols {
+					c.rowBuf[sc] = c.scan.Cols[j].Value(pos)
+				}
+				return c.residual.Eval(c.rowBuf)
+			})
+			if c.scan.Rows() == 0 {
+				continue // batch fully filtered; pull the next one
+			}
+		}
+		// The output batch shares the scan vectors; refresh its header.
+		c.out.Sel = c.scan.Sel
+		c.out.SetLen(c.scan.Len())
+		return c.out
+	}
+}
+
+// ScanBatches streams the visible rows satisfying pred as column
+// batches over the listed columns (nil = all); fn returning false
+// stops the scan. Batches are reused between calls; fn must not
+// retain one.
+func (v *View) ScanBatches(cols []int, pred expr.Predicate, batchSize int, fn func(b *vec.Batch) bool) {
+	c := v.NewBatchScan(cols, pred, batchSize)
+	for b := c.Next(); b != nil; b = c.Next() {
+		if !fn(b) {
+			return
+		}
+	}
+}

@@ -10,6 +10,7 @@ import (
 	"fmt"
 
 	"repro/internal/types"
+	"repro/internal/vec"
 )
 
 // MergeStrategy selects the L2→main merge variant (§4).
@@ -75,6 +76,10 @@ type TableConfig struct {
 	// CheckUnique enforces the primary-key uniqueness constraint on
 	// inserts (via the inverted indexes of all three stages, §3.1).
 	CheckUnique bool
+	// BatchSize is the row capacity of the column batches streamed by
+	// the vectorized read path (View.ScanBatches); 0 selects
+	// vec.DefaultBatchSize.
+	BatchSize int
 }
 
 // withDefaults fills unset fields with the paper-guided defaults.
@@ -96,6 +101,9 @@ func (c TableConfig) withDefaults() (TableConfig, error) {
 	}
 	if c.L2MaxRows <= 0 {
 		c.L2MaxRows = 1_000_000
+	}
+	if c.BatchSize <= 0 {
+		c.BatchSize = vec.DefaultBatchSize
 	}
 	for _, col := range c.Indexed {
 		if col < 0 || col >= len(c.Schema.Columns) {

@@ -1,0 +1,447 @@
+package engine
+
+import (
+	"repro/internal/core"
+	"repro/internal/expr"
+	"repro/internal/mvcc"
+	"repro/internal/types"
+	"repro/internal/vec"
+)
+
+// BatchIterator is the vectorized Open-Next-Close protocol: Next
+// returns the next column batch, nil at end of stream. A returned
+// batch is owned by the producer and only valid until the next Next
+// call; blocking consumers must copy what they keep.
+type BatchIterator interface {
+	// Open prepares the operator (and its children) for iteration.
+	Open() error
+	// Next returns the next batch; nil reports end of stream.
+	Next() (*vec.Batch, error)
+	// Close releases resources (and closes children).
+	Close() error
+}
+
+// BatchTableScan streams a unified table as column batches with
+// predicate pushdown onto dictionary codes — the vectorized
+// replacement for TableScan. Unlike TableScan it does NOT
+// materialize: the statement view stays pinned from Open to Close
+// (the paper's pipelined access mode, §3.1), so the scan is O(batch)
+// in memory regardless of result size, and limit pushdown stops the
+// scan early.
+type BatchTableScan struct {
+	Table *core.Table
+	Txn   *mvcc.Txn
+	Pred  expr.Predicate
+	// Cols, when non-nil, projects the scan to the listed columns (in
+	// that order). Pred references the table's original ordinals.
+	Cols []int
+	// AsOf, when non-zero, reads at an explicit snapshot (time
+	// travel); Txn is ignored then.
+	AsOf uint64
+	// BatchSize overrides the table's configured batch row capacity
+	// when positive.
+	BatchSize int
+
+	view *core.View
+	cur  *core.BatchScan
+}
+
+// Open implements BatchIterator.
+func (s *BatchTableScan) Open() error {
+	if s.AsOf != 0 {
+		s.view = s.Table.AsOf(s.AsOf)
+	} else {
+		s.view = s.Table.View(s.Txn)
+	}
+	s.cur = s.view.NewBatchScan(s.Cols, s.Pred, s.BatchSize)
+	return nil
+}
+
+// Next implements BatchIterator.
+func (s *BatchTableScan) Next() (*vec.Batch, error) {
+	if s.cur == nil {
+		return nil, ErrNotOpen
+	}
+	return s.cur.Next(), nil
+}
+
+// Close implements BatchIterator.
+func (s *BatchTableScan) Close() error {
+	if s.view != nil {
+		s.view.Close()
+		s.view, s.cur = nil, nil
+	}
+	return nil
+}
+
+// BatchFilter refines each batch's selection vector with a predicate;
+// vectors are never copied. Row slices handed to Pred.Eval follow the
+// input batch's column order, so Pred must reference batch-local
+// ordinals.
+type BatchFilter struct {
+	In   BatchIterator
+	Pred expr.Predicate
+
+	rowBuf []types.Value
+}
+
+// Open implements BatchIterator.
+func (f *BatchFilter) Open() error { return f.In.Open() }
+
+// Next implements BatchIterator.
+func (f *BatchFilter) Next() (*vec.Batch, error) {
+	for {
+		b, err := f.In.Next()
+		if err != nil || b == nil {
+			return nil, err
+		}
+		if f.Pred != nil {
+			if cap(f.rowBuf) < b.NumCols() {
+				f.rowBuf = make([]types.Value, b.NumCols())
+			}
+			buf := f.rowBuf[:b.NumCols()]
+			b.Select(func(pos int) bool {
+				for i, c := range b.Cols {
+					buf[i] = c.Value(pos)
+				}
+				return f.Pred.Eval(buf)
+			})
+		}
+		if b.Rows() > 0 {
+			return b, nil
+		}
+	}
+}
+
+// Close implements BatchIterator.
+func (f *BatchFilter) Close() error { return f.In.Close() }
+
+// BatchProject prunes each batch to the listed columns — a header
+// rewrite sharing the input's vectors, the "free" projection of
+// columnar layout.
+type BatchProject struct {
+	In   BatchIterator
+	Cols []int
+}
+
+// Open implements BatchIterator.
+func (p *BatchProject) Open() error { return p.In.Open() }
+
+// Next implements BatchIterator.
+func (p *BatchProject) Next() (*vec.Batch, error) {
+	b, err := p.In.Next()
+	if err != nil || b == nil {
+		return nil, err
+	}
+	return b.Project(p.Cols), nil
+}
+
+// Close implements BatchIterator.
+func (p *BatchProject) Close() error { return p.In.Close() }
+
+// BatchLimit truncates the stream after N rows. Once satisfied it
+// stops pulling from its input entirely — with a streaming source
+// like BatchTableScan this is limit pushdown: the scan never decodes
+// past the last needed batch.
+type BatchLimit struct {
+	In BatchIterator
+	N  int
+	n  int
+}
+
+// Open implements BatchIterator.
+func (l *BatchLimit) Open() error { l.n = 0; return l.In.Open() }
+
+// Next implements BatchIterator.
+func (l *BatchLimit) Next() (*vec.Batch, error) {
+	if l.n >= l.N {
+		return nil, nil
+	}
+	b, err := l.In.Next()
+	if err != nil || b == nil {
+		return nil, err
+	}
+	if rem := l.N - l.n; b.Rows() > rem {
+		b.Truncate(rem)
+	}
+	l.n += b.Rows()
+	return b, nil
+}
+
+// Close implements BatchIterator.
+func (l *BatchLimit) Close() error { return l.In.Close() }
+
+// BatchHashJoin is the vectorized equi-join: the right (build) side
+// is drained into a hash table in Open, then each probe batch yields
+// one output batch. Output columns are left columns followed by right
+// columns.
+type BatchHashJoin struct {
+	Left, Right       BatchIterator
+	LeftCol, RightCol int
+
+	table map[types.Value][][]types.Value
+	out   *vec.Batch
+	lbuf  []types.Value
+}
+
+// Open implements BatchIterator.
+func (j *BatchHashJoin) Open() error {
+	if err := j.Right.Open(); err != nil {
+		return err
+	}
+	j.table = make(map[types.Value][][]types.Value)
+	for {
+		b, err := j.Right.Next()
+		if err != nil {
+			j.Right.Close()
+			return err
+		}
+		if b == nil {
+			break
+		}
+		for i := 0; i < b.Rows(); i++ {
+			row := b.RowAt(i, nil)
+			k := row[j.RightCol]
+			if k.IsNull() {
+				continue
+			}
+			j.table[k] = append(j.table[k], row)
+		}
+	}
+	if err := j.Right.Close(); err != nil {
+		return err
+	}
+	if err := j.Left.Open(); err != nil {
+		return err
+	}
+	j.out = nil
+	j.lbuf = nil
+	return nil
+}
+
+// Next implements BatchIterator.
+func (j *BatchHashJoin) Next() (*vec.Batch, error) {
+	for {
+		b, err := j.Left.Next()
+		if err != nil || b == nil {
+			return nil, err
+		}
+		if j.out == nil {
+			// Output width is known once the first probe batch arrives;
+			// kinds are adopted from the appended values.
+			var rightCols int
+			for _, m := range j.table {
+				rightCols = len(m[0])
+				break
+			}
+			j.out = vec.New(make([]types.Kind, b.NumCols()+rightCols))
+		}
+		j.out.Reset()
+		for i := 0; i < b.Rows(); i++ {
+			j.lbuf = b.RowAt(i, j.lbuf)
+			k := j.lbuf[j.LeftCol]
+			if k.IsNull() {
+				continue
+			}
+			for _, right := range j.table[k] {
+				ci := 0
+				for _, v := range j.lbuf {
+					j.out.Cols[ci].Append(v)
+					ci++
+				}
+				for _, v := range right {
+					j.out.Cols[ci].Append(v)
+					ci++
+				}
+				j.out.SetLen(j.out.Len() + 1)
+			}
+		}
+		if j.out.Len() > 0 {
+			return j.out, nil
+		}
+	}
+}
+
+// Close implements BatchIterator.
+func (j *BatchHashJoin) Close() error { return j.Left.Close() }
+
+// BatchHashAggregate groups batches by the GroupBy columns and
+// computes the Aggs; output rows are group columns followed by
+// aggregate results (one global row with no GroupBy). Blocking: the
+// input is drained in Open into the shared grouping accumulator.
+type BatchHashAggregate struct {
+	In      BatchIterator
+	GroupBy []int
+	Aggs    []Agg
+
+	out  *vec.Batch
+	done bool
+}
+
+// Open implements BatchIterator.
+func (a *BatchHashAggregate) Open() error {
+	if err := a.In.Open(); err != nil {
+		return err
+	}
+	acc := newGroupAcc(len(a.GroupBy), a.Aggs)
+	// Box only the columns the aggregation reads, not whole rows.
+	cols, gIdx, aIdx := neededColumns(a.GroupBy, a.Aggs)
+	vals := make([]types.Value, len(cols))
+	for {
+		b, err := a.In.Next()
+		if err != nil {
+			a.In.Close()
+			return err
+		}
+		if b == nil {
+			break
+		}
+		for i := 0; i < b.Rows(); i++ {
+			p := i
+			if b.Sel != nil {
+				p = int(b.Sel[i])
+			}
+			for j, c := range cols {
+				vals[j] = b.Cols[c].Value(p)
+			}
+			acc.addProjected(vals, gIdx, aIdx, a.Aggs)
+		}
+	}
+	if err := a.In.Close(); err != nil {
+		return err
+	}
+	a.out = vec.New(make([]types.Kind, len(a.GroupBy)+len(a.Aggs)))
+	for _, row := range acc.rows(a.GroupBy, a.Aggs) {
+		a.out.AppendRow(row)
+	}
+	a.done = false
+	return nil
+}
+
+// Next implements BatchIterator.
+func (a *BatchHashAggregate) Next() (*vec.Batch, error) {
+	if a.out == nil {
+		return nil, ErrNotOpen
+	}
+	if a.done {
+		return nil, nil
+	}
+	a.done = true
+	return a.out, nil
+}
+
+// Close implements BatchIterator.
+func (a *BatchHashAggregate) Close() error { return nil }
+
+// BatchToRows adapts a batch stream to the row-at-a-time Iterator
+// protocol — the compatibility bridge that lets existing ONC
+// operators consume the vectorized scan.
+type BatchToRows struct {
+	In BatchIterator
+
+	b   *vec.Batch
+	pos int
+	buf []types.Value
+}
+
+// Open implements Iterator.
+func (r *BatchToRows) Open() error {
+	r.b, r.pos = nil, 0
+	return r.In.Open()
+}
+
+// Next implements Iterator.
+func (r *BatchToRows) Next() ([]types.Value, bool, error) {
+	for {
+		if r.b != nil && r.pos < r.b.Rows() {
+			r.buf = r.b.RowAt(r.pos, r.buf)
+			r.pos++
+			return r.buf, true, nil
+		}
+		b, err := r.In.Next()
+		if err != nil {
+			return nil, false, err
+		}
+		if b == nil {
+			return nil, false, nil
+		}
+		r.b, r.pos = b, 0
+	}
+}
+
+// Close implements Iterator.
+func (r *BatchToRows) Close() error { return r.In.Close() }
+
+// RowsToBatches adapts a row iterator to the batch protocol,
+// accumulating BatchSize rows per batch (vec.DefaultBatchSize when
+// unset). Kinds are adopted from the first appended values.
+type RowsToBatches struct {
+	In        Iterator
+	BatchSize int
+
+	out *vec.Batch
+	eos bool
+}
+
+// Open implements BatchIterator.
+func (r *RowsToBatches) Open() error {
+	r.out, r.eos = nil, false
+	return r.In.Open()
+}
+
+// Next implements BatchIterator.
+func (r *RowsToBatches) Next() (*vec.Batch, error) {
+	if r.eos {
+		return nil, nil
+	}
+	size := r.BatchSize
+	if size <= 0 {
+		size = vec.DefaultBatchSize
+	}
+	if r.out != nil {
+		r.out.Reset()
+	}
+	n := 0
+	for n < size {
+		row, ok, err := r.In.Next()
+		if err != nil {
+			return nil, err
+		}
+		if !ok {
+			r.eos = true
+			break
+		}
+		if r.out == nil {
+			r.out = vec.New(make([]types.Kind, len(row)))
+		}
+		r.out.AppendRow(row)
+		n++
+	}
+	if n == 0 {
+		return nil, nil
+	}
+	return r.out, nil
+}
+
+// Close implements BatchIterator.
+func (r *RowsToBatches) Close() error { return r.In.Close() }
+
+// CollectBatches drains a batch iterator into materialized rows,
+// handling Open/Close.
+func CollectBatches(it BatchIterator) ([][]types.Value, error) {
+	if err := it.Open(); err != nil {
+		return nil, err
+	}
+	defer it.Close()
+	var out [][]types.Value
+	for {
+		b, err := it.Next()
+		if err != nil {
+			return nil, err
+		}
+		if b == nil {
+			return out, nil
+		}
+		out = append(out, b.Materialize()...)
+	}
+}

@@ -96,8 +96,13 @@ type Union struct {
 // Open implements Iterator.
 func (u *Union) Open() error {
 	u.cur = 0
-	for _, in := range u.Ins {
+	for i, in := range u.Ins {
 		if err := in.Open(); err != nil {
+			// Close the already-opened prefix so no child leaks its
+			// resources (pinned views, latches) on a failed open.
+			for _, opened := range u.Ins[:i] {
+				opened.Close()
+			}
 			return err
 		}
 	}
@@ -264,11 +269,17 @@ func (s *aggState) add(f AggFunc, v types.Value) {
 	default:
 		s.sumI += v.I
 	}
-	if s.min.IsNull() || types.Less(v, s.min) {
-		s.min = v
-	}
-	if s.max.IsNull() || types.Less(s.max, v) {
-		s.max = v
+	// Order statistics are only maintained for the funcs that read
+	// them; SUM/AVG/COUNT skip the per-row comparisons.
+	switch f {
+	case AggMin:
+		if s.min.IsNull() || types.Less(v, s.min) {
+			s.min = v
+		}
+	case AggMax:
+		if s.max.IsNull() || types.Less(s.max, v) {
+			s.max = v
+		}
 	}
 }
 

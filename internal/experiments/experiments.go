@@ -61,6 +61,7 @@ func All() []Experiment {
 		{"E10", "Logging, savepoints, recovery (Fig. 5)", E10Persistence},
 		{"E11", "Calc graph execution (Fig. 2/3)", E11CalcGraph},
 		{"E12", "Unified table access (§3.1)", E12UnifiedAccess},
+		{"E13", "Vectorized batch read path (§3.1)", E13Vectorized},
 	}
 }
 

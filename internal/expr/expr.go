@@ -307,6 +307,57 @@ func Pushdown(p Predicate) (ranges []ColumnRange, residual Predicate) {
 	}
 }
 
+// Columns returns the column ordinals a predicate reads, or ok=false
+// when the predicate tree contains a type this walker does not know
+// (callers must then assume every column is referenced). Scan
+// planners use it to widen a projection just enough for residual
+// evaluation.
+func Columns(p Predicate) (cols []int, ok bool) {
+	seen := map[int]bool{}
+	if !collectColumns(p, seen) {
+		return nil, false
+	}
+	for c := range seen {
+		cols = append(cols, c)
+	}
+	return cols, true
+}
+
+func collectColumns(p Predicate, seen map[int]bool) bool {
+	switch t := p.(type) {
+	case nil:
+		return true
+	case Cmp:
+		seen[t.Col] = true
+	case Between:
+		seen[t.Col] = true
+	case In:
+		seen[t.Col] = true
+	case Like:
+		seen[t.Col] = true
+	case IsNull:
+		seen[t.Col] = true
+	case Const:
+	case Not:
+		return collectColumns(t.P, seen)
+	case And:
+		for _, c := range t {
+			if !collectColumns(c, seen) {
+				return false
+			}
+		}
+	case Or:
+		for _, c := range t {
+			if !collectColumns(c, seen) {
+				return false
+			}
+		}
+	default:
+		return false
+	}
+	return true
+}
+
 func cmpToRange(c Cmp) (ColumnRange, bool) {
 	if c.Val.IsNull() {
 		return ColumnRange{}, false

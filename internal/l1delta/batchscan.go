@@ -1,0 +1,54 @@
+package l1delta
+
+import (
+	"repro/internal/mvcc"
+	"repro/internal/types"
+	"repro/internal/vec"
+)
+
+// BatchScan is the L1-delta's producer for the vectorized read path.
+// The L1-delta stores uncompressed rows, so there are no dictionary
+// codes to filter on: pushed-down predicates are evaluated per row on
+// the values themselves via the filter callback.
+type BatchScan struct {
+	s      *Store
+	cols   []int
+	border int
+	snap   uint64
+	self   uint64
+	// filter, when non-nil, receives the full row (schema order) and
+	// keeps the row when it returns true.
+	filter func(vals []types.Value) bool
+	pos    int
+}
+
+// NewBatchScan returns a cursor over the visible rows in [0, border)
+// that pass filter, producing the listed columns.
+func (s *Store) NewBatchScan(cols []int, border int, snap, self uint64, filter func([]types.Value) bool) *BatchScan {
+	if border > len(s.rows) {
+		border = len(s.rows)
+	}
+	return &BatchScan{s: s, cols: cols, border: border, snap: snap, self: self, filter: filter}
+}
+
+// Fill appends up to room rows to out (one vec.Col per requested
+// column) and reports how many were appended and whether the cursor
+// may produce more.
+func (c *BatchScan) Fill(out []*vec.Col, room int) (int, bool) {
+	n := 0
+	for c.pos < c.border && n < room {
+		r := c.s.rows[c.pos]
+		c.pos++
+		if !mvcc.VisibleStamp(r.Stamp, c.snap, c.self) {
+			continue
+		}
+		if c.filter != nil && !c.filter(r.Values) {
+			continue
+		}
+		for i, col := range c.cols {
+			out[i].Append(r.Values[col])
+		}
+		n++
+	}
+	return n, c.pos < c.border
+}

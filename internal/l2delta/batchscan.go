@@ -1,0 +1,159 @@
+package l2delta
+
+import (
+	"repro/internal/mvcc"
+	"repro/internal/types"
+	"repro/internal/vec"
+)
+
+// codeFilter is one pushed-down range predicate resolved to a
+// dictionary-code membership set: allow[code] reports whether the
+// code's value lies in the range. The unsorted dictionary cannot map
+// a value range to a contiguous code interval, so the dictionary is
+// scanned once at cursor construction and the per-row check becomes a
+// single slice index — predicate evaluation on codes, before any value
+// is materialized (§4.1).
+type codeFilter struct {
+	col   int
+	allow []bool
+}
+
+// BatchScan is the L2-delta's producer for the vectorized read path:
+// it block-decodes the bit-packed code vectors, applies MVCC
+// visibility and code-level filters per position, and appends the
+// decoded dictionary values of the requested columns to the output
+// vectors.
+type BatchScan struct {
+	s       *Store
+	cols    []int
+	border  int
+	snap    uint64
+	self    uint64
+	filters []codeFilter
+	empty   bool
+	pos     int
+	fbuf    []uint32   // filter-column code block
+	cbufs   [][]uint32 // requested-column code blocks
+	keep    []int      // positions within the block that passed
+}
+
+// NewBatchScan returns a cursor over the visible rows in [0, border)
+// producing the listed columns. Call FilterRange before the first
+// Fill to push predicates down to dictionary codes.
+func (s *Store) NewBatchScan(cols []int, border int, snap, self uint64) *BatchScan {
+	if border > len(s.rowIDs) {
+		border = len(s.rowIDs)
+	}
+	c := &BatchScan{s: s, cols: cols, border: border, snap: snap, self: self}
+	c.cbufs = make([][]uint32, len(cols))
+	for i := range c.cbufs {
+		c.cbufs[i] = make([]uint32, vec.DefaultBatchSize)
+	}
+	return c
+}
+
+// FilterRange pushes down `col BETWEEN lo AND hi` (NULL bound =
+// unbounded), resolving the value range against the unsorted
+// dictionary into a code membership set. Multiple calls conjoin.
+func (c *BatchScan) FilterRange(col int, lo, hi types.Value, loInc, hiInc bool) {
+	d := c.s.cols[col].dict
+	matching := d.RangeCodes(lo, hi, loInc, hiInc)
+	if len(matching) == 0 {
+		c.empty = true
+		return
+	}
+	allow := make([]bool, d.Len())
+	for _, m := range matching {
+		allow[m] = true
+	}
+	c.filters = append(c.filters, codeFilter{col: col, allow: allow})
+}
+
+// Fill appends up to room rows to out (one vec.Col per requested
+// column) and reports how many were appended and whether the cursor
+// may produce more.
+func (c *BatchScan) Fill(out []*vec.Col, room int) (int, bool) {
+	if c.empty {
+		return 0, false
+	}
+	n := 0
+	for c.pos < c.border && n < room {
+		end := c.pos + vec.DefaultBatchSize
+		if end > c.border {
+			end = c.border
+		}
+		blk := end - c.pos
+
+		// Pass 1: visibility + code-level predicates select positions.
+		c.keep = c.keep[:0]
+		if len(c.filters) > 0 {
+			if cap(c.fbuf) < blk {
+				c.fbuf = make([]uint32, vec.DefaultBatchSize)
+			}
+			passed := c.keep
+			first := true
+			for _, f := range c.filters {
+				col := c.s.cols[f.col]
+				col.codes.DecodeBlock(c.pos, c.fbuf[:blk])
+				if first {
+					for i := 0; i < blk; i++ {
+						pos := c.pos + i
+						code := c.fbuf[i]
+						if int(code) < len(f.allow) && f.allow[code] && !col.nulls.get(pos) &&
+							mvcc.VisibleStamp(c.s.stamps[pos], c.snap, c.self) {
+							passed = append(passed, pos)
+						}
+					}
+					first = false
+				} else {
+					live := passed[:0]
+					for _, pos := range passed {
+						code := c.fbuf[pos-c.pos]
+						if int(code) < len(f.allow) && f.allow[code] && !col.nulls.get(pos) {
+							live = append(live, pos)
+						}
+					}
+					passed = live
+				}
+			}
+			c.keep = passed
+		} else {
+			for pos := c.pos; pos < end; pos++ {
+				if mvcc.VisibleStamp(c.s.stamps[pos], c.snap, c.self) {
+					c.keep = append(c.keep, pos)
+				}
+			}
+		}
+
+		// Pass 2: decode the requested columns for surviving positions
+		// and materialize through the dictionaries.
+		take := c.keep
+		if n+len(take) > room {
+			take = take[:room-n]
+		}
+		if len(take) > 0 {
+			for i, ci := range c.cols {
+				col := c.s.cols[ci]
+				buf := c.cbufs[i]
+				col.codes.DecodeBlock(c.pos, buf[:blk])
+				o := out[i]
+				for _, pos := range take {
+					if col.nulls.get(pos) {
+						o.AppendNull()
+						continue
+					}
+					o.Append(col.dict.At(buf[pos-c.pos]))
+				}
+			}
+			n += len(take)
+		}
+		if len(take) < len(c.keep) {
+			// Ran out of room mid-block: resume at the first unemitted
+			// position next call (its block is re-decoded then).
+			c.pos = c.keep[len(take)]
+			return n, true
+		}
+		c.pos = end
+	}
+	return n, c.pos < c.border
+}

@@ -1,0 +1,213 @@
+package mainstore
+
+import (
+	"repro/internal/types"
+	"repro/internal/vec"
+)
+
+// rangeFilter is one pushed-down range predicate resolved to global
+// code intervals per part. The sorted dictionaries map a value range
+// to one contiguous code interval each; part pi's value index may
+// reference the intervals of parts 0..pi (§4.3), so act[pi] holds the
+// applicable interval set for that part. The per-row check is a few
+// integer comparisons on the undecoded dictionary code.
+type rangeFilter struct {
+	col int
+	act [][]codeInterval
+}
+
+// BatchScan is the main store's producer for the vectorized read
+// path: it walks the part chain, block-decodes the compressed value
+// indexes, applies tombstone/MVCC visibility and code-interval
+// filters per position, and materializes the requested columns
+// through a lazy global-code → value cache.
+type BatchScan struct {
+	s       *Store
+	cols    []int
+	tomb    *Tombstones
+	snap    uint64
+	self    uint64
+	filters []rangeFilter
+	empty   bool
+	part    int
+	pos     int
+	caches  [][]types.Value
+	cached  [][]bool
+	fbuf    []uint32
+	cbufs   [][]uint32
+	keep    []int
+}
+
+// cacheMaxCard bounds the per-column decode cache: above this
+// cardinality most codes appear only a handful of times, so the
+// cardinality-sized allocation (and its zeroing) costs more than
+// resolving codes directly.
+const cacheMaxCard = 1 << 16
+
+// NewBatchScan returns a cursor over the visible rows of the chain
+// producing the listed columns. Call FilterRange before the first
+// Fill to push predicates down to dictionary codes.
+func (s *Store) NewBatchScan(cols []int, tomb *Tombstones, snap, self uint64) *BatchScan {
+	c := &BatchScan{s: s, cols: cols, tomb: tomb, snap: snap, self: self}
+	c.caches = make([][]types.Value, len(cols))
+	c.cached = make([][]bool, len(cols))
+	for i, ci := range cols {
+		if card := s.Cardinality(ci); card <= cacheMaxCard {
+			c.caches[i] = make([]types.Value, card)
+			c.cached[i] = make([]bool, card)
+		}
+	}
+	c.cbufs = make([][]uint32, len(cols))
+	for i := range c.cbufs {
+		c.cbufs[i] = make([]uint32, vec.DefaultBatchSize)
+	}
+	return c
+}
+
+// FilterRange pushes down `col BETWEEN lo AND hi` (NULL bound =
+// unbounded), resolving the value range in every part's sorted
+// dictionary to global code intervals. Multiple calls conjoin.
+func (c *BatchScan) FilterRange(col int, lo, hi types.Value, loInc, hiInc bool) {
+	intervals := make([]codeInterval, len(c.s.parts))
+	valid := make([]bool, len(c.s.parts))
+	for pi, p := range c.s.parts {
+		pc := p.cols[col]
+		l, h, ok := pc.dict.RangeCodes(lo, hi, loInc, hiInc)
+		if ok {
+			intervals[pi] = codeInterval{pc.offset + l, pc.offset + h}
+			valid[pi] = true
+		}
+	}
+	f := rangeFilter{col: col, act: make([][]codeInterval, len(c.s.parts))}
+	any := false
+	for pi := range c.s.parts {
+		for j := 0; j <= pi; j++ {
+			if valid[j] {
+				f.act[pi] = append(f.act[pi], intervals[j])
+			}
+		}
+		if len(f.act[pi]) > 0 {
+			any = true
+		}
+	}
+	if !any {
+		c.empty = true
+		return
+	}
+	c.filters = append(c.filters, f)
+}
+
+// matches tests a global code (at part pi, position pos) against the
+// filter's intervals, excluding the NULL placeholder code 0.
+func (f *rangeFilter) matches(p *Part, pi, pos int, code uint32) bool {
+	for _, iv := range f.act[pi] {
+		if code >= iv.lo && code <= iv.hi {
+			return !(code == 0 && p.IsNull(pos, f.col))
+		}
+	}
+	return false
+}
+
+// Fill appends up to room rows to out (one vec.Col per requested
+// column) and reports how many were appended and whether the cursor
+// may produce more.
+func (c *BatchScan) Fill(out []*vec.Col, room int) (int, bool) {
+	if c.empty {
+		return 0, false
+	}
+	n := 0
+	for c.part < len(c.s.parts) {
+		p := c.s.parts[c.part]
+		rows := p.NumRows()
+		for c.pos < rows && n < room {
+			end := c.pos + vec.DefaultBatchSize
+			if end > rows {
+				end = rows
+			}
+			blk := end - c.pos
+
+			// Pass 1: visibility + code-interval predicates.
+			c.keep = c.keep[:0]
+			passed := c.keep
+			first := true
+			for _, f := range c.filters {
+				if cap(c.fbuf) < blk {
+					c.fbuf = make([]uint32, vec.DefaultBatchSize)
+				}
+				p.cols[f.col].values.DecodeBlock(c.pos, c.fbuf[:blk])
+				if first {
+					for i := 0; i < blk; i++ {
+						pos := c.pos + i
+						if f.matches(p, c.part, pos, c.fbuf[i]) &&
+							p.visibleAt(pos, c.tomb, c.snap, c.self) {
+							passed = append(passed, pos)
+						}
+					}
+					first = false
+				} else {
+					live := passed[:0]
+					for _, pos := range passed {
+						if f.matches(p, c.part, pos, c.fbuf[pos-c.pos]) {
+							live = append(live, pos)
+						}
+					}
+					passed = live
+				}
+			}
+			if first {
+				for pos := c.pos; pos < end; pos++ {
+					if p.visibleAt(pos, c.tomb, c.snap, c.self) {
+						passed = append(passed, pos)
+					}
+				}
+			}
+			c.keep = passed
+
+			// Pass 2: materialize the requested columns for survivors.
+			take := c.keep
+			if n+len(take) > room {
+				take = take[:room-n]
+			}
+			if len(take) > 0 {
+				for i, ci := range c.cols {
+					pc := p.cols[ci]
+					buf := c.cbufs[i]
+					pc.values.DecodeBlock(c.pos, buf[:blk])
+					o := out[i]
+					cache, seen := c.caches[i], c.cached[i]
+					for _, pos := range take {
+						if p.IsNull(pos, ci) {
+							o.AppendNull()
+							continue
+						}
+						code := buf[pos-c.pos]
+						if cache == nil {
+							o.Append(c.s.ResolveCode(ci, code))
+							continue
+						}
+						if !seen[code] {
+							cache[code] = c.s.ResolveCode(ci, code)
+							seen[code] = true
+						}
+						o.Append(cache[code])
+					}
+				}
+				n += len(take)
+			}
+			if len(take) < len(c.keep) {
+				// Out of room mid-block: resume at the first unemitted
+				// position (its block is re-decoded next call).
+				c.pos = c.keep[len(take)]
+				return n, true
+			}
+			c.pos = end
+		}
+		if c.pos >= rows {
+			c.part++
+			c.pos = 0
+		} else {
+			break
+		}
+	}
+	return n, c.part < len(c.s.parts)
+}
