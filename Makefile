@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test vet race bench fuzz torture staticcheck check
+.PHONY: all build test vet race bench fuzz torture soak staticcheck check
 
 # Torture-harness knobs (see internal/torture): the seed and op count
 # for the differential run, overridable per invocation:
@@ -57,4 +57,14 @@ torture:
 	TORTURE_SEED=$(TORTURE_SEED) TORTURE_OPS=$(TORTURE_OPS) \
 		$(GO) test ./internal/torture -run TestDifferentialOracle -v -count 1
 
-check: test vet staticcheck race torture
+# Overload/shutdown soak: the degradation ladder, merge-outage
+# recovery, and the graceful-drain workload under the race detector.
+soak:
+	$(GO) test -race -count 1 -timeout 120s \
+		-run 'TestDegradationLadder|TestMergeBackoffAndCircuit|TestSchedulerRecoversWithoutManualMerge|TestScanCancellation' \
+		./internal/core
+	$(GO) test -race -count 1 -timeout 120s \
+		-run 'TestGracefulDrain|TestMaxConnsShedding|TestAcceptLoopSurvivesTransientErrors|TestOversizedLineReported' \
+		./cmd/hanaserver
+
+check: test vet staticcheck race torture soak

@@ -27,66 +27,297 @@ package main
 
 import (
 	"bufio"
+	"errors"
 	"flag"
 	"fmt"
 	"log"
 	"net"
+	"os"
+	"os/signal"
 	"strconv"
 	"strings"
+	"sync"
+	"sync/atomic"
+	"syscall"
+	"time"
 
 	hana "repro"
 )
 
+// maxLineBytes bounds a single protocol line; longer lines get an
+// explicit "ERR line too long" instead of a silent disconnect.
+const maxLineBytes = 1 << 20
+
 func main() {
 	addr := flag.String("addr", "127.0.0.1:7654", "listen address")
 	dir := flag.String("dir", "", "persistence directory (empty = in-memory)")
+	maxConns := flag.Int("max-conns", 256, "maximum concurrent connections; excess get ERR overloaded (0 = unlimited)")
+	idleTimeout := flag.Duration("idle-timeout", 5*time.Minute, "per-connection idle read deadline (0 = none)")
+	writeTimeout := flag.Duration("write-timeout", 10*time.Second, "per-response write deadline (0 = none)")
+	drainTimeout := flag.Duration("drain-timeout", 5*time.Second, "graceful-shutdown wait for in-flight commands")
+	throttleRows := flag.Int("throttle-rows", 0, "delta-backlog high-watermark applied to CREATEd tables: writes beyond it are delayed (0 = off)")
+	overloadRows := flag.Int("overload-rows", 0, "delta-backlog ceiling applied to CREATEd tables: writes beyond it get ERR overloaded (0 = off)")
 	flag.Parse()
 
 	db := hana.MustOpen(hana.Options{Dir: *dir, AutoMerge: true})
-	defer db.Close()
 
 	ln, err := net.Listen("tcp", *addr)
 	if err != nil {
+		db.Close()
 		log.Fatalf("hanaserver: %v", err)
 	}
 	log.Printf("hanaserver: listening on %s (dir=%q)", *addr, *dir)
+
+	srv := newServer(db, ln, serverOptions{
+		maxConns:     *maxConns,
+		idleTimeout:  *idleTimeout,
+		writeTimeout: *writeTimeout,
+		drainTimeout: *drainTimeout,
+		throttleRows: *throttleRows,
+		overloadRows: *overloadRows,
+	})
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	go func() {
+		<-sig
+		log.Printf("hanaserver: draining")
+		srv.shutdown()
+	}()
+
+	srv.run()
+	srv.shutdown() // idempotent; covers listener-error exits
+	if err := db.Close(); err != nil {
+		log.Printf("hanaserver: close: %v", err)
+	}
+}
+
+// serverOptions are the overload-protection and shutdown knobs.
+type serverOptions struct {
+	// maxConns bounds concurrent sessions; excess connections are
+	// refused with "ERR overloaded" (load shedding, not queueing).
+	maxConns int
+	// idleTimeout closes connections with no command activity.
+	idleTimeout time.Duration
+	// writeTimeout bounds each response flush so a stalled client
+	// cannot pin a session goroutine forever.
+	writeTimeout time.Duration
+	// drainTimeout is how long shutdown waits for in-flight commands
+	// before force-closing the remaining connections.
+	drainTimeout time.Duration
+	// throttleRows/overloadRows seed TableConfig admission-control
+	// watermarks for tables created over the wire.
+	throttleRows, overloadRows int
+}
+
+// server owns the listener and the connection life cycle: admission
+// (semaphore), per-connection deadlines, and graceful drain.
+type server struct {
+	db   *hana.DB
+	ln   net.Listener
+	opts serverOptions
+
+	sem      chan struct{} // nil = unlimited
+	draining atomic.Bool
+
+	mu    sync.Mutex
+	conns map[net.Conn]struct{}
+	wg    sync.WaitGroup
+}
+
+func newServer(db *hana.DB, ln net.Listener, opts serverOptions) *server {
+	s := &server{db: db, ln: ln, opts: opts, conns: map[net.Conn]struct{}{}}
+	if opts.maxConns > 0 {
+		s.sem = make(chan struct{}, opts.maxConns)
+	}
+	return s
+}
+
+// run accepts connections until the listener closes. Transient accept
+// errors (a full accept queue, file-descriptor pressure) back off with
+// doubling delay instead of killing the server; only a closed listener
+// or a non-network error ends the loop.
+func (s *server) run() {
+	const minBackoff = 5 * time.Millisecond
+	backoff := minBackoff
 	for {
-		conn, err := ln.Accept()
+		conn, err := s.ln.Accept()
 		if err != nil {
+			if s.draining.Load() || errors.Is(err, net.ErrClosed) {
+				return
+			}
+			var ne net.Error
+			if errors.As(err, &ne) {
+				log.Printf("hanaserver: accept: %v (retrying in %v)", err, backoff)
+				time.Sleep(backoff)
+				if backoff *= 2; backoff > time.Second {
+					backoff = time.Second
+				}
+				continue
+			}
 			log.Printf("hanaserver: accept: %v", err)
 			return
 		}
-		go serve(db, conn)
+		backoff = minBackoff
+		s.admit(conn)
+	}
+}
+
+// admit applies the connection budget and starts the session
+// goroutine, or sheds the connection with a one-line refusal.
+func (s *server) admit(conn net.Conn) {
+	if s.draining.Load() {
+		refuse(conn, "ERR shutting down")
+		return
+	}
+	if s.sem != nil {
+		select {
+		case s.sem <- struct{}{}:
+		default:
+			refuse(conn, "ERR overloaded")
+			return
+		}
+	}
+	s.mu.Lock()
+	s.conns[conn] = struct{}{}
+	s.mu.Unlock()
+	s.wg.Add(1)
+	go func() {
+		defer s.wg.Done()
+		defer func() {
+			s.mu.Lock()
+			delete(s.conns, conn)
+			s.mu.Unlock()
+			if s.sem != nil {
+				<-s.sem
+			}
+		}()
+		s.serveConn(conn)
+	}()
+}
+
+func refuse(conn net.Conn, msg string) {
+	conn.SetWriteDeadline(time.Now().Add(time.Second))
+	fmt.Fprintf(conn, "%s\n", msg)
+	conn.Close()
+}
+
+// shutdown drains the server: stop accepting, nudge idle readers so
+// they observe the drain, wait for in-flight commands up to
+// drainTimeout, then force-close stragglers. Safe to call repeatedly.
+func (s *server) shutdown() {
+	if !s.draining.CompareAndSwap(false, true) {
+		return
+	}
+	s.ln.Close()
+	// Sessions blocked in a read observe the drain via an imminent
+	// read deadline; sessions mid-command see the draining flag when
+	// the command completes.
+	nudge := time.Now().Add(50 * time.Millisecond)
+	s.mu.Lock()
+	for c := range s.conns {
+		c.SetReadDeadline(nudge)
+	}
+	s.mu.Unlock()
+	done := make(chan struct{})
+	go func() {
+		s.wg.Wait()
+		close(done)
+	}()
+	timeout := s.opts.drainTimeout
+	if timeout <= 0 {
+		timeout = 5 * time.Second
+	}
+	select {
+	case <-done:
+	case <-time.After(timeout):
+		s.mu.Lock()
+		for c := range s.conns {
+			c.Close()
+		}
+		s.mu.Unlock()
+		<-done
 	}
 }
 
 type session struct {
 	db  *hana.DB
 	txn *hana.Txn
+	// throttleRows/overloadRows seed the admission-control watermarks
+	// of tables this session CREATEs.
+	throttleRows, overloadRows int
 }
 
+// serve handles one connection with no deadlines or connection budget
+// — the bare protocol loop, kept for in-process use and tests.
 func serve(db *hana.DB, conn net.Conn) {
+	(&server{db: db}).serveConn(conn)
+}
+
+// serveConn runs the protocol loop under the server's deadlines and
+// drain flag (both inert on a zero-value server).
+func (s *server) serveConn(conn net.Conn) {
 	defer conn.Close()
-	s := &session{db: db}
+	sess := &session{
+		db:           s.db,
+		throttleRows: s.opts.throttleRows,
+		overloadRows: s.opts.overloadRows,
+	}
+	defer func() {
+		if sess.txn != nil {
+			sess.db.Abort(sess.txn)
+		}
+	}()
 	sc := bufio.NewScanner(conn)
-	sc.Buffer(make([]byte, 1<<16), 1<<20)
+	sc.Buffer(make([]byte, 1<<16), maxLineBytes)
 	w := bufio.NewWriter(conn)
 	defer w.Flush()
-	for sc.Scan() {
+	flush := func() error {
+		if s.opts.writeTimeout > 0 {
+			conn.SetWriteDeadline(time.Now().Add(s.opts.writeTimeout))
+			defer conn.SetWriteDeadline(time.Time{})
+		}
+		return w.Flush()
+	}
+	for {
+		if s.opts.idleTimeout > 0 {
+			conn.SetReadDeadline(time.Now().Add(s.opts.idleTimeout))
+		}
+		if !sc.Scan() {
+			break
+		}
 		line := strings.TrimSpace(sc.Text())
 		if line == "" {
 			continue
 		}
 		if strings.EqualFold(line, "QUIT") {
 			fmt.Fprintln(w, "OK bye")
-			w.Flush()
+			flush()
 			return
 		}
-		s.handle(w, line)
-		w.Flush()
+		sess.handle(w, line)
+		if flush() != nil {
+			return
+		}
+		if s.draining.Load() {
+			// The in-flight command got its response; the session ends
+			// here rather than accepting new work during drain.
+			return
+		}
 	}
-	if s.txn != nil {
-		s.db.Abort(s.txn)
+	if err := sc.Err(); err != nil {
+		var ne net.Error
+		switch {
+		case errors.Is(err, bufio.ErrTooLong):
+			// An oversized line used to drop the connection silently;
+			// tell the client what happened before closing.
+			fmt.Fprintln(w, "ERR line too long")
+			flush()
+		case errors.As(err, &ne) && ne.Timeout():
+			// Idle or drain deadline: quiet close.
+		default:
+			log.Printf("hanaserver: read: %v", err)
+		}
 	}
 }
 
@@ -232,6 +463,7 @@ func (s *session) create(w *bufio.Writer, args []string) {
 	if _, err := s.db.CreateTable(hana.TableConfig{
 		Name: name, Schema: schema, CheckUnique: key >= 0,
 		Compress: true, CompactDicts: true,
+		ThrottleRows: s.throttleRows, OverloadRows: s.overloadRows,
 	}); err != nil {
 		fmt.Fprintf(w, "ERR %v\n", err)
 		return
@@ -377,9 +609,10 @@ func (s *session) table(w *bufio.Writer, cmd string, t *hana.Table, args []strin
 		fmt.Fprintln(w, "OK")
 	case "STATS":
 		st := t.Stats()
-		fmt.Fprintf(w, "OK l1=%d l2=%d frozen=%d main=%d parts=%d tombstones=%d l1merges=%d mainmerges=%d mergefailures=%d lasterr=%q\n",
+		fmt.Fprintf(w, "OK l1=%d l2=%d frozen=%d main=%d parts=%d tombstones=%d l1merges=%d mainmerges=%d mergefailures=%d mergeretries=%d circuit=%v throttled=%d rejected=%d lasterr=%q\n",
 			st.L1Rows, st.L2Rows, st.FrozenL2Rows, st.MainRows, st.MainParts,
-			st.Tombstones, st.L1Merges, st.MainMerges, st.MergeFailures, st.LastMergeError)
+			st.Tombstones, st.L1Merges, st.MainMerges, st.MergeFailures,
+			st.MergeRetries, st.CircuitOpen, st.ThrottledWrites, st.RejectedWrites, st.LastMergeError)
 	}
 }
 

@@ -239,6 +239,11 @@ var (
 	// ErrWriteConflict reports a write-write conflict between
 	// concurrent transactions.
 	ErrWriteConflict = mvcc.ErrWriteConflict
+	// ErrOverloaded reports a write rejected by delta-backlog
+	// admission control: the table's unmerged delta exceeded
+	// TableConfig.OverloadRows. Retry after the merge scheduler
+	// drains the backlog (match with errors.Is).
+	ErrOverloaded = core.ErrOverloaded
 )
 
 // Open opens a database. With Options.Dir set it recovers from the

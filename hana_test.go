@@ -1,8 +1,10 @@
 package hana_test
 
 import (
+	"context"
 	"errors"
 	"testing"
+	"time"
 
 	hana "repro"
 )
@@ -102,5 +104,88 @@ func TestPublicAPIMergeControls(t *testing.T) {
 	st := orders.Stats()
 	if st.MainRows != 10 || st.L1Rows != 0 {
 		t.Fatalf("stats = %+v", st)
+	}
+}
+
+// TestPublicAPICancellation cancels a context mid-scan through the
+// public batch API: exactly the batches pulled before cancellation
+// arrive, then Next reports context.Canceled.
+func TestPublicAPICancellation(t *testing.T) {
+	db, orders := openOrders(t)
+	tx := db.Begin(hana.TxnSnapshot)
+	for i := int64(1); i <= 64; i++ {
+		if _, err := orders.Insert(tx, hana.Row(hana.Int(i), hana.Str("c"), hana.Float(1))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := db.Commit(tx); err != nil {
+		t.Fatal(err)
+	}
+
+	ctx, cancel := context.WithCancel(context.Background())
+	scan := &hana.BatchTableScan{Table: orders, Ctx: ctx, BatchSize: 8}
+	if err := scan.Open(); err != nil {
+		t.Fatal(err)
+	}
+	defer scan.Close()
+	b, err := scan.Next()
+	if err != nil || b == nil || b.Rows() != 8 {
+		t.Fatalf("first batch: %v, %v", b, err)
+	}
+	cancel()
+	if b, err = scan.Next(); b != nil || !errors.Is(err, context.Canceled) {
+		t.Fatalf("after cancel: batch=%v err=%v", b, err)
+	}
+}
+
+// TestPublicAPIOverload exercises the exported admission-control
+// surface: ErrOverloaded matches rejections, and TableStats exposes
+// the throttle/reject counters.
+func TestPublicAPIOverload(t *testing.T) {
+	db := hana.MustOpen(hana.Options{})
+	defer db.Close()
+	tab, err := db.CreateTable(hana.TableConfig{
+		Name: "tiny",
+		Schema: hana.MustSchema([]hana.Column{
+			{Name: "id", Kind: hana.Int64},
+		}, 0),
+		CheckUnique:  true,
+		ThrottleRows: 2, OverloadRows: 4,
+		ThrottleMaxDelay: time.Microsecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	insert := func(id int64) error {
+		tx := db.Begin(hana.TxnSnapshot)
+		if _, err := tab.Insert(tx, hana.Row(hana.Int(id))); err != nil {
+			db.Abort(tx)
+			return err
+		}
+		return db.Commit(tx)
+	}
+	var rejected error
+	for id := int64(1); id <= 16 && rejected == nil; id++ {
+		if err := insert(id); err != nil {
+			rejected = err
+			break
+		}
+		if _, err := tab.MergeL1(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if !errors.Is(rejected, hana.ErrOverloaded) {
+		t.Fatalf("rejection = %v, want hana.ErrOverloaded", rejected)
+	}
+	st := tab.Stats()
+	if st.RejectedWrites == 0 {
+		t.Fatalf("stats missing rejection: %+v", st)
+	}
+	// Draining the backlog readmits writes.
+	if _, err := tab.MergeMain(); err != nil {
+		t.Fatal(err)
+	}
+	if err := insert(100); err != nil {
+		t.Fatalf("post-drain insert: %v", err)
 	}
 }

@@ -1,6 +1,7 @@
 package calc
 
 import (
+	"context"
 	"fmt"
 	"sync"
 
@@ -49,11 +50,13 @@ func (r *Registry) lookup(name string) (registered, bool) {
 	return v, ok
 }
 
-// Env carries execution context: the transaction supplying snapshots
-// and the registry for view resolution.
+// Env carries execution context: the transaction supplying snapshots,
+// the registry for view resolution, and an optional context that
+// cancels table scans at batch granularity.
 type Env struct {
 	Txn      *mvcc.Txn
 	Registry *Registry
+	Ctx      context.Context
 }
 
 // Execute compiles (validates + optimizes) and runs the graph,
@@ -108,7 +111,7 @@ func (ex *executor) compute(n *Node) ([][]types.Value, error) {
 		// The vectorized scan streams column batches with code-level
 		// predicate pushdown instead of materializing inside the view
 		// latch.
-		scan := &engine.BatchTableScan{Table: n.table, Txn: ex.env.Txn, Pred: n.pred, Cols: n.tableCols, AsOf: n.asOf}
+		scan := &engine.BatchTableScan{Table: n.table, Txn: ex.env.Txn, Pred: n.pred, Cols: n.tableCols, AsOf: n.asOf, Ctx: ex.env.Ctx}
 		return engine.CollectBatches(scan)
 	case KindValues:
 		return n.rows, nil
@@ -140,8 +143,8 @@ func (ex *executor) compute(n *Node) ([][]types.Value, error) {
 		l, r := n.inputs[0], n.inputs[1]
 		if l.kind == KindTable && r.kind == KindTable && ex.cons[l] <= 1 && ex.cons[r] <= 1 {
 			return engine.CollectBatches(&engine.BatchHashJoin{
-				Left:    &engine.BatchTableScan{Table: l.table, Txn: ex.env.Txn, Pred: l.pred, Cols: l.tableCols, AsOf: l.asOf},
-				Right:   &engine.BatchTableScan{Table: r.table, Txn: ex.env.Txn, Pred: r.pred, Cols: r.tableCols, AsOf: r.asOf},
+				Left:    &engine.BatchTableScan{Table: l.table, Txn: ex.env.Txn, Pred: l.pred, Cols: l.tableCols, AsOf: l.asOf, Ctx: ex.env.Ctx},
+				Right:   &engine.BatchTableScan{Table: r.table, Txn: ex.env.Txn, Pred: r.pred, Cols: r.tableCols, AsOf: r.asOf, Ctx: ex.env.Ctx},
 				LeftCol: n.leftCol, RightCol: n.rightCol,
 			})
 		}
@@ -199,7 +202,7 @@ func (ex *executor) compute(n *Node) ([][]types.Value, error) {
 				N: n.limit,
 				In: &engine.BatchTableScan{
 					Table: child.table, Txn: ex.env.Txn, Pred: child.pred,
-					Cols: child.tableCols, AsOf: child.asOf,
+					Cols: child.tableCols, AsOf: child.asOf, Ctx: ex.env.Ctx,
 				},
 			})
 		}

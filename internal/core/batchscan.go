@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"sort"
 
 	"repro/internal/expr"
@@ -25,6 +26,8 @@ type stageFiller interface {
 // before pulling the next.
 type BatchScan struct {
 	v         *View
+	ctx       context.Context // nil = never cancelled
+	err       error           // sticky ctx error; see Err
 	outCols   []int
 	scanCols  []int
 	outIdx    []int
@@ -42,6 +45,13 @@ type BatchScan struct {
 // the table's configured BatchSize. The cursor is only valid while
 // the view is open.
 func (v *View) NewBatchScan(cols []int, pred expr.Predicate, batchSize int) *BatchScan {
+	return v.NewBatchScanCtx(nil, cols, pred, batchSize)
+}
+
+// NewBatchScanCtx is NewBatchScan under a context: cancellation is
+// observed at batch granularity — Next returns nil mid-scan and Err
+// reports ctx.Err().
+func (v *View) NewBatchScanCtx(ctx context.Context, cols []int, pred expr.Predicate, batchSize int) *BatchScan {
 	schema := v.t.cfg.Schema
 	if cols == nil {
 		cols = make([]int, len(schema.Columns))
@@ -55,7 +65,7 @@ func (v *View) NewBatchScan(cols []int, pred expr.Predicate, batchSize int) *Bat
 	if batchSize <= 0 {
 		batchSize = vec.DefaultBatchSize
 	}
-	c := &BatchScan{v: v, outCols: cols, batchSize: batchSize}
+	c := &BatchScan{v: v, ctx: ctx, outCols: cols, batchSize: batchSize}
 
 	ranges, residual := expr.Pushdown(pred)
 	c.residual = residual
@@ -134,9 +144,18 @@ func (v *View) NewBatchScan(cols []int, pred expr.Predicate, batchSize int) *Bat
 }
 
 // Next returns the next non-empty batch of visible rows, or nil at
-// end of scan. The batch (and its vectors) is reused by the next
-// call.
+// end of scan — or on cancellation, which Err distinguishes. The
+// batch (and its vectors) is reused by the next call.
 func (c *BatchScan) Next() *vec.Batch {
+	if c.err != nil {
+		return nil
+	}
+	if c.ctx != nil {
+		if err := c.ctx.Err(); err != nil {
+			c.err = err
+			return nil
+		}
+	}
 	for {
 		c.scan.Reset()
 		n := 0
@@ -169,6 +188,10 @@ func (c *BatchScan) Next() *vec.Batch {
 	}
 }
 
+// Err returns the context error that aborted the scan, or nil when
+// Next's nil meant a clean end of stream.
+func (c *BatchScan) Err() error { return c.err }
+
 // ScanBatches streams the visible rows satisfying pred as column
 // batches over the listed columns (nil = all); fn returning false
 // stops the scan. Batches are reused between calls; fn must not
@@ -180,4 +203,17 @@ func (v *View) ScanBatches(cols []int, pred expr.Predicate, batchSize int, fn fu
 			return
 		}
 	}
+}
+
+// ScanBatchesCtx is ScanBatches under a context: a cancelled or
+// expired context stops the stream between batches and is returned
+// as ctx.Err().
+func (v *View) ScanBatchesCtx(ctx context.Context, cols []int, pred expr.Predicate, batchSize int, fn func(b *vec.Batch) bool) error {
+	c := v.NewBatchScanCtx(ctx, cols, pred, batchSize)
+	for b := c.Next(); b != nil; b = c.Next() {
+		if !fn(b) {
+			return nil
+		}
+	}
+	return c.Err()
 }

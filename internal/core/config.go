@@ -8,6 +8,7 @@ package core
 
 import (
 	"fmt"
+	"time"
 
 	"repro/internal/types"
 	"repro/internal/vec"
@@ -80,6 +81,27 @@ type TableConfig struct {
 	// the vectorized read path (View.ScanBatches); 0 selects
 	// vec.DefaultBatchSize.
 	BatchSize int
+	// MergeRetryBase and MergeRetryMax bound the jittered exponential
+	// backoff between retries of a failed L2→main merge; 0 inherits
+	// the DBOptions value (then the built-in defaults of 2ms / 500ms).
+	MergeRetryBase time.Duration
+	MergeRetryMax  time.Duration
+	// MergeBreakerAfter opens the table's merge circuit after this
+	// many consecutive merge failures; while open, merges are only
+	// probed every MergeRetryMax. 0 inherits the DBOptions value
+	// (then the default of 5); negative disables the breaker.
+	MergeBreakerAfter int
+	// ThrottleRows is the delta-backlog high-watermark (frozen L2
+	// rows + open L2 rows) above which writes are throttled with a
+	// bounded delay; 0 disables throttling.
+	ThrottleRows int
+	// OverloadRows is the delta-backlog hard ceiling above which
+	// writes are rejected with ErrOverloaded; 0 disables rejection.
+	// When both are set, OverloadRows must be >= ThrottleRows.
+	OverloadRows int
+	// ThrottleMaxDelay bounds the per-write throttle delay; 0 selects
+	// the 2ms default when throttling is enabled.
+	ThrottleMaxDelay time.Duration
 }
 
 // withDefaults fills unset fields with the paper-guided defaults.
@@ -104,6 +126,12 @@ func (c TableConfig) withDefaults() (TableConfig, error) {
 	}
 	if c.BatchSize <= 0 {
 		c.BatchSize = vec.DefaultBatchSize
+	}
+	if c.ThrottleRows > 0 && c.OverloadRows > 0 && c.OverloadRows < c.ThrottleRows {
+		return c, fmt.Errorf("core: table %q: OverloadRows %d < ThrottleRows %d", c.Name, c.OverloadRows, c.ThrottleRows)
+	}
+	if (c.ThrottleRows > 0 || c.OverloadRows > 0) && c.ThrottleMaxDelay <= 0 {
+		c.ThrottleMaxDelay = defaultThrottleMaxDelay
 	}
 	for _, col := range c.Indexed {
 		if col < 0 || col >= len(c.Schema.Columns) {
@@ -145,4 +173,14 @@ type TableStats struct {
 	// MergeFailures it surfaces merge errors the background scheduler
 	// would otherwise retry silently.
 	LastMergeError string
+	// MergeRetries counts merge attempts made while the table was in
+	// a failed state — the retry traffic of the backoff machinery.
+	MergeRetries uint64
+	// CircuitOpen reports that consecutive merge failures opened the
+	// table's merge circuit: merges are only probed on the half-open
+	// schedule until one succeeds.
+	CircuitOpen bool
+	// ThrottledWrites and RejectedWrites count the writes delayed and
+	// refused by delta-backlog admission control.
+	ThrottledWrites, RejectedWrites uint64
 }

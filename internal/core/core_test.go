@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"testing"
@@ -334,7 +335,7 @@ func TestMergeMainFailureKeepsGenerationQueued(t *testing.T) {
 	tab.MergeL1()
 
 	boom := errors.New("boom")
-	if _, err := tab.mergeMain(func(stage string) error {
+	if _, err := tab.mergeMain(context.Background(), func(stage string) error {
 		if stage == "build" {
 			return boom
 		}
@@ -379,7 +380,7 @@ func TestDeleteDuringInFlightMerge(t *testing.T) {
 	release := make(chan struct{})
 	done := make(chan error, 1)
 	go func() {
-		_, err := tab.mergeMain(func(stage string) error {
+		_, err := tab.mergeMain(context.Background(), func(stage string) error {
 			if stage == "build" {
 				close(entered)
 				<-release
@@ -426,7 +427,7 @@ func TestDeleteFrozenRowDuringInFlightMerge(t *testing.T) {
 	release := make(chan struct{})
 	done := make(chan error, 1)
 	go func() {
-		_, err := tab.mergeMain(func(stage string) error {
+		_, err := tab.mergeMain(context.Background(), func(stage string) error {
 			if stage == "build" {
 				// collect already ran; the stamps were read as live.
 				close(entered)
@@ -485,7 +486,7 @@ func TestAbortedDeleteDuringInFlightMerge(t *testing.T) {
 	release := make(chan struct{})
 	done := make(chan error, 1)
 	go func() {
-		_, err := tab.mergeMain(func(stage string) error {
+		_, err := tab.mergeMain(context.Background(), func(stage string) error {
 			if stage == "build" {
 				close(entered)
 				<-release

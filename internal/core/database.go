@@ -1,12 +1,14 @@
 package core
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"path/filepath"
 	"sort"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"repro/internal/mvcc"
 	"repro/internal/persist"
@@ -34,6 +36,18 @@ type Database struct {
 
 	scheduler *scheduler
 	closed    atomic.Bool
+
+	// Retry/breaker defaults applied to tables that leave the knobs
+	// unset (see DBOptions).
+	retryBase    time.Duration
+	retryMax     time.Duration
+	breakerAfter int
+
+	// now and sleep are the clock the overload machinery runs on
+	// (merge backoff schedules, write-throttle delays). Tests replace
+	// them to drive the degradation ladder without real sleeps.
+	now   func() time.Time
+	sleep func(ctx context.Context, d time.Duration) error
 }
 
 // DBOptions configures a database.
@@ -58,16 +72,30 @@ type DBOptions struct {
 	// the default of 2. At most one main merge runs per table
 	// regardless of the cap.
 	MaxMainMerges int
+	// MergeRetryBase and MergeRetryMax are the database-wide defaults
+	// for the failed-merge backoff window (TableConfig overrides them
+	// per table); 0 selects 2ms / 500ms.
+	MergeRetryBase time.Duration
+	MergeRetryMax  time.Duration
+	// MergeBreakerAfter is the database-wide default for the merge
+	// circuit breaker: consecutive failures before the circuit opens.
+	// 0 selects 5; negative disables the breaker.
+	MergeBreakerAfter int
 }
 
 // OpenDatabase opens (and, when a directory is given, recovers) a
 // database.
 func OpenDatabase(opts DBOptions) (*Database, error) {
 	db := &Database{
-		mgr:      mvcc.NewManager(),
-		tables:   map[string]*Table{},
-		pageSize: opts.PageSize,
-		fs:       opts.FS,
+		mgr:          mvcc.NewManager(),
+		tables:       map[string]*Table{},
+		pageSize:     opts.PageSize,
+		fs:           opts.FS,
+		retryBase:    opts.MergeRetryBase,
+		retryMax:     opts.MergeRetryMax,
+		breakerAfter: opts.MergeBreakerAfter,
+		now:          time.Now,
+		sleep:        sleepCtx,
 	}
 	if db.fs == nil {
 		db.fs = vfs.OS

@@ -1,6 +1,8 @@
 package core
 
 import (
+	"context"
+	"errors"
 	"fmt"
 
 	"repro/internal/dict"
@@ -106,7 +108,14 @@ func (t *Table) needsMainMerge() bool {
 // It returns the merge statistics, or nil when there was nothing to
 // merge.
 func (t *Table) MergeMain() (*merge.Stats, error) {
-	return t.mergeMain(nil, true)
+	return t.mergeMain(context.Background(), nil, true)
+}
+
+// MergeMainCtx is MergeMain under a context: the merge observes
+// cancellation between per-column phases and aborts with ctx.Err(),
+// leaving the frozen generation queued for a later retry.
+func (t *Table) MergeMainCtx(ctx context.Context) (*merge.Stats, error) {
+	return t.mergeMain(ctx, nil, true)
 }
 
 // MergeMainQueued merges the oldest frozen generation but never
@@ -114,14 +123,26 @@ func (t *Table) MergeMain() (*merge.Stats, error) {
 // The scheduler pairs it with RotateL2IfFull so the decision to close
 // a generation is always made on latched state.
 func (t *Table) MergeMainQueued() (*merge.Stats, error) {
-	return t.mergeMain(nil, false)
+	return t.mergeMain(context.Background(), nil, false)
+}
+
+// MergeMainQueuedCtx is MergeMainQueued under a context (the
+// scheduler's entry point: its context cancels on shutdown, so a
+// long merge never delays Close).
+func (t *Table) MergeMainQueuedCtx(ctx context.Context) (*merge.Stats, error) {
+	return t.mergeMain(ctx, nil, false)
 }
 
 // mergeMain lets tests inject a fail point; autoRotate selects
 // whether an empty frozen queue may be refilled from the open
 // L2-delta regardless of its size (the explicit MergeMain/drain
 // behavior) or left alone (the scheduler's queued behavior).
-func (t *Table) mergeMain(failPoint func(string) error, autoRotate bool) (*merge.Stats, error) {
+func (t *Table) mergeMain(ctx context.Context, failPoint func(string) error, autoRotate bool) (*merge.Stats, error) {
+	if failPoint == nil {
+		if fp := t.mergeFail.Load(); fp != nil {
+			failPoint = *fp
+		}
+	}
 	t.mu.Lock()
 	if len(t.frozen) == 0 && autoRotate {
 		t.rotateL2Locked()
@@ -140,6 +161,12 @@ func (t *Table) mergeMain(failPoint func(string) error, autoRotate bool) (*merge
 	oldMain := t.main
 	t.mu.Unlock()
 
+	// An attempt after a failure is a retry — surfaced in Stats so
+	// operators can see the backoff machinery working.
+	if t.gate.failing() {
+		t.mergeRetries.Add(1)
+	}
+
 	watermark := t.db.mgr.Watermark()
 	if t.cfg.Historic {
 		// History tables never garbage-collect: all versions stay
@@ -153,6 +180,7 @@ func (t *Table) mergeMain(failPoint func(string) error, autoRotate bool) (*merge
 		Indexed:      t.cfg.indexedFlags(),
 		Workers:      t.cfg.MergeWorkers,
 		FailPoint:    failPoint,
+		Ctx:          ctx,
 	}
 
 	var (
@@ -185,6 +213,12 @@ func (t *Table) mergeMain(failPoint func(string) error, autoRotate bool) (*merge
 		t.mergeFailures.Add(1)
 		msg := err.Error()
 		t.lastMergeErr.Store(&msg)
+		// Transient conditions (unsettled versions, cancellation) back
+		// off without advancing the circuit breaker; real merge
+		// failures do both.
+		countable := !errors.Is(err, merge.ErrNotSettled) &&
+			!errors.Is(err, context.Canceled) && !errors.Is(err, context.DeadlineExceeded)
+		t.gate.onFailure(t.db.now(), countable)
 		return nil, err
 	}
 	// Deletes that landed while the merge was computing may have been
@@ -207,6 +241,7 @@ func (t *Table) mergeMain(failPoint func(string) error, autoRotate bool) (*merge
 	t.tombs.Forget(stats.DroppedRowIDs...)
 	logErr := t.db.logMergeEvent(t.cfg.Name, wal.MergeL2Main, seq)
 	t.lastMergeErr.Store(nil)
+	t.gate.onSuccess()
 	t.mu.Unlock()
 	if logErr != nil {
 		return stats, logErr

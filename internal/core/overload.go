@@ -1,0 +1,261 @@
+package core
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"math/rand"
+	"sync"
+	"time"
+)
+
+// This file is the overload-protection layer of the unified table:
+// the paper's merge pipeline (§3.1, §4.4) only keeps read costs
+// bounded while L2→main merges keep up with the write stream. When
+// merges stall or fail, the delta backlog grows without bound and
+// every scan pays for it. Three mechanisms provide graceful
+// degradation instead:
+//
+//  1. failed merges are retried with jittered exponential backoff
+//     rather than on every scheduler tick (mergeGate);
+//  2. after enough consecutive failures the table's merge circuit
+//     opens and is only probed on a half-open schedule, so a broken
+//     merge path stops burning CPU on doomed attempts;
+//  3. writes are admission-controlled against the delta backlog:
+//     first delayed (throttled) above a high-watermark, then rejected
+//     with ErrOverloaded above a hard ceiling — the "minimally
+//     invasive" degradation ladder: slow before broken, broken before
+//     OOM.
+
+// ErrOverloaded reports a write rejected by admission control: the
+// table's delta backlog (frozen L2 generations plus the open
+// L2-delta) exceeds the configured hard ceiling, typically because
+// L2→main merges are failing or cannot keep up. Writes succeed again
+// once merges drain the backlog; callers should back off and retry.
+var ErrOverloaded = errors.New("core: overloaded: delta backlog over ceiling")
+
+// Paper-guided defaults for the retry/breaker knobs (DBOptions and
+// TableConfig override them).
+const (
+	defaultMergeRetryBase    = 2 * time.Millisecond
+	defaultMergeRetryMax     = 500 * time.Millisecond
+	defaultMergeBreakerAfter = 5
+	defaultThrottleMaxDelay  = 2 * time.Millisecond
+)
+
+// mergeGate is the per-table retry/backoff/circuit state machine for
+// L2→main merges. The scheduler consults allow before dispatching;
+// mergeMain reports every attempt's outcome. All times flow through
+// the database clock so tests inject a fake one.
+//
+// States:
+//
+//	closed    — merges allowed immediately (healthy).
+//	backoff   — a recent attempt failed; the next one waits for a
+//	            jittered exponential delay in [base, max].
+//	open      — breakAfter consecutive failures; attempts are only
+//	            allowed on the half-open probe schedule (every max).
+//	            One successful merge closes the circuit again.
+type mergeGate struct {
+	base       time.Duration
+	max        time.Duration
+	breakAfter int // <= 0 disables the breaker
+
+	mu        sync.Mutex
+	rng       *rand.Rand
+	consec    int       // consecutive countable failures
+	notBefore time.Time // earliest next allowed attempt
+	open      bool
+}
+
+func newMergeGate(base, max time.Duration, breakAfter int) *mergeGate {
+	if base <= 0 {
+		base = defaultMergeRetryBase
+	}
+	if max < base {
+		max = defaultMergeRetryMax
+	}
+	if max < base {
+		max = base
+	}
+	return &mergeGate{
+		base:       base,
+		max:        max,
+		breakAfter: breakAfter,
+		// Deterministic seed: jitter decorrelates tables because each
+		// gate advances its own stream, and tests stay reproducible.
+		rng: rand.New(rand.NewSource(1)),
+	}
+}
+
+// allow reports whether a merge attempt may start at now. While the
+// circuit is open this is the half-open probe check.
+func (g *mergeGate) allow(now time.Time) bool {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	return !now.Before(g.notBefore)
+}
+
+// failing reports whether the gate has seen a failure since the last
+// success — i.e. whether the next attempt is a retry.
+func (g *mergeGate) failing() bool {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	return g.consec > 0 || g.open || !g.notBefore.IsZero()
+}
+
+// isOpen reports whether the circuit is open.
+func (g *mergeGate) isOpen() bool {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	return g.open
+}
+
+// onSuccess closes the circuit and resets the backoff.
+func (g *mergeGate) onSuccess() {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	g.consec = 0
+	g.open = false
+	g.notBefore = time.Time{}
+}
+
+// onFailure records a failed attempt at now. countable failures
+// advance the breaker; transient not-yet-mergeable conditions
+// (merge.ErrNotSettled: an in-flight transaction still owns versions
+// in the frozen generation) back off but never open the circuit —
+// they resolve on their own and are not a broken merge path.
+func (g *mergeGate) onFailure(now time.Time, countable bool) {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	if countable {
+		g.consec++
+		if g.breakAfter > 0 && g.consec >= g.breakAfter {
+			// Circuit opens (or stays open): probe on the half-open
+			// schedule, one attempt every max.
+			g.open = true
+			g.notBefore = now.Add(g.jitterLocked(g.max))
+			return
+		}
+	}
+	d := g.base
+	for i := 1; i < g.consec && d < g.max; i++ {
+		d *= 2
+	}
+	if d > g.max {
+		d = g.max
+	}
+	g.notBefore = now.Add(g.jitterLocked(d))
+}
+
+// jitterLocked spreads d into [d/2, d) so tables failing in lockstep
+// do not retry in lockstep. Caller holds g.mu.
+func (g *mergeGate) jitterLocked(d time.Duration) time.Duration {
+	if d <= 1 {
+		return d
+	}
+	half := d / 2
+	return half + time.Duration(g.rng.Int63n(int64(half)))
+}
+
+// DeltaBacklog returns the table's delta backlog: the rows queued in
+// frozen L2 generations awaiting their merge plus the open L2-delta.
+// This is the quantity admission control watches — it grows without
+// bound exactly when the merge pipeline stalls.
+func (t *Table) DeltaBacklog() int {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	n := t.l2.Len()
+	for _, f := range t.frozen {
+		n += f.Len()
+	}
+	return n
+}
+
+// admitWrite is the write-path admission check, run before the
+// exclusive latch is taken (a throttled writer must never delay
+// readers). Above ThrottleRows the write is delayed by a bounded
+// duration that scales with how deep into the throttle band the
+// backlog is; above OverloadRows it is rejected with ErrOverloaded.
+func (t *Table) admitWrite(ctx context.Context) error {
+	hi, ceil := t.cfg.ThrottleRows, t.cfg.OverloadRows
+	if hi <= 0 && ceil <= 0 {
+		return nil
+	}
+	backlog := t.DeltaBacklog()
+	if ceil > 0 && backlog >= ceil {
+		t.rejectedWrites.Add(1)
+		return &OverloadError{Table: t.cfg.Name, Backlog: backlog, Ceiling: ceil}
+	}
+	if hi > 0 && backlog >= hi {
+		t.throttledWrites.Add(1)
+		if err := t.db.sleep(ctx, t.throttleDelay(backlog, hi, ceil)); err != nil {
+			return err
+		}
+	}
+	if ctx == nil {
+		return nil
+	}
+	return ctx.Err()
+}
+
+// throttleDelay maps a backlog inside the throttle band to a delay:
+// linear from ~0 at the high-watermark to ThrottleMaxDelay at the
+// ceiling (or the full ThrottleMaxDelay when no ceiling is set).
+func (t *Table) throttleDelay(backlog, hi, ceil int) time.Duration {
+	max := t.cfg.ThrottleMaxDelay
+	if max <= 0 {
+		max = defaultThrottleMaxDelay
+	}
+	if ceil <= hi {
+		return max
+	}
+	frac := float64(backlog-hi) / float64(ceil-hi)
+	if frac > 1 {
+		frac = 1
+	}
+	d := time.Duration(frac * float64(max))
+	if d < 50*time.Microsecond {
+		d = 50 * time.Microsecond
+	}
+	return d
+}
+
+// OverloadError is the concrete error behind ErrOverloaded, carrying
+// the observed backlog for diagnostics. errors.Is(err, ErrOverloaded)
+// matches it.
+type OverloadError struct {
+	Table   string
+	Backlog int
+	Ceiling int
+}
+
+// Error implements error.
+func (e *OverloadError) Error() string {
+	return fmt.Sprintf("%v: table %q backlog %d rows >= ceiling %d", ErrOverloaded, e.Table, e.Backlog, e.Ceiling)
+}
+
+// Is makes errors.Is(err, ErrOverloaded) true.
+func (e *OverloadError) Is(target error) bool { return target == ErrOverloaded }
+
+// sleepCtx is the default Database sleep: a timer racing the context.
+func sleepCtx(ctx context.Context, d time.Duration) error {
+	if d <= 0 {
+		if ctx == nil {
+			return nil
+		}
+		return ctx.Err()
+	}
+	timer := time.NewTimer(d)
+	defer timer.Stop()
+	if ctx == nil {
+		<-timer.C
+		return nil
+	}
+	select {
+	case <-ctx.Done():
+		return ctx.Err()
+	case <-timer.C:
+		return nil
+	}
+}

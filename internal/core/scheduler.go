@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"sync"
 	"time"
 )
@@ -23,7 +24,12 @@ import (
 type scheduler struct {
 	db    *Database
 	stopC chan struct{}
-	wg    sync.WaitGroup
+	// ctx cancels when the scheduler stops; it is threaded into every
+	// dispatched merge so a long column-parallel merge aborts at
+	// column granularity instead of delaying Close.
+	ctx    context.Context
+	cancel context.CancelFunc
+	wg     sync.WaitGroup
 	// interval is the poll period; kept short because thresholds, not
 	// time, gate the work.
 	interval time.Duration
@@ -44,9 +50,12 @@ func newScheduler(db *Database, maxMainMerges int) *scheduler {
 	if maxMainMerges <= 0 {
 		maxMainMerges = 2
 	}
+	ctx, cancel := context.WithCancel(context.Background())
 	return &scheduler{
 		db:         db,
 		stopC:      make(chan struct{}),
+		ctx:        ctx,
+		cancel:     cancel,
 		interval:   2 * time.Millisecond,
 		mainSem:    make(chan struct{}, maxMainMerges),
 		dispatched: map[string]bool{},
@@ -59,6 +68,7 @@ func (s *scheduler) start() {
 }
 
 func (s *scheduler) stop() {
+	s.cancel()
 	close(s.stopC)
 	s.wg.Wait()
 }
@@ -80,7 +90,10 @@ func (s *scheduler) loop() {
 // pass runs at most one L1 merge step per table per tick and
 // dispatches main merges for tables with work queued. All thresholds
 // are re-evaluated under the table latch by the entry points called
-// here, never acted on from a stale read-latched snapshot.
+// here, never acted on from a stale read-latched snapshot. The merge
+// gate is consulted here: while a table backs off from a failed merge
+// (or its circuit is open), no dispatch happens until the gate's
+// schedule allows the next attempt.
 func (s *scheduler) pass() {
 	for _, t := range s.db.Tables() {
 		if _, err := t.MergeL1IfFull(); err != nil {
@@ -88,7 +101,7 @@ func (s *scheduler) pass() {
 			// main-merge errors instead of vanishing with the tick.
 			t.noteMergeErr(err)
 		}
-		if t.needsMainMerge() {
+		if t.needsMainMerge() && t.gate.allow(s.db.now()) {
 			s.dispatchMain(t)
 		}
 	}
@@ -124,8 +137,9 @@ func (s *scheduler) dispatchMain(t *Table) {
 		// Close the open generation only if it is still full now, on
 		// latched state; then merge whatever is queued. Failed merges
 		// leave the generation frozen — counted and surfaced by
-		// mergeMain — and the next tick retries (§3.1).
+		// mergeMain, which also arms the backoff gate — and a later
+		// tick retries once the gate allows (§3.1).
 		t.RotateL2IfFull(t.cfg.L2MaxRows)
-		_, _ = t.MergeMainQueued()
+		_, _ = t.MergeMainQueuedCtx(s.ctx)
 	}()
 }

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"errors"
 	"strings"
 	"testing"
@@ -66,7 +67,7 @@ func TestMergeFailureSurfaced(t *testing.T) {
 	}
 
 	boom := errors.New("disk on fire")
-	if _, err := tab.mergeMain(func(stage string) error {
+	if _, err := tab.mergeMain(context.Background(), func(stage string) error {
 		if stage == "column" {
 			return boom
 		}

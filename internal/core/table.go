@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"sync"
@@ -58,6 +59,18 @@ type Table struct {
 	// retries failed merges, so without this field errors would only
 	// ever be visible as a counter.
 	lastMergeErr atomic.Pointer[string]
+
+	// gate is the merge retry/backoff/circuit state machine; the
+	// scheduler consults it before dispatching and mergeMain reports
+	// outcomes to it (see overload.go).
+	gate            *mergeGate
+	mergeRetries    atomic.Uint64
+	throttledWrites atomic.Uint64
+	rejectedWrites  atomic.Uint64
+
+	// mergeFail lets tests inject merge failures on the scheduler
+	// path (mergeMain's explicit failPoint argument wins when set).
+	mergeFail atomic.Pointer[func(string) error]
 }
 
 func newTable(db *Database, cfg TableConfig) *Table {
@@ -69,7 +82,33 @@ func newTable(db *Database, cfg TableConfig) *Table {
 	t.l1 = l1delta.New(cfg.Schema)
 	t.l2 = l2delta.New(cfg.Schema, cfg.Indexed)
 	t.main = mainstore.EmptyStore(cfg.Schema)
+	base, max := cfg.MergeRetryBase, cfg.MergeRetryMax
+	if base <= 0 {
+		base = db.retryBase
+	}
+	if max <= 0 {
+		max = db.retryMax
+	}
+	breakAfter := cfg.MergeBreakerAfter
+	if breakAfter == 0 {
+		breakAfter = db.breakerAfter
+	}
+	if breakAfter == 0 {
+		breakAfter = defaultMergeBreakerAfter
+	}
+	t.gate = newMergeGate(base, max, breakAfter)
 	return t
+}
+
+// setMergeFailPoint installs (or, with nil, clears) a fail point
+// consulted by every merge regardless of entry point — the test hook
+// behind the degradation-ladder and circuit-breaker tests.
+func (t *Table) setMergeFailPoint(fn func(string) error) {
+	if fn == nil {
+		t.mergeFail.Store(nil)
+		return
+	}
+	t.mergeFail.Store(&fn)
 }
 
 // noteMergeErr records err as the table's last merge error (Stats'
@@ -94,10 +133,21 @@ func (t *Table) Config() TableConfig { return t.cfg }
 // life-long RowID. The row enters the L1-delta; a redo record is
 // written at this first appearance (§3.2).
 func (t *Table) Insert(tx *mvcc.Txn, row []types.Value) (types.RowID, error) {
+	return t.InsertCtx(context.Background(), tx, row)
+}
+
+// InsertCtx is Insert under a context: the write observes
+// cancellation and is subject to delta-backlog admission control —
+// above ThrottleRows it is delayed, above OverloadRows it fails with
+// ErrOverloaded.
+func (t *Table) InsertCtx(ctx context.Context, tx *mvcc.Txn, row []types.Value) (types.RowID, error) {
 	if !tx.Active() {
 		return 0, mvcc.ErrNotActive
 	}
 	if err := t.cfg.Schema.CheckRow(row); err != nil {
+		return 0, err
+	}
+	if err := t.admitWrite(ctx); err != nil {
 		return 0, err
 	}
 	row = types.CloneRow(row)
@@ -127,6 +177,12 @@ func (t *Table) Insert(tx *mvcc.Txn, row []types.Value) (types.RowID, error) {
 // L2-delta", §3). Redo logging happens here, the rows' first
 // appearance.
 func (t *Table) BulkInsert(tx *mvcc.Txn, rows [][]types.Value) ([]types.RowID, error) {
+	return t.BulkInsertCtx(context.Background(), tx, rows)
+}
+
+// BulkInsertCtx is BulkInsert under a context, with delta-backlog
+// admission control (one check per batch).
+func (t *Table) BulkInsertCtx(ctx context.Context, tx *mvcc.Txn, rows [][]types.Value) ([]types.RowID, error) {
 	if !tx.Active() {
 		return nil, mvcc.ErrNotActive
 	}
@@ -134,6 +190,9 @@ func (t *Table) BulkInsert(tx *mvcc.Txn, rows [][]types.Value) ([]types.RowID, e
 		if err := t.cfg.Schema.CheckRow(r); err != nil {
 			return nil, err
 		}
+	}
+	if err := t.admitWrite(ctx); err != nil {
+		return nil, err
 	}
 	cloned := make([][]types.Value, len(rows))
 	for i, r := range rows {
@@ -268,6 +327,13 @@ func (t *Table) deleteKeyLocked(tx *mvcc.Txn, key types.Value) (int, error) {
 // (delete-old + insert-new: the record-life-cycle model keeps
 // versions immutable once written). It returns the new RowID.
 func (t *Table) UpdateKey(tx *mvcc.Txn, key types.Value, newRow []types.Value) (types.RowID, error) {
+	return t.UpdateKeyCtx(context.Background(), tx, key, newRow)
+}
+
+// UpdateKeyCtx is UpdateKey under a context, with delta-backlog
+// admission control. Deletes are never admission-controlled (they add
+// no backlog), so only the insert half gates here.
+func (t *Table) UpdateKeyCtx(ctx context.Context, tx *mvcc.Txn, key types.Value, newRow []types.Value) (types.RowID, error) {
 	if t.cfg.Schema.Key < 0 {
 		return 0, ErrNoKey
 	}
@@ -275,6 +341,9 @@ func (t *Table) UpdateKey(tx *mvcc.Txn, key types.Value, newRow []types.Value) (
 		return 0, mvcc.ErrNotActive
 	}
 	if err := t.cfg.Schema.CheckRow(newRow); err != nil {
+		return 0, err
+	}
+	if err := t.admitWrite(ctx); err != nil {
 		return 0, err
 	}
 	newRow = types.CloneRow(newRow)
@@ -398,5 +467,9 @@ func (t *Table) Stats() TableStats {
 	if msg := t.lastMergeErr.Load(); msg != nil {
 		s.LastMergeError = *msg
 	}
+	s.MergeRetries = t.mergeRetries.Load()
+	s.CircuitOpen = t.gate.isOpen()
+	s.ThrottledWrites = t.throttledWrites.Load()
+	s.RejectedWrites = t.rejectedWrites.Load()
 	return s
 }

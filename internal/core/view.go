@@ -1,6 +1,8 @@
 package core
 
 import (
+	"context"
+
 	"repro/internal/dict"
 	"repro/internal/expr"
 	"repro/internal/l1delta"
@@ -114,6 +116,27 @@ func (v *View) ScanAll(fn func(id types.RowID, row []types.Value) bool) {
 		cont = fn(v.main.RowID(loc), v.main.Row(loc))
 		return cont
 	})
+}
+
+// ScanAllCtx is ScanAll under a context: cancellation is observed
+// every ctxStride rows and aborts the scan with ctx.Err(). fn
+// returning false still stops the scan with a nil error.
+func (v *View) ScanAllCtx(ctx context.Context, fn func(id types.RowID, row []types.Value) bool) error {
+	const ctxStride = 1024
+	if err := ctx.Err(); err != nil {
+		return err
+	}
+	var err error
+	n := 0
+	v.ScanAll(func(id types.RowID, row []types.Value) bool {
+		if n++; n%ctxStride == 0 {
+			if err = ctx.Err(); err != nil {
+				return false
+			}
+		}
+		return fn(id, row)
+	})
+	return err
 }
 
 // ScanCols streams only the selected columns of every visible row —

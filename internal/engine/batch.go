@@ -1,6 +1,8 @@
 package engine
 
 import (
+	"context"
+
 	"repro/internal/core"
 	"repro/internal/expr"
 	"repro/internal/mvcc"
@@ -41,6 +43,9 @@ type BatchTableScan struct {
 	// BatchSize overrides the table's configured batch row capacity
 	// when positive.
 	BatchSize int
+	// Ctx, when non-nil, cancels the scan at batch granularity: Next
+	// returns ctx.Err() once the context is done.
+	Ctx context.Context
 
 	view *core.View
 	cur  *core.BatchScan
@@ -48,12 +53,17 @@ type BatchTableScan struct {
 
 // Open implements BatchIterator.
 func (s *BatchTableScan) Open() error {
+	if s.Ctx != nil {
+		if err := s.Ctx.Err(); err != nil {
+			return err
+		}
+	}
 	if s.AsOf != 0 {
 		s.view = s.Table.AsOf(s.AsOf)
 	} else {
 		s.view = s.Table.View(s.Txn)
 	}
-	s.cur = s.view.NewBatchScan(s.Cols, s.Pred, s.BatchSize)
+	s.cur = s.view.NewBatchScanCtx(s.Ctx, s.Cols, s.Pred, s.BatchSize)
 	return nil
 }
 
@@ -62,7 +72,11 @@ func (s *BatchTableScan) Next() (*vec.Batch, error) {
 	if s.cur == nil {
 		return nil, ErrNotOpen
 	}
-	return s.cur.Next(), nil
+	b := s.cur.Next()
+	if b == nil {
+		return nil, s.cur.Err()
+	}
+	return b, nil
 }
 
 // Close implements BatchIterator.

@@ -1,6 +1,8 @@
 package engine
 
 import (
+	"context"
+
 	"repro/internal/core"
 	"repro/internal/expr"
 	"repro/internal/mvcc"
@@ -27,9 +29,16 @@ type TableScan struct {
 	// AsOf, when non-zero, reads at an explicit snapshot (time
 	// travel); Txn is ignored then.
 	AsOf uint64
+	// Ctx, when non-nil, aborts the materializing scan: Open checks it
+	// every ctxStride rows and returns ctx.Err().
+	Ctx context.Context
 
 	src *SliceSource
 }
+
+// ctxStride is how many rows a materializing scan processes between
+// context checks.
+const ctxStride = 1024
 
 // Open implements Iterator.
 func (s *TableScan) Open() error {
@@ -41,17 +50,34 @@ func (s *TableScan) Open() error {
 	}
 	defer v.Close()
 	var rows [][]types.Value
+	var ctxErr error
+	seen := 0
+	// keepGoing folds the periodic context check into each scan
+	// callback's continue decision.
+	keepGoing := func() bool {
+		if s.Ctx == nil {
+			return true
+		}
+		if seen++; seen%ctxStride != 0 {
+			return true
+		}
+		if err := s.Ctx.Err(); err != nil {
+			ctxErr = err
+			return false
+		}
+		return true
+	}
 	switch {
 	case s.Pred == nil && s.Cols != nil:
 		// Pure projection: block-decode only the selected columns.
 		v.ScanCols(s.Cols, func(_ types.RowID, vals []types.Value) bool {
 			rows = append(rows, types.CloneRow(vals))
-			return true
+			return keepGoing()
 		})
 	case s.Pred == nil:
 		v.ScanAll(func(_ types.RowID, row []types.Value) bool {
 			rows = append(rows, row)
-			return true
+			return keepGoing()
 		})
 	default:
 		v.Filter(s.Pred, func(m core.Match) bool {
@@ -64,8 +90,11 @@ func (s *TableScan) Open() error {
 			} else {
 				rows = append(rows, m.Row)
 			}
-			return true
+			return keepGoing()
 		})
+	}
+	if ctxErr != nil {
+		return ctxErr
 	}
 	s.src = NewSliceSource(rows)
 	return s.src.Open()

@@ -14,6 +14,7 @@
 package merge
 
 import (
+	"context"
 	"errors"
 	"fmt"
 
@@ -112,6 +113,20 @@ type Options struct {
 	// "column" stage runs on pool goroutines, so the hook must be
 	// goroutine-safe when Workers != 1.
 	FailPoint func(stage string) error
+	// Ctx, when non-nil, is observed between collect batches and at
+	// every per-column phase: a cancelled or expired context aborts
+	// the merge with ctx.Err(), leaving the inputs untouched (the
+	// caller's frozen generation stays queued for a retry).
+	Ctx context.Context
+}
+
+// ctxErr reports the context's cancellation state (nil context =
+// never cancelled).
+func (o Options) ctxErr() error {
+	if o.Ctx == nil {
+		return nil
+	}
+	return o.Ctx.Err()
 }
 
 func (o *Options) indexed(schema *types.Schema) []bool {
@@ -140,10 +155,18 @@ type survivor struct {
 func collect(main *mainstore.Store, fromPart int, l2 *l2delta.Store, tombs *mainstore.Tombstones, o Options) ([]survivor, []types.RowID, error) {
 	var out []survivor
 	var droppedIDs []types.RowID
+	// Cancellation granularity: one check per ctxStride collected rows.
+	const ctxStride = 4096
+	scanned := 0
 	if main != nil {
 		for pi := fromPart; pi < main.NumParts(); pi++ {
 			p := main.Parts()[pi]
 			for pos := 0; pos < p.NumRows(); pos++ {
+				if scanned++; scanned%ctxStride == 0 {
+					if err := o.ctxErr(); err != nil {
+						return nil, nil, err
+					}
+				}
 				id := p.RowID(pos)
 				st := tombs.Get(id)
 				if st != nil && collectable(st.Delete(), o.Watermark) {
@@ -162,6 +185,11 @@ func collect(main *mainstore.Store, fromPart int, l2 *l2delta.Store, tombs *main
 	}
 	if l2 != nil {
 		for pos := 0; pos < l2.Len(); pos++ {
+			if scanned++; scanned%ctxStride == 0 {
+				if err := o.ctxErr(); err != nil {
+					return nil, nil, err
+				}
+			}
 			st := l2.Stamp(pos)
 			create := st.Create()
 			switch {
@@ -195,6 +223,9 @@ func collectable(del, watermark uint64) bool {
 }
 
 func failAt(o Options, stage string) error {
+	if err := o.ctxErr(); err != nil {
+		return err
+	}
 	if o.FailPoint != nil {
 		if err := o.FailPoint(stage); err != nil {
 			return fmt.Errorf("merge: injected failure at %s: %w", stage, err)

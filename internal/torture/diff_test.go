@@ -1,6 +1,7 @@
 package torture
 
 import (
+	"errors"
 	"fmt"
 	"math/rand"
 	"os"
@@ -8,6 +9,7 @@ import (
 	"testing"
 
 	"repro/internal/core"
+	"repro/internal/merge"
 	"repro/internal/mvcc"
 	"repro/internal/types"
 	"repro/internal/vfs"
@@ -97,6 +99,18 @@ func runDifferential(t *testing.T, seed int64, nops int) {
 		return db.Commit(tmp)
 	}
 
+	// drainBacklog reacts to an admission-control rejection the way a
+	// client would: force the merge pipeline forward. ErrNotSettled is
+	// expected while the session transaction holds unsettled versions.
+	drainBacklog := func(op int, tab *core.Table) {
+		if _, err := tab.MergeL1(); err != nil {
+			fatal(op, "drain "+tab.Name(), "merge-l1: %v", err)
+		}
+		if _, err := tab.MergeMain(); err != nil && !errors.Is(err, merge.ErrNotSettled) {
+			fatal(op, "drain "+tab.Name(), "merge-main: %v", err)
+		}
+	}
+
 	makeRow := func(key int64) []types.Value {
 		name := types.Str(fmt.Sprintf("n%02d", rng.Intn(50)))
 		if rng.Intn(10) == 0 {
@@ -122,6 +136,12 @@ func runDifferential(t *testing.T, seed int64, nops int) {
 				_, err := tab.Insert(tx, row)
 				return err
 			})
+			if errors.Is(err, core.ErrOverloaded) {
+				// Admission control fired before any mutation: the engine
+				// and oracle still agree; drain and move on.
+				drainBacklog(op, tab)
+				continue
+			}
 			if dup {
 				if err == nil {
 					fatal(op, "insert "+spec.name, "duplicate key %d accepted", key)
@@ -142,6 +162,10 @@ func runDifferential(t *testing.T, seed int64, nops int) {
 				_, err := tab.UpdateKey(tx, types.Int(key), row)
 				return err
 			})
+			if errors.Is(err, core.ErrOverloaded) {
+				drainBacklog(op, tab)
+				continue
+			}
 			if present {
 				if err != nil {
 					fatal(op, "update "+spec.name, "key %d: %v", key, err)

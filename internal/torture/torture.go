@@ -20,6 +20,7 @@ package torture
 import (
 	"fmt"
 	"sort"
+	"time"
 
 	"repro/internal/core"
 	"repro/internal/mvcc"
@@ -64,6 +65,13 @@ func tortureConfig(spec tableSpec) core.TableConfig {
 		L1MaxRows:    8,
 		L1MergeBatch: 8,
 		L2MaxRows:    16,
+		// Admission control runs under fault injection too: the throttle
+		// band is low enough that differential runs cross it, the
+		// ceiling generous enough that only a genuinely stalled merge
+		// pipeline rejects writes (the harness drains and skips then).
+		ThrottleRows:     24,
+		OverloadRows:     96,
+		ThrottleMaxDelay: 100 * time.Microsecond,
 	}
 	if spec.strategy == core.MergePartial {
 		cfg.ActiveMainMax = 8
