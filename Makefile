@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test vet race bench fuzz torture soak staticcheck check
+.PHONY: all build test vet race bench fuzz torture soak staticcheck obs-bench check
 
 # Torture-harness knobs (see internal/torture): the seed and op count
 # for the differential run, overridable per invocation:
@@ -20,6 +20,7 @@ test: build
 
 vet:
 	$(GO) vet ./...
+	$(GO) vet -tests ./...
 
 # Extended static analysis, gated on the tool being installed so the
 # gate works on minimal containers (nothing is downloaded). Install
@@ -57,6 +58,12 @@ torture:
 	TORTURE_SEED=$(TORTURE_SEED) TORTURE_OPS=$(TORTURE_OPS) \
 		$(GO) test ./internal/torture -run TestDifferentialOracle -v -count 1
 
+# E14 observability gate: the instrumented 1M-row scan must stay
+# within 2% of the disabled-registry baseline (internal/obs design
+# contract; see EXPERIMENTS.md E14).
+obs-bench:
+	OBS_BENCH=1 $(GO) test -run TestE14ObsOverhead -count 1 -v -timeout 300s .
+
 # Overload/shutdown soak: the degradation ladder, merge-outage
 # recovery, and the graceful-drain workload under the race detector.
 soak:
@@ -67,4 +74,4 @@ soak:
 		-run 'TestGracefulDrain|TestMaxConnsShedding|TestAcceptLoopSurvivesTransientErrors|TestOversizedLineReported' \
 		./cmd/hanaserver
 
-check: test vet staticcheck race torture soak
+check: test vet staticcheck race torture soak obs-bench

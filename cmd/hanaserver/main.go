@@ -17,12 +17,20 @@
 //	AGG <table> <groupCol> <sumCol>
 //	MERGE <table>
 //	STATS <table>
+//	METRICS [<table>]
+//	TRACE [<n>]
 //	BEGIN [STMT] | COMMIT | ABORT
 //	SAVEPOINT
 //	QUIT
 //
 // Responses: "OK[ detail]", "ERR <msg>", or row lines followed by
-// "END".
+// "END". METRICS dumps Prometheus-style text (optionally restricted
+// to one table's series) and TRACE replays the last n lifecycle
+// events; both end with "END".
+//
+// With -obs-addr set, the same metrics are served over HTTP at
+// /metrics alongside the standard net/http/pprof handlers under
+// /debug/pprof/.
 package main
 
 import (
@@ -32,6 +40,8 @@ import (
 	"fmt"
 	"log"
 	"net"
+	"net/http"
+	"net/http/pprof"
 	"os"
 	"os/signal"
 	"strconv"
@@ -57,9 +67,12 @@ func main() {
 	drainTimeout := flag.Duration("drain-timeout", 5*time.Second, "graceful-shutdown wait for in-flight commands")
 	throttleRows := flag.Int("throttle-rows", 0, "delta-backlog high-watermark applied to CREATEd tables: writes beyond it are delayed (0 = off)")
 	overloadRows := flag.Int("overload-rows", 0, "delta-backlog ceiling applied to CREATEd tables: writes beyond it get ERR overloaded (0 = off)")
+	obsAddr := flag.String("obs-addr", "", "HTTP listen address serving /metrics and /debug/pprof/ (empty = disabled)")
 	flag.Parse()
 
-	db := hana.MustOpen(hana.Options{Dir: *dir, AutoMerge: true})
+	reg := hana.NewMetrics()
+	db := hana.MustOpen(hana.Options{Dir: *dir, AutoMerge: true, Obs: reg,
+		Logger: func(event string, kv ...any) { log.Printf("hanaserver: %s %v", event, kv) }})
 
 	ln, err := net.Listen("tcp", *addr)
 	if err != nil {
@@ -67,6 +80,22 @@ func main() {
 		log.Fatalf("hanaserver: %v", err)
 	}
 	log.Printf("hanaserver: listening on %s (dir=%q)", *addr, *dir)
+
+	var obsSrv *http.Server
+	if *obsAddr != "" {
+		obsLn, err := net.Listen("tcp", *obsAddr)
+		if err != nil {
+			db.Close()
+			log.Fatalf("hanaserver: obs listener: %v", err)
+		}
+		obsSrv = &http.Server{Handler: obsMux(reg)}
+		go func() {
+			if err := obsSrv.Serve(obsLn); err != nil && !errors.Is(err, http.ErrServerClosed) {
+				log.Printf("hanaserver: obs server: %v", err)
+			}
+		}()
+		log.Printf("hanaserver: observability on http://%s/metrics", obsLn.Addr())
+	}
 
 	srv := newServer(db, ln, serverOptions{
 		maxConns:     *maxConns,
@@ -87,9 +116,30 @@ func main() {
 
 	srv.run()
 	srv.shutdown() // idempotent; covers listener-error exits
+	if obsSrv != nil {
+		obsSrv.Close()
+	}
 	if err := db.Close(); err != nil {
 		log.Printf("hanaserver: close: %v", err)
 	}
+}
+
+// obsMux builds the observability HTTP handler: Prometheus-style
+// metrics at /metrics and the standard pprof surface at /debug/pprof/.
+func obsMux(reg *hana.MetricsRegistry) *http.ServeMux {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		if err := reg.WriteProm(w); err != nil {
+			log.Printf("hanaserver: /metrics: %v", err)
+		}
+	})
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	return mux
 }
 
 // serverOptions are the overload-protection and shutdown knobs.
@@ -392,6 +442,35 @@ func (s *session) handle(w *bufio.Writer, line string) {
 			return
 		}
 		fmt.Fprintln(w, "OK")
+	case "METRICS":
+		// Optionally restricted to one table's series. A database
+		// opened without a registry dumps nothing but still ends
+		// cleanly.
+		var err error
+		if len(args) > 0 {
+			err = s.db.Metrics().WritePromTable(w, args[0])
+		} else {
+			err = s.db.Metrics().WriteProm(w)
+		}
+		if err != nil {
+			fmt.Fprintf(w, "ERR %v\n", err)
+			return
+		}
+		fmt.Fprintln(w, "END")
+	case "TRACE":
+		n := 0 // 0 = everything still in the ring
+		if len(args) > 0 {
+			v, err := strconv.Atoi(args[0])
+			if err != nil || v < 0 {
+				fmt.Fprintln(w, "ERR usage: TRACE [<n>]")
+				return
+			}
+			n = v
+		}
+		for _, e := range s.db.TraceEvents(n) {
+			fmt.Fprintln(w, e.String())
+		}
+		fmt.Fprintln(w, "END")
 	case "CREATE":
 		s.create(w, args)
 	case "INSERT", "GET", "UPDATE", "DELETE", "COUNT", "SCAN", "AGG", "MERGE", "STATS":
@@ -608,11 +687,10 @@ func (s *session) table(w *bufio.Writer, cmd string, t *hana.Table, args []strin
 		}
 		fmt.Fprintln(w, "OK")
 	case "STATS":
-		st := t.Stats()
-		fmt.Fprintf(w, "OK l1=%d l2=%d frozen=%d main=%d parts=%d tombstones=%d l1merges=%d mainmerges=%d mergefailures=%d mergeretries=%d circuit=%v throttled=%d rejected=%d lasterr=%q\n",
-			st.L1Rows, st.L2Rows, st.FrozenL2Rows, st.MainRows, st.MainParts,
-			st.Tombstones, st.L1Merges, st.MainMerges, st.MergeFailures,
-			st.MergeRetries, st.CircuitOpen, st.ThrottledWrites, st.RejectedWrites, st.LastMergeError)
+		// The line is generated from TableStats by reflection
+		// (WireString), so new stats fields reach the wire without a
+		// second hand-maintained field list.
+		fmt.Fprintf(w, "OK %s\n", t.Stats().WireString())
 	}
 }
 

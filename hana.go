@@ -51,6 +51,7 @@ import (
 	"repro/internal/engine"
 	"repro/internal/expr"
 	"repro/internal/mvcc"
+	"repro/internal/obs"
 	"repro/internal/types"
 	"repro/internal/vec"
 )
@@ -161,6 +162,34 @@ type (
 	// RowsToBatches adapts a row iterator to batches.
 	RowsToBatches = engine.RowsToBatches
 )
+
+// Observability: pass a registry in Options.Obs and the engine
+// instruments its write, merge, scan, and WAL paths with counters and
+// latency histograms, and records lifecycle transitions in a ring
+// tracer. Read them back through DB.Metrics (same registry) and
+// DB.TraceEvents. Without a registry every instrument is a nil-safe
+// no-op.
+type (
+	// MetricsRegistry holds counters, gauges, histograms, and the
+	// lifecycle event tracer.
+	MetricsRegistry = obs.Registry
+	// MetricSnapshot is one metric's point-in-time state.
+	MetricSnapshot = obs.MetricSnapshot
+	// TraceEvent is one recorded lifecycle transition.
+	TraceEvent = obs.Event
+	// TraceEventKind discriminates lifecycle transitions.
+	TraceEventKind = obs.EventKind
+	// Logger receives the engine's structured diagnostics (merge
+	// failures, breaker transitions, recovery replay); nil discards.
+	Logger = core.Logger
+)
+
+// NewMetrics creates an enabled metrics registry for Options.Obs.
+func NewMetrics() *MetricsRegistry { return obs.New() }
+
+// DisabledMetrics is the shared no-op registry: DB.Metrics returns it
+// when the database was opened without one.
+var DisabledMetrics = obs.Disabled
 
 // DefaultBatchSize is the batch row capacity used when
 // TableConfig.BatchSize is unset.

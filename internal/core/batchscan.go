@@ -5,6 +5,7 @@ import (
 	"sort"
 
 	"repro/internal/expr"
+	"repro/internal/mainstore"
 	"repro/internal/types"
 	"repro/internal/vec"
 )
@@ -38,6 +39,13 @@ type BatchScan struct {
 	scan      *vec.Batch
 	out       *vec.Batch
 	rowBuf    []types.Value
+
+	// met is the owning table's metric handles; mainCur keeps a typed
+	// reference to the main-stage cursor so Next can harvest
+	// decode-cache deltas without coupling mainstore to the registry.
+	met                  *tableMetrics
+	mainCur              *mainstore.BatchScan
+	lastHits, lastMisses uint64
 }
 
 // NewBatchScan plans a batch scan producing the listed columns (nil =
@@ -140,6 +148,8 @@ func (v *View) NewBatchScanCtx(ctx context.Context, cols []int, pred expr.Predic
 		mcur.FilterRange(r.Col, r.Lo, r.Hi, r.LoInc, r.HiInc)
 	}
 	c.stages = append(c.stages, mcur)
+	c.met = v.t.met
+	c.mainCur = mcur
 	return c
 }
 
@@ -147,6 +157,25 @@ func (v *View) NewBatchScanCtx(ctx context.Context, cols []int, pred expr.Predic
 // end of scan — or on cancellation, which Err distinguishes. The
 // batch (and its vectors) is reused by the next call.
 func (c *BatchScan) Next() *vec.Batch {
+	start := c.met.scanBatchSeconds.Start()
+	b := c.nextBatch()
+	c.met.scanBatchSeconds.Stop(start)
+	if b != nil {
+		c.met.scanBatches.Inc()
+		c.met.scanRows.Add(uint64(b.Rows()))
+	}
+	if c.mainCur != nil {
+		// Harvest the main cursor's decode-cache deltas accumulated
+		// since the previous batch.
+		hits, misses := c.mainCur.CacheStats()
+		c.met.decodeHits.Add(hits - c.lastHits)
+		c.met.decodeMisses.Add(misses - c.lastMisses)
+		c.lastHits, c.lastMisses = hits, misses
+	}
+	return b
+}
+
+func (c *BatchScan) nextBatch() *vec.Batch {
 	if c.err != nil {
 		return nil
 	}
@@ -177,6 +206,7 @@ func (c *BatchScan) Next() *vec.Batch {
 				}
 				return c.residual.Eval(c.rowBuf)
 			})
+			c.met.residualFiltered.Add(uint64(n - c.scan.Rows()))
 			if c.scan.Rows() == 0 {
 				continue // batch fully filtered; pull the next one
 			}

@@ -11,6 +11,7 @@ import (
 	"time"
 
 	"repro/internal/mvcc"
+	"repro/internal/obs"
 	"repro/internal/persist"
 	"repro/internal/types"
 	"repro/internal/vfs"
@@ -36,6 +37,13 @@ type Database struct {
 
 	scheduler *scheduler
 	closed    atomic.Bool
+
+	// obs is the metrics/trace registry (obs.Disabled when none was
+	// configured); met caches the database-scoped handles. logger is
+	// the structured log hook (nil = discard).
+	obs    *obs.Registry
+	met    *dbMetrics
+	logger Logger
 
 	// Retry/breaker defaults applied to tables that leave the knobs
 	// unset (see DBOptions).
@@ -81,6 +89,14 @@ type DBOptions struct {
 	// circuit breaker: consecutive failures before the circuit opens.
 	// 0 selects 5; negative disables the breaker.
 	MergeBreakerAfter int
+	// Obs is the observability registry recording engine metrics and
+	// lifecycle trace events; nil disables observability (the engine
+	// pays only nil checks on the instrumented paths).
+	Obs *obs.Registry
+	// Logger receives structured engine log events (merge failures
+	// and retries, breaker transitions, recovery replay); nil
+	// discards them.
+	Logger Logger
 }
 
 // OpenDatabase opens (and, when a directory is given, recovers) a
@@ -94,9 +110,15 @@ func OpenDatabase(opts DBOptions) (*Database, error) {
 		retryBase:    opts.MergeRetryBase,
 		retryMax:     opts.MergeRetryMax,
 		breakerAfter: opts.MergeBreakerAfter,
+		obs:          opts.Obs,
+		logger:       opts.Logger,
 		now:          time.Now,
 		sleep:        sleepCtx,
 	}
+	if db.obs == nil {
+		db.obs = obs.Disabled
+	}
+	db.met = newDBMetrics(db.obs)
 	if db.fs == nil {
 		db.fs = vfs.OS
 	}
@@ -107,7 +129,7 @@ func OpenDatabase(opts DBOptions) (*Database, error) {
 		if err := db.recover(opts); err != nil {
 			return nil, err
 		}
-		l, err := wal.Open(filepath.Join(opts.Dir, "wal"), wal.Options{SyncOnCommit: opts.SyncOnCommit, FS: db.fs})
+		l, err := wal.Open(filepath.Join(opts.Dir, "wal"), wal.Options{SyncOnCommit: opts.SyncOnCommit, FS: db.fs, Metrics: db.obs.WAL()})
 		if err != nil {
 			return nil, err
 		}

@@ -4,10 +4,12 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"time"
 
 	"repro/internal/dict"
 	"repro/internal/l2delta"
 	"repro/internal/merge"
+	"repro/internal/obs"
 	"repro/internal/wal"
 )
 
@@ -36,10 +38,14 @@ func (t *Table) MergeL1IfFull() (int, error) {
 }
 
 func (t *Table) mergeL1Locked() (int, error) {
+	start := t.met.l1MergeSeconds.Start()
 	newL1, moved, dropped := merge.L1ToL2(t.l1, t.l2, t.cfg.L1MergeBatch)
 	if moved == 0 && dropped == 0 {
 		return 0, nil
 	}
+	t.met.l1MergeSeconds.Stop(start)
+	t.met.l1MergeRows.Add(uint64(moved))
+	t.db.obs.Trace(obs.Event{Kind: obs.EvL1Merge, Table: t.cfg.Name, Rows: moved})
 	t.l1 = newL1
 	t.l1Merges.Add(1)
 	seq := t.mergeSeq.Add(1)
@@ -86,6 +92,7 @@ func (t *Table) rotateL2Locked() *l2delta.Store {
 	closed.Close()
 	t.frozen = append(t.frozen, closed)
 	t.l2 = l2delta.New(t.cfg.Schema, t.cfg.Indexed)
+	t.db.obs.Trace(obs.Event{Kind: obs.EvRotateL2, Table: t.cfg.Name, Rows: closed.Len()})
 	return closed
 }
 
@@ -165,7 +172,11 @@ func (t *Table) mergeMain(ctx context.Context, failPoint func(string) error, aut
 	// operators can see the backoff machinery working.
 	if t.gate.failing() {
 		t.mergeRetries.Add(1)
+		t.met.mergeRetries.Inc()
+		t.db.obs.Trace(obs.Event{Kind: obs.EvMergeRetry, Table: t.cfg.Name, Rows: source.Len()})
 	}
+	t.db.obs.Trace(obs.Event{Kind: obs.EvMergeStart, Table: t.cfg.Name, Rows: source.Len()})
+	mergeStart := t.met.mergeTotalSeconds.Start()
 
 	watermark := t.db.mgr.Watermark()
 	if t.cfg.Historic {
@@ -211,6 +222,7 @@ func (t *Table) mergeMain(ctx context.Context, failPoint func(string) error, aut
 		_ = pending // old generation keeps its marks; nothing to undo
 		t.mu.Unlock()
 		t.mergeFailures.Add(1)
+		t.met.mergeFailures.Inc()
 		msg := err.Error()
 		t.lastMergeErr.Store(&msg)
 		// Transient conditions (unsettled versions, cancellation) back
@@ -218,7 +230,14 @@ func (t *Table) mergeMain(ctx context.Context, failPoint func(string) error, aut
 		// failures do both.
 		countable := !errors.Is(err, merge.ErrNotSettled) &&
 			!errors.Is(err, context.Canceled) && !errors.Is(err, context.DeadlineExceeded)
-		t.gate.onFailure(t.db.now(), countable)
+		opened := t.gate.onFailure(t.db.now(), countable)
+		t.db.obs.Trace(obs.Event{Kind: obs.EvMergeFail, Table: t.cfg.Name, Detail: msg})
+		t.db.logf("merge-failed", "table", t.cfg.Name, "err", msg)
+		if opened {
+			t.met.circuitOpen.Set(1)
+			t.db.obs.Trace(obs.Event{Kind: obs.EvBreakerOpen, Table: t.cfg.Name, Detail: msg})
+			t.db.logf("merge-breaker-open", "table", t.cfg.Name, "err", msg)
+		}
 		return nil, err
 	}
 	// Deletes that landed while the merge was computing may have been
@@ -241,12 +260,42 @@ func (t *Table) mergeMain(ctx context.Context, failPoint func(string) error, aut
 	t.tombs.Forget(stats.DroppedRowIDs...)
 	logErr := t.db.logMergeEvent(t.cfg.Name, wal.MergeL2Main, seq)
 	t.lastMergeErr.Store(nil)
-	t.gate.onSuccess()
+	closed := t.gate.onSuccess()
 	t.mu.Unlock()
+	t.observeMainMerge(mergeStart, stats, newMain.MemSize())
+	if closed {
+		t.met.circuitOpen.Set(0)
+		t.db.obs.Trace(obs.Event{Kind: obs.EvBreakerClose, Table: t.cfg.Name})
+		t.db.logf("merge-breaker-close", "table", t.cfg.Name)
+	}
 	if logErr != nil {
 		return stats, logErr
 	}
 	return stats, nil
+}
+
+// observeMainMerge records a successful L2→main merge's metrics and
+// its trace event: total and per-phase durations, rows moved from the
+// delta, the rebuilt main's size, and column-pool utilization.
+func (t *Table) observeMainMerge(start time.Time, stats *merge.Stats, mainBytes int) {
+	if !t.db.obs.Enabled() {
+		return
+	}
+	dur := time.Since(start)
+	t.met.mergeTotalSeconds.Observe(dur)
+	t.met.mergeCollectSeconds.Observe(stats.CollectDur)
+	t.met.mergeColumnSeconds.Observe(stats.ColumnDur)
+	t.met.mergeBuildSeconds.Observe(stats.BuildDur)
+	t.met.mergeRows.Add(uint64(stats.RowsDelta))
+	t.met.mergeBytes.Add(uint64(mainBytes))
+	if stats.WorkersUsed > 0 && stats.ColumnDur > 0 {
+		util := float64(stats.ColumnBusy) / (float64(stats.ColumnDur) * float64(stats.WorkersUsed))
+		t.met.workerUtilization.Set(util)
+	}
+	t.db.obs.Trace(obs.Event{
+		Kind: obs.EvMergeDone, Table: t.cfg.Name,
+		Rows: stats.RowsDelta, Dur: dur, Detail: stats.Kind,
+	})
 }
 
 // GlobalSortedDict exposes the table content of one column as a

@@ -1,0 +1,126 @@
+package core
+
+import (
+	"repro/internal/obs"
+)
+
+// Logger is the pluggable structured logging hook (DBOptions.Logger):
+// a short event name plus alternating key/value pairs. Nil discards.
+// The engine routes operationally relevant transitions through it —
+// merge failures and retries, circuit-breaker open/close, recovery
+// replay — never per-row traffic.
+type Logger func(event string, kv ...any)
+
+// logf emits a structured log event (no-op without a logger).
+func (db *Database) logf(event string, kv ...any) {
+	if db.logger != nil {
+		db.logger(event, kv...)
+	}
+}
+
+// Metrics returns the database's observability registry. It is never
+// nil: databases opened without DBOptions.Obs return obs.Disabled, on
+// which every read is an empty no-op.
+func (db *Database) Metrics() *obs.Registry {
+	if db.obs == nil {
+		return obs.Disabled
+	}
+	return db.obs
+}
+
+// TraceEvents returns the last n lifecycle events recorded by the
+// registry's tracer, oldest first (n <= 0 returns everything
+// retained; nil when observability is disabled).
+func (db *Database) TraceEvents(n int) []obs.Event {
+	return db.Metrics().Events(n)
+}
+
+// dbMetrics holds the database-scoped metric handles, resolved once
+// at open time so the hot paths never touch the registry map. All
+// handles are nil when observability is disabled — every method on a
+// nil handle is a no-op, so call sites stay unconditional.
+type dbMetrics struct {
+	savepointSeconds *obs.Histogram
+	savepointTotal   *obs.Counter
+}
+
+func newDBMetrics(r *obs.Registry) *dbMetrics {
+	return &dbMetrics{
+		savepointSeconds: r.Histogram("hana_savepoint_seconds"),
+		savepointTotal:   r.Counter("hana_savepoint_total"),
+	}
+}
+
+// tableMetrics holds one table's metric handles, resolved once in
+// newTable. The struct itself is always allocated; with observability
+// disabled every handle is nil and the instrumented paths pay only
+// nil checks (bounded by the E14 overhead experiment).
+type tableMetrics struct {
+	// Write path: per-operation latency plus admission control.
+	insertSeconds  *obs.Histogram
+	bulkSeconds    *obs.Histogram
+	updateSeconds  *obs.Histogram
+	deleteSeconds  *obs.Histogram
+	admissionDelay *obs.Histogram
+	throttled      *obs.Counter
+	rejected       *obs.Counter
+
+	// L1→L2 merge step.
+	l1MergeSeconds *obs.Histogram
+	l1MergeRows    *obs.Counter
+
+	// L2→main merge: total and per-phase durations, volume, retry and
+	// breaker traffic, column-worker utilization of the last merge.
+	mergeTotalSeconds   *obs.Histogram
+	mergeCollectSeconds *obs.Histogram
+	mergeColumnSeconds  *obs.Histogram
+	mergeBuildSeconds   *obs.Histogram
+	mergeRows           *obs.Counter
+	mergeBytes          *obs.Counter
+	mergeRetries        *obs.Counter
+	mergeFailures       *obs.Counter
+	circuitOpen         *obs.Gauge
+	workerUtilization   *obs.Gauge
+
+	// Scan path: batch throughput, pushed-down filtering, decode cache.
+	scanBatches      *obs.Counter
+	scanRows         *obs.Counter
+	residualFiltered *obs.Counter
+	scanBatchSeconds *obs.Histogram
+	decodeHits       *obs.Counter
+	decodeMisses     *obs.Counter
+}
+
+func newTableMetrics(r *obs.Registry, table string) *tableMetrics {
+	tl := obs.L("table", table)
+	return &tableMetrics{
+		insertSeconds:  r.Histogram("hana_write_seconds", tl, obs.L("op", "insert")),
+		bulkSeconds:    r.Histogram("hana_write_seconds", tl, obs.L("op", "bulk")),
+		updateSeconds:  r.Histogram("hana_write_seconds", tl, obs.L("op", "update")),
+		deleteSeconds:  r.Histogram("hana_write_seconds", tl, obs.L("op", "delete")),
+		admissionDelay: r.Histogram("hana_write_admission_delay_seconds", tl),
+		throttled:      r.Counter("hana_write_throttled_total", tl),
+		rejected:       r.Counter("hana_write_rejected_total", tl),
+
+		l1MergeSeconds: r.Histogram("hana_l1_merge_seconds", tl),
+		l1MergeRows:    r.Counter("hana_l1_merge_rows_total", tl),
+
+		mergeTotalSeconds:   r.Histogram("hana_main_merge_seconds", tl, obs.L("phase", "total")),
+		mergeCollectSeconds: r.Histogram("hana_main_merge_seconds", tl, obs.L("phase", "collect")),
+		mergeColumnSeconds:  r.Histogram("hana_main_merge_seconds", tl, obs.L("phase", "column")),
+		mergeBuildSeconds:   r.Histogram("hana_main_merge_seconds", tl, obs.L("phase", "build")),
+		mergeRows:           r.Counter("hana_main_merge_rows_total", tl),
+		mergeBytes:          r.Counter("hana_main_merge_bytes_total", tl),
+		mergeRetries:        r.Counter("hana_merge_retries_total", tl),
+		mergeFailures:       r.Counter("hana_merge_failures_total", tl),
+		circuitOpen:         r.Gauge("hana_merge_circuit_open", tl),
+		workerUtilization:   r.Gauge("hana_main_merge_worker_utilization", tl),
+
+		scanBatches:      r.Counter("hana_scan_batches_total", tl),
+		scanRows:         r.Counter("hana_scan_rows_total", tl),
+		residualFiltered: r.Counter("hana_scan_residual_filtered_total", tl),
+		scanBatchSeconds: r.Histogram("hana_scan_batch_seconds", tl),
+		decodeHits:       r.Counter("hana_decode_cache_hits_total", tl),
+		decodeMisses:     r.Counter("hana_decode_cache_misses_total", tl),
+	}
+}

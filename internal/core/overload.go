@@ -7,6 +7,8 @@ import (
 	"math/rand"
 	"sync"
 	"time"
+
+	"repro/internal/obs"
 )
 
 // This file is the overload-protection layer of the unified table:
@@ -111,13 +113,17 @@ func (g *mergeGate) isOpen() bool {
 	return g.open
 }
 
-// onSuccess closes the circuit and resets the backoff.
-func (g *mergeGate) onSuccess() {
+// onSuccess closes the circuit and resets the backoff. It reports
+// whether this success closed an open circuit, so the caller can
+// surface the transition (trace event, log line).
+func (g *mergeGate) onSuccess() (closed bool) {
 	g.mu.Lock()
 	defer g.mu.Unlock()
+	closed = g.open
 	g.consec = 0
 	g.open = false
 	g.notBefore = time.Time{}
+	return closed
 }
 
 // onFailure records a failed attempt at now. countable failures
@@ -125,7 +131,9 @@ func (g *mergeGate) onSuccess() {
 // (merge.ErrNotSettled: an in-flight transaction still owns versions
 // in the frozen generation) back off but never open the circuit —
 // they resolve on their own and are not a broken merge path.
-func (g *mergeGate) onFailure(now time.Time, countable bool) {
+// It reports whether this failure transitioned the circuit from
+// closed to open (an already-open circuit reports false).
+func (g *mergeGate) onFailure(now time.Time, countable bool) (opened bool) {
 	g.mu.Lock()
 	defer g.mu.Unlock()
 	if countable {
@@ -133,9 +141,10 @@ func (g *mergeGate) onFailure(now time.Time, countable bool) {
 		if g.breakAfter > 0 && g.consec >= g.breakAfter {
 			// Circuit opens (or stays open): probe on the half-open
 			// schedule, one attempt every max.
+			opened = !g.open
 			g.open = true
 			g.notBefore = now.Add(g.jitterLocked(g.max))
-			return
+			return opened
 		}
 	}
 	d := g.base
@@ -146,6 +155,7 @@ func (g *mergeGate) onFailure(now time.Time, countable bool) {
 		d = g.max
 	}
 	g.notBefore = now.Add(g.jitterLocked(d))
+	return false
 }
 
 // jitterLocked spreads d into [d/2, d) so tables failing in lockstep
@@ -185,13 +195,20 @@ func (t *Table) admitWrite(ctx context.Context) error {
 	backlog := t.DeltaBacklog()
 	if ceil > 0 && backlog >= ceil {
 		t.rejectedWrites.Add(1)
+		t.met.rejected.Inc()
+		t.db.obs.Trace(obs.Event{Kind: obs.EvReject, Table: t.cfg.Name, Rows: backlog})
 		return &OverloadError{Table: t.cfg.Name, Backlog: backlog, Ceiling: ceil}
 	}
 	if hi > 0 && backlog >= hi {
 		t.throttledWrites.Add(1)
-		if err := t.db.sleep(ctx, t.throttleDelay(backlog, hi, ceil)); err != nil {
+		t.met.throttled.Inc()
+		delay := t.throttleDelay(backlog, hi, ceil)
+		t.db.obs.Trace(obs.Event{Kind: obs.EvThrottle, Table: t.cfg.Name, Rows: backlog, Dur: delay})
+		start := t.met.admissionDelay.Start()
+		if err := t.db.sleep(ctx, delay); err != nil {
 			return err
 		}
+		t.met.admissionDelay.Stop(start)
 	}
 	if ctx == nil {
 		return nil

@@ -39,6 +39,8 @@ type recoveryState struct {
 	ops      map[uint64][]*wal.Record  // txn id → buffered post-savepoint DML
 	maxTxn   uint64
 	maxRowID types.RowID
+	// replayed counts the redo records applied from the log.
+	replayed int
 	// walSeq is the first redo-log segment not yet reflected in the
 	// snapshot; older segments must not be replayed (double-apply).
 	walSeq int
@@ -94,7 +96,10 @@ func (db *Database) recover(opts DBOptions) error {
 				p.st.SetDelete(0)
 			}
 		}
+		db.logf("recovery-rollback", "txn", txn)
 	}
+	db.logf("recovery-replay-done",
+		"records", st.replayed, "rolled_back", len(st.pending), "tables", len(db.tables))
 	db.bumpRowID(st.maxRowID)
 	// Restore the txn-id clock: ids at or below maxTxn still appear in
 	// the surviving log (and in snapshot marker stamps); handing them
@@ -379,6 +384,7 @@ func (st *recoveryState) decodePart(d *persist.Decoder, t *Table, cfg TableConfi
 
 // apply processes one redo record during replay.
 func (st *recoveryState) apply(rec *wal.Record) error {
+	st.replayed++
 	if rec.Txn > st.maxTxn {
 		st.maxTxn = rec.Txn
 	}

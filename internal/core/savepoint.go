@@ -2,11 +2,13 @@ package core
 
 import (
 	"fmt"
+	"time"
 
 	"repro/internal/l1delta"
 	"repro/internal/l2delta"
 	"repro/internal/mainstore"
 	"repro/internal/mvcc"
+	"repro/internal/obs"
 	"repro/internal/persist"
 	"repro/internal/types"
 	"repro/internal/wal"
@@ -41,6 +43,18 @@ func (db *Database) Savepoint() error {
 	if db.dataPath == "" {
 		return fmt.Errorf("core: in-memory database has no savepoints")
 	}
+	start := db.met.savepointSeconds.Start()
+	err := db.savepoint()
+	if err == nil && !start.IsZero() {
+		dur := time.Since(start)
+		db.met.savepointSeconds.Observe(dur)
+		db.met.savepointTotal.Inc()
+		db.obs.Trace(obs.Event{Kind: obs.EvSavepoint, Dur: dur})
+	}
+	return err
+}
+
+func (db *Database) savepoint() error {
 	db.savepointMu.Lock()
 	defer db.savepointMu.Unlock()
 
@@ -62,6 +76,7 @@ func (db *Database) Savepoint() error {
 			}
 			return err
 		}
+		db.obs.Trace(obs.Event{Kind: obs.EvWALRotate})
 	}
 	captures := make([]tableCapture, 0, len(tables))
 	for _, t := range tables {

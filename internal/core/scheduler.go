@@ -100,6 +100,7 @@ func (s *scheduler) pass() {
 			// L1 merge errors (redo-log append failures) surface like
 			// main-merge errors instead of vanishing with the tick.
 			t.noteMergeErr(err)
+			s.db.logf("l1-merge-failed", "table", t.cfg.Name, "err", err.Error())
 		}
 		if t.needsMainMerge() && t.gate.allow(s.db.now()) {
 			s.dispatchMain(t)

@@ -1,0 +1,52 @@
+package core
+
+import (
+	"fmt"
+	"reflect"
+	"strings"
+)
+
+// statsWireNames maps TableStats field names to their established wire
+// keys on the STATS protocol line. Fields absent from the map fall
+// back to the lowercased field name, so adding a field to TableStats
+// automatically adds it to the wire — the struct and the line cannot
+// drift apart.
+var statsWireNames = map[string]string{
+	"L1Rows":          "l1",
+	"L2Rows":          "l2",
+	"FrozenL2Rows":    "frozen",
+	"MainRows":        "main",
+	"MainParts":       "parts",
+	"Tombstones":      "tombstones",
+	"L1Merges":        "l1merges",
+	"MainMerges":      "mainmerges",
+	"MergeFailures":   "mergefailures",
+	"MergeRetries":    "mergeretries",
+	"CircuitOpen":     "circuit",
+	"ThrottledWrites": "throttled",
+	"RejectedWrites":  "rejected",
+	"LastMergeError":  "lasterr",
+}
+
+// WireString renders the stats as the space-separated key=value line
+// the STATS wire command returns. It is generated from the struct by
+// reflection: every exported field appears exactly once, strings are
+// quoted, everything else prints with %v.
+func (s TableStats) WireString() string {
+	v := reflect.ValueOf(s)
+	t := v.Type()
+	parts := make([]string, 0, t.NumField())
+	for i := 0; i < t.NumField(); i++ {
+		name := statsWireNames[t.Field(i).Name]
+		if name == "" {
+			name = strings.ToLower(t.Field(i).Name)
+		}
+		fv := v.Field(i)
+		if fv.Kind() == reflect.String {
+			parts = append(parts, fmt.Sprintf("%s=%q", name, fv.String()))
+		} else {
+			parts = append(parts, fmt.Sprintf("%s=%v", name, fv.Interface()))
+		}
+	}
+	return strings.Join(parts, " ")
+}

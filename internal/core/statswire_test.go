@@ -1,0 +1,65 @@
+package core
+
+import (
+	"fmt"
+	"reflect"
+	"strings"
+	"testing"
+)
+
+// TestStatsWireCoversEveryField is the anti-drift gate: every exported
+// TableStats field must appear on the wire line under its mapped (or
+// lowercased) key, and no mapped name may reference a field that no
+// longer exists.
+func TestStatsWireCoversEveryField(t *testing.T) {
+	st := TableStats{
+		Name: "orders", L1Rows: 1, L2Rows: 2, FrozenL2Rows: 3,
+		MainRows: 4, MainParts: 5, L1Bytes: 6, L2Bytes: 7, MainBytes: 8,
+		Tombstones: 9, L1Merges: 10, MainMerges: 11, MergeFailures: 12,
+		LastMergeError: "boom", MergeRetries: 13, CircuitOpen: true,
+		ThrottledWrites: 14, RejectedWrites: 15,
+	}
+	line := st.WireString()
+
+	typ := reflect.TypeOf(st)
+	val := reflect.ValueOf(st)
+	for i := 0; i < typ.NumField(); i++ {
+		f := typ.Field(i)
+		name := statsWireNames[f.Name]
+		if name == "" {
+			name = strings.ToLower(f.Name)
+		}
+		var want string
+		if val.Field(i).Kind() == reflect.String {
+			want = fmt.Sprintf("%s=%q", name, val.Field(i).String())
+		} else {
+			want = fmt.Sprintf("%s=%v", name, val.Field(i).Interface())
+		}
+		if !strings.Contains(line, want) {
+			t.Errorf("field %s missing from wire line as %q: %s", f.Name, want, line)
+		}
+	}
+	for field := range statsWireNames {
+		if _, ok := typ.FieldByName(field); !ok {
+			t.Errorf("statsWireNames maps %q, which is no longer a TableStats field", field)
+		}
+	}
+	// Keys render exactly once each.
+	if n := strings.Count(line, "l1="); n != 1 {
+		t.Errorf("l1= appears %d times: %s", n, line)
+	}
+}
+
+// TestStatsWireLegacyKeys pins the historical key names clients parse.
+func TestStatsWireLegacyKeys(t *testing.T) {
+	line := TableStats{MainRows: 2}.WireString()
+	for _, want := range []string{
+		"l1=0", "l2=0", "frozen=0", "main=2", "parts=0", "tombstones=0",
+		"l1merges=0", "mainmerges=0", "mergefailures=0", "mergeretries=0",
+		"circuit=false", "throttled=0", "rejected=0", `lasterr=""`,
+	} {
+		if !strings.Contains(line, want) {
+			t.Errorf("wire line missing %q: %s", want, line)
+		}
+	}
+}

@@ -71,6 +71,10 @@ type Table struct {
 	// mergeFail lets tests inject merge failures on the scheduler
 	// path (mergeMain's explicit failPoint argument wins when set).
 	mergeFail atomic.Pointer[func(string) error]
+
+	// met caches the table's metric handles (see metrics.go); always
+	// non-nil, with nil handles when observability is disabled.
+	met *tableMetrics
 }
 
 func newTable(db *Database, cfg TableConfig) *Table {
@@ -97,6 +101,7 @@ func newTable(db *Database, cfg TableConfig) *Table {
 		breakAfter = defaultMergeBreakerAfter
 	}
 	t.gate = newMergeGate(base, max, breakAfter)
+	t.met = newTableMetrics(db.obs, cfg.Name)
 	return t
 }
 
@@ -141,6 +146,9 @@ func (t *Table) Insert(tx *mvcc.Txn, row []types.Value) (types.RowID, error) {
 // above ThrottleRows it is delayed, above OverloadRows it fails with
 // ErrOverloaded.
 func (t *Table) InsertCtx(ctx context.Context, tx *mvcc.Txn, row []types.Value) (types.RowID, error) {
+	if start := t.met.insertSeconds.Start(); !start.IsZero() {
+		defer t.met.insertSeconds.Stop(start)
+	}
 	if !tx.Active() {
 		return 0, mvcc.ErrNotActive
 	}
@@ -183,6 +191,9 @@ func (t *Table) BulkInsert(tx *mvcc.Txn, rows [][]types.Value) ([]types.RowID, e
 // BulkInsertCtx is BulkInsert under a context, with delta-backlog
 // admission control (one check per batch).
 func (t *Table) BulkInsertCtx(ctx context.Context, tx *mvcc.Txn, rows [][]types.Value) ([]types.RowID, error) {
+	if start := t.met.bulkSeconds.Start(); !start.IsZero() {
+		defer t.met.bulkSeconds.Stop(start)
+	}
 	if !tx.Active() {
 		return nil, mvcc.ErrNotActive
 	}
@@ -235,6 +246,9 @@ func (t *Table) BulkInsertCtx(ctx context.Context, tx *mvcc.Txn, rows [][]types.
 // visible to tx. It returns the number of versions deleted (0 when
 // the key is not visible).
 func (t *Table) DeleteKey(tx *mvcc.Txn, key types.Value) (int, error) {
+	if start := t.met.deleteSeconds.Start(); !start.IsZero() {
+		defer t.met.deleteSeconds.Stop(start)
+	}
 	if t.cfg.Schema.Key < 0 {
 		return 0, ErrNoKey
 	}
@@ -334,6 +348,9 @@ func (t *Table) UpdateKey(tx *mvcc.Txn, key types.Value, newRow []types.Value) (
 // admission control. Deletes are never admission-controlled (they add
 // no backlog), so only the insert half gates here.
 func (t *Table) UpdateKeyCtx(ctx context.Context, tx *mvcc.Txn, key types.Value, newRow []types.Value) (types.RowID, error) {
+	if start := t.met.updateSeconds.Start(); !start.IsZero() {
+		defer t.met.updateSeconds.Stop(start)
+	}
 	if t.cfg.Schema.Key < 0 {
 		return 0, ErrNoKey
 	}

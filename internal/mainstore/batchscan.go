@@ -36,6 +36,19 @@ type BatchScan struct {
 	fbuf    []uint32
 	cbufs   [][]uint32
 	keep    []int
+
+	// Decode-cache accounting across all columns: a hit reuses a
+	// cached value, a miss resolves a code through the dictionaries
+	// (including all resolutions of uncached high-cardinality
+	// columns). Plain counters: the cursor is single-threaded.
+	cacheHits   uint64
+	cacheMisses uint64
+}
+
+// CacheStats returns the cursor's cumulative decode-cache hit/miss
+// counts (the engine's observability layer harvests the deltas).
+func (c *BatchScan) CacheStats() (hits, misses uint64) {
+	return c.cacheHits, c.cacheMisses
 }
 
 // cacheMaxCard bounds the per-column decode cache: above this
@@ -182,12 +195,16 @@ func (c *BatchScan) Fill(out []*vec.Col, room int) (int, bool) {
 						}
 						code := buf[pos-c.pos]
 						if cache == nil {
+							c.cacheMisses++
 							o.Append(c.s.ResolveCode(ci, code))
 							continue
 						}
 						if !seen[code] {
+							c.cacheMisses++
 							cache[code] = c.s.ResolveCode(ci, code)
 							seen[code] = true
+						} else {
+							c.cacheHits++
 						}
 						o.Append(cache[code])
 					}

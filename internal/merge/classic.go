@@ -2,6 +2,8 @@ package merge
 
 import (
 	"sort"
+	"sync/atomic"
+	"time"
 
 	"repro/internal/dict"
 	"repro/internal/l2delta"
@@ -38,7 +40,9 @@ func fullMerge(l2 *l2delta.Store, main *mainstore.Store, tombs *mainstore.Tombst
 	if err := failAt(o, "collect"); err != nil {
 		return nil, nil, err
 	}
+	phaseStart := time.Now()
 	survivors, droppedIDs, err := collect(main, 0, l2, tombs, o)
+	stats.CollectDur = time.Since(phaseStart)
 	if err != nil {
 		return nil, nil, err
 	}
@@ -62,7 +66,12 @@ func fullMerge(l2 *l2delta.Store, main *mainstore.Store, tombs *mainstore.Tombst
 	nullsBy := make([][]bool, ncols)
 	dicts := make([]*dict.Sorted, ncols)
 	garbageBy := make([]int, ncols)
+	stats.WorkersUsed = effectiveWorkers(ncols, o.Workers)
+	var columnBusy atomic.Int64
+	phaseStart = time.Now()
 	colErr := runColumns(ncols, o.Workers, func(ci int) error {
+		colStart := time.Now()
+		defer func() { columnBusy.Add(int64(time.Since(colStart))) }()
 		if err := failAt(o, "column"); err != nil {
 			return err
 		}
@@ -114,6 +123,8 @@ func fullMerge(l2 *l2delta.Store, main *mainstore.Store, tombs *mainstore.Tombst
 		nullsBy[ci] = nulls
 		return nil
 	})
+	stats.ColumnDur = time.Since(phaseStart)
+	stats.ColumnBusy = time.Duration(columnBusy.Load())
 	if colErr != nil {
 		return nil, nil, colErr
 	}
@@ -153,6 +164,8 @@ func fullMerge(l2 *l2delta.Store, main *mainstore.Store, tombs *mainstore.Tombst
 	if err := failAt(o, "build"); err != nil {
 		return nil, nil, err
 	}
+	phaseStart = time.Now()
+	defer func() { stats.BuildDur = time.Since(phaseStart) }()
 	offsets := make([]uint32, ncols)
 	b := mainstore.NewPartBuilder(schema, dicts, offsets, o.indexed(schema))
 	rowCodes := make([]uint32, ncols)

@@ -17,6 +17,7 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"time"
 
 	"repro/internal/dict"
 	"repro/internal/l1delta"
@@ -55,6 +56,16 @@ type Stats struct {
 	// DroppedRowIDs lists the ids of physically discarded rows so the
 	// table can clear their tombstones.
 	DroppedRowIDs []types.RowID
+	// Phase durations: the survivor collection pass, the per-column
+	// dictionary-merge/re-encode phase (wall clock), and the part
+	// build. Merges are rare and heavy, so the clocks run
+	// unconditionally.
+	CollectDur, ColumnDur, BuildDur time.Duration
+	// ColumnBusy sums the time the column workers spent in column
+	// work; with ColumnDur and WorkersUsed it yields the pool's
+	// utilization: ColumnBusy / (ColumnDur × WorkersUsed).
+	ColumnBusy  time.Duration
+	WorkersUsed int
 }
 
 // L1ToL2 migrates up to maxRows settled row versions from the head of

@@ -20,6 +20,22 @@ import (
 // remaining columns: workers stop claiming new ones, and the error
 // from the lowest-numbered failing column is returned so the surfaced
 // failure is deterministic when several columns fail in one pass.
+// effectiveWorkers reports the pool size runColumns will use for the
+// given configuration — the denominator of the merge's worker
+// utilization statistic.
+func effectiveWorkers(ncols, workers int) int {
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > ncols {
+		workers = ncols
+	}
+	if workers < 1 {
+		workers = 1
+	}
+	return workers
+}
+
 func runColumns(ncols, workers int, fn func(ci int) error) error {
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)

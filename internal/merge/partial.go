@@ -1,6 +1,9 @@
 package merge
 
 import (
+	"sync/atomic"
+	"time"
+
 	"repro/internal/dict"
 	"repro/internal/l2delta"
 	"repro/internal/mainstore"
@@ -36,7 +39,9 @@ func Partial(l2 *l2delta.Store, main *mainstore.Store, tombs *mainstore.Tombston
 	if err := failAt(o, "collect"); err != nil {
 		return nil, nil, err
 	}
+	phaseStart := time.Now()
 	survivors, droppedIDs, err := collect(main, activeFrom, l2, tombs, o)
+	stats.CollectDur = time.Since(phaseStart)
 	if err != nil {
 		return nil, nil, err
 	}
@@ -64,7 +69,12 @@ func Partial(l2 *l2delta.Store, main *mainstore.Store, tombs *mainstore.Tombston
 	dicts := make([]*dict.Sorted, ncols)
 	offsets := make([]uint32, ncols)
 	garbageBy := make([]int, ncols)
+	stats.WorkersUsed = effectiveWorkers(ncols, o.Workers)
+	var columnBusy atomic.Int64
+	phaseStart = time.Now()
 	colErr := runColumns(ncols, o.Workers, func(ci int) error {
+		colStart := time.Now()
+		defer func() { columnBusy.Add(int64(time.Since(colStart))) }()
 		if err := failAt(o, "column"); err != nil {
 			return err
 		}
@@ -154,6 +164,8 @@ func Partial(l2 *l2delta.Store, main *mainstore.Store, tombs *mainstore.Tombston
 		nullsBy[ci] = nulls
 		return nil
 	})
+	stats.ColumnDur = time.Since(phaseStart)
+	stats.ColumnBusy = time.Duration(columnBusy.Load())
 	if colErr != nil {
 		return nil, nil, colErr
 	}
@@ -164,6 +176,8 @@ func Partial(l2 *l2delta.Store, main *mainstore.Store, tombs *mainstore.Tombston
 	if err := failAt(o, "build"); err != nil {
 		return nil, nil, err
 	}
+	phaseStart = time.Now()
+	defer func() { stats.BuildDur = time.Since(phaseStart) }()
 	b := mainstore.NewPartBuilder(schema, dicts, offsets, o.indexed(schema))
 	rowCodes := make([]uint32, ncols)
 	rowNulls := make([]bool, ncols)

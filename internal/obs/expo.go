@@ -1,0 +1,186 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+)
+
+// labelString renders a label set as {k="v",...} (empty string for no
+// labels), with extra labels appended last.
+func labelString(labels []Label, extra ...Label) string {
+	all := labels
+	if len(extra) > 0 {
+		all = append(append([]Label(nil), labels...), extra...)
+	}
+	if len(all) == 0 {
+		return ""
+	}
+	var b strings.Builder
+	b.WriteByte('{')
+	for i, l := range all {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		b.WriteString(l.Key)
+		b.WriteString(`="`)
+		b.WriteString(escapeLabel(l.Value))
+		b.WriteString(`"`)
+	}
+	b.WriteByte('}')
+	return b.String()
+}
+
+// escapeLabel escapes a label value per the Prometheus text format.
+func escapeLabel(v string) string {
+	if !strings.ContainsAny(v, "\\\"\n") {
+		return v
+	}
+	r := strings.NewReplacer(`\`, `\\`, `"`, `\"`, "\n", `\n`)
+	return r.Replace(v)
+}
+
+// secs renders a duration as seconds with enough precision for
+// nanosecond-scale observations.
+func secs(ns int64) string {
+	return strconv.FormatFloat(float64(ns)/1e9, 'g', 9, 64)
+}
+
+// hasLabel reports whether the entry carries label key=value.
+func (e *entry) hasLabel(k, v string) bool {
+	for _, l := range e.labels {
+		if l.Key == k && l.Value == v {
+			return true
+		}
+	}
+	return false
+}
+
+// WriteProm writes every metric in the Prometheus text exposition
+// format (counters and gauges as single samples, histograms with
+// cumulative le buckets plus _sum and _count). A disabled registry
+// writes nothing.
+func (r *Registry) WriteProm(w io.Writer) error {
+	return r.writeProm(w, "")
+}
+
+// WritePromTable is WriteProm restricted to metrics labeled with the
+// given table (database-scoped metrics — no table label — are
+// excluded).
+func (r *Registry) WritePromTable(w io.Writer, table string) error {
+	return r.writeProm(w, table)
+}
+
+func (r *Registry) writeProm(w io.Writer, table string) error {
+	entries := r.snapshotEntries()
+	lastTyped := ""
+	for _, e := range entries {
+		if table != "" && !e.hasLabel("table", table) {
+			continue
+		}
+		if e.name != lastTyped {
+			t := "counter"
+			switch e.kind {
+			case kindGauge:
+				t = "gauge"
+			case kindHistogram:
+				t = "histogram"
+			}
+			if _, err := fmt.Fprintf(w, "# TYPE %s %s\n", e.name, t); err != nil {
+				return err
+			}
+			lastTyped = e.name
+		}
+		ls := labelString(e.labels)
+		switch e.kind {
+		case kindCounter:
+			if _, err := fmt.Fprintf(w, "%s%s %d\n", e.name, ls, e.c.Value()); err != nil {
+				return err
+			}
+		case kindGauge:
+			if _, err := fmt.Fprintf(w, "%s%s %s\n", e.name, ls,
+				strconv.FormatFloat(e.g.Value(), 'g', 9, 64)); err != nil {
+				return err
+			}
+		case kindHistogram:
+			s := e.h.Snapshot()
+			var cum uint64
+			for i := 0; i < histBuckets; i++ {
+				cum += s.Buckets[i]
+				le := secs(int64(bucketBound(i)))
+				if i == histBuckets-1 {
+					le = "+Inf"
+				}
+				// Skip interior empty buckets to keep the exposition
+				// readable; always emit the +Inf terminator.
+				if s.Buckets[i] == 0 && i < histBuckets-1 {
+					continue
+				}
+				bl := labelString(e.labels, Label{Key: "le", Value: le})
+				if _, err := fmt.Fprintf(w, "%s_bucket%s %d\n", e.name, bl, cum); err != nil {
+					return err
+				}
+			}
+			if _, err := fmt.Fprintf(w, "%s_sum%s %s\n", e.name, ls, secs(int64(s.Sum))); err != nil {
+				return err
+			}
+			if _, err := fmt.Fprintf(w, "%s_count%s %d\n", e.name, ls, s.Count); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// MetricSnapshot is one metric instance captured for programmatic
+// inspection (DB.Metrics().Snapshot(), the METRICS wire command's
+// source of truth).
+type MetricSnapshot struct {
+	Name   string
+	Labels []Label
+	// Kind is "counter", "gauge", or "histogram".
+	Kind string
+	// Value holds the counter or gauge sample.
+	Value float64
+	// Hist is set for histograms.
+	Hist *HistSnapshot
+}
+
+// Label returns the value of the named label ("" when absent).
+func (m *MetricSnapshot) Label(key string) string {
+	for _, l := range m.Labels {
+		if l.Key == key {
+			return l.Value
+		}
+	}
+	return ""
+}
+
+// Snapshot captures every registered metric, sorted by name then
+// label set. A disabled registry returns nil.
+func (r *Registry) Snapshot() []MetricSnapshot {
+	entries := r.snapshotEntries()
+	if entries == nil {
+		return nil
+	}
+	out := make([]MetricSnapshot, 0, len(entries))
+	for _, e := range entries {
+		m := MetricSnapshot{Name: e.name, Labels: e.labels}
+		switch e.kind {
+		case kindCounter:
+			m.Kind = "counter"
+			m.Value = float64(e.c.Value())
+		case kindGauge:
+			m.Kind = "gauge"
+			m.Value = e.g.Value()
+		case kindHistogram:
+			m.Kind = "histogram"
+			s := e.h.Snapshot()
+			m.Hist = &s
+			m.Value = float64(s.Count)
+		}
+		out = append(out, m)
+	}
+	return out
+}

@@ -1,0 +1,390 @@
+// Package obs is the engine's observability layer: a dependency-free,
+// low-overhead metrics registry (atomic counters, gauges, and bucketed
+// latency histograms with percentile snapshots, labeled by table and
+// stage) plus a ring-buffer tracer for unified-table lifecycle events
+// (see trace.go).
+//
+// The paper's argument rests on the asynchronous L1→L2→main record
+// life cycle (§3.1) staying healthy under mixed workloads; this
+// package is the window into it — where merge time goes, how deep the
+// write-throttle bites, what the scan path's batch throughput is.
+//
+// Instrumentation is nil-safe by construction: a disabled registry
+// (obs.Disabled, a nil *Registry, or the zero Registry) hands out nil
+// metric handles, and every handle method no-ops on a nil receiver.
+// Hot paths therefore pay one predictable branch when metrics are off;
+// the E14 experiment bounds the enabled cost on the scan bench.
+package obs
+
+import (
+	"math"
+	"math/bits"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Counter is a monotonically increasing atomic counter. All methods
+// are safe on a nil receiver (no-op reads return zero).
+type Counter struct {
+	v atomic.Uint64
+}
+
+// Inc adds one.
+func (c *Counter) Inc() { c.Add(1) }
+
+// Add adds n.
+func (c *Counter) Add(n uint64) {
+	if c == nil {
+		return
+	}
+	c.v.Add(n)
+}
+
+// Value returns the current count.
+func (c *Counter) Value() uint64 {
+	if c == nil {
+		return 0
+	}
+	return c.v.Load()
+}
+
+// Gauge is an instantaneous float value (worker utilization, circuit
+// state, backlog depth). Nil-safe like Counter.
+type Gauge struct {
+	bits atomic.Uint64
+}
+
+// Set stores v.
+func (g *Gauge) Set(v float64) {
+	if g == nil {
+		return
+	}
+	g.bits.Store(math.Float64bits(v))
+}
+
+// Value returns the current value.
+func (g *Gauge) Value() float64 {
+	if g == nil {
+		return 0
+	}
+	return math.Float64frombits(g.bits.Load())
+}
+
+// Histogram buckets: exponential duration buckets with upper bound
+// 1<<(histMinShift+i) nanoseconds for bucket i; the last bucket is the
+// +Inf overflow. 256ns..~34s covers everything from a cached insert to
+// a stalled fsync.
+const (
+	histBuckets  = 28
+	histMinShift = 8
+)
+
+// bucketBound returns bucket i's upper bound in nanoseconds; the final
+// bucket has no bound (+Inf).
+func bucketBound(i int) time.Duration {
+	return time.Duration(uint64(1) << (histMinShift + i))
+}
+
+// bucketOf maps a duration to its bucket index.
+func bucketOf(d time.Duration) int {
+	if d <= 0 {
+		return 0
+	}
+	// n belongs to bucket i iff 1<<(histMinShift+i-1) < n <= 1<<(histMinShift+i).
+	i := bits.Len64(uint64(d)-1) - histMinShift
+	if i < 0 {
+		return 0
+	}
+	if i >= histBuckets {
+		return histBuckets - 1
+	}
+	return i
+}
+
+// Histogram is a fixed-bucket latency histogram. Observations are
+// lock-free atomic adds; snapshots compute count, sum, max, and
+// monotone p50/p95/p99 from the bucket array. Nil-safe.
+type Histogram struct {
+	count   atomic.Uint64
+	sum     atomic.Int64 // nanoseconds
+	max     atomic.Int64 // nanoseconds
+	buckets [histBuckets]atomic.Uint64
+}
+
+// Observe records one duration.
+func (h *Histogram) Observe(d time.Duration) {
+	if h == nil {
+		return
+	}
+	if d < 0 {
+		d = 0
+	}
+	h.count.Add(1)
+	h.sum.Add(int64(d))
+	h.buckets[bucketOf(d)].Add(1)
+	for {
+		cur := h.max.Load()
+		if int64(d) <= cur || h.max.CompareAndSwap(cur, int64(d)) {
+			return
+		}
+	}
+}
+
+// Start begins a latency measurement: it returns the current time when
+// the histogram is live and the zero time when it is nil, so disabled
+// paths never call the clock.
+func (h *Histogram) Start() time.Time {
+	if h == nil {
+		return time.Time{}
+	}
+	return time.Now()
+}
+
+// Stop completes a measurement begun with Start.
+func (h *Histogram) Stop(start time.Time) {
+	if h == nil || start.IsZero() {
+		return
+	}
+	h.Observe(time.Since(start))
+}
+
+// HistSnapshot is a point-in-time view of a histogram.
+type HistSnapshot struct {
+	Count         uint64
+	Sum           time.Duration
+	Max           time.Duration
+	P50, P95, P99 time.Duration
+	// Buckets holds the per-bucket (non-cumulative) counts; bucket i
+	// covers durations up to Bound(i), the last bucket is +Inf.
+	Buckets [histBuckets]uint64
+}
+
+// Bound returns bucket i's upper bound (the last bucket reports the
+// maximum observed value, standing in for +Inf).
+func (s *HistSnapshot) Bound(i int) time.Duration {
+	if i >= histBuckets-1 {
+		return s.Max
+	}
+	return bucketBound(i)
+}
+
+// Snapshot captures the histogram. Percentiles are the upper bound of
+// the bucket where the cumulative count crosses the target rank, so
+// p50 ≤ p95 ≤ p99 by construction and the bucket counts always sum to
+// Count. Concurrent observers may land between the count and bucket
+// reads; the snapshot normalizes so the invariant holds regardless.
+func (h *Histogram) Snapshot() HistSnapshot {
+	var s HistSnapshot
+	if h == nil {
+		return s
+	}
+	var total uint64
+	for i := range h.buckets {
+		s.Buckets[i] = h.buckets[i].Load()
+		total += s.Buckets[i]
+	}
+	// Bucket reads are the source of truth; count/sum/max read after
+	// may include observations the bucket pass missed.
+	s.Count = total
+	s.Sum = time.Duration(h.sum.Load())
+	s.Max = time.Duration(h.max.Load())
+	s.P50 = s.quantile(0.50)
+	s.P95 = s.quantile(0.95)
+	s.P99 = s.quantile(0.99)
+	return s
+}
+
+// quantile returns the upper bound of the bucket containing rank
+// ceil(q*count).
+func (s *HistSnapshot) quantile(q float64) time.Duration {
+	if s.Count == 0 {
+		return 0
+	}
+	rank := uint64(math.Ceil(q * float64(s.Count)))
+	if rank == 0 {
+		rank = 1
+	}
+	var cum uint64
+	for i := range s.Buckets {
+		cum += s.Buckets[i]
+		if cum >= rank {
+			b := s.Bound(i)
+			if b > s.Max && s.Max > 0 {
+				b = s.Max // never report beyond the observed maximum
+			}
+			return b
+		}
+	}
+	return s.Max
+}
+
+// Label is one metric dimension (e.g. {Key: "table", Value: "orders"}).
+type Label struct {
+	Key, Value string
+}
+
+// L is shorthand for building a Label.
+func L(key, value string) Label { return Label{Key: key, Value: value} }
+
+// metricKind discriminates registry entries.
+type metricKind uint8
+
+const (
+	kindCounter metricKind = iota
+	kindGauge
+	kindHistogram
+)
+
+// entry is one registered metric instance (name + label set).
+type entry struct {
+	name   string
+	labels []Label
+	kind   metricKind
+	c      *Counter
+	g      *Gauge
+	h      *Histogram
+}
+
+// Registry holds the engine's metrics and the lifecycle tracer.
+// Lookup happens once per table (or once per database) at wiring time
+// and hands out handles; the hot paths touch only the handles.
+type Registry struct {
+	enabled bool
+	tracer  *Tracer
+
+	mu      sync.RWMutex
+	entries map[string]*entry
+	order   []string // insertion-ordered keys; exposition sorts a copy
+}
+
+// Disabled is the shared no-op registry: every handle it returns is
+// nil, so instrumented code pays only nil checks.
+var Disabled = &Registry{}
+
+// New returns a live registry with a traceCap-event tracer ring
+// (traceCap <= 0 selects the 1024 default).
+func New() *Registry { return NewSized(0) }
+
+// NewSized is New with an explicit tracer ring capacity.
+func NewSized(traceCap int) *Registry {
+	if traceCap <= 0 {
+		traceCap = 1024
+	}
+	return &Registry{
+		enabled: true,
+		tracer:  newTracer(traceCap),
+		entries: map[string]*entry{},
+	}
+}
+
+// Enabled reports whether the registry records anything.
+func (r *Registry) Enabled() bool { return r != nil && r.enabled }
+
+// key renders the map key for a metric instance.
+func key(name string, labels []Label) string {
+	k := name
+	for _, l := range labels {
+		k += "\x00" + l.Key + "\x01" + l.Value
+	}
+	return k
+}
+
+// lookup returns (creating if needed) the entry for name+labels.
+func (r *Registry) lookup(name string, labels []Label, kind metricKind) *entry {
+	k := key(name, labels)
+	r.mu.RLock()
+	e := r.entries[k]
+	r.mu.RUnlock()
+	if e != nil {
+		return e
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if e = r.entries[k]; e != nil {
+		return e
+	}
+	e = &entry{name: name, labels: append([]Label(nil), labels...), kind: kind}
+	switch kind {
+	case kindCounter:
+		e.c = &Counter{}
+	case kindGauge:
+		e.g = &Gauge{}
+	case kindHistogram:
+		e.h = &Histogram{}
+	}
+	r.entries[k] = e
+	r.order = append(r.order, k)
+	return e
+}
+
+// Counter returns the counter registered under name+labels, creating
+// it on first use. Disabled registries return nil (a valid no-op
+// handle).
+func (r *Registry) Counter(name string, labels ...Label) *Counter {
+	if !r.Enabled() {
+		return nil
+	}
+	return r.lookup(name, labels, kindCounter).c
+}
+
+// Gauge returns the gauge registered under name+labels.
+func (r *Registry) Gauge(name string, labels ...Label) *Gauge {
+	if !r.Enabled() {
+		return nil
+	}
+	return r.lookup(name, labels, kindGauge).g
+}
+
+// Histogram returns the histogram registered under name+labels.
+func (r *Registry) Histogram(name string, labels ...Label) *Histogram {
+	if !r.Enabled() {
+		return nil
+	}
+	return r.lookup(name, labels, kindHistogram).h
+}
+
+// snapshotEntries returns a sorted, stable copy of the entry list.
+func (r *Registry) snapshotEntries() []*entry {
+	if !r.Enabled() {
+		return nil
+	}
+	r.mu.RLock()
+	keys := append([]string(nil), r.order...)
+	out := make([]*entry, len(keys))
+	for i, k := range keys {
+		out[i] = r.entries[k]
+	}
+	r.mu.RUnlock()
+	sort.Slice(out, func(a, b int) bool {
+		if out[a].name != out[b].name {
+			return out[a].name < out[b].name
+		}
+		return labelString(out[a].labels) < labelString(out[b].labels)
+	})
+	return out
+}
+
+// WALMetrics bundles the redo-log handles so the wal package stays
+// decoupled from the registry's naming scheme. The zero value is a
+// valid disabled set.
+type WALMetrics struct {
+	Appends     *Counter
+	AppendBytes *Counter
+	Syncs       *Counter
+	SyncSeconds *Histogram
+}
+
+// WAL returns the redo-log metric handles.
+func (r *Registry) WAL() WALMetrics {
+	if !r.Enabled() {
+		return WALMetrics{}
+	}
+	return WALMetrics{
+		Appends:     r.Counter("hana_wal_appends_total"),
+		AppendBytes: r.Counter("hana_wal_append_bytes_total"),
+		Syncs:       r.Counter("hana_wal_syncs_total"),
+		SyncSeconds: r.Histogram("hana_wal_sync_seconds"),
+	}
+}

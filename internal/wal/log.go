@@ -14,6 +14,7 @@ import (
 	"strings"
 	"sync"
 
+	"repro/internal/obs"
 	"repro/internal/vfs"
 )
 
@@ -34,6 +35,7 @@ type Log struct {
 	w       *bufio.Writer
 	segSeq  int
 	syncing bool // fsync on every Sync call
+	met     obs.WALMetrics
 }
 
 // Options configures a Log.
@@ -45,6 +47,9 @@ type Options struct {
 	// FS selects the file system (nil = the real OS). Fault-injecting
 	// file systems plug in here.
 	FS vfs.FS
+	// Metrics holds the redo-log metric handles; the zero value is a
+	// valid disabled set (every handle nil, every update a no-op).
+	Metrics obs.WALMetrics
 }
 
 // Open opens (or creates) the log in dir and positions appends at the
@@ -61,7 +66,7 @@ func Open(dir string, opts Options) (*Log, error) {
 	if err := fsys.MkdirAll(dir, 0o755); err != nil {
 		return nil, fmt.Errorf("wal: %w", err)
 	}
-	l := &Log{fs: fsys, dir: dir, syncing: opts.SyncOnCommit}
+	l := &Log{fs: fsys, dir: dir, syncing: opts.SyncOnCommit, met: opts.Metrics}
 	segs, err := l.segments()
 	if err != nil {
 		return nil, err
@@ -201,8 +206,12 @@ func (l *Log) Append(r *Record) error {
 	if _, err := l.w.Write(hdr[:]); err != nil {
 		return err
 	}
-	_, err := l.w.Write(payload)
-	return err
+	if _, err := l.w.Write(payload); err != nil {
+		return err
+	}
+	l.met.Appends.Inc()
+	l.met.AppendBytes.Add(uint64(frameHeader + len(payload)))
+	return nil
 }
 
 // Sync flushes buffered records and, when configured, fsyncs.
@@ -220,7 +229,16 @@ func (l *Log) syncLocked() error {
 		return err
 	}
 	if l.syncing {
-		return l.seg.Sync()
+		// Only real fsyncs are metered: without SyncOnCommit a Sync is
+		// just a buffer flush and timing it would misstate durability
+		// cost.
+		start := l.met.SyncSeconds.Start()
+		err := l.seg.Sync()
+		l.met.SyncSeconds.Stop(start)
+		if err == nil {
+			l.met.Syncs.Inc()
+		}
+		return err
 	}
 	return nil
 }
