@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test vet race bench fuzz torture soak staticcheck obs-bench check
+.PHONY: all build test vet race bench fuzz torture soak staticcheck obs-bench race-parallel e15-smoke bench-parallel check
 
 # Torture-harness knobs (see internal/torture): the seed and op count
 # for the differential run, overridable per invocation:
@@ -58,6 +58,29 @@ torture:
 	TORTURE_SEED=$(TORTURE_SEED) TORTURE_OPS=$(TORTURE_OPS) \
 		$(GO) test ./internal/torture -run TestDifferentialOracle -v -count 1
 
+# Morsel-parallel scan gate: the -race stress test (concurrent
+# parallel scans vs. writers vs. L2→main merges on one table), the
+# seeded parallel-vs-sequential differentials, the morsel-boundary
+# fuzz check, and the parallel batch-operator differentials.
+race-parallel:
+	$(GO) test -race -count 1 -timeout 180s \
+		-run 'TestParallelScan|TestConcurrentParallelScanStress|TestPlanMorsels' \
+		./internal/core
+	$(GO) test -race -count 1 -timeout 180s \
+		-run 'TestBatchHashAggregateParallel|TestBatchHashJoinParallelBuild|TestBatchTableScanUnordered' \
+		./internal/engine
+
+# E15 smoke: the morsel-parallel scaling experiment at reduced scale,
+# as a does-it-still-run gate (the recorded trajectory point lives in
+# BENCH_parallel_scan.json; regenerate it with bench-parallel).
+e15-smoke:
+	$(GO) run ./cmd/hanabench -run E15 -scale 0.3
+
+# Full-scale E15 run, recording the scan-scaling trajectory point
+# (ROADMAP item 5) for this machine.
+bench-parallel:
+	$(GO) run ./cmd/hanabench -run E15 -json BENCH_parallel_scan.json
+
 # E14 observability gate: the instrumented 1M-row scan must stay
 # within 2% of the disabled-registry baseline (internal/obs design
 # contract; see EXPERIMENTS.md E14).
@@ -74,4 +97,4 @@ soak:
 		-run 'TestGracefulDrain|TestMaxConnsShedding|TestAcceptLoopSurvivesTransientErrors|TestOversizedLineReported' \
 		./cmd/hanaserver
 
-check: test vet staticcheck race torture soak obs-bench
+check: test vet staticcheck race race-parallel torture soak obs-bench e15-smoke

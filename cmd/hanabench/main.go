@@ -11,12 +11,14 @@
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
 	"strings"
 	"time"
 
+	"repro/internal/benchfmt"
 	"repro/internal/experiments"
 )
 
@@ -25,6 +27,7 @@ func main() {
 	run := flag.String("run", "", "comma-separated experiment ids (default: all)")
 	seed := flag.Int64("seed", 42, "workload seed")
 	list := flag.Bool("list", false, "list experiments and exit")
+	jsonOut := flag.String("json", "", "write the selected reports (tables + metrics) as JSON to this file")
 	flag.Parse()
 
 	all := experiments.All()
@@ -49,6 +52,7 @@ func main() {
 	cfg := experiments.Config{Scale: *scale, Seed: *seed}
 	fmt.Printf("hanabench: scale=%.2f seed=%d (%d experiments)\n\n", *scale, *seed, len(selected))
 	failed := 0
+	var reports []*benchfmt.Report
 	for _, e := range selected {
 		start := time.Now()
 		rep, err := e.Run(cfg)
@@ -57,8 +61,26 @@ func main() {
 			failed++
 			continue
 		}
+		reports = append(reports, rep)
 		fmt.Print(rep.String())
 		fmt.Printf("(%s wall time)\n\n", time.Since(start).Round(time.Millisecond))
+	}
+	if *jsonOut != "" {
+		buf, err := json.MarshalIndent(struct {
+			Scale   float64
+			Seed    int64
+			Date    string
+			Reports []*benchfmt.Report
+		}{*scale, *seed, time.Now().UTC().Format("2006-01-02"), reports}, "", "  ")
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "hanabench: marshal: %v\n", err)
+			os.Exit(1)
+		}
+		if err := os.WriteFile(*jsonOut, append(buf, '\n'), 0o644); err != nil {
+			fmt.Fprintf(os.Stderr, "hanabench: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Printf("wrote %s\n", *jsonOut)
 	}
 	if failed > 0 {
 		os.Exit(1)

@@ -170,7 +170,10 @@ func (v *Vector) Repack(width uint8) {
 
 // DecodeBlock decodes codes [start, start+len(out)) into out and
 // returns the number decoded (short at the tail). Operators use this
-// for vectorized, block-at-a-time processing (§3.1).
+// for vectorized, block-at-a-time processing (§3.1). The loop keeps a
+// running bit cursor and is unrolled 4-wide so the per-code work is a
+// shift, a conditional carry, and a mask — no per-element
+// multiplication.
 func (v *Vector) DecodeBlock(start int, out []uint32) int {
 	if start < 0 {
 		panic("bitpack: negative start")
@@ -182,10 +185,233 @@ func (v *Vector) DecodeBlock(start int, out []uint32) int {
 	if n > len(out) {
 		n = len(out)
 	}
-	for i := 0; i < n; i++ {
-		out[i] = v.get(start + i)
+	width := uint(v.width)
+	mask := uint64(1)<<width - 1
+	words := v.words
+	bitPos := start * int(width)
+	i := 0
+	for ; i+4 <= n; i += 4 {
+		w0, o0 := bitPos>>6, uint(bitPos&63)
+		c0 := words[w0] >> o0
+		if o0+width > 64 {
+			c0 |= words[w0+1] << (64 - o0)
+		}
+		out[i] = uint32(c0 & mask)
+		bitPos += int(width)
+
+		w1, o1 := bitPos>>6, uint(bitPos&63)
+		c1 := words[w1] >> o1
+		if o1+width > 64 {
+			c1 |= words[w1+1] << (64 - o1)
+		}
+		out[i+1] = uint32(c1 & mask)
+		bitPos += int(width)
+
+		w2, o2 := bitPos>>6, uint(bitPos&63)
+		c2 := words[w2] >> o2
+		if o2+width > 64 {
+			c2 |= words[w2+1] << (64 - o2)
+		}
+		out[i+2] = uint32(c2 & mask)
+		bitPos += int(width)
+
+		w3, o3 := bitPos>>6, uint(bitPos&63)
+		c3 := words[w3] >> o3
+		if o3+width > 64 {
+			c3 |= words[w3+1] << (64 - o3)
+		}
+		out[i+3] = uint32(c3 & mask)
+		bitPos += int(width)
+	}
+	for ; i < n; i++ {
+		w, o := bitPos>>6, uint(bitPos&63)
+		c := words[w] >> o
+		if o+width > 64 {
+			c |= words[w+1] << (64 - o)
+		}
+		out[i] = uint32(c & mask)
+		bitPos += int(width)
 	}
 	return n
+}
+
+// Interval is one inclusive code interval [Lo, Hi]. Sorted-dictionary
+// range predicates resolve to intervals of the global code space; the
+// scan kernels below test packed codes against them without decoding
+// into an intermediate buffer.
+type Interval struct {
+	Lo, Hi uint32
+}
+
+// ScanIntervalsSel appends to sel the positions in [start, end) whose
+// code lies in any of the intervals — the tight per-morsel kernel of
+// the parallel scan path: codes are extracted straight from the packed
+// words with a running bit cursor (unrolled 4-wide for the common
+// single-interval case) and survivors are written directly as
+// selection-vector entries.
+func (v *Vector) ScanIntervalsSel(ivs []Interval, start, end int, sel []int32) []int32 {
+	if start < 0 {
+		start = 0
+	}
+	if end > v.n {
+		end = v.n
+	}
+	if start >= end || len(ivs) == 0 {
+		return sel
+	}
+	width := uint(v.width)
+	mask := uint64(1)<<width - 1
+	words := v.words
+	bitPos := start * int(width)
+	if len(ivs) == 1 {
+		lo, hi := ivs[0].Lo, ivs[0].Hi
+		i := start
+		for ; i+4 <= end; i += 4 {
+			w0, o0 := bitPos>>6, uint(bitPos&63)
+			c0 := words[w0] >> o0
+			if o0+width > 64 {
+				c0 |= words[w0+1] << (64 - o0)
+			}
+			if c := uint32(c0 & mask); c >= lo && c <= hi {
+				sel = append(sel, int32(i))
+			}
+			bitPos += int(width)
+
+			w1, o1 := bitPos>>6, uint(bitPos&63)
+			c1 := words[w1] >> o1
+			if o1+width > 64 {
+				c1 |= words[w1+1] << (64 - o1)
+			}
+			if c := uint32(c1 & mask); c >= lo && c <= hi {
+				sel = append(sel, int32(i+1))
+			}
+			bitPos += int(width)
+
+			w2, o2 := bitPos>>6, uint(bitPos&63)
+			c2 := words[w2] >> o2
+			if o2+width > 64 {
+				c2 |= words[w2+1] << (64 - o2)
+			}
+			if c := uint32(c2 & mask); c >= lo && c <= hi {
+				sel = append(sel, int32(i+2))
+			}
+			bitPos += int(width)
+
+			w3, o3 := bitPos>>6, uint(bitPos&63)
+			c3 := words[w3] >> o3
+			if o3+width > 64 {
+				c3 |= words[w3+1] << (64 - o3)
+			}
+			if c := uint32(c3 & mask); c >= lo && c <= hi {
+				sel = append(sel, int32(i+3))
+			}
+			bitPos += int(width)
+		}
+		for ; i < end; i++ {
+			w, o := bitPos>>6, uint(bitPos&63)
+			c := words[w] >> o
+			if o+width > 64 {
+				c |= words[w+1] << (64 - o)
+			}
+			if cc := uint32(c & mask); cc >= lo && cc <= hi {
+				sel = append(sel, int32(i))
+			}
+			bitPos += int(width)
+		}
+		return sel
+	}
+	for i := start; i < end; i++ {
+		w, o := bitPos>>6, uint(bitPos&63)
+		c := words[w] >> o
+		if o+width > 64 {
+			c |= words[w+1] << (64 - o)
+		}
+		code := uint32(c & mask)
+		for _, iv := range ivs {
+			if code >= iv.Lo && code <= iv.Hi {
+				sel = append(sel, int32(i))
+				break
+			}
+		}
+		bitPos += int(width)
+	}
+	return sel
+}
+
+// ScanMemberSel appends to sel the positions in [start, end) whose
+// code is marked in allow — the unsorted-dictionary (membership set)
+// counterpart of ScanIntervalsSel, used by the L2-delta where a value
+// range resolves to a code set rather than an interval. Codes at or
+// beyond len(allow) never match.
+func (v *Vector) ScanMemberSel(allow []bool, start, end int, sel []int32) []int32 {
+	if start < 0 {
+		start = 0
+	}
+	if end > v.n {
+		end = v.n
+	}
+	if start >= end {
+		return sel
+	}
+	width := uint(v.width)
+	mask := uint64(1)<<width - 1
+	words := v.words
+	bitPos := start * int(width)
+	na := uint32(len(allow))
+	i := start
+	for ; i+4 <= end; i += 4 {
+		w0, o0 := bitPos>>6, uint(bitPos&63)
+		c0 := words[w0] >> o0
+		if o0+width > 64 {
+			c0 |= words[w0+1] << (64 - o0)
+		}
+		if c := uint32(c0 & mask); c < na && allow[c] {
+			sel = append(sel, int32(i))
+		}
+		bitPos += int(width)
+
+		w1, o1 := bitPos>>6, uint(bitPos&63)
+		c1 := words[w1] >> o1
+		if o1+width > 64 {
+			c1 |= words[w1+1] << (64 - o1)
+		}
+		if c := uint32(c1 & mask); c < na && allow[c] {
+			sel = append(sel, int32(i+1))
+		}
+		bitPos += int(width)
+
+		w2, o2 := bitPos>>6, uint(bitPos&63)
+		c2 := words[w2] >> o2
+		if o2+width > 64 {
+			c2 |= words[w2+1] << (64 - o2)
+		}
+		if c := uint32(c2 & mask); c < na && allow[c] {
+			sel = append(sel, int32(i+2))
+		}
+		bitPos += int(width)
+
+		w3, o3 := bitPos>>6, uint(bitPos&63)
+		c3 := words[w3] >> o3
+		if o3+width > 64 {
+			c3 |= words[w3+1] << (64 - o3)
+		}
+		if c := uint32(c3 & mask); c < na && allow[c] {
+			sel = append(sel, int32(i+3))
+		}
+		bitPos += int(width)
+	}
+	for ; i < end; i++ {
+		w, o := bitPos>>6, uint(bitPos&63)
+		c := words[w] >> o
+		if o+width > 64 {
+			c |= words[w+1] << (64 - o)
+		}
+		if cc := uint32(c & mask); cc < na && allow[cc] {
+			sel = append(sel, int32(i))
+		}
+		bitPos += int(width)
+	}
+	return sel
 }
 
 // ScanEqual appends to hits the positions in [from, to) whose code

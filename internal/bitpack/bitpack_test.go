@@ -2,6 +2,7 @@ package bitpack
 
 import (
 	"math/rand"
+	"reflect"
 	"testing"
 	"testing/quick"
 )
@@ -286,5 +287,111 @@ func BenchmarkDecodeBlock(b *testing.B) {
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		v.DecodeBlock((i*1024)&(1<<16-1), buf)
+	}
+}
+
+// TestScanKernelsMatchReference cross-checks the unrolled selection
+// kernels against the naive per-element reference at many widths,
+// block offsets, and word-boundary-straddling ranges.
+func TestScanKernelsMatchReference(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for _, width := range []uint8{1, 3, 7, 8, 13, 17, 21, 32} {
+		v := NewWidth(width)
+		max := uint32(1)<<width - 1
+		n := 1000 + rng.Intn(500)
+		for i := 0; i < n; i++ {
+			v.Append(rng.Uint32() & max)
+		}
+		for trial := 0; trial < 20; trial++ {
+			start := rng.Intn(n)
+			end := start + rng.Intn(n-start+1)
+			lo := rng.Uint32() & max
+			hi := lo + rng.Uint32()&max/4
+			ivs := []Interval{{Lo: lo, Hi: hi}}
+			if trial%3 == 0 {
+				ivs = append(ivs, Interval{Lo: 0, Hi: max / 16})
+			}
+			got := v.ScanIntervalsSel(ivs, start, end, nil)
+			var want []int32
+			for i := start; i < end; i++ {
+				c := v.Get(i)
+				for _, iv := range ivs {
+					if c >= iv.Lo && c <= iv.Hi {
+						want = append(want, int32(i))
+						break
+					}
+				}
+			}
+			if !reflect.DeepEqual(got, want) {
+				t.Fatalf("width=%d trial=%d ScanIntervalsSel [%d,%d): got %v want %v", width, trial, start, end, got, want)
+			}
+
+			allow := make([]bool, int(max)/2+1)
+			for i := range allow {
+				allow[i] = rng.Intn(3) == 0
+			}
+			gotM := v.ScanMemberSel(allow, start, end, nil)
+			var wantM []int32
+			for i := start; i < end; i++ {
+				c := v.Get(i)
+				if int(c) < len(allow) && allow[c] {
+					wantM = append(wantM, int32(i))
+				}
+			}
+			if !reflect.DeepEqual(gotM, wantM) {
+				t.Fatalf("width=%d trial=%d ScanMemberSel [%d,%d): got %v want %v", width, trial, start, end, gotM, wantM)
+			}
+		}
+	}
+}
+
+// TestDecodeBlockUnrolledMatchesGet pins the unrolled decode against
+// random access at awkward widths and offsets (including the exact
+// tail and a FromWords-reconstructed vector with a tight word count).
+func TestDecodeBlockUnrolledMatchesGet(t *testing.T) {
+	for _, width := range []uint8{1, 5, 11, 16, 19, 31, 32} {
+		v := NewWidth(width)
+		max := uint32(1)<<width - 1
+		for i := 0; i < 777; i++ {
+			v.Append(uint32(i*2654435761) & max)
+		}
+		rt, err := FromWords(append([]uint64(nil), v.Words()...), v.Len(), width)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, vec := range []*Vector{v, rt} {
+			for _, start := range []int{0, 1, 63, 64, 100, 770, 776, 777, 1000} {
+				out := make([]uint32, 130)
+				got := vec.DecodeBlock(start, out)
+				wantN := vec.Len() - start
+				if wantN < 0 {
+					wantN = 0
+				}
+				if wantN > len(out) {
+					wantN = len(out)
+				}
+				if got != wantN {
+					t.Fatalf("width=%d start=%d: decoded %d, want %d", width, start, got, wantN)
+				}
+				for i := 0; i < got; i++ {
+					if out[i] != vec.Get(start+i) {
+						t.Fatalf("width=%d start=%d pos=%d: %d != %d", width, start, i, out[i], vec.Get(start+i))
+					}
+				}
+			}
+		}
+	}
+}
+
+func BenchmarkScanIntervalsSel(b *testing.B) {
+	v := NewWidth(20)
+	for i := 0; i < 1<<16; i++ {
+		v.Append(uint32(i) & (1<<20 - 1))
+	}
+	ivs := []Interval{{Lo: 100, Hi: 5000}}
+	sel := make([]int32, 0, 1<<16)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		sel = v.ScanIntervalsSel(ivs, 0, v.Len(), sel[:0])
 	}
 }

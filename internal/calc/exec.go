@@ -165,6 +165,18 @@ func (ex *executor) compute(n *Node) ([][]types.Value, error) {
 		// scan has no other consumer (otherwise CSE keeps the shared
 		// materialized scan).
 		if child := n.inputs[0]; child.kind == KindTable && child.tableCols == nil && ex.cons[child] <= 1 {
+			if child.table.ScanWorkers() > 1 {
+				// Morsel-parallel drain: the batch aggregate scatters the
+				// scan over the worker pool and merges per-worker partials
+				// in first-seen order.
+				return engine.CollectBatches(&engine.BatchHashAggregate{
+					In: &engine.BatchTableScan{
+						Table: child.table, Txn: ex.env.Txn, Pred: child.pred,
+						AsOf: child.asOf, Ctx: ex.env.Ctx,
+					},
+					GroupBy: n.groupBy, Aggs: n.aggs,
+				})
+			}
 			return engine.Collect(&engine.TableAggregate{
 				Table: child.table, Txn: ex.env.Txn, AsOf: child.asOf,
 				Pred: child.pred, GroupBy: n.groupBy, Aggs: n.aggs,

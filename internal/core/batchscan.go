@@ -56,10 +56,27 @@ func (v *View) NewBatchScan(cols []int, pred expr.Predicate, batchSize int) *Bat
 	return v.NewBatchScanCtx(nil, cols, pred, batchSize)
 }
 
-// NewBatchScanCtx is NewBatchScan under a context: cancellation is
-// observed at batch granularity — Next returns nil mid-scan and Err
-// reports ctx.Err().
-func (v *View) NewBatchScanCtx(ctx context.Context, cols []int, pred expr.Predicate, batchSize int) *BatchScan {
+// scanPlan is the shared front half of a batch scan: the column
+// projection, pushed-down ranges, residual predicate, and batch
+// sizing. Both the sequential cursor and the morsel-parallel workers
+// execute one plan; workers instantiate their own stage cursors from
+// it.
+type scanPlan struct {
+	v         *View
+	outCols   []int
+	scanCols  []int
+	outIdx    []int
+	kinds     []types.Kind
+	ranges    []expr.ColumnRange
+	residual  expr.Predicate
+	l1Filter  func([]types.Value) bool
+	batchSize int
+}
+
+// planScan resolves columns, pushdown, and batch size for a scan of
+// the view. cols == nil selects every column; batchSize <= 0 selects
+// the table's configured size.
+func (v *View) planScan(cols []int, pred expr.Predicate, batchSize int) *scanPlan {
 	schema := v.t.cfg.Schema
 	if cols == nil {
 		cols = make([]int, len(schema.Columns))
@@ -73,10 +90,10 @@ func (v *View) NewBatchScanCtx(ctx context.Context, cols []int, pred expr.Predic
 	if batchSize <= 0 {
 		batchSize = vec.DefaultBatchSize
 	}
-	c := &BatchScan{v: v, ctx: ctx, outCols: cols, batchSize: batchSize}
+	p := &scanPlan{v: v, outCols: cols, batchSize: batchSize}
 
 	ranges, residual := expr.Pushdown(pred)
-	c.residual = residual
+	p.ranges, p.residual = ranges, residual
 
 	// The scan must cover the requested columns plus whatever the
 	// residual reads; unknown predicate shapes widen to every column.
@@ -95,38 +112,34 @@ func (v *View) NewBatchScanCtx(ctx context.Context, cols []int, pred expr.Predic
 			}
 		}
 	}
-	c.scanCols = make([]int, 0, len(need))
+	p.scanCols = make([]int, 0, len(need))
 	for col := range need {
-		c.scanCols = append(c.scanCols, col)
+		p.scanCols = append(p.scanCols, col)
 	}
-	sort.Ints(c.scanCols)
-	at := make(map[int]int, len(c.scanCols))
-	for i, col := range c.scanCols {
+	sort.Ints(p.scanCols)
+	at := make(map[int]int, len(p.scanCols))
+	for i, col := range p.scanCols {
 		at[col] = i
 	}
-	c.outIdx = make([]int, len(cols))
+	p.outIdx = make([]int, len(cols))
 	for i, col := range cols {
-		c.outIdx[i] = at[col]
+		p.outIdx[i] = at[col]
 	}
 
-	kinds := make([]types.Kind, len(c.scanCols))
-	for i, col := range c.scanCols {
-		kinds[i] = schema.Columns[col].Kind
+	p.kinds = make([]types.Kind, len(p.scanCols))
+	for i, col := range p.scanCols {
+		p.kinds[i] = schema.Columns[col].Kind
 	}
-	c.scan = vec.New(kinds)
-	c.out = c.scan.Project(c.outIdx)
-	c.rowBuf = make([]types.Value, len(schema.Columns))
 
-	// Stage cursors with the ranges pushed down: the L1-delta holds
-	// uncompressed rows, so ranges become a value-level filter there;
-	// the columnar stages resolve them to dictionary codes.
-	var l1Filter func([]types.Value) bool
+	// The L1-delta holds uncompressed rows, so pushed-down ranges
+	// become a value-level filter there; the columnar stages resolve
+	// them to dictionary codes.
 	if len(ranges) > 0 {
 		betweens := make([]expr.Between, len(ranges))
 		for i, r := range ranges {
 			betweens[i] = expr.Between{Col: r.Col, Lo: r.Lo, Hi: r.Hi, LoInc: r.LoInc, HiInc: r.HiInc}
 		}
-		l1Filter = func(vals []types.Value) bool {
+		p.l1Filter = func(vals []types.Value) bool {
 			for _, b := range betweens {
 				if !b.Eval(vals) {
 					return false
@@ -135,16 +148,30 @@ func (v *View) NewBatchScanCtx(ctx context.Context, cols []int, pred expr.Predic
 			return true
 		}
 	}
-	c.stages = append(c.stages, v.l1.NewBatchScan(c.scanCols, v.l1Border, v.snap, v.self, l1Filter))
+	return p
+}
+
+// NewBatchScanCtx is NewBatchScan under a context: cancellation is
+// observed at batch granularity — Next returns nil mid-scan and Err
+// reports ctx.Err().
+func (v *View) NewBatchScanCtx(ctx context.Context, cols []int, pred expr.Predicate, batchSize int) *BatchScan {
+	p := v.planScan(cols, pred, batchSize)
+	c := &BatchScan{v: v, ctx: ctx, outCols: p.outCols, scanCols: p.scanCols,
+		outIdx: p.outIdx, residual: p.residual, batchSize: p.batchSize}
+	c.scan = vec.New(p.kinds)
+	c.out = c.scan.Project(c.outIdx)
+	c.rowBuf = make([]types.Value, len(v.t.cfg.Schema.Columns))
+
+	c.stages = append(c.stages, v.l1.NewBatchScan(c.scanCols, v.l1Border, v.snap, v.self, p.l1Filter))
 	for gi, g := range v.l2s {
 		cur := g.NewBatchScan(c.scanCols, v.borders[gi], v.snap, v.self)
-		for _, r := range ranges {
+		for _, r := range p.ranges {
 			cur.FilterRange(r.Col, r.Lo, r.Hi, r.LoInc, r.HiInc)
 		}
 		c.stages = append(c.stages, cur)
 	}
 	mcur := v.main.NewBatchScan(c.scanCols, v.tombs, v.snap, v.self)
-	for _, r := range ranges {
+	for _, r := range p.ranges {
 		mcur.FilterRange(r.Col, r.Lo, r.Hi, r.LoInc, r.HiInc)
 	}
 	c.stages = append(c.stages, mcur)

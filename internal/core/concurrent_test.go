@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"sync"
@@ -10,6 +11,7 @@ import (
 
 	"repro/internal/mvcc"
 	"repro/internal/types"
+	"repro/internal/vec"
 )
 
 // TestConcurrentHTAP runs OLTP writers, OLAP scanners, and the
@@ -256,6 +258,116 @@ func TestConcurrentMultiTableStress(t *testing.T) {
 		if got := tab.GlobalSortedDict(1).Len(); got != 23 {
 			t.Errorf("%s: final global dict %d entries, want 23", tab.Name(), got)
 		}
+	}
+}
+
+// TestConcurrentParallelScanStress races morsel-parallel scans
+// against OLTP writers and the full merge lifecycle on one table:
+// every pinned view must see each key at most once and both scan
+// shapes (sequential, parallel) must agree on the row count. Run with
+// -race; its job is to surface latch violations in the multi-reader
+// fan-out, not to measure.
+func TestConcurrentParallelScanStress(t *testing.T) {
+	db, err := OpenDatabase(DBOptions{AutoMerge: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer db.Close()
+	tab, err := db.CreateTable(TableConfig{
+		Name: "pstress", Schema: orderSchema(),
+		L1MaxRows: 32, L2MaxRows: 128, ScanMorselRows: 16,
+		Compress: true, CompactDicts: true, CheckUnique: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	const writers = 3
+	const perWriter = 200
+	var wg sync.WaitGroup
+	for w := 0; w < writers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < perWriter; i++ {
+				key := int64(w*perWriter + i + 1)
+				tx := db.Begin(mvcc.TxnSnapshot)
+				if _, err := tab.Insert(tx, orow(key, fmt.Sprintf("cust%d", key%17), key%9)); err != nil {
+					db.Abort(tx)
+					continue
+				}
+				if err := db.Commit(tx); err != nil {
+					t.Errorf("commit: %v", err)
+					return
+				}
+			}
+		}(w)
+	}
+
+	stopScan := make(chan struct{})
+	var scanWg sync.WaitGroup
+	for r := 0; r < 2; r++ {
+		scanWg.Add(1)
+		go func() {
+			defer scanWg.Done()
+			for {
+				select {
+				case <-stopScan:
+					return
+				default:
+				}
+				v := tab.View(nil)
+				seq := 0
+				v.ScanBatches(nil, nil, 0, func(b *vec.Batch) bool {
+					seq += b.Rows()
+					return true
+				})
+				var par atomic.Int64
+				seen := sync.Map{}
+				err := v.ScanBatchesParallel(context.Background(), []int{0}, nil, 7, 4,
+					func(_, _ int, b *vec.Batch) bool {
+						par.Add(int64(b.Rows()))
+						for i := 0; i < b.Rows(); i++ {
+							k := b.RowAt(i, nil)[0].I
+							if _, dup := seen.LoadOrStore(k, true); dup {
+								t.Errorf("key %d visible twice in one parallel snapshot", k)
+								return false
+							}
+						}
+						return true
+					})
+				v.Close()
+				if err != nil {
+					t.Errorf("parallel scan: %v", err)
+					return
+				}
+				if int(par.Load()) != seq {
+					t.Errorf("parallel scan saw %d rows, sequential saw %d", par.Load(), seq)
+					return
+				}
+				time.Sleep(time.Millisecond)
+			}
+		}()
+	}
+
+	wg.Wait()
+	close(stopScan)
+	scanWg.Wait()
+
+	for {
+		if _, err := tab.MergeL1(); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := tab.MergeMain(); err != nil {
+			t.Fatal(err)
+		}
+		st := tab.Stats()
+		if st.L1Rows == 0 && st.L2Rows == 0 && st.FrozenL2Rows == 0 {
+			break
+		}
+	}
+	if got := countRows(tab); got != writers*perWriter {
+		t.Fatalf("final count = %d, want %d", got, writers*perWriter)
 	}
 }
 

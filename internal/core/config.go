@@ -81,6 +81,17 @@ type TableConfig struct {
 	// the vectorized read path (View.ScanBatches); 0 selects
 	// vec.DefaultBatchSize.
 	BatchSize int
+	// ScanWorkers bounds the morsel-parallel scan worker pool, sized
+	// like MergeWorkers: 0 sizes the pool to runtime.GOMAXPROCS, 1
+	// forces the sequential single-cursor path. Parallel consumers
+	// (aggregation, join builds) combine per-morsel results in morsel
+	// order, so every worker count produces the same rows.
+	ScanWorkers int
+	// ScanMorselRows is the row-range size of one scan morsel — the
+	// unit of work the parallel scan dispatches to a worker; 0 selects
+	// DefaultMorselRows. Morsels never span life-cycle stages or main
+	// chain parts.
+	ScanMorselRows int
 	// MergeRetryBase and MergeRetryMax bound the jittered exponential
 	// backoff between retries of a failed L2→main merge; 0 inherits
 	// the DBOptions value (then the built-in defaults of 2ms / 500ms).

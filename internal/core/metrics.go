@@ -89,6 +89,14 @@ type tableMetrics struct {
 	scanBatchSeconds *obs.Histogram
 	decodeHits       *obs.Counter
 	decodeMisses     *obs.Counter
+
+	// Morsel-parallel scan: per-query dispatch volume, per-morsel
+	// latency, and worker utilization of the last parallel scan.
+	parallelScans     *obs.Counter
+	scanMorsels       *obs.Counter
+	morselSeconds     *obs.Histogram
+	scanWorkerUtil    *obs.Gauge
+	scanMorselBacklog *obs.Gauge
 }
 
 func newTableMetrics(r *obs.Registry, table string) *tableMetrics {
@@ -122,5 +130,11 @@ func newTableMetrics(r *obs.Registry, table string) *tableMetrics {
 		scanBatchSeconds: r.Histogram("hana_scan_batch_seconds", tl),
 		decodeHits:       r.Counter("hana_decode_cache_hits_total", tl),
 		decodeMisses:     r.Counter("hana_decode_cache_misses_total", tl),
+
+		parallelScans:     r.Counter("hana_parallel_scans_total", tl),
+		scanMorsels:       r.Counter("hana_scan_morsels_total", tl),
+		morselSeconds:     r.Histogram("hana_scan_morsel_seconds", tl),
+		scanWorkerUtil:    r.Gauge("hana_scan_worker_utilization", tl),
+		scanMorselBacklog: r.Gauge("hana_scan_morsel_backlog", tl),
 	}
 }

@@ -1,0 +1,510 @@
+package core
+
+import (
+	"context"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/expr"
+	"repro/internal/l2delta"
+	"repro/internal/mainstore"
+	"repro/internal/types"
+	"repro/internal/vec"
+)
+
+// DefaultMorselRows is the default row-range size of one scan morsel.
+// Morsels are the fixed-size work units of the parallel scan: small
+// enough that a skewed morsel cannot stall the pool for long, large
+// enough that dispatch overhead (one atomic increment) disappears in
+// the scan cost.
+const DefaultMorselRows = 1 << 16
+
+// morsel is one row-range fragment of a view, confined to a single
+// life-cycle structure. The stage encoding mirrors the sequential
+// stitch order: stage 0 is the L1-delta, stages 1..len(l2s) are the
+// L2-delta generations, and stage len(l2s)+1+pi is main chain part pi.
+// Concatenating morsels in index order reproduces exactly the
+// sequential scan's row order.
+type morsel struct {
+	stage      int
+	start, end int
+}
+
+// ScanWorkers resolves the table's configured morsel-parallel worker
+// budget: 0 sizes the pool to runtime.GOMAXPROCS, anything below 1
+// clamps to the sequential path.
+func (t *Table) ScanWorkers() int {
+	w := t.cfg.ScanWorkers
+	if w == 0 {
+		return runtime.GOMAXPROCS(0)
+	}
+	if w < 1 {
+		return 1
+	}
+	return w
+}
+
+// MorselRows resolves the table's configured morsel size.
+func (t *Table) MorselRows() int {
+	if t.cfg.ScanMorselRows > 0 {
+		return t.cfg.ScanMorselRows
+	}
+	return DefaultMorselRows
+}
+
+// planMorsels splits the view's pinned structures into morsels of at
+// most rowsPer rows, in sequential stitch order. Stage and part
+// boundaries always end a morsel, so no morsel ever spans two
+// dictionary code spaces.
+func (v *View) planMorsels(rowsPer int) []morsel {
+	if rowsPer <= 0 {
+		rowsPer = DefaultMorselRows
+	}
+	var ms []morsel
+	add := func(stage, total int) {
+		for s := 0; s < total; s += rowsPer {
+			e := s + rowsPer
+			if e > total {
+				e = total
+			}
+			ms = append(ms, morsel{stage: stage, start: s, end: e})
+		}
+	}
+	add(0, v.l1Border)
+	for gi := range v.l2s {
+		add(1+gi, v.borders[gi])
+	}
+	for pi, p := range v.main.Parts() {
+		add(1+len(v.l2s)+pi, p.NumRows())
+	}
+	return ms
+}
+
+// parallelDriver is the shared state of one parallel scan: the morsel
+// list, the atomic dispatch cursor, the stop flag, and the sticky
+// first error.
+type parallelDriver struct {
+	plan    *scanPlan
+	ctx     context.Context // nil = never cancelled
+	morsels []morsel
+	next    atomic.Int64
+	stopped atomic.Bool
+	stopCh  chan struct{}
+	stop1   sync.Once
+	errMu   sync.Mutex
+	err     error
+
+	busyNanos atomic.Int64 // Σ per-worker time spent processing morsels
+}
+
+func newParallelDriver(ctx context.Context, plan *scanPlan, morsels []morsel) *parallelDriver {
+	return &parallelDriver{plan: plan, ctx: ctx, morsels: morsels, stopCh: make(chan struct{})}
+}
+
+// halt stops dispatch, recording err as the scan error if it is the
+// first one. Workers observe the flag at morsel and batch boundaries.
+func (d *parallelDriver) halt(err error) {
+	d.errMu.Lock()
+	if d.err == nil && err != nil {
+		d.err = err
+	}
+	d.errMu.Unlock()
+	d.stopped.Store(true)
+	d.stop1.Do(func() { close(d.stopCh) })
+}
+
+func (d *parallelDriver) scanErr() error {
+	d.errMu.Lock()
+	defer d.errMu.Unlock()
+	return d.err
+}
+
+// wpair is one reusable scan/out batch pair owned by a worker. The
+// out batch projects the requested columns from the scan batch, which
+// carries the wider scan column set (requested ∪ residual columns).
+type wpair struct {
+	scan, out *vec.Batch
+}
+
+// scanWorker executes morsels for one parallel scan. Stage cursors
+// are built lazily and reused across the worker's morsels via
+// SetRange: the main-store cursor in particular carries
+// cardinality-sized decode caches whose reuse is where the per-worker
+// decode locality comes from. L1 cursors are row-slice walkers and
+// are rebuilt per morsel.
+type scanWorker struct {
+	plan    *scanPlan
+	id      int
+	rowBuf  []types.Value
+	l2curs  []*l2delta.BatchScan
+	mainCur *mainstore.BatchScan
+
+	residualDropped uint64
+	batches, rows   uint64
+}
+
+func newScanWorker(plan *scanPlan, id int) *scanWorker {
+	return &scanWorker{
+		plan:   plan,
+		id:     id,
+		rowBuf: make([]types.Value, len(plan.v.t.cfg.Schema.Columns)),
+		l2curs: make([]*l2delta.BatchScan, len(plan.v.l2s)),
+	}
+}
+
+func (w *scanWorker) newPair() *wpair {
+	scan := vec.New(w.plan.kinds)
+	return &wpair{scan: scan, out: scan.Project(w.plan.outIdx)}
+}
+
+// filler aims a stage cursor at the morsel and returns it.
+func (w *scanWorker) filler(m morsel) stageFiller {
+	v := w.plan.v
+	switch {
+	case m.stage == 0:
+		return v.l1.NewBatchScanRange(w.plan.scanCols, m.start, m.end, v.snap, v.self, w.plan.l1Filter)
+	case m.stage <= len(v.l2s):
+		gi := m.stage - 1
+		cur := w.l2curs[gi]
+		if cur == nil {
+			cur = v.l2s[gi].NewBatchScan(w.plan.scanCols, v.borders[gi], v.snap, v.self)
+			for _, r := range w.plan.ranges {
+				cur.FilterRange(r.Col, r.Lo, r.Hi, r.LoInc, r.HiInc)
+			}
+			w.l2curs[gi] = cur
+		}
+		cur.SetRange(m.start, m.end)
+		return cur
+	default:
+		pi := m.stage - len(v.l2s) - 1
+		if w.mainCur == nil {
+			w.mainCur = v.main.NewBatchScan(w.plan.scanCols, v.tombs, v.snap, v.self)
+			for _, r := range w.plan.ranges {
+				w.mainCur.FilterRange(r.Col, r.Lo, r.Hi, r.LoInc, r.HiInc)
+			}
+		}
+		w.mainCur.SetRange(pi, m.start, m.end)
+		return w.mainCur
+	}
+}
+
+// run claims morsels until the list is exhausted or the driver stops.
+// acquire returns a free batch pair (nil = stop); emit hands a filled
+// pair to the consumer along with the morsel index and reports whether
+// to continue. Ownership of the pair passes to emit; acquire returns
+// it once the consumer is done with it.
+func (w *scanWorker) run(d *parallelDriver, acquire func() *wpair, release func(*wpair), emit func(p *wpair, morselIdx int) bool) {
+	met := w.plan.v.t.met
+	for {
+		if d.stopped.Load() {
+			return
+		}
+		if d.ctx != nil {
+			if err := d.ctx.Err(); err != nil {
+				d.halt(err)
+				return
+			}
+		}
+		mi := int(d.next.Add(1)) - 1
+		if mi >= len(d.morsels) {
+			return
+		}
+		met.scanMorselBacklog.Set(float64(len(d.morsels) - mi - 1))
+		m := d.morsels[mi]
+		mStart := met.morselSeconds.Start()
+		f := w.filler(m)
+		done := false
+		for !done {
+			if d.stopped.Load() {
+				return
+			}
+			if d.ctx != nil {
+				// Cancellation propagates into in-flight morsels at batch
+				// granularity, not just at morsel claims.
+				if err := d.ctx.Err(); err != nil {
+					d.halt(err)
+					return
+				}
+			}
+			pair := acquire()
+			if pair == nil {
+				return
+			}
+			pair.scan.Reset()
+			n := 0
+			for n < w.plan.batchSize {
+				filled, more := f.Fill(pair.scan.Cols, w.plan.batchSize-n)
+				n += filled
+				if !more {
+					done = true
+					break
+				}
+			}
+			if n == 0 {
+				release(pair)
+				break
+			}
+			pair.scan.SetLen(n)
+			if w.plan.residual != nil {
+				pair.scan.Select(func(pos int) bool {
+					for j, sc := range w.plan.scanCols {
+						w.rowBuf[sc] = pair.scan.Cols[j].Value(pos)
+					}
+					return w.plan.residual.Eval(w.rowBuf)
+				})
+				w.residualDropped += uint64(n - pair.scan.Rows())
+				if pair.scan.Rows() == 0 {
+					release(pair)
+					continue
+				}
+			}
+			pair.out.Sel = pair.scan.Sel
+			pair.out.SetLen(pair.scan.Len())
+			w.batches++
+			w.rows += uint64(pair.out.Rows())
+			if !emit(pair, mi) {
+				return
+			}
+		}
+		met.morselSeconds.Stop(mStart)
+		met.scanMorsels.Inc()
+	}
+}
+
+// finish folds the worker's private tallies into the table metrics
+// and harvests the main cursor's decode-cache totals. Called once per
+// worker, after its run loop returns.
+func (w *scanWorker) finish() {
+	met := w.plan.v.t.met
+	met.scanBatches.Add(w.batches)
+	met.scanRows.Add(w.rows)
+	met.residualFiltered.Add(w.residualDropped)
+	if w.mainCur != nil {
+		hits, misses := w.mainCur.CacheStats()
+		met.decodeHits.Add(hits)
+		met.decodeMisses.Add(misses)
+	}
+}
+
+// finishScan finalizes the per-scan metrics: Σ worker busy time over
+// workers × wall time is the pool utilization.
+func (d *parallelDriver) finishScan(workers int, wall time.Duration) {
+	met := d.plan.v.t.met
+	met.parallelScans.Inc()
+	if wall > 0 && workers > 0 {
+		util := float64(d.busyNanos.Load()) / (float64(wall.Nanoseconds()) * float64(workers))
+		if util > 1 {
+			util = 1
+		}
+		met.scanWorkerUtil.Set(util)
+	}
+	met.scanMorselBacklog.Set(0)
+}
+
+// ScanBatchesParallel streams the visible rows satisfying pred as
+// column batches produced by a pool of morsel workers. fn is invoked
+// concurrently from the workers — it must be safe for concurrent
+// calls — with the worker id, the morsel index the batch came from,
+// and the batch; the batch is reused after fn returns, and fn
+// returning false stops the whole scan. Morsel indexes let
+// order-sensitive consumers (join builds, first-seen aggregation)
+// reconstruct the sequential order: concatenating batches by
+// (morselIdx, arrival) equals the sequential scan.
+//
+// workers <= 0 selects the table's ScanWorkers resolution; workers
+// == 1 processes the same morsel plan on the calling goroutine. The
+// returned error is the context error that aborted the scan, if any.
+func (v *View) ScanBatchesParallel(ctx context.Context, cols []int, pred expr.Predicate, batchSize, workers int,
+	fn func(worker, morselIdx int, b *vec.Batch) bool) error {
+	plan := v.planScan(cols, pred, batchSize)
+	if workers <= 0 {
+		workers = v.t.ScanWorkers()
+	}
+	morsels := v.planMorsels(v.t.MorselRows())
+	if workers > len(morsels) {
+		workers = len(morsels)
+	}
+	d := newParallelDriver(ctx, plan, morsels)
+
+	if workers <= 1 {
+		w := newScanWorker(plan, 0)
+		pair := w.newPair()
+		w.run(d,
+			func() *wpair { return pair },
+			func(*wpair) {},
+			func(p *wpair, mi int) bool {
+				if !fn(0, mi, p.out) {
+					d.halt(nil)
+					return false
+				}
+				return true
+			})
+		w.finish()
+		return d.scanErr()
+	}
+
+	start := time.Now()
+	var wg sync.WaitGroup
+	for i := 0; i < workers; i++ {
+		w := newScanWorker(plan, i)
+		pair := w.newPair()
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			t0 := time.Now()
+			w.run(d,
+				func() *wpair { return pair },
+				func(*wpair) {},
+				func(p *wpair, mi int) bool {
+					if !fn(w.id, mi, p.out) {
+						d.halt(nil)
+						return false
+					}
+					return true
+				})
+			w.finish()
+			d.busyNanos.Add(time.Since(t0).Nanoseconds())
+		}()
+	}
+	wg.Wait()
+	d.finishScan(workers, time.Since(start))
+	return d.scanErr()
+}
+
+// pitem is one filled batch in flight from a worker to the pull
+// consumer, carrying the free list it must be recycled to.
+type pitem struct {
+	b    *vec.Batch
+	pair *wpair
+	free chan *wpair
+}
+
+// ParallelBatchScan is the pull-shaped face of the morsel-parallel
+// scan: Next returns batches in worker completion order (unordered
+// across morsels). Each worker owns two batch pairs recycled through
+// a free list, so at most one batch per worker is in flight plus one
+// held by the consumer — batches returned by Next are valid until the
+// following Next or Close.
+type ParallelBatchScan struct {
+	d       *parallelDriver
+	ch      chan pitem
+	done    chan struct{}
+	cur     pitem
+	workers int
+	closed  bool
+}
+
+// NewParallelBatchScan starts workers morsel workers producing
+// batches of the listed columns (nil = all) for rows satisfying pred.
+// workers <= 0 selects the table's ScanWorkers resolution. Close must
+// be called to release the workers if the scan is abandoned early.
+func (v *View) NewParallelBatchScan(ctx context.Context, cols []int, pred expr.Predicate, batchSize, workers int) *ParallelBatchScan {
+	plan := v.planScan(cols, pred, batchSize)
+	if workers <= 0 {
+		workers = v.t.ScanWorkers()
+	}
+	morsels := v.planMorsels(v.t.MorselRows())
+	if workers > len(morsels) {
+		workers = len(morsels)
+	}
+	if workers < 1 {
+		workers = 1
+	}
+	d := newParallelDriver(ctx, plan, morsels)
+	c := &ParallelBatchScan{d: d, ch: make(chan pitem), done: make(chan struct{}), workers: workers}
+
+	start := time.Now()
+	var wg sync.WaitGroup
+	for i := 0; i < workers; i++ {
+		w := newScanWorker(plan, i)
+		free := make(chan *wpair, 2)
+		free <- w.newPair()
+		free <- w.newPair()
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			t0 := time.Now()
+			w.run(d,
+				func() *wpair {
+					select {
+					case p := <-free:
+						return p
+					case <-d.stopCh:
+						return nil
+					}
+				},
+				func(p *wpair) { free <- p },
+				func(p *wpair, mi int) bool {
+					select {
+					case c.ch <- pitem{b: p.out, pair: p, free: free}:
+						return true
+					case <-d.stopCh:
+						return false
+					}
+				})
+			w.finish()
+			d.busyNanos.Add(time.Since(t0).Nanoseconds())
+		}()
+	}
+	go func() {
+		wg.Wait()
+		d.finishScan(workers, time.Since(start))
+		close(c.ch)
+		close(c.done)
+	}()
+	return c
+}
+
+// Next returns the next batch, or nil at end of scan — or on
+// cancellation, which Err distinguishes. The previous batch is
+// recycled to its worker; consumers must finish with one batch before
+// pulling the next.
+func (c *ParallelBatchScan) Next() *vec.Batch {
+	if c.closed {
+		return nil
+	}
+	if c.cur.pair != nil {
+		c.cur.free <- c.cur.pair // never blocks: free list holds the worker's 2 pairs
+		c.cur = pitem{}
+	}
+	item, ok := <-c.ch
+	if !ok {
+		return nil
+	}
+	c.cur = item
+	return item.b
+}
+
+// Err returns the context error that aborted the scan, or nil when
+// Next's nil meant a clean end of stream. Valid after Next returned
+// nil or Close was called.
+func (c *ParallelBatchScan) Err() error { return c.d.scanErr() }
+
+// Close stops the workers and waits for them to exit. Idempotent;
+// safe after a completed scan.
+func (c *ParallelBatchScan) Close() {
+	if c.closed {
+		return
+	}
+	c.closed = true
+	c.d.halt(nil)
+	if c.cur.pair != nil {
+		c.cur.free <- c.cur.pair
+		c.cur = pitem{}
+	}
+	// Drain in-flight sends so blocked workers can observe the stop.
+	for {
+		select {
+		case item, ok := <-c.ch:
+			if !ok {
+				<-c.done
+				return
+			}
+			item.free <- item.pair
+		case <-c.done:
+			return
+		}
+	}
+}

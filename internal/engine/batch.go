@@ -2,6 +2,9 @@ package engine
 
 import (
 	"context"
+	"errors"
+	"sort"
+	"sync"
 
 	"repro/internal/core"
 	"repro/internal/expr"
@@ -13,7 +16,9 @@ import (
 // BatchIterator is the vectorized Open-Next-Close protocol: Next
 // returns the next column batch, nil at end of stream. A returned
 // batch is owned by the producer and only valid until the next Next
-// call; blocking consumers must copy what they keep.
+// call; blocking consumers must copy what they keep. Close is
+// idempotent on every operator in this package and safe to call on an
+// operator whose Open failed (or was never called).
 type BatchIterator interface {
 	// Open prepares the operator (and its children) for iteration.
 	Open() error
@@ -46,9 +51,40 @@ type BatchTableScan struct {
 	// Ctx, when non-nil, cancels the scan at batch granularity: Next
 	// returns ctx.Err() once the context is done.
 	Ctx context.Context
+	// Unordered opts into the morsel-parallel scan: batches arrive in
+	// worker completion order instead of life-cycle stitch order.
+	// Order-insensitive consumers (aggregation, join builds, COUNT)
+	// set it; the row SET is identical for every worker count.
+	Unordered bool
+	// Workers overrides the table's ScanWorkers resolution when
+	// positive. The parallel path only engages when Unordered is set
+	// and the resolved count exceeds 1.
+	Workers int
 
 	view *core.View
 	cur  *core.BatchScan
+	pcur *core.ParallelBatchScan
+}
+
+// resolvedWorkers is the scan's effective worker budget: the explicit
+// override, else the table's ScanWorkers resolution.
+func (s *BatchTableScan) resolvedWorkers() int {
+	if s.Workers > 0 {
+		return s.Workers
+	}
+	if s.Table == nil {
+		return 1
+	}
+	return s.Table.ScanWorkers()
+}
+
+// openView pins the statement view (shared with the operators that
+// drain a table scan through the parallel machinery directly).
+func (s *BatchTableScan) openView() *core.View {
+	if s.AsOf != 0 {
+		return s.Table.AsOf(s.AsOf)
+	}
+	return s.Table.View(s.Txn)
 }
 
 // Open implements BatchIterator.
@@ -58,17 +94,24 @@ func (s *BatchTableScan) Open() error {
 			return err
 		}
 	}
-	if s.AsOf != 0 {
-		s.view = s.Table.AsOf(s.AsOf)
+	s.view = s.openView()
+	if s.Unordered && s.resolvedWorkers() > 1 {
+		s.pcur = s.view.NewParallelBatchScan(s.Ctx, s.Cols, s.Pred, s.BatchSize, s.resolvedWorkers())
 	} else {
-		s.view = s.Table.View(s.Txn)
+		s.cur = s.view.NewBatchScanCtx(s.Ctx, s.Cols, s.Pred, s.BatchSize)
 	}
-	s.cur = s.view.NewBatchScanCtx(s.Ctx, s.Cols, s.Pred, s.BatchSize)
 	return nil
 }
 
 // Next implements BatchIterator.
 func (s *BatchTableScan) Next() (*vec.Batch, error) {
+	if s.pcur != nil {
+		b := s.pcur.Next()
+		if b == nil {
+			return nil, s.pcur.Err()
+		}
+		return b, nil
+	}
 	if s.cur == nil {
 		return nil, ErrNotOpen
 	}
@@ -79,8 +122,12 @@ func (s *BatchTableScan) Next() (*vec.Batch, error) {
 	return b, nil
 }
 
-// Close implements BatchIterator.
+// Close implements BatchIterator. Idempotent.
 func (s *BatchTableScan) Close() error {
+	if s.pcur != nil {
+		s.pcur.Close()
+		s.pcur = nil
+	}
 	if s.view != nil {
 		s.view.Close()
 		s.view, s.cur = nil, nil
@@ -97,10 +144,17 @@ type BatchFilter struct {
 	Pred expr.Predicate
 
 	rowBuf []types.Value
+	open   bool
 }
 
 // Open implements BatchIterator.
-func (f *BatchFilter) Open() error { return f.In.Open() }
+func (f *BatchFilter) Open() error {
+	if err := f.In.Open(); err != nil {
+		return err
+	}
+	f.open = true
+	return nil
+}
 
 // Next implements BatchIterator.
 func (f *BatchFilter) Next() (*vec.Batch, error) {
@@ -127,8 +181,14 @@ func (f *BatchFilter) Next() (*vec.Batch, error) {
 	}
 }
 
-// Close implements BatchIterator.
-func (f *BatchFilter) Close() error { return f.In.Close() }
+// Close implements BatchIterator. Idempotent.
+func (f *BatchFilter) Close() error {
+	if !f.open {
+		return nil
+	}
+	f.open = false
+	return f.In.Close()
+}
 
 // BatchProject prunes each batch to the listed columns — a header
 // rewrite sharing the input's vectors, the "free" projection of
@@ -136,10 +196,18 @@ func (f *BatchFilter) Close() error { return f.In.Close() }
 type BatchProject struct {
 	In   BatchIterator
 	Cols []int
+
+	open bool
 }
 
 // Open implements BatchIterator.
-func (p *BatchProject) Open() error { return p.In.Open() }
+func (p *BatchProject) Open() error {
+	if err := p.In.Open(); err != nil {
+		return err
+	}
+	p.open = true
+	return nil
+}
 
 // Next implements BatchIterator.
 func (p *BatchProject) Next() (*vec.Batch, error) {
@@ -150,8 +218,14 @@ func (p *BatchProject) Next() (*vec.Batch, error) {
 	return b.Project(p.Cols), nil
 }
 
-// Close implements BatchIterator.
-func (p *BatchProject) Close() error { return p.In.Close() }
+// Close implements BatchIterator. Idempotent.
+func (p *BatchProject) Close() error {
+	if !p.open {
+		return nil
+	}
+	p.open = false
+	return p.In.Close()
+}
 
 // BatchLimit truncates the stream after N rows. Once satisfied it
 // stops pulling from its input entirely — with a streaming source
@@ -160,11 +234,22 @@ func (p *BatchProject) Close() error { return p.In.Close() }
 type BatchLimit struct {
 	In BatchIterator
 	N  int
-	n  int
+
+	n    int
+	sel  []int32
+	out  *vec.Batch
+	open bool
 }
 
 // Open implements BatchIterator.
-func (l *BatchLimit) Open() error { l.n = 0; return l.In.Open() }
+func (l *BatchLimit) Open() error {
+	l.n = 0
+	if err := l.In.Open(); err != nil {
+		return err
+	}
+	l.open = true
+	return nil
+}
 
 // Next implements BatchIterator.
 func (l *BatchLimit) Next() (*vec.Batch, error) {
@@ -176,38 +261,106 @@ func (l *BatchLimit) Next() (*vec.Batch, error) {
 		return nil, err
 	}
 	if rem := l.N - l.n; b.Rows() > rem {
-		b.Truncate(rem)
+		// Truncate through a limit-owned batch header and selection
+		// vector sharing the producer's column vectors. The input batch
+		// belongs to the producer and is reused on its next fill:
+		// mutating it in place (b.Truncate) would plant a selection the
+		// producer never cleans up, silently dropping rows from any
+		// later fill of the same batch object.
+		l.sel = l.sel[:0]
+		if b.Sel != nil {
+			l.sel = append(l.sel, b.Sel[:rem]...)
+		} else {
+			for i := 0; i < rem; i++ {
+				l.sel = append(l.sel, int32(i))
+			}
+		}
+		if l.out == nil {
+			l.out = &vec.Batch{}
+		}
+		l.out.Cols = b.Cols
+		l.out.Sel = l.sel
+		l.out.SetLen(b.Len())
+		b = l.out
 	}
 	l.n += b.Rows()
 	return b, nil
 }
 
-// Close implements BatchIterator.
-func (l *BatchLimit) Close() error { return l.In.Close() }
+// Close implements BatchIterator. Idempotent.
+func (l *BatchLimit) Close() error {
+	if !l.open {
+		return nil
+	}
+	l.open = false
+	return l.In.Close()
+}
 
 // BatchHashJoin is the vectorized equi-join: the right (build) side
 // is drained into a hash table in Open, then each probe batch yields
 // one output batch. Output columns are left columns followed by right
-// columns.
+// columns. When the build side is an exclusively-owned table scan and
+// the table resolves more than one scan worker, the build runs
+// morsel-parallel: workers partition build rows by key hash into
+// per-worker per-partition segments tagged with their morsel index,
+// and the partition tables are assembled in parallel by concatenating
+// segments in morsel order — the exact insertion order of the
+// sequential build, so results are identical for every worker count.
 type BatchHashJoin struct {
 	Left, Right       BatchIterator
 	LeftCol, RightCol int
 
-	table map[types.Value][][]types.Value
-	out   *vec.Batch
-	lbuf  []types.Value
+	table      map[types.Value][][]types.Value
+	parts      []map[types.Value][][]types.Value
+	rightWidth int
+	out        *vec.Batch
+	lbuf       []types.Value
+	leftOpen   bool
+	rightOpen  bool
+}
+
+// joinBuildPartitions is the partition fan-out of the parallel build:
+// enough to keep a worker pool busy during table assembly without
+// fragmenting small build sides.
+const joinBuildPartitions = 16
+
+// buildSeg is one worker's build rows for one (morsel, partition)
+// cell, in arrival order.
+type buildSeg struct {
+	morsel int
+	rows   [][]types.Value
 }
 
 // Open implements BatchIterator.
 func (j *BatchHashJoin) Open() error {
+	j.table, j.parts, j.rightWidth = nil, nil, 0
+	j.out, j.lbuf = nil, nil
+	if rs, ok := j.Right.(*BatchTableScan); ok && rs.Table != nil && rs.resolvedWorkers() > 1 {
+		if err := j.buildParallel(rs); err != nil {
+			return err
+		}
+	} else if err := j.buildSequential(); err != nil {
+		return err
+	}
+	if err := j.Left.Open(); err != nil {
+		return err
+	}
+	j.leftOpen = true
+	return nil
+}
+
+// buildSequential drains Right into the hash table on the calling
+// goroutine, closing Right on every path.
+func (j *BatchHashJoin) buildSequential() error {
 	if err := j.Right.Open(); err != nil {
 		return err
 	}
+	j.rightOpen = true
 	j.table = make(map[types.Value][][]types.Value)
 	for {
 		b, err := j.Right.Next()
 		if err != nil {
-			j.Right.Close()
+			j.closeRight()
 			return err
 		}
 		if b == nil {
@@ -215,6 +368,7 @@ func (j *BatchHashJoin) Open() error {
 		}
 		for i := 0; i < b.Rows(); i++ {
 			row := b.RowAt(i, nil)
+			j.rightWidth = len(row)
 			k := row[j.RightCol]
 			if k.IsNull() {
 				continue
@@ -222,19 +376,109 @@ func (j *BatchHashJoin) Open() error {
 			j.table[k] = append(j.table[k], row)
 		}
 	}
-	if err := j.Right.Close(); err != nil {
+	return j.closeRight()
+}
+
+// buildParallel drains the build-side table scan through the
+// morsel-parallel machinery into partitioned hash tables.
+func (j *BatchHashJoin) buildParallel(rs *BatchTableScan) error {
+	if rs.Ctx != nil {
+		if err := rs.Ctx.Err(); err != nil {
+			return err
+		}
+	}
+	view := rs.openView()
+	defer view.Close()
+
+	workers := rs.resolvedWorkers()
+	// segs[w][p] collects worker w's rows for partition p; workers run
+	// their callbacks serially, so no locking inside a row.
+	segs := make([][][]buildSeg, workers)
+	for w := range segs {
+		segs[w] = make([][]buildSeg, joinBuildPartitions)
+	}
+	var width int
+	var widthMu sync.Mutex
+	err := view.ScanBatchesParallel(rs.Ctx, rs.Cols, rs.Pred, rs.BatchSize, workers,
+		func(w, mi int, b *vec.Batch) bool {
+			rows := b.Materialize()
+			if len(rows) > 0 {
+				widthMu.Lock()
+				width = len(rows[0])
+				widthMu.Unlock()
+			}
+			for _, row := range rows {
+				k := row[j.RightCol]
+				if k.IsNull() {
+					continue
+				}
+				p := int(types.Hash(k) % joinBuildPartitions)
+				cell := segs[w][p]
+				if len(cell) == 0 || cell[len(cell)-1].morsel != mi {
+					cell = append(cell, buildSeg{morsel: mi})
+				}
+				cell[len(cell)-1].rows = append(cell[len(cell)-1].rows, row)
+				segs[w][p] = cell
+			}
+			return true
+		})
+	if err != nil {
 		return err
 	}
-	if err := j.Left.Open(); err != nil {
-		return err
+	j.rightWidth = width
+
+	// Assemble each partition's table in parallel: gather the
+	// partition's segments from every worker, order them by morsel
+	// index, and insert rows in that order — per key, the sequential
+	// build's insertion order.
+	j.parts = make([]map[types.Value][][]types.Value, joinBuildPartitions)
+	var wg sync.WaitGroup
+	for p := 0; p < joinBuildPartitions; p++ {
+		wg.Add(1)
+		go func(p int) {
+			defer wg.Done()
+			var all []buildSeg
+			for w := range segs {
+				all = append(all, segs[w][p]...)
+			}
+			sort.Slice(all, func(a, b int) bool { return all[a].morsel < all[b].morsel })
+			m := make(map[types.Value][][]types.Value)
+			for _, seg := range all {
+				for _, row := range seg.rows {
+					k := row[j.RightCol]
+					m[k] = append(m[k], row)
+				}
+			}
+			j.parts[p] = m
+		}(p)
 	}
-	j.out = nil
-	j.lbuf = nil
+	wg.Wait()
 	return nil
+}
+
+// closeRight closes the build side exactly once.
+func (j *BatchHashJoin) closeRight() error {
+	if !j.rightOpen {
+		return nil
+	}
+	j.rightOpen = false
+	return j.Right.Close()
+}
+
+// lookup returns the build rows matching k, from whichever table
+// shape the build produced.
+func (j *BatchHashJoin) lookup(k types.Value) [][]types.Value {
+	if j.parts != nil {
+		return j.parts[int(types.Hash(k)%joinBuildPartitions)][k]
+	}
+	return j.table[k]
 }
 
 // Next implements BatchIterator.
 func (j *BatchHashJoin) Next() (*vec.Batch, error) {
+	if !j.leftOpen {
+		return nil, ErrNotOpen
+	}
 	for {
 		b, err := j.Left.Next()
 		if err != nil || b == nil {
@@ -243,12 +487,7 @@ func (j *BatchHashJoin) Next() (*vec.Batch, error) {
 		if j.out == nil {
 			// Output width is known once the first probe batch arrives;
 			// kinds are adopted from the appended values.
-			var rightCols int
-			for _, m := range j.table {
-				rightCols = len(m[0])
-				break
-			}
-			j.out = vec.New(make([]types.Kind, b.NumCols()+rightCols))
+			j.out = vec.New(make([]types.Kind, b.NumCols()+j.rightWidth))
 		}
 		j.out.Reset()
 		for i := 0; i < b.Rows(); i++ {
@@ -257,7 +496,7 @@ func (j *BatchHashJoin) Next() (*vec.Batch, error) {
 			if k.IsNull() {
 				continue
 			}
-			for _, right := range j.table[k] {
+			for _, right := range j.lookup(k) {
 				ci := 0
 				for _, v := range j.lbuf {
 					j.out.Cols[ci].Append(v)
@@ -276,27 +515,50 @@ func (j *BatchHashJoin) Next() (*vec.Batch, error) {
 	}
 }
 
-// Close implements BatchIterator.
-func (j *BatchHashJoin) Close() error { return j.Left.Close() }
+// Close implements BatchIterator: both children are closed exactly
+// once, whichever of them is still open. Idempotent, and safe when
+// Open failed partway.
+func (j *BatchHashJoin) Close() error {
+	err := j.closeRight()
+	if j.leftOpen {
+		j.leftOpen = false
+		err = errors.Join(err, j.Left.Close())
+	}
+	return err
+}
 
 // BatchHashAggregate groups batches by the GroupBy columns and
 // computes the Aggs; output rows are group columns followed by
 // aggregate results (one global row with no GroupBy). Blocking: the
 // input is drained in Open into the shared grouping accumulator.
+//
+// When the input is an exclusively-owned table scan and the table
+// resolves more than one scan worker, the drain runs morsel-parallel:
+// each worker accumulates into a private partial tagged with each
+// group's first-seen (morsel, row) position, and the partials merge
+// in tag order — reproducing the sequential first-seen group order,
+// so results are identical for every worker count (floating-point
+// sums may differ in the last ulp from reassociation).
 type BatchHashAggregate struct {
 	In      BatchIterator
 	GroupBy []int
 	Aggs    []Agg
 
-	out  *vec.Batch
-	done bool
+	out    *vec.Batch
+	done   bool
+	inOpen bool
 }
 
 // Open implements BatchIterator.
 func (a *BatchHashAggregate) Open() error {
+	a.out, a.done = nil, false
+	if ts, ok := a.In.(*BatchTableScan); ok && ts.Table != nil && ts.resolvedWorkers() > 1 {
+		return a.openParallel(ts)
+	}
 	if err := a.In.Open(); err != nil {
 		return err
 	}
+	a.inOpen = true
 	acc := newGroupAcc(len(a.GroupBy), a.Aggs)
 	// Box only the columns the aggregation reads, not whole rows.
 	cols, gIdx, aIdx := neededColumns(a.GroupBy, a.Aggs)
@@ -304,7 +566,7 @@ func (a *BatchHashAggregate) Open() error {
 	for {
 		b, err := a.In.Next()
 		if err != nil {
-			a.In.Close()
+			a.closeIn()
 			return err
 		}
 		if b == nil {
@@ -321,15 +583,77 @@ func (a *BatchHashAggregate) Open() error {
 			acc.addProjected(vals, gIdx, aIdx, a.Aggs)
 		}
 	}
-	if err := a.In.Close(); err != nil {
+	if err := a.closeIn(); err != nil {
 		return err
 	}
+	a.emit(acc)
+	return nil
+}
+
+// openParallel drains the input table scan through the
+// morsel-parallel machinery into per-worker partial accumulators.
+func (a *BatchHashAggregate) openParallel(ts *BatchTableScan) error {
+	if ts.Ctx != nil {
+		if err := ts.Ctx.Err(); err != nil {
+			return err
+		}
+	}
+	view := ts.openView()
+	defer view.Close()
+
+	workers := ts.resolvedWorkers()
+	accs := make([]*groupAcc, workers)
+	bufs := make([][]types.Value, workers)
+	// Per-worker morsel cursor for first-seen tags: a morsel is
+	// processed by exactly one worker, batch by batch in row order, so
+	// (morsel, row-within-morsel) totally orders rows exactly as the
+	// sequential scan visits them.
+	curMorsel := make([]int, workers)
+	seq := make([]int, workers)
+	for w := range accs {
+		accs[w] = newGroupAcc(len(a.GroupBy), a.Aggs)
+		curMorsel[w] = -1
+	}
+	err := view.ScanBatchesParallel(ts.Ctx, ts.Cols, ts.Pred, ts.BatchSize, workers,
+		func(w, mi int, b *vec.Batch) bool {
+			if curMorsel[w] != mi {
+				curMorsel[w], seq[w] = mi, 0
+			}
+			for i := 0; i < b.Rows(); i++ {
+				bufs[w] = b.RowAt(i, bufs[w])
+				accs[w].addTagged(bufs[w], a.GroupBy, a.Aggs, mi, seq[w])
+				seq[w]++
+			}
+			return true
+		})
+	if err != nil {
+		return err
+	}
+	merged := accs[0]
+	for _, acc := range accs[1:] {
+		merged.mergeFrom(acc, a.Aggs)
+	}
+	merged.sortByTag()
+	a.emit(merged)
+	return nil
+}
+
+// emit materializes the accumulator into the single output batch.
+func (a *BatchHashAggregate) emit(acc *groupAcc) {
 	a.out = vec.New(make([]types.Kind, len(a.GroupBy)+len(a.Aggs)))
 	for _, row := range acc.rows(a.GroupBy, a.Aggs) {
 		a.out.AppendRow(row)
 	}
 	a.done = false
-	return nil
+}
+
+// closeIn closes the input exactly once.
+func (a *BatchHashAggregate) closeIn() error {
+	if !a.inOpen {
+		return nil
+	}
+	a.inOpen = false
+	return a.In.Close()
 }
 
 // Next implements BatchIterator.
@@ -344,8 +668,12 @@ func (a *BatchHashAggregate) Next() (*vec.Batch, error) {
 	return a.out, nil
 }
 
-// Close implements BatchIterator.
-func (a *BatchHashAggregate) Close() error { return nil }
+// Close implements BatchIterator: the input is closed here when a
+// failed or abandoned Open left it open (a completed Open has already
+// closed it after the drain). Idempotent.
+func (a *BatchHashAggregate) Close() error {
+	return a.closeIn()
+}
 
 // BatchToRows adapts a batch stream to the row-at-a-time Iterator
 // protocol — the compatibility bridge that lets existing ONC
@@ -353,15 +681,20 @@ func (a *BatchHashAggregate) Close() error { return nil }
 type BatchToRows struct {
 	In BatchIterator
 
-	b   *vec.Batch
-	pos int
-	buf []types.Value
+	b    *vec.Batch
+	pos  int
+	buf  []types.Value
+	open bool
 }
 
 // Open implements Iterator.
 func (r *BatchToRows) Open() error {
 	r.b, r.pos = nil, 0
-	return r.In.Open()
+	if err := r.In.Open(); err != nil {
+		return err
+	}
+	r.open = true
+	return nil
 }
 
 // Next implements Iterator.
@@ -383,8 +716,14 @@ func (r *BatchToRows) Next() ([]types.Value, bool, error) {
 	}
 }
 
-// Close implements Iterator.
-func (r *BatchToRows) Close() error { return r.In.Close() }
+// Close implements Iterator. Idempotent.
+func (r *BatchToRows) Close() error {
+	if !r.open {
+		return nil
+	}
+	r.open = false
+	return r.In.Close()
+}
 
 // RowsToBatches adapts a row iterator to the batch protocol,
 // accumulating BatchSize rows per batch (vec.DefaultBatchSize when
@@ -393,14 +732,19 @@ type RowsToBatches struct {
 	In        Iterator
 	BatchSize int
 
-	out *vec.Batch
-	eos bool
+	out  *vec.Batch
+	eos  bool
+	open bool
 }
 
 // Open implements BatchIterator.
 func (r *RowsToBatches) Open() error {
 	r.out, r.eos = nil, false
-	return r.In.Open()
+	if err := r.In.Open(); err != nil {
+		return err
+	}
+	r.open = true
+	return nil
 }
 
 // Next implements BatchIterator.
@@ -437,8 +781,14 @@ func (r *RowsToBatches) Next() (*vec.Batch, error) {
 	return r.out, nil
 }
 
-// Close implements BatchIterator.
-func (r *RowsToBatches) Close() error { return r.In.Close() }
+// Close implements BatchIterator. Idempotent.
+func (r *RowsToBatches) Close() error {
+	if !r.open {
+		return nil
+	}
+	r.open = false
+	return r.In.Close()
+}
 
 // CollectBatches drains a batch iterator into materialized rows,
 // handling Open/Close.

@@ -1,0 +1,443 @@
+package engine
+
+import (
+	"errors"
+	"reflect"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/mvcc"
+	"repro/internal/types"
+	"repro/internal/vec"
+)
+
+// trackingBatches wraps a batch iterator, counting Open/Close calls
+// and optionally failing Open or the nth Next.
+type trackingBatches struct {
+	In      BatchIterator
+	openErr error
+	nextErr error
+	failAt  int // fail the failAt-th Next (1-based) with nextErr
+
+	opens, closes, nexts int
+}
+
+func (it *trackingBatches) Open() error {
+	if it.openErr != nil {
+		return it.openErr
+	}
+	it.opens++
+	return it.In.Open()
+}
+
+func (it *trackingBatches) Next() (*vec.Batch, error) {
+	it.nexts++
+	if it.nextErr != nil && it.nexts == it.failAt {
+		return nil, it.nextErr
+	}
+	return it.In.Next()
+}
+
+func (it *trackingBatches) Close() error {
+	it.closes++
+	return it.In.Close()
+}
+
+// TestBatchOperatorCloseIdempotent pins the bugfix sweep: every batch
+// operator's Close must be idempotent and safe before Open, closing
+// each child at most once.
+func TestBatchOperatorCloseIdempotent(t *testing.T) {
+	mk := func() (*trackingBatches, *trackingBatches) {
+		return &trackingBatches{In: batchSource(rows(ints(1, 10), ints(2, 20)), 1)},
+			&trackingBatches{In: batchSource(rows(ints(1, 7)), 1)}
+	}
+	cases := []struct {
+		name  string
+		build func(a, b *trackingBatches) BatchIterator
+	}{
+		{"filter", func(a, _ *trackingBatches) BatchIterator { return &BatchFilter{In: a} }},
+		{"project", func(a, _ *trackingBatches) BatchIterator { return &BatchProject{In: a, Cols: []int{0}} }},
+		{"limit", func(a, _ *trackingBatches) BatchIterator { return &BatchLimit{In: a, N: 1} }},
+		{"join", func(a, b *trackingBatches) BatchIterator {
+			return &BatchHashJoin{Left: a, Right: b, LeftCol: 0, RightCol: 0}
+		}},
+		{"aggregate", func(a, _ *trackingBatches) BatchIterator {
+			return &BatchHashAggregate{In: a, Aggs: []Agg{{Func: AggCount}}}
+		}},
+	}
+	for _, tc := range cases {
+		// Close before Open: must be a no-op, not a child Close.
+		a, b := mk()
+		op := tc.build(a, b)
+		if err := op.Close(); err != nil {
+			t.Errorf("%s: Close before Open: %v", tc.name, err)
+		}
+		if a.closes != 0 || b.closes != 0 {
+			t.Errorf("%s: Close before Open touched children (a=%d b=%d)", tc.name, a.closes, b.closes)
+		}
+
+		// Full cycle, then double Close: each child closed exactly once.
+		a, b = mk()
+		op = tc.build(a, b)
+		if err := op.Open(); err != nil {
+			t.Fatalf("%s: Open: %v", tc.name, err)
+		}
+		for {
+			batch, err := op.Next()
+			if err != nil {
+				t.Fatalf("%s: Next: %v", tc.name, err)
+			}
+			if batch == nil {
+				break
+			}
+		}
+		if err := op.Close(); err != nil {
+			t.Errorf("%s: Close: %v", tc.name, err)
+		}
+		if err := op.Close(); err != nil {
+			t.Errorf("%s: second Close: %v", tc.name, err)
+		}
+		if a.closes > 1 || b.closes > 1 {
+			t.Errorf("%s: child closed more than once (a=%d b=%d)", tc.name, a.closes, b.closes)
+		}
+		if a.opens > 0 && a.closes != 1 {
+			t.Errorf("%s: left opened %d closed %d", tc.name, a.opens, a.closes)
+		}
+		if b.opens > 0 && b.closes != 1 {
+			t.Errorf("%s: right opened %d closed %d", tc.name, b.opens, b.closes)
+		}
+	}
+}
+
+// TestBatchHashJoinOpenErrorPaths pins the join Open cleanup: every
+// failure point leaves no child open behind.
+func TestBatchHashJoinOpenErrorPaths(t *testing.T) {
+	boom := errors.New("boom")
+
+	// Build side Open fails: nothing to clean, Close stays safe.
+	l := &trackingBatches{In: batchSource(rows(ints(1)), 1)}
+	r := &trackingBatches{In: batchSource(rows(ints(1)), 1), openErr: boom}
+	j := &BatchHashJoin{Left: l, Right: r, LeftCol: 0, RightCol: 0}
+	if err := j.Open(); err != boom {
+		t.Fatalf("Open err = %v", err)
+	}
+	if err := j.Close(); err != nil {
+		t.Fatalf("Close after failed Open: %v", err)
+	}
+	if l.opens != 0 || l.closes != 0 || r.closes != 0 {
+		t.Fatalf("failed right Open touched children: l=%d/%d r closes=%d", l.opens, l.closes, r.closes)
+	}
+
+	// Build drain fails mid-stream: the build side must still close.
+	l = &trackingBatches{In: batchSource(rows(ints(1)), 1)}
+	r = &trackingBatches{In: batchSource(rows(ints(1), ints(2)), 1), nextErr: boom, failAt: 2}
+	j = &BatchHashJoin{Left: l, Right: r, LeftCol: 0, RightCol: 0}
+	if err := j.Open(); err != boom {
+		t.Fatalf("Open err = %v", err)
+	}
+	if r.closes != 1 {
+		t.Fatalf("build side closed %d times after drain error", r.closes)
+	}
+	if err := j.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+	if r.closes != 1 || l.closes != 0 {
+		t.Fatalf("Close after drain error: r=%d l=%d", r.closes, l.closes)
+	}
+
+	// Probe side Open fails after a successful build: build side is
+	// already closed, and Close must not close anything twice.
+	l = &trackingBatches{In: batchSource(rows(ints(1)), 1), openErr: boom}
+	r = &trackingBatches{In: batchSource(rows(ints(1)), 1)}
+	j = &BatchHashJoin{Left: l, Right: r, LeftCol: 0, RightCol: 0}
+	if err := j.Open(); err != boom {
+		t.Fatalf("Open err = %v", err)
+	}
+	if err := j.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+	if r.closes != 1 || l.closes != 0 {
+		t.Fatalf("after probe Open failure: r closes=%d l closes=%d", r.closes, l.closes)
+	}
+}
+
+// TestBatchHashAggregateClosesInputOnce pins the aggregate lifecycle:
+// the input closes exactly once whether the drain succeeds, fails, or
+// the operator is abandoned between Open attempts.
+func TestBatchHashAggregateClosesInputOnce(t *testing.T) {
+	boom := errors.New("boom")
+
+	in := &trackingBatches{In: batchSource(rows(ints(1), ints(2)), 1)}
+	a := &BatchHashAggregate{In: in, Aggs: []Agg{{Func: AggCount}}}
+	if err := a.Open(); err != nil {
+		t.Fatal(err)
+	}
+	if in.closes != 1 {
+		t.Fatalf("input closed %d times after Open drain", in.closes)
+	}
+	a.Close()
+	a.Close()
+	if in.closes != 1 {
+		t.Fatalf("input closed %d times after double Close", in.closes)
+	}
+
+	// Drain error: input must close exactly once, via Open's cleanup.
+	in = &trackingBatches{In: batchSource(rows(ints(1), ints(2)), 1), nextErr: boom, failAt: 2}
+	a = &BatchHashAggregate{In: in, Aggs: []Agg{{Func: AggCount}}}
+	if err := a.Open(); err != boom {
+		t.Fatalf("Open err = %v", err)
+	}
+	if in.closes != 1 {
+		t.Fatalf("input closed %d times after drain error", in.closes)
+	}
+	a.Close()
+	if in.closes != 1 {
+		t.Fatalf("input closed %d times after Close", in.closes)
+	}
+}
+
+// selReuseSource is a minimal producer that refills ONE batch object
+// via column appends + SetLen, never touching Sel — the contract a
+// limit must not violate by planting a selection on the batch.
+type selReuseSource struct {
+	fills [][][]types.Value
+	i     int
+	b     *vec.Batch
+}
+
+func (s *selReuseSource) Open() error { s.i = 0; return nil }
+func (s *selReuseSource) Close() error { return nil }
+func (s *selReuseSource) Next() (*vec.Batch, error) {
+	if s.i >= len(s.fills) {
+		return nil, nil
+	}
+	rows := s.fills[s.i]
+	s.i++
+	if s.b == nil {
+		kinds := make([]types.Kind, len(rows[0]))
+		for i, v := range rows[0] {
+			kinds[i] = v.Kind
+		}
+		s.b = vec.New(kinds)
+	}
+	for _, c := range s.b.Cols {
+		c.Reset()
+	}
+	s.b.SetLen(0)
+	for _, row := range rows {
+		s.b.AppendRow(row)
+	}
+	return s.b, nil
+}
+
+// TestBatchLimitSelectionVectorBoundary pins the limit-truncation
+// satellite: a batch with a live selection vector crossing the limit
+// boundary yields exactly the first remaining live rows, and the
+// producer's reused batch is left untouched — later fills of the same
+// batch object must not inherit a planted selection.
+func TestBatchLimitSelectionVectorBoundary(t *testing.T) {
+	// Selection-vector batch crossing the boundary: 6 physical rows,
+	// live = {10, 30, 50} via Sel, limit 2 → rows 10, 30.
+	src := &selReuseSource{fills: [][][]types.Value{
+		rows(ints(10), ints(20), ints(30), ints(40), ints(50), ints(60)),
+	}}
+	filtered := &BatchFilter{In: src, Pred: oddIndexPred{}}
+	lim := &BatchLimit{In: filtered, N: 2}
+	got, err := CollectBatches(lim)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got, rows(ints(10), ints(30))) {
+		t.Fatalf("sel-crossing limit = %v", got)
+	}
+
+	// The producer's batch object must carry no planted selection: a
+	// later fill of the same object must expose every appended row.
+	src2 := &selReuseSource{fills: [][][]types.Value{
+		rows(ints(1), ints(2), ints(3), ints(4)),
+		rows(ints(5), ints(6), ints(7), ints(8)),
+		rows(ints(9), ints(10), ints(11), ints(12)),
+	}}
+	lim = &BatchLimit{In: src2, N: 6} // crosses mid-batch-2
+	if err := lim.Open(); err != nil {
+		t.Fatal(err)
+	}
+	var limited [][]types.Value
+	for {
+		b, err := lim.Next()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if b == nil {
+			break
+		}
+		limited = append(limited, b.Materialize()...)
+	}
+	if len(limited) != 6 {
+		t.Fatalf("limit 6 returned %d rows", len(limited))
+	}
+	// Resume the producer directly (pagination over the same stream):
+	// batch 3 must surface all 4 rows, not a truncated ghost of 2.
+	b, err := src2.Next()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if b == nil || b.Rows() != 4 {
+		t.Fatalf("post-limit fill of reused batch sees %v rows, want 4 (planted Sel?)", b.Rows())
+	}
+	if err := lim.Close(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// oddIndexPred keeps physical rows 0, 2, 4 — it exists to force a
+// selection vector through BatchFilter without touching values.
+type oddIndexPred struct{ n int }
+
+func (p oddIndexPred) Eval(row []types.Value) bool { return row[0].I%20 == 10 }
+func (p oddIndexPred) String() string              { return "oddIndex" }
+
+// buildStaged populates a three-stage table (two main parts, frozen
+// L2, L1 tail) of n rows keyed 1..n, with small morsels so parallel
+// scans exercise many morsel boundaries.
+func buildStaged(t *testing.T, n int64, morselRows int) func() *BatchTableScan {
+	t.Helper()
+	db, err := core.OpenDatabase(core.DBOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { db.Close() })
+	tab, err := db.CreateTable(core.TableConfig{
+		Name: "staged",
+		Schema: types.MustSchema([]types.Column{
+			{Name: "id", Kind: types.KindInt64},
+			{Name: "region", Kind: types.KindString},
+			{Name: "qty", Kind: types.KindInt64},
+		}, 0),
+		Compress: true, CompactDicts: true,
+		ScanMorselRows: morselRows,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	regions := []string{"EMEA", "APJ", "AMER"}
+	ins := func(lo, hi int64) {
+		tx := db.Begin(mvcc.TxnSnapshot)
+		for i := lo; i <= hi; i++ {
+			if _, err := tab.Insert(tx, []types.Value{types.Int(i), types.Str(regions[i%3]), types.Int(i % 11)}); err != nil {
+				t.Fatal(err)
+			}
+		}
+		db.Commit(tx)
+	}
+	half := n / 2
+	ins(1, half)
+	tab.MergeL1()
+	tab.MergeMain()
+	ins(half+1, half+n/4)
+	tab.MergeL1()
+	tab.MergeMain()
+	ins(half+n/4+1, n)
+	tab.MergeL1()
+	return func() *BatchTableScan {
+		return &BatchTableScan{Table: tab, BatchSize: 16}
+	}
+}
+
+// TestBatchHashAggregateParallelMatchesSequential pins the
+// order-insensitive combine: the parallel partial-accumulator drain
+// must produce exactly the sequential drain's groups — including the
+// first-seen group order — for several worker counts.
+func TestBatchHashAggregateParallelMatchesSequential(t *testing.T) {
+	mk := buildStaged(t, 400, 13)
+	specs := []Agg{
+		{Func: AggCount}, {Func: AggSum, Col: 2},
+		{Func: AggMin, Col: 0}, {Func: AggMax, Col: 0},
+	}
+	seq := mk()
+	seq.Workers = 1
+	want, err := CollectBatches(&BatchHashAggregate{In: seq, GroupBy: []int{1}, Aggs: specs})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, workers := range []int{2, 3, 8} {
+		par := mk()
+		par.Workers = workers
+		got, err := CollectBatches(&BatchHashAggregate{In: par, GroupBy: []int{1}, Aggs: specs})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(got, want) {
+			t.Fatalf("workers=%d: parallel agg %v, sequential %v", workers, got, want)
+		}
+	}
+
+	// Global aggregate (no GroupBy) over the parallel drain.
+	par := mk()
+	par.Workers = 4
+	got, err := CollectBatches(&BatchHashAggregate{In: par, Aggs: []Agg{{Func: AggCount}, {Func: AggSum, Col: 0}}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 1 || got[0][0].I != 400 {
+		t.Fatalf("global parallel agg = %v", got)
+	}
+}
+
+// TestBatchHashJoinParallelBuildMatchesSequential pins the
+// partitioned parallel build: identical join output (rows AND
+// per-key build order, hence row order) for every worker count.
+func TestBatchHashJoinParallelBuildMatchesSequential(t *testing.T) {
+	mkBuild := buildStaged(t, 300, 17)
+	probe := rows(
+		[]types.Value{types.Int(3), types.Str("p3")},
+		[]types.Value{types.Int(7), types.Str("p7")},
+		[]types.Value{types.Int(299), types.Str("p299")},
+		[]types.Value{types.Null, types.Str("pn")},
+		[]types.Value{types.Int(100000), types.Str("miss")},
+	)
+	seqBuild := mkBuild()
+	seqBuild.Workers = 1
+	want, err := CollectBatches(&BatchHashJoin{
+		Left: batchSource(probe, 2), Right: seqBuild, LeftCol: 0, RightCol: 0,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, workers := range []int{2, 4} {
+		parBuild := mkBuild()
+		parBuild.Workers = workers
+		got, err := CollectBatches(&BatchHashJoin{
+			Left: batchSource(probe, 2), Right: parBuild, LeftCol: 0, RightCol: 0,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(got, want) {
+			t.Fatalf("workers=%d: parallel-build join %v, sequential %v", workers, got, want)
+		}
+	}
+}
+
+// TestBatchTableScanUnordered pins the unordered scan surface: the
+// parallel pull path returns the same row set as the ordered scan.
+func TestBatchTableScanUnordered(t *testing.T) {
+	mk := buildStaged(t, 200, 9)
+	ordered := mk()
+	want, err := CollectBatches(ordered)
+	if err != nil {
+		t.Fatal(err)
+	}
+	unordered := mk()
+	unordered.Unordered = true
+	unordered.Workers = 4
+	got, err := CollectBatches(unordered)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sortRows(want)
+	sortRows(got)
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("unordered scan: %d rows, ordered %d", len(got), len(want))
+	}
+}

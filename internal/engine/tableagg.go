@@ -1,6 +1,8 @@
 package engine
 
 import (
+	"sort"
+
 	"repro/internal/core"
 	"repro/internal/expr"
 	"repro/internal/mvcc"
@@ -379,6 +381,19 @@ type groupAcc struct {
 type aggGroup struct {
 	key    []types.Value
 	states []aggState
+	// First-seen position tag of the parallel drain: the (morsel,
+	// row-within-morsel) of the earliest row that opened this group.
+	// Sorting merged partials by tag reproduces the sequential
+	// first-seen group order. Sequential accumulation leaves both 0.
+	tagMorsel, tagRow int
+}
+
+// tagBefore orders first-seen tags.
+func (g *aggGroup) tagBefore(o *aggGroup) bool {
+	if g.tagMorsel != o.tagMorsel {
+		return g.tagMorsel < o.tagMorsel
+	}
+	return g.tagRow < o.tagRow
 }
 
 func newGroupAcc(nkeys int, aggs []Agg) *groupAcc {
@@ -430,6 +445,48 @@ func (g *groupAcc) addProjected(vals []types.Value, gIdx, aIdx []int, aggs []Agg
 		}
 		grp.states[i].add(spec.Func, v)
 	}
+}
+
+// addTagged is add for the parallel drain: when the row opens a new
+// group, the group is tagged with the row's (morsel, row) position.
+func (g *groupAcc) addTagged(row []types.Value, groupBy []int, aggs []Agg, tagMorsel, tagRow int) {
+	for i, c := range groupBy {
+		g.keybuf[i] = row[c]
+	}
+	before := len(g.order)
+	grp := g.group(aggs)
+	if len(g.order) > before {
+		grp.tagMorsel, grp.tagRow = tagMorsel, tagRow
+	}
+	for i, spec := range aggs {
+		var v types.Value
+		if spec.Func != AggCount {
+			v = row[spec.Col]
+		}
+		grp.states[i].add(spec.Func, v)
+	}
+}
+
+// mergeFrom folds another accumulator's partial groups into this one,
+// keeping the earliest first-seen tag per group.
+func (g *groupAcc) mergeFrom(other *groupAcc, aggs []Agg) {
+	for _, src := range other.order {
+		copy(g.keybuf, src.key)
+		before := len(g.order)
+		dst := g.group(aggs)
+		if len(g.order) > before || src.tagBefore(dst) {
+			dst.tagMorsel, dst.tagRow = src.tagMorsel, src.tagRow
+		}
+		for i := range dst.states {
+			dst.states[i].merge(&src.states[i])
+		}
+	}
+}
+
+// sortByTag orders the groups by first-seen tag — after merging
+// parallel partials this is the sequential scan's first-seen order.
+func (g *groupAcc) sortByTag() {
+	sort.Slice(g.order, func(a, b int) bool { return g.order[a].tagBefore(g.order[b]) })
 }
 
 // rows materializes the results (global aggregates yield one row even

@@ -62,6 +62,7 @@ func All() []Experiment {
 		{"E11", "Calc graph execution (Fig. 2/3)", E11CalcGraph},
 		{"E12", "Unified table access (§3.1)", E12UnifiedAccess},
 		{"E13", "Vectorized batch read path (§3.1)", E13Vectorized},
+		{"E15", "Morsel-parallel scan scaling (§3.1)", E15ParallelScan},
 	}
 }
 

@@ -25,10 +25,20 @@ type BatchScan struct {
 // NewBatchScan returns a cursor over the visible rows in [0, border)
 // that pass filter, producing the listed columns.
 func (s *Store) NewBatchScan(cols []int, border int, snap, self uint64, filter func([]types.Value) bool) *BatchScan {
-	if border > len(s.rows) {
-		border = len(s.rows)
+	return s.NewBatchScanRange(cols, 0, border, snap, self, filter)
+}
+
+// NewBatchScanRange returns a cursor over the visible rows in
+// [start, end) that pass filter — the morsel-sized fragment the
+// parallel scan dispatches to one worker.
+func (s *Store) NewBatchScanRange(cols []int, start, end int, snap, self uint64, filter func([]types.Value) bool) *BatchScan {
+	if end > len(s.rows) {
+		end = len(s.rows)
 	}
-	return &BatchScan{s: s, cols: cols, border: border, snap: snap, self: self, filter: filter}
+	if start < 0 {
+		start = 0
+	}
+	return &BatchScan{s: s, cols: cols, border: end, snap: snap, self: self, filter: filter, pos: start}
 }
 
 // Fill appends up to room rows to out (one vec.Col per requested

@@ -32,7 +32,7 @@ type BatchScan struct {
 	filters []codeFilter
 	empty   bool
 	pos     int
-	fbuf    []uint32   // filter-column code block
+	selbuf  []int32    // kernel-written candidate selection vector
 	cbufs   [][]uint32 // requested-column code blocks
 	keep    []int      // positions within the block that passed
 }
@@ -50,6 +50,20 @@ func (s *Store) NewBatchScan(cols []int, border int, snap, self uint64) *BatchSc
 		c.cbufs[i] = make([]uint32, vec.DefaultBatchSize)
 	}
 	return c
+}
+
+// SetRange re-aims the cursor at rows [start, end), keeping its
+// resolved filters and decode buffers. The parallel scan reuses one
+// cursor per worker across that worker's morsels; end must not exceed
+// the border the cursor was created with.
+func (c *BatchScan) SetRange(start, end int) {
+	if end > len(c.s.rowIDs) {
+		end = len(c.s.rowIDs)
+	}
+	if start < 0 {
+		start = 0
+	}
+	c.pos, c.border = start, end
 }
 
 // FilterRange pushes down `col BETWEEN lo AND hi` (NULL bound =
@@ -85,36 +99,32 @@ func (c *BatchScan) Fill(out []*vec.Col, room int) (int, bool) {
 		blk := end - c.pos
 
 		// Pass 1: visibility + code-level predicates select positions.
+		// The first filter runs as a bit-packed membership kernel that
+		// writes candidate positions straight into a selection buffer;
+		// survivors then pass null/MVCC checks and any further filters
+		// by point lookups on the (already small) candidate set.
 		c.keep = c.keep[:0]
 		if len(c.filters) > 0 {
-			if cap(c.fbuf) < blk {
-				c.fbuf = make([]uint32, vec.DefaultBatchSize)
-			}
+			f0 := c.filters[0]
+			col0 := c.s.cols[f0.col]
+			c.selbuf = col0.codes.ScanMemberSel(f0.allow, c.pos, end, c.selbuf[:0])
 			passed := c.keep
-			first := true
-			for _, f := range c.filters {
-				col := c.s.cols[f.col]
-				col.codes.DecodeBlock(c.pos, c.fbuf[:blk])
-				if first {
-					for i := 0; i < blk; i++ {
-						pos := c.pos + i
-						code := c.fbuf[i]
-						if int(code) < len(f.allow) && f.allow[code] && !col.nulls.get(pos) &&
-							mvcc.VisibleStamp(c.s.stamps[pos], c.snap, c.self) {
-							passed = append(passed, pos)
-						}
-					}
-					first = false
-				} else {
-					live := passed[:0]
-					for _, pos := range passed {
-						code := c.fbuf[pos-c.pos]
-						if int(code) < len(f.allow) && f.allow[code] && !col.nulls.get(pos) {
-							live = append(live, pos)
-						}
-					}
-					passed = live
+			for _, p32 := range c.selbuf {
+				pos := int(p32)
+				if !col0.nulls.get(pos) && mvcc.VisibleStamp(c.s.stamps[pos], c.snap, c.self) {
+					passed = append(passed, pos)
 				}
+			}
+			for _, f := range c.filters[1:] {
+				col := c.s.cols[f.col]
+				live := passed[:0]
+				for _, pos := range passed {
+					code := col.codes.Get(pos)
+					if int(code) < len(f.allow) && f.allow[code] && !col.nulls.get(pos) {
+						live = append(live, pos)
+					}
+				}
+				passed = live
 			}
 			c.keep = passed
 		} else {

@@ -1,6 +1,8 @@
 package mainstore
 
 import (
+	"repro/internal/bitpack"
+	"repro/internal/compress"
 	"repro/internal/types"
 	"repro/internal/vec"
 )
@@ -31,11 +33,18 @@ type BatchScan struct {
 	empty   bool
 	part    int
 	pos     int
-	caches  [][]types.Value
-	cached  [][]bool
-	fbuf    []uint32
-	cbufs   [][]uint32
-	keep    []int
+	// rangeEnd, when >= 0, restricts the cursor to positions
+	// [pos, rangeEnd) of the current part only — the morsel shape of
+	// the parallel scan. The cursor then never advances to the next
+	// part; SetRange re-aims it.
+	rangeEnd int
+	caches   [][]types.Value
+	cached   [][]bool
+	fbuf     []uint32
+	cbufs    [][]uint32
+	keep     []int
+	selbuf   []int32
+	ivbuf    []bitpack.Interval
 
 	// Decode-cache accounting across all columns: a hit reuses a
 	// cached value, a miss resolves a code through the dictionaries
@@ -61,7 +70,7 @@ const cacheMaxCard = 1 << 16
 // producing the listed columns. Call FilterRange before the first
 // Fill to push predicates down to dictionary codes.
 func (s *Store) NewBatchScan(cols []int, tomb *Tombstones, snap, self uint64) *BatchScan {
-	c := &BatchScan{s: s, cols: cols, tomb: tomb, snap: snap, self: self}
+	c := &BatchScan{s: s, cols: cols, tomb: tomb, snap: snap, self: self, rangeEnd: -1}
 	c.caches = make([][]types.Value, len(cols))
 	c.cached = make([][]bool, len(cols))
 	for i, ci := range cols {
@@ -110,6 +119,14 @@ func (c *BatchScan) FilterRange(col int, lo, hi types.Value, loInc, hiInc bool) 
 	c.filters = append(c.filters, f)
 }
 
+// SetRange re-aims the cursor at positions [start, end) of the given
+// part, keeping its resolved filters and decode caches. The parallel
+// scan reuses one cursor per worker across that worker's main-store
+// morsels.
+func (c *BatchScan) SetRange(part, start, end int) {
+	c.part, c.pos, c.rangeEnd = part, start, end
+}
+
 // matches tests a global code (at part pi, position pos) against the
 // filter's intervals, excluding the NULL placeholder code 0.
 func (f *rangeFilter) matches(p *Part, pi, pos int, code uint32) bool {
@@ -132,6 +149,9 @@ func (c *BatchScan) Fill(out []*vec.Col, room int) (int, bool) {
 	for c.part < len(c.s.parts) {
 		p := c.s.parts[c.part]
 		rows := p.NumRows()
+		if c.rangeEnd >= 0 && c.rangeEnd < rows {
+			rows = c.rangeEnd
+		}
 		for c.pos < rows && n < room {
 			end := c.pos + vec.DefaultBatchSize
 			if end > rows {
@@ -139,35 +159,71 @@ func (c *BatchScan) Fill(out []*vec.Col, room int) (int, bool) {
 			}
 			blk := end - c.pos
 
-			// Pass 1: visibility + code-interval predicates.
+			// Pass 1: visibility + code-interval predicates. The first
+			// filter runs as a bit-packed interval kernel when the value
+			// index is plain-packed, writing candidate positions straight
+			// into a selection buffer; remaining filters test candidates
+			// by point lookups on the undecoded codes.
 			c.keep = c.keep[:0]
 			passed := c.keep
-			first := true
-			for _, f := range c.filters {
-				if cap(c.fbuf) < blk {
-					c.fbuf = make([]uint32, vec.DefaultBatchSize)
+			if len(c.filters) > 0 {
+				f0 := &c.filters[0]
+				ivs := f0.act[c.part]
+				if len(ivs) == 0 {
+					// No interval reaches this part: nothing matches.
+					c.pos = end
+					continue
 				}
-				p.cols[f.col].values.DecodeBlock(c.pos, c.fbuf[:blk])
-				if first {
+				enc := p.cols[f0.col].values
+				if plain, ok := enc.(*compress.Plain); ok {
+					c.ivbuf = c.ivbuf[:0]
+					zero := false
+					for _, iv := range ivs {
+						c.ivbuf = append(c.ivbuf, bitpack.Interval{Lo: iv.lo, Hi: iv.hi})
+						if iv.lo == 0 {
+							zero = true
+						}
+					}
+					vecCodes := plain.Vector()
+					c.selbuf = vecCodes.ScanIntervalsSel(c.ivbuf, c.pos, end, c.selbuf[:0])
+					for _, p32 := range c.selbuf {
+						pos := int(p32)
+						// The kernel cannot see NULLs: global code 0 is the
+						// NULL placeholder, so re-exclude it when an
+						// interval admits 0.
+						if zero && p.IsNull(pos, f0.col) && vecCodes.Get(pos) == 0 {
+							continue
+						}
+						if p.visibleAt(pos, c.tomb, c.snap, c.self) {
+							passed = append(passed, pos)
+						}
+					}
+				} else {
+					if cap(c.fbuf) < blk {
+						c.fbuf = make([]uint32, vec.DefaultBatchSize)
+					}
+					enc.DecodeBlock(c.pos, c.fbuf[:blk])
 					for i := 0; i < blk; i++ {
 						pos := c.pos + i
-						if f.matches(p, c.part, pos, c.fbuf[i]) &&
+						if f0.matches(p, c.part, pos, c.fbuf[i]) &&
 							p.visibleAt(pos, c.tomb, c.snap, c.self) {
 							passed = append(passed, pos)
 						}
 					}
-					first = false
-				} else {
+				}
+				rest := c.filters[1:]
+				for fi := range rest {
+					f := &rest[fi]
+					enc := p.cols[f.col].values
 					live := passed[:0]
 					for _, pos := range passed {
-						if f.matches(p, c.part, pos, c.fbuf[pos-c.pos]) {
+						if f.matches(p, c.part, pos, enc.Get(pos)) {
 							live = append(live, pos)
 						}
 					}
 					passed = live
 				}
-			}
-			if first {
+			} else {
 				for pos := c.pos; pos < end; pos++ {
 					if p.visibleAt(pos, c.tomb, c.snap, c.self) {
 						passed = append(passed, pos)
@@ -220,6 +276,11 @@ func (c *BatchScan) Fill(out []*vec.Col, room int) (int, bool) {
 			c.pos = end
 		}
 		if c.pos >= rows {
+			if c.rangeEnd >= 0 {
+				// Ranged cursor: the morsel is exhausted; never walk into
+				// the next part.
+				return n, false
+			}
 			c.part++
 			c.pos = 0
 		} else {
