@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test vet race bench fuzz torture soak staticcheck obs-bench race-parallel e15-smoke bench-parallel check
+.PHONY: all build test vet race bench fuzz torture soak staticcheck obs-bench race-parallel e15-smoke bench-parallel bench-mixed bench-mixed-smoke check-regress check
 
 # Torture-harness knobs (see internal/torture): the seed and op count
 # for the differential run, overridable per invocation:
@@ -81,6 +81,38 @@ e15-smoke:
 bench-parallel:
 	$(GO) run ./cmd/hanabench -run E15 -json BENCH_parallel_scan.json
 
+# Sustained mixed-workload trajectory (E16): the two recorded
+# scenarios — oltp (90/10 read/write) and htap (50/50 on the OLTP
+# side, analysts scanning throughout) — each oracle-verified, writing
+# the committed baseline files. Re-record on the machine of record
+# when the engine legitimately gets faster or slower.
+bench-mixed:
+	$(GO) run ./cmd/hanabench mixed -scenario oltp -json BENCH_mixed_oltp.json
+	$(GO) run ./cmd/hanabench mixed -scenario htap -json BENCH_mixed_htap.json
+
+# Short deterministic mixed-workload gate under the race detector:
+# the harness's own smoke (every op class live, merges mid-run, oracle
+# differential), the same-seed determinism check, and the
+# over-the-wire run through hanaserver.
+bench-mixed-smoke:
+	$(GO) test -race -count 1 -timeout 300s \
+		-run 'TestMixedSmoke|TestMixedUnderAdmissionControl' ./internal/bench
+	$(GO) test -race -count 1 -timeout 120s \
+		-run 'TestMixedBenchOverWire' ./cmd/hanaserver
+
+# Regression gate: re-measure both scenarios quickly and compare
+# against the committed baselines with the default tolerance band
+# (wide on purpose — it trips on collapses, not on host noise).
+check-regress:
+	$(GO) run ./cmd/hanabench mixed -scenario oltp -ops 2000 -preload 8000 \
+		-json .bench_current_oltp.json
+	$(GO) run ./cmd/hanabench regress -baseline BENCH_mixed_oltp.json \
+		-current .bench_current_oltp.json
+	$(GO) run ./cmd/hanabench mixed -scenario htap -ops 2000 -preload 8000 \
+		-json .bench_current_htap.json
+	$(GO) run ./cmd/hanabench regress -baseline BENCH_mixed_htap.json \
+		-current .bench_current_htap.json
+
 # E14 observability gate: the instrumented 1M-row scan must stay
 # within 2% of the disabled-registry baseline (internal/obs design
 # contract; see EXPERIMENTS.md E14).
@@ -97,4 +129,4 @@ soak:
 		-run 'TestGracefulDrain|TestMaxConnsShedding|TestAcceptLoopSurvivesTransientErrors|TestOversizedLineReported' \
 		./cmd/hanaserver
 
-check: test vet staticcheck race race-parallel torture soak obs-bench e15-smoke
+check: test vet staticcheck race race-parallel torture soak obs-bench e15-smoke bench-mixed-smoke

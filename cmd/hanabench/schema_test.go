@@ -1,0 +1,227 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/bench"
+	"repro/internal/benchfmt"
+)
+
+var update = flag.Bool("update", false, "rewrite golden files")
+
+// keyPaths walks decoded JSON and records every key path, with array
+// elements flattened under "[]". The path set is the file's schema:
+// renaming, dropping, or moving a field changes it even when values
+// differ run to run.
+func keyPaths(prefix string, v any, out map[string]bool) {
+	switch t := v.(type) {
+	case map[string]any:
+		for k, val := range t {
+			p := k
+			if prefix != "" {
+				p = prefix + "." + k
+			}
+			out[p] = true
+			keyPaths(p, val, out)
+		}
+	case []any:
+		for _, e := range t {
+			keyPaths(prefix+"[]", e, out)
+		}
+	}
+}
+
+func schemaOf(t *testing.T, v any) []string {
+	t.Helper()
+	buf, err := json.Marshal(v)
+	if err != nil {
+		t.Fatalf("marshal: %v", err)
+	}
+	var decoded any
+	if err := json.Unmarshal(buf, &decoded); err != nil {
+		t.Fatalf("unmarshal: %v", err)
+	}
+	paths := map[string]bool{}
+	keyPaths("", decoded, paths)
+	out := make([]string, 0, len(paths))
+	for p := range paths {
+		out = append(out, p)
+	}
+	sort.Strings(out)
+	return out
+}
+
+func checkGolden(t *testing.T, name string, got []string) {
+	t.Helper()
+	path := filepath.Join("testdata", name)
+	text := strings.Join(got, "\n") + "\n"
+	if *update {
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, []byte(text), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		return
+	}
+	want, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("golden %s missing (run with -update): %v", path, err)
+	}
+	if string(want) != text {
+		t.Errorf("BENCH_*.json schema drifted from %s.\nIf intentional, re-run with -update AND re-record the committed baselines.\ngot:\n%swant:\n%s",
+			path, text, want)
+	}
+}
+
+// syntheticResult builds a fully-populated mixed result by hand so the
+// schema golden is exact and timing-independent: every op class, an
+// armed admission-control note, and a verify outcome.
+func syntheticResult(t *testing.T) *bench.Result {
+	cfg, err := bench.ScenarioConfig("htap")
+	if err != nil {
+		t.Fatal(err)
+	}
+	classes := map[string]*bench.ClassStats{}
+	for i, name := range []string{"insert", "update", "delete", "point", "scanagg"} {
+		d := time.Duration(i+1) * time.Millisecond
+		classes[name] = &bench.ClassStats{
+			Ops: uint64(100 * (i + 1)), Errors: uint64(i), Throughput: float64(1000 + i),
+			P50: d, P95: 2 * d, P99: 4 * d, Max: 8 * d, Mean: d,
+		}
+	}
+	return &bench.Result{
+		Scenario: cfg.Scenario,
+		Config:   cfg,
+		Wall:     time.Second,
+		Measure:  900 * time.Millisecond,
+		Classes:  classes,
+		Engine: bench.TargetStats{
+			L1Merges: 3, MainMerges: 1, ThrottledWrites: 2, RejectedWrites: 1,
+			MainRows: 20000, DeltaRows: 100,
+		},
+		VerifiedFacts: 1234,
+	}
+}
+
+// TestMixedTrajectorySchemaGolden pins the BENCH_mixed_*.json schema:
+// any field rename or drop in the trajectory envelope, the report, or
+// the per-class metric names fails against the committed golden. The
+// regression gate reads these files across commits, so format drift
+// must be a deliberate act.
+func TestMixedTrajectorySchemaGolden(t *testing.T) {
+	tf := syntheticResult(t).Trajectory("2026-01-01")
+	checkGolden(t, "schema_mixed.golden", schemaOf(t, tf))
+
+	// Metric names inside the report are schema too: the gate matches
+	// them by exact string.
+	rep := tf.Reports[0]
+	var metrics []string
+	for name := range rep.Metrics {
+		metrics = append(metrics, name)
+	}
+	sort.Strings(metrics)
+	checkGolden(t, "metrics_mixed.golden", metrics)
+}
+
+// TestExperimentsTrajectorySchemaGolden pins the legacy experiments
+// envelope (now the same TrajectoryFile, with Scale and Host).
+func TestExperimentsTrajectorySchemaGolden(t *testing.T) {
+	rep := &benchfmt.Report{ID: "E01", Title: "example", Claim: "claim",
+		Header: []string{"a"}, Rows: [][]string{{"1"}}, Notes: []string{"n"}}
+	rep.SetMetric("rows.per_sec", 1)
+	tf := &benchfmt.TrajectoryFile{Scale: 1, Seed: 42, Date: "2026-01-01",
+		Host: benchfmt.Host(), Reports: []*benchfmt.Report{rep}}
+	checkGolden(t, "schema_experiments.golden", schemaOf(t, tf))
+}
+
+// TestMixedSubcommandWritesTrajectory runs the real CLI path end to
+// end on a small config and checks the emitted file parses and carries
+// the load-bearing fields the gate depends on.
+func TestMixedSubcommandWritesTrajectory(t *testing.T) {
+	out := filepath.Join(t.TempDir(), "BENCH_mixed_oltp.json")
+	var buf bytes.Buffer
+	err := runMixed([]string{
+		"-scenario", "oltp", "-writers", "2", "-analysts", "1",
+		"-warmup-ops", "20", "-ops", "300", "-preload", "500",
+		"-json", out,
+	}, &buf)
+	if err != nil {
+		t.Fatalf("runMixed: %v\noutput:\n%s", err, buf.String())
+	}
+	tf, err := benchfmt.ReadTrajectory(out)
+	if err != nil {
+		t.Fatalf("emitted file unreadable: %v", err)
+	}
+	if tf.Host.NumCPU < 1 || tf.Host.GoVersion == "" {
+		t.Errorf("host metadata missing: %+v", tf.Host)
+	}
+	if tf.Date == "" || tf.Seed == 0 {
+		t.Errorf("envelope incomplete: date=%q seed=%d", tf.Date, tf.Seed)
+	}
+	if len(tf.Reports) != 1 || tf.Reports[0].ID != "E16" {
+		t.Fatalf("want one E16 report, got %+v", tf.Reports)
+	}
+	m := tf.Reports[0].Metrics
+	for _, key := range []string{"insert.tput", "point.p99_ns", "merge.main", "verify.facts", "measure.seconds"} {
+		if _, ok := m[key]; !ok {
+			t.Errorf("metric %q missing from emitted file (have %d metrics)", key, len(m))
+		}
+	}
+	if m["verify.facts"] == 0 {
+		t.Errorf("oracle differential did not run in CLI path")
+	}
+	if !strings.Contains(buf.String(), "wrote "+out) {
+		t.Errorf("CLI did not confirm the write:\n%s", buf.String())
+	}
+}
+
+// TestRegressSubcommand runs the gate end to end: in-band passes,
+// collapse fails with a violation naming the metric.
+func TestRegressSubcommand(t *testing.T) {
+	dir := t.TempDir()
+	write := func(name string, tput, p99 float64) string {
+		rep := &benchfmt.Report{ID: "E16", Title: "Sustained mixed workload (oltp, embedded)"}
+		rep.SetMetric("point.tput", tput)
+		rep.SetMetric("point.p99_ns", p99)
+		tf := &benchfmt.TrajectoryFile{Seed: 42, Date: "2026-01-01", Host: benchfmt.Host(),
+			Reports: []*benchfmt.Report{rep}}
+		path := filepath.Join(dir, name)
+		if err := benchfmt.WriteTrajectory(path, tf); err != nil {
+			t.Fatal(err)
+		}
+		return path
+	}
+	base := write("base.json", 1000, 1e6)
+	good := write("good.json", 800, 2e6)
+	bad := write("bad.json", 10, 1e6)
+
+	var buf bytes.Buffer
+	if err := runRegress([]string{"-baseline", base, "-current", good}, &buf); err != nil {
+		t.Fatalf("in-band run failed the gate: %v\n%s", err, buf.String())
+	}
+	if !strings.Contains(buf.String(), "regression gate OK") {
+		t.Errorf("missing OK line:\n%s", buf.String())
+	}
+
+	buf.Reset()
+	err := runRegress([]string{"-baseline", base, "-current", bad}, &buf)
+	if err == nil {
+		t.Fatalf("collapsed throughput passed the gate:\n%s", buf.String())
+	}
+	if !strings.Contains(buf.String(), "point.tput") {
+		t.Errorf("violation does not name the metric:\n%s", buf.String())
+	}
+	if fmt.Sprint(err) == "" || !strings.Contains(err.Error(), "violation") {
+		t.Errorf("error should summarize violations: %v", err)
+	}
+}

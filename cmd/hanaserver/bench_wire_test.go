@@ -1,0 +1,67 @@
+package main
+
+import (
+	"net"
+	"testing"
+
+	hana "repro"
+	"repro/internal/bench"
+	"repro/internal/workload"
+)
+
+// TestMixedBenchOverWire drives the sustained mixed-workload harness
+// through the full network stack: a real TCP listener, the server's
+// admission/session machinery, and the line protocol — then verifies
+// the server-side end state against the harness's in-memory oracle
+// (count + per-region aggregates; the wire target cannot dump rows).
+// This is the over-the-wire half of the E16 claim: concurrent OLTP
+// sessions and OLAP scan-aggregates against one live-merging engine.
+func TestMixedBenchOverWire(t *testing.T) {
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	db := hana.MustOpen(hana.Options{AutoMerge: true})
+	srv := newServer(db, ln, serverOptions{maxConns: 64})
+	go srv.run()
+	defer func() {
+		srv.shutdown()
+		db.Close()
+	}()
+
+	res, err := bench.Run(bench.Config{
+		Scenario:   "htap",
+		Writers:    3,
+		Analysts:   1,
+		WarmupOps:  20,
+		MeasureOps: 150,
+		Preload:    400,
+		Seed:       7,
+		Mix:        workload.Mix{InsertPct: 20, UpdatePct: 25, DeletePct: 5},
+		L1MaxRows:  200,
+		Addr:       ln.Addr().String(),
+		Verify:     true,
+	})
+	if err != nil {
+		t.Fatalf("wire bench run: %v", err)
+	}
+	if !res.Wire {
+		t.Fatalf("run did not go over the wire")
+	}
+	if res.VerifiedFacts == 0 {
+		t.Fatalf("oracle differential did not run")
+	}
+	for _, class := range []string{"insert", "update", "point", "scanagg"} {
+		cs := res.Classes[class]
+		if cs == nil || cs.Ops == 0 {
+			t.Errorf("class %s recorded no completed ops over the wire", class)
+			continue
+		}
+		if cs.Errors != 0 {
+			t.Errorf("class %s: %d protocol errors", class, cs.Errors)
+		}
+	}
+	if res.Engine.L1Merges == 0 {
+		t.Errorf("wire run should have merged live (L1MaxRows=200, ~550+ rows)")
+	}
+}

@@ -1,0 +1,252 @@
+// Package bench is the sustained mixed-workload harness: a YCSB-style
+// concurrent driver that runs configurable OLTP/OLAP mixes
+// (insert / update / delete / point-read / range-scan-aggregate)
+// against the engine — embedded, or over the wire against hanaserver —
+// under live merging and admission control, and records per-op-class
+// throughput and p50/p95/p99 latency into BENCH_<scenario>.json
+// trajectory points.
+//
+// This is the verification backbone of the paper's central claim: one
+// column-store engine sustaining transactional writes and analytical
+// scans *concurrently* while the L1→L2→main merge machinery runs
+// underneath (§1, §3.1). Every run doubles as a concurrency
+// correctness test: each writer routine maintains a trivially-correct
+// in-memory oracle of its committed effects, and the end state of the
+// engine is diffed against the merged oracle (count, per-region
+// aggregates, and — embedded — every row).
+//
+// The workload shape follows the yabf/YCSB Workload contract
+// (SNIPPETS.md): one shared Scenario object is set up once, then each
+// client routine gets private state (its own RNG streams, key
+// choosers, and oracle) from NewWriter/NewAnalyst, so routines never
+// synchronize on the way to the engine. Writer key ownership is
+// partitioned by stride, which makes the committed end state a pure
+// function of (seed, config) regardless of goroutine interleaving —
+// that is what lets a concurrent run be verified against a
+// deterministic oracle.
+package bench
+
+import (
+	"fmt"
+	"sort"
+	"time"
+
+	"repro/internal/types"
+	"repro/internal/workload"
+)
+
+// OpClass labels the operation classes the driver measures
+// separately; the first four are the OLTP side, ClassScanAgg is the
+// OLAP side (group-by-region COUNT/SUM scan-aggregate).
+type OpClass uint8
+
+const (
+	ClassInsert OpClass = iota
+	ClassUpdate
+	ClassDelete
+	ClassPoint
+	ClassScanAgg
+	numClasses
+)
+
+func (c OpClass) String() string {
+	switch c {
+	case ClassInsert:
+		return "insert"
+	case ClassUpdate:
+		return "update"
+	case ClassDelete:
+		return "delete"
+	case ClassPoint:
+		return "point"
+	case ClassScanAgg:
+		return "scanagg"
+	default:
+		return fmt.Sprintf("class(%d)", uint8(c))
+	}
+}
+
+// Op is one operation a routine hands the driver.
+type Op struct {
+	Class OpClass
+	// Key targets updates, deletes, and point reads.
+	Key int64
+	// Row carries the payload for inserts and updates.
+	Row []types.Value
+}
+
+// Config parameterizes a mixed run. ScenarioConfig returns the named
+// presets; zero fields are filled by withDefaults.
+type Config struct {
+	// Scenario names the preset ("oltp", "htap") and the output file
+	// (BENCH_mixed_<scenario>.json).
+	Scenario string
+	// Writers is the number of concurrent OLTP routines.
+	Writers int
+	// Analysts is the number of concurrent OLAP routines running
+	// scan-aggregates for the whole run.
+	Analysts int
+	// WarmupOps/MeasureOps are per-writer op counts; only the measure
+	// phase (entered together, after a barrier) is recorded.
+	WarmupOps, MeasureOps int
+	// Preload rows are bulk-inserted before the clock starts.
+	Preload int
+	// Seed derives every routine's RNG streams.
+	Seed int64
+	// Mix is the OLTP op mix in percent; the remainder is point reads.
+	Mix workload.Mix
+	// ZipfS is the point-read key skew (s > 1); <= 0 selects
+	// workload.DefaultZipfS, Uniform true overrides with uniform keys.
+	ZipfS   float64
+	Uniform bool
+	// L1MaxRows sizes the L1-delta so the L1→L2→main machinery runs
+	// live during the measure phase (0 = 5000).
+	L1MaxRows int
+	// ThrottleRows/OverloadRows arm delta-backlog admission control
+	// (0 = off), so the harness measures the engine's degraded mode
+	// too.
+	ThrottleRows, OverloadRows int
+	// Addr, when set, runs over the wire against a hanaserver at this
+	// address instead of the embedded engine.
+	Addr string
+	// Table is the table name (default "bench_orders").
+	Table string
+	// Verify runs the end-state oracle differential after the run.
+	Verify bool
+}
+
+// withDefaults fills unset knobs.
+func (c Config) withDefaults() Config {
+	if c.Scenario == "" {
+		c.Scenario = "custom"
+	}
+	if c.Writers <= 0 {
+		c.Writers = 4
+	}
+	if c.Analysts < 0 {
+		c.Analysts = 0
+	}
+	if c.MeasureOps <= 0 {
+		c.MeasureOps = 5000
+	}
+	if c.WarmupOps < 0 {
+		c.WarmupOps = 0
+	}
+	if c.Preload <= 0 {
+		c.Preload = 10_000
+	}
+	if c.Mix == (workload.Mix{}) {
+		c.Mix = workload.Mix{InsertPct: 4, UpdatePct: 5, DeletePct: 1}
+	}
+	if c.L1MaxRows <= 0 {
+		c.L1MaxRows = 5000
+	}
+	if c.Table == "" {
+		c.Table = "bench_orders"
+	}
+	return c
+}
+
+// maxKeySpace bounds the id range point reads target: every preloaded
+// id plus the worst case where every OLTP op is an insert.
+func (c Config) maxKeySpace() uint64 {
+	return uint64(c.Preload + c.Writers*(c.WarmupOps+c.MeasureOps))
+}
+
+// ScenarioNames lists the built-in presets in stable order.
+func ScenarioNames() []string {
+	names := make([]string, 0, len(presets))
+	for n := range presets {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// presets are the recorded trajectory scenarios. "oltp" is the
+// read-dominant ERP profile (90% point reads / 10% writes, one
+// analyst riding along); "htap" is the paper's myth-busting mix —
+// half the OLTP traffic is writes and a matching analyst pool runs
+// scan-aggregates the whole time.
+var presets = map[string]Config{
+	"oltp": {
+		Scenario:  "oltp",
+		Writers:   8,
+		Analysts:  1,
+		WarmupOps: 1000,
+		// 90/10 read/write: remainder to 100 is point reads.
+		Mix:        workload.Mix{InsertPct: 4, UpdatePct: 5, DeletePct: 1},
+		MeasureOps: 6000,
+		Preload:    20_000,
+		Seed:       42,
+		// ~10% of 8×7000 ops are writes (~5.6k rows): a 1000-row L1
+		// keeps the L1→L2→main machinery running during the window
+		// instead of only at setup.
+		L1MaxRows: 1000,
+		Verify:    true,
+	},
+	"htap": {
+		Scenario:  "htap",
+		Writers:   6,
+		Analysts:  3,
+		WarmupOps: 1000,
+		// 50/50 read/write on the OLTP side, scans underneath.
+		Mix:        workload.Mix{InsertPct: 20, UpdatePct: 25, DeletePct: 5},
+		MeasureOps: 5000,
+		Preload:    20_000,
+		Seed:       42,
+		// 50% of 6×6000 ops are writes (~18k rows) — several live
+		// merge cycles per run.
+		L1MaxRows: 2000,
+		Verify:    true,
+	},
+}
+
+// ScenarioConfig returns the named preset.
+func ScenarioConfig(name string) (Config, error) {
+	cfg, ok := presets[name]
+	if !ok {
+		return Config{}, fmt.Errorf("bench: unknown scenario %q (have %v)", name, ScenarioNames())
+	}
+	return cfg, nil
+}
+
+// Scenario is the pluggable workload (the yabf Workload shape): Setup
+// runs once on the shared object, NewWriter/NewAnalyst hand each
+// client routine its private state, Verify diffs the engine's end
+// state against the scenario's oracle after the routines quiesce.
+// Future ROADMAP scenarios (SQL front end, sharding, hot/cold aging)
+// land here as new implementations.
+type Scenario interface {
+	Name() string
+	// Setup creates the table and preloads it through tgt.
+	Setup(tgt Target) error
+	// NewWriter returns OLTP routine w's op source. Called once per
+	// routine before the routines start; the returned Routine is used
+	// by a single goroutine.
+	NewWriter(w int) Routine
+	// NewAnalyst returns OLAP routine a's op source.
+	NewAnalyst(a int) Routine
+	// Verify checks the engine's end state against the oracle and
+	// returns the number of row-level facts checked.
+	Verify(tgt Target) (int, error)
+}
+
+// Routine produces one goroutine's operation stream.
+type Routine interface {
+	// NextOp returns the next op, or nil when the routine is
+	// exhausted (analysts never exhaust).
+	NextOp() *Op
+	// Observe reports the op's outcome so the routine can maintain
+	// its live-key set and oracle; err is nil on success.
+	Observe(op *Op, err error)
+}
+
+// New builds the scenario for cfg. All built-in presets share the
+// mixed OLTP/OLAP implementation; they differ only in configuration.
+func New(cfg Config) Scenario {
+	return newMixed(cfg.withDefaults())
+}
+
+// Clock abstraction point: tests keep wall-clock use centralized.
+var now = time.Now

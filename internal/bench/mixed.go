@@ -1,0 +1,249 @@
+package bench
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"repro/internal/types"
+	"repro/internal/workload"
+)
+
+// Order-schema column ordinals the harness touches (see
+// workload.OrderSchema: id, customer, product, region, status,
+// quantity, amount).
+const (
+	colRegion   = 3
+	colQuantity = 5
+	colAmount   = 6
+)
+
+// mixed is the built-in OLTP/OLAP scenario: Writers routines replay a
+// seeded insert/update/delete/point mix over a stride-partitioned key
+// space while Analysts routines run group-by-region scan-aggregates.
+// Because routine w only ever writes keys ≡ w (mod Writers), the
+// committed end state is independent of interleaving and can be
+// diffed against the per-routine oracles.
+type mixed struct {
+	cfg Config
+	// preRows holds the preloaded rows (ids 1..Preload) so writer
+	// oracles can be seeded with their owned slice.
+	preRows [][]types.Value
+	writers []*mixedWriter
+}
+
+func newMixed(cfg Config) *mixed {
+	return &mixed{cfg: cfg, writers: make([]*mixedWriter, cfg.Writers)}
+}
+
+func (m *mixed) Name() string { return m.cfg.Scenario }
+
+// Setup creates the order table and preloads it.
+func (m *mixed) Setup(tgt Target) error {
+	gen := workload.NewOrderGen(m.cfg.Seed, 10_000, 2000)
+	m.preRows = gen.Rows(m.cfg.Preload)
+	return tgt.Setup(m.preRows)
+}
+
+// NewWriter builds OLTP routine w's private state: its own payload
+// generator, op RNG, point-read key chooser, owned-key live set
+// seeded from the preload, and oracle.
+func (m *mixed) NewWriter(w int) Routine {
+	cfg := m.cfg
+	// Distinct, seed-derived streams per routine: payloads, the op
+	// mix, and the read key choice must not be correlated.
+	gen := workload.NewOrderGen(cfg.Seed+7919*int64(w+1), 10_000, 2000)
+	rng := rand.New(rand.NewSource(cfg.Seed*31 + int64(w)))
+	var keys workload.KeyChooser
+	if cfg.Uniform {
+		keys = workload.NewUniform(cfg.Seed+104729*int64(w+1), cfg.maxKeySpace())
+	} else {
+		keys = workload.NewZipfian(cfg.Seed+104729*int64(w+1), cfg.maxKeySpace(), cfg.ZipfS)
+	}
+	mw := &mixedWriter{
+		m: m, w: w, gen: gen, rng: rng, keys: keys,
+		nextID: int64(cfg.Preload + w + 1),
+		oracle: map[int64][]types.Value{},
+	}
+	// Claim the owned stride of the preload: id 1..Preload with
+	// (id-1) % Writers == w.
+	for id := int64(w + 1); id <= int64(cfg.Preload); id += int64(cfg.Writers) {
+		row := m.preRows[id-1]
+		mw.oracle[id] = row
+		mw.live = append(mw.live, id)
+	}
+	m.writers[w] = mw
+	return mw
+}
+
+// NewAnalyst builds OLAP routine a's state: an endless stream of
+// scan-aggregate queries.
+func (m *mixed) NewAnalyst(int) Routine { return analystRoutine{} }
+
+type analystRoutine struct{}
+
+func (analystRoutine) NextOp() *Op        { return &Op{Class: ClassScanAgg} }
+func (analystRoutine) Observe(*Op, error) {}
+
+// mixedWriter is one OLTP routine's state; used by a single goroutine.
+type mixedWriter struct {
+	m      *mixed
+	w      int
+	gen    *workload.OrderGen
+	rng    *rand.Rand
+	keys   workload.KeyChooser
+	live   []int64 // owned, currently-inserted keys
+	nextID int64   // next owned id (advances by Writers)
+	oracle map[int64][]types.Value
+}
+
+// NextOp draws the next op from the configured mix. Updates and
+// deletes target only owned live keys; point reads target the whole
+// key space through the (zipfian or uniform) chooser.
+func (mw *mixedWriter) NextOp() *Op {
+	mix := mw.m.cfg.Mix
+	p := mw.rng.Intn(100)
+	switch {
+	case p < mix.InsertPct || len(mw.live) == 0 && p < mix.InsertPct+mix.UpdatePct+mix.DeletePct:
+		id := mw.nextID
+		mw.nextID += int64(mw.m.cfg.Writers)
+		row := mw.gen.Row()
+		row[0] = types.Int(id)
+		return &Op{Class: ClassInsert, Key: id, Row: row}
+	case p < mix.InsertPct+mix.UpdatePct:
+		id := mw.live[mw.rng.Intn(len(mw.live))]
+		row := mw.gen.Row()
+		row[0] = types.Int(id)
+		return &Op{Class: ClassUpdate, Key: id, Row: row}
+	case p < mix.InsertPct+mix.UpdatePct+mix.DeletePct:
+		i := mw.rng.Intn(len(mw.live))
+		return &Op{Class: ClassDelete, Key: mw.live[i]}
+	default:
+		return &Op{Class: ClassPoint, Key: 1 + int64(mw.keys.Next())}
+	}
+}
+
+// Observe folds a successful op into the routine's oracle and live
+// set. Failed writes (admission-control rejections, transient errors)
+// have no committed effect and are skipped — exactly the autocommit
+// semantics of the targets.
+func (mw *mixedWriter) Observe(op *Op, err error) {
+	if err != nil {
+		return
+	}
+	switch op.Class {
+	case ClassInsert:
+		mw.oracle[op.Key] = op.Row
+		mw.live = append(mw.live, op.Key)
+	case ClassUpdate:
+		mw.oracle[op.Key] = op.Row
+	case ClassDelete:
+		delete(mw.oracle, op.Key)
+		for i, id := range mw.live {
+			if id == op.Key {
+				mw.live[i] = mw.live[len(mw.live)-1]
+				mw.live = mw.live[:len(mw.live)-1]
+				break
+			}
+		}
+	}
+}
+
+// regionAgg is the oracle's per-region aggregate.
+type regionAgg struct {
+	Count     int64
+	SumQty    int64
+	SumAmount float64
+}
+
+// Verify diffs the engine's end state against the merged per-routine
+// oracles: total count, per-region COUNT/SUM(quantity)/SUM(amount)
+// through the engine's aggregate path, and — when the target can dump
+// rows (embedded) — every surviving row. Returns the number of
+// row-level facts checked.
+func (m *mixed) Verify(tgt Target) (int, error) {
+	merged := map[int64][]types.Value{}
+	for _, mw := range m.writers {
+		if mw == nil {
+			continue
+		}
+		for k, v := range mw.oracle {
+			if _, dup := merged[k]; dup {
+				return 0, fmt.Errorf("bench: oracle invariant broken: key %d owned twice", k)
+			}
+			merged[k] = v
+		}
+	}
+
+	checked := 0
+	n, err := tgt.Count()
+	if err != nil {
+		return 0, fmt.Errorf("bench: verify count: %w", err)
+	}
+	if n != len(merged) {
+		return 0, fmt.Errorf("bench: count mismatch: engine %d, oracle %d", n, len(merged))
+	}
+	checked++
+
+	want := map[string]*regionAgg{}
+	for _, row := range merged {
+		r := row[colRegion].S
+		a := want[r]
+		if a == nil {
+			a = &regionAgg{}
+			want[r] = a
+		}
+		a.Count++
+		a.SumQty += row[colQuantity].I
+		a.SumAmount += row[colAmount].F
+	}
+	got, err := tgt.AggRegion()
+	if err != nil {
+		return 0, fmt.Errorf("bench: verify aggregate: %w", err)
+	}
+	if len(got) != len(want) {
+		return 0, fmt.Errorf("bench: region groups: engine %d, oracle %d", len(got), len(want))
+	}
+	for region, w := range want {
+		g, ok := got[region]
+		if !ok {
+			return 0, fmt.Errorf("bench: region %q missing from engine aggregate", region)
+		}
+		if g.Count != w.Count || g.SumQty != w.SumQty {
+			return 0, fmt.Errorf("bench: region %q: engine count=%d sumqty=%d, oracle count=%d sumqty=%d",
+				region, g.Count, g.SumQty, w.Count, w.SumQty)
+		}
+		// Float sums accumulate in different orders engine-side;
+		// allow relative rounding slack only.
+		if diff := math.Abs(g.SumAmount - w.SumAmount); diff > 1e-6*(1+math.Abs(w.SumAmount)) {
+			return 0, fmt.Errorf("bench: region %q: engine sum(amount)=%v, oracle %v", region, g.SumAmount, w.SumAmount)
+		}
+		checked += int(w.Count)
+	}
+
+	rows, ok, err := tgt.Rows()
+	if err != nil {
+		return 0, fmt.Errorf("bench: verify rows: %w", err)
+	}
+	if ok {
+		if len(rows) != len(merged) {
+			return 0, fmt.Errorf("bench: row dump: engine %d rows, oracle %d", len(rows), len(merged))
+		}
+		for k, wantRow := range merged {
+			gotRow, ok := rows[k]
+			if !ok {
+				return 0, fmt.Errorf("bench: key %d missing from engine", k)
+			}
+			if len(gotRow) != len(wantRow) {
+				return 0, fmt.Errorf("bench: key %d: arity %d vs %d", k, len(gotRow), len(wantRow))
+			}
+			for i := range wantRow {
+				if gotRow[i] != wantRow[i] {
+					return 0, fmt.Errorf("bench: key %d col %d: engine %v, oracle %v", k, i, gotRow[i], wantRow[i])
+				}
+			}
+			checked++
+		}
+	}
+	return checked, nil
+}

@@ -1,0 +1,97 @@
+package bench
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"repro/internal/benchfmt"
+)
+
+// Tolerance is the regression gate's acceptance band. Throughput may
+// drop by at most ThroughputDrop (fraction of baseline); tail latency
+// may rise by at most LatencyRise. The defaults are deliberately wide
+// — the committed baselines travel across heterogeneous CI hosts, so
+// the gate is a tripwire for collapses (a lost fast path, an
+// accidental global lock), not a 5% micro-regression detector; tight
+// tracking comes from re-recording the trajectory on one machine.
+type Tolerance struct {
+	ThroughputDrop float64
+	LatencyRise    float64
+}
+
+// DefaultTolerance allows a 60% throughput drop and a 4x p99 rise.
+var DefaultTolerance = Tolerance{ThroughputDrop: 0.6, LatencyRise: 3.0}
+
+// Compare diffs current against baseline and returns gate violations
+// and informational notes. Rules, per baseline report (matched by
+// ID+Title):
+//   - every "<class>.tput" metric must satisfy
+//     cur >= base*(1-ThroughputDrop);
+//   - every "<class>.p99_ns" metric must satisfy
+//     cur <= base*(1+LatencyRise);
+//   - a baseline metric missing from current is schema drift and
+//     always a violation.
+func Compare(base, cur *benchfmt.TrajectoryFile, tol Tolerance) (violations, notes []string) {
+	if base.Host != cur.Host {
+		notes = append(notes, fmt.Sprintf("host changed: baseline %s, current %s (the band must absorb this)",
+			base.Host, cur.Host))
+	}
+	curByKey := map[string]*benchfmt.Report{}
+	for _, r := range cur.Reports {
+		curByKey[r.ID+"\x00"+r.Title] = r
+	}
+	for _, b := range base.Reports {
+		c, ok := curByKey[b.ID+"\x00"+b.Title]
+		if !ok {
+			violations = append(violations, fmt.Sprintf("%s (%s): report missing from current run", b.ID, b.Title))
+			continue
+		}
+		// Stable metric order keeps the gate's output diffable.
+		names := make([]string, 0, len(b.Metrics))
+		for name := range b.Metrics {
+			names = append(names, name)
+		}
+		sort.Strings(names)
+		for _, name := range names {
+			bv := b.Metrics[name]
+			cv, ok := c.Metrics[name]
+			if !ok {
+				violations = append(violations,
+					fmt.Sprintf("%s: metric %q missing from current run (schema drift)", b.ID, name))
+				continue
+			}
+			switch {
+			case strings.HasSuffix(name, ".tput"):
+				floor := bv * (1 - tol.ThroughputDrop)
+				if cv < floor {
+					violations = append(violations,
+						fmt.Sprintf("%s: %s regressed: %.1f/s vs baseline %.1f/s (floor %.1f/s)",
+							b.ID, name, cv, bv, floor))
+				}
+			case strings.HasSuffix(name, ".p99_ns"):
+				ceil := bv * (1 + tol.LatencyRise)
+				if bv > 0 && cv > ceil {
+					violations = append(violations,
+						fmt.Sprintf("%s: %s regressed: %.0fns vs baseline %.0fns (ceiling %.0fns)",
+							b.ID, name, cv, bv, ceil))
+				}
+			}
+		}
+	}
+	return violations, notes
+}
+
+// CompareFiles is Compare over two trajectory files on disk.
+func CompareFiles(basePath, curPath string, tol Tolerance) (violations, notes []string, err error) {
+	base, err := benchfmt.ReadTrajectory(basePath)
+	if err != nil {
+		return nil, nil, fmt.Errorf("bench: baseline: %w", err)
+	}
+	cur, err := benchfmt.ReadTrajectory(curPath)
+	if err != nil {
+		return nil, nil, fmt.Errorf("bench: current: %w", err)
+	}
+	violations, notes = Compare(base, cur, tol)
+	return violations, notes, nil
+}

@@ -1,0 +1,74 @@
+package bench
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/benchfmt"
+)
+
+func trajWith(metrics map[string]float64) *benchfmt.TrajectoryFile {
+	rep := &benchfmt.Report{ID: "E16", Title: "Sustained mixed workload (oltp, embedded)"}
+	for k, v := range metrics {
+		rep.SetMetric(k, v)
+	}
+	return &benchfmt.TrajectoryFile{Seed: 42, Date: "2026-08-08", Host: benchfmt.Host(),
+		Reports: []*benchfmt.Report{rep}}
+}
+
+func TestCompareAccepts(t *testing.T) {
+	base := trajWith(map[string]float64{"point.tput": 1000, "point.p99_ns": 1e6, "point.ops": 9000})
+	cur := trajWith(map[string]float64{"point.tput": 700, "point.p99_ns": 2e6, "point.ops": 6300})
+	v, _ := Compare(base, cur, DefaultTolerance)
+	if len(v) != 0 {
+		t.Fatalf("within-band run flagged: %v", v)
+	}
+}
+
+func TestCompareThroughputFloor(t *testing.T) {
+	base := trajWith(map[string]float64{"point.tput": 1000})
+	cur := trajWith(map[string]float64{"point.tput": 100})
+	v, _ := Compare(base, cur, Tolerance{ThroughputDrop: 0.5, LatencyRise: 3})
+	if len(v) != 1 || !strings.Contains(v[0], "point.tput") {
+		t.Fatalf("collapsed throughput not flagged: %v", v)
+	}
+}
+
+func TestCompareLatencyCeiling(t *testing.T) {
+	base := trajWith(map[string]float64{"point.p99_ns": 1e6})
+	cur := trajWith(map[string]float64{"point.p99_ns": 1e8})
+	v, _ := Compare(base, cur, Tolerance{ThroughputDrop: 0.5, LatencyRise: 3})
+	if len(v) != 1 || !strings.Contains(v[0], "point.p99_ns") {
+		t.Fatalf("exploded p99 not flagged: %v", v)
+	}
+}
+
+func TestCompareSchemaDrift(t *testing.T) {
+	base := trajWith(map[string]float64{"point.tput": 1000, "insert.tput": 500})
+	cur := trajWith(map[string]float64{"point.tput": 1000})
+	v, _ := Compare(base, cur, DefaultTolerance)
+	if len(v) != 1 || !strings.Contains(v[0], "schema drift") {
+		t.Fatalf("missing metric not flagged as drift: %v", v)
+	}
+
+	// A whole report vanishing is also drift.
+	cur2 := trajWith(map[string]float64{"point.tput": 1000})
+	cur2.Reports[0].ID = "E99"
+	v, _ = Compare(base, cur2, DefaultTolerance)
+	if len(v) != 1 || !strings.Contains(v[0], "report missing") {
+		t.Fatalf("missing report not flagged: %v", v)
+	}
+}
+
+func TestCompareHostChangeNoted(t *testing.T) {
+	base := trajWith(map[string]float64{"point.tput": 1000})
+	base.Host = benchfmt.HostInfo{OS: "linux", Arch: "amd64", GoVersion: "go1.24.0", NumCPU: 16, GOMAXPROCS: 16}
+	cur := trajWith(map[string]float64{"point.tput": 900})
+	v, notes := Compare(base, cur, DefaultTolerance)
+	if len(v) != 0 {
+		t.Fatalf("unexpected violations: %v", v)
+	}
+	if len(notes) != 1 || !strings.Contains(notes[0], "host changed") {
+		t.Fatalf("host change not noted: %v", notes)
+	}
+}

@@ -1,0 +1,141 @@
+package bench
+
+import (
+	"fmt"
+	"sort"
+	"time"
+
+	"repro/internal/benchfmt"
+)
+
+// ClassStats is one op class's measured-phase outcome.
+type ClassStats struct {
+	// Ops counts completed operations; Errors counts failed attempts
+	// (admission-control rejections land here).
+	Ops, Errors uint64
+	// Throughput is completed ops per second over the measure window.
+	Throughput float64
+	// Latency percentiles from the obs histogram (bucket upper
+	// bounds), plus max and mean.
+	P50, P95, P99, Max, Mean time.Duration
+}
+
+// Result is one mixed run's outcome.
+type Result struct {
+	Scenario string
+	Config   Config
+	// Wire reports the run went over the hanaserver protocol.
+	Wire bool
+	// Wall is setup-to-quiesce; Measure is the recorded window (all
+	// writers past warmup until the last writer finished).
+	Wall, Measure time.Duration
+	// Classes maps op-class name → stats; classes with no traffic are
+	// absent.
+	Classes map[string]*ClassStats
+	// Engine snapshots the lifecycle counters after the run: the
+	// proof the mix ran under live merging (MainMerges > 0) and how
+	// hard admission control bit.
+	Engine TargetStats
+	// VerifiedFacts counts the oracle facts checked by the end-state
+	// differential (0 when Verify was off).
+	VerifiedFacts int
+}
+
+// classOrder renders OLTP classes before the OLAP class.
+var classOrder = []string{"insert", "update", "delete", "point", "scanagg"}
+
+// Report renders the result as a benchfmt report whose Metrics map is
+// the machine-readable regression surface: per class
+// <class>.{ops,errors,tput,p50_ns,p95_ns,p99_ns}, plus the engine
+// lifecycle counters and the verify outcome.
+func (r *Result) Report() *benchfmt.Report {
+	mode := "embedded"
+	if r.Wire {
+		mode = "wire"
+	}
+	rep := &benchfmt.Report{
+		ID:     "E16",
+		Title:  fmt.Sprintf("Sustained mixed workload (%s, %s)", r.Scenario, mode),
+		Claim:  "one unified-table engine sustains OLTP writes and OLAP scan-aggregates concurrently under live merging (§1, §3.1)",
+		Header: []string{"class", "ops", "err", "tput", "p50", "p95", "p99", "max"},
+	}
+	for _, name := range classOrder {
+		cs, ok := r.Classes[name]
+		if !ok {
+			continue
+		}
+		rep.AddRow(name,
+			fmt.Sprintf("%d", cs.Ops),
+			fmt.Sprintf("%d", cs.Errors),
+			benchfmt.Rate(int(cs.Ops), r.Measure),
+			benchfmt.Dur(cs.P50),
+			benchfmt.Dur(cs.P95),
+			benchfmt.Dur(cs.P99),
+			benchfmt.Dur(cs.Max),
+		)
+		rep.SetMetric(name+".ops", float64(cs.Ops))
+		rep.SetMetric(name+".errors", float64(cs.Errors))
+		rep.SetMetric(name+".tput", cs.Throughput)
+		rep.SetMetric(name+".p50_ns", float64(cs.P50))
+		rep.SetMetric(name+".p95_ns", float64(cs.P95))
+		rep.SetMetric(name+".p99_ns", float64(cs.P99))
+	}
+	rep.SetMetric("measure.seconds", r.Measure.Seconds())
+	rep.SetMetric("merge.l1", float64(r.Engine.L1Merges))
+	rep.SetMetric("merge.main", float64(r.Engine.MainMerges))
+	rep.SetMetric("admission.throttled", float64(r.Engine.ThrottledWrites))
+	rep.SetMetric("admission.rejected", float64(r.Engine.RejectedWrites))
+	rep.SetMetric("verify.facts", float64(r.VerifiedFacts))
+
+	rep.AddNote("%d writers (%d%%/%d%%/%d%% ins/upd/del, rest point reads), %d analysts, preload %d, seed %d",
+		r.Config.Writers, r.Config.Mix.InsertPct, r.Config.Mix.UpdatePct, r.Config.Mix.DeletePct,
+		r.Config.Analysts, r.Config.Preload, r.Config.Seed)
+	rep.AddNote("measure window %s of %s wall; live merging: %d L1 merges, %d main merges (%d failures)",
+		benchfmt.Dur(r.Measure), benchfmt.Dur(r.Wall),
+		r.Engine.L1Merges, r.Engine.MainMerges, r.Engine.MergeFailures)
+	if r.Engine.ThrottledWrites > 0 || r.Engine.RejectedWrites > 0 {
+		rep.AddNote("admission control: %d writes throttled, %d rejected",
+			r.Engine.ThrottledWrites, r.Engine.RejectedWrites)
+	}
+	if r.VerifiedFacts > 0 {
+		rep.AddNote("oracle differential: %d facts verified (count, per-region aggregates%s)",
+			r.VerifiedFacts, map[bool]string{false: ", full row diff", true: ""}[r.Wire])
+	}
+	return rep
+}
+
+// Trajectory wraps the result in the BENCH_*.json envelope.
+func (r *Result) Trajectory(date string) *benchfmt.TrajectoryFile {
+	return &benchfmt.TrajectoryFile{
+		Seed:    r.Config.Seed,
+		Date:    date,
+		Host:    benchfmt.Host(),
+		Reports: []*benchfmt.Report{r.Report()},
+	}
+}
+
+// ClassNames lists the populated classes in render order (stable for
+// tests and schema goldens).
+func (r *Result) ClassNames() []string {
+	var names []string
+	for _, n := range classOrder {
+		if _, ok := r.Classes[n]; ok {
+			names = append(names, n)
+		}
+	}
+	var extra []string
+	for n := range r.Classes {
+		found := false
+		for _, k := range classOrder {
+			if n == k {
+				found = true
+				break
+			}
+		}
+		if !found {
+			extra = append(extra, n)
+		}
+	}
+	sort.Strings(extra)
+	return append(names, extra...)
+}

@@ -1,0 +1,223 @@
+package bench
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/mvcc"
+	"repro/internal/types"
+	"repro/internal/workload"
+)
+
+// Target is the engine under test. The embedded target drives the
+// library API in-process; the wire target speaks the hanaserver line
+// protocol over TCP. Setup/Count/AggRegion/Rows/Stats are called from
+// the driver goroutine only; Session hands each client routine its
+// own handle, which is the only thing routines touch concurrently.
+type Target interface {
+	// Setup creates the order table and bulk-loads the preload rows
+	// (ids 1..len(preload) in order).
+	Setup(preload [][]types.Value) error
+	// Session returns a routine-private handle.
+	Session() (Session, error)
+	// Count returns the table's visible row count.
+	Count() (int, error)
+	// AggRegion runs the engine's aggregate path: per-region count,
+	// sum(quantity), sum(amount).
+	AggRegion() (map[string]regionAgg, error)
+	// Rows dumps key→row when the target supports it; the wire target
+	// reports ok=false (aggregate verification still applies).
+	Rows() (map[int64][]types.Value, bool, error)
+	// Stats snapshots the merge/admission counters proving the run
+	// happened under live merging.
+	Stats() (TargetStats, error)
+	Close() error
+}
+
+// Session executes one routine's operations (autocommit, one
+// transaction per write).
+type Session interface {
+	Insert(row []types.Value) error
+	Update(key int64, row []types.Value) error
+	Delete(key int64) error
+	// Point returns whether the key was found; a miss is not an error.
+	Point(key int64) (bool, error)
+	// ScanAgg runs one group-by-region scan-aggregate and returns the
+	// group count.
+	ScanAgg() (int, error)
+	Close() error
+}
+
+// TargetStats are the engine-side lifecycle counters for the run.
+type TargetStats struct {
+	L1Merges, MainMerges, MergeFailures uint64
+	ThrottledWrites, RejectedWrites     uint64
+	MainRows, DeltaRows                 int
+}
+
+// NewTarget builds the target cfg selects: wire when Addr is set,
+// embedded otherwise.
+func NewTarget(cfg Config) (Target, error) {
+	cfg = cfg.withDefaults()
+	if cfg.Addr != "" {
+		return newWireTarget(cfg)
+	}
+	return newEmbeddedTarget(cfg)
+}
+
+// embeddedTarget runs the engine in-process with the background merge
+// scheduler on — the live-merging condition the harness exists to
+// measure.
+type embeddedTarget struct {
+	cfg   Config
+	db    *core.Database
+	table *core.Table
+}
+
+func newEmbeddedTarget(cfg Config) (*embeddedTarget, error) {
+	db, err := core.OpenDatabase(core.DBOptions{AutoMerge: true})
+	if err != nil {
+		return nil, err
+	}
+	t, err := db.CreateTable(core.TableConfig{
+		Name:         cfg.Table,
+		Schema:       workload.OrderSchema(),
+		L1MaxRows:    cfg.L1MaxRows,
+		CheckUnique:  true,
+		Compress:     true,
+		CompactDicts: true,
+		ThrottleRows: cfg.ThrottleRows,
+		OverloadRows: cfg.OverloadRows,
+	})
+	if err != nil {
+		db.Close()
+		return nil, err
+	}
+	return &embeddedTarget{cfg: cfg, db: db, table: t}, nil
+}
+
+func (e *embeddedTarget) Setup(preload [][]types.Value) error {
+	tx := e.db.Begin(mvcc.TxnSnapshot)
+	if _, err := e.table.BulkInsert(tx, preload); err != nil {
+		tx.Abort()
+		return err
+	}
+	if err := e.db.Commit(tx); err != nil {
+		return err
+	}
+	// Push the preload through the life cycle so the measure phase
+	// starts from a merged main plus an empty delta, not a cold L1.
+	if _, err := e.table.MergeL1(); err != nil {
+		return err
+	}
+	_, err := e.table.MergeMain()
+	return err
+}
+
+func (e *embeddedTarget) Session() (Session, error) {
+	return &embeddedSession{db: e.db, table: e.table}, nil
+}
+
+func (e *embeddedTarget) Count() (int, error) {
+	v := e.table.View(nil)
+	defer v.Close()
+	return v.Count(), nil
+}
+
+func (e *embeddedTarget) AggRegion() (map[string]regionAgg, error) {
+	v := e.table.View(nil)
+	defer v.Close()
+	groups, err := v.AggregateNumeric(colRegion, []int{colQuantity, colAmount})
+	if err != nil {
+		return nil, err
+	}
+	out := make(map[string]regionAgg, len(groups))
+	for _, g := range groups {
+		out[g.Key.S] = regionAgg{Count: g.Count, SumQty: g.SumI[0], SumAmount: g.SumF[1]}
+	}
+	return out, nil
+}
+
+func (e *embeddedTarget) Rows() (map[int64][]types.Value, bool, error) {
+	v := e.table.View(nil)
+	defer v.Close()
+	out := make(map[int64][]types.Value)
+	v.ScanAll(func(_ types.RowID, row []types.Value) bool {
+		out[row[0].I] = append([]types.Value(nil), row...)
+		return true
+	})
+	return out, true, nil
+}
+
+func (e *embeddedTarget) Stats() (TargetStats, error) {
+	st := e.table.Stats()
+	return TargetStats{
+		L1Merges:        st.L1Merges,
+		MainMerges:      st.MainMerges,
+		MergeFailures:   st.MergeFailures,
+		ThrottledWrites: st.ThrottledWrites,
+		RejectedWrites:  st.RejectedWrites,
+		MainRows:        st.MainRows,
+		DeltaRows:       st.L1Rows + st.L2Rows + st.FrozenL2Rows,
+	}, nil
+}
+
+func (e *embeddedTarget) Close() error { return e.db.Close() }
+
+// embeddedSession is stateless: the engine objects are safe for
+// concurrent use, so every routine can share them through private
+// handles.
+type embeddedSession struct {
+	db    *core.Database
+	table *core.Table
+}
+
+func (s *embeddedSession) Insert(row []types.Value) error {
+	tx := s.db.Begin(mvcc.TxnSnapshot)
+	if _, err := s.table.Insert(tx, row); err != nil {
+		tx.Abort()
+		return err
+	}
+	return s.db.Commit(tx)
+}
+
+func (s *embeddedSession) Update(key int64, row []types.Value) error {
+	tx := s.db.Begin(mvcc.TxnSnapshot)
+	if _, err := s.table.UpdateKey(tx, types.Int(key), row); err != nil {
+		tx.Abort()
+		return err
+	}
+	return s.db.Commit(tx)
+}
+
+func (s *embeddedSession) Delete(key int64) error {
+	tx := s.db.Begin(mvcc.TxnSnapshot)
+	n, err := s.table.DeleteKey(tx, types.Int(key))
+	if err != nil {
+		tx.Abort()
+		return err
+	}
+	if n == 0 {
+		tx.Abort()
+		return fmt.Errorf("bench: delete of missing key %d", key)
+	}
+	return s.db.Commit(tx)
+}
+
+func (s *embeddedSession) Point(key int64) (bool, error) {
+	v := s.table.View(nil)
+	defer v.Close()
+	return v.Get(types.Int(key)) != nil, nil
+}
+
+func (s *embeddedSession) ScanAgg() (int, error) {
+	v := s.table.View(nil)
+	defer v.Close()
+	groups, err := v.AggregateNumeric(colRegion, []int{colQuantity, colAmount})
+	if err != nil {
+		return 0, err
+	}
+	return len(groups), nil
+}
+
+func (s *embeddedSession) Close() error { return nil }

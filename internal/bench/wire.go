@@ -1,0 +1,281 @@
+package bench
+
+import (
+	"bufio"
+	"fmt"
+	"net"
+	"regexp"
+	"strconv"
+	"strings"
+
+	"repro/internal/types"
+)
+
+// wireTarget drives a running hanaserver over its line protocol — the
+// same mixed workload, but paying the full network + parse path the
+// paper's "thousands of concurrent users" would. Each Session is one
+// TCP connection (one server session goroutine).
+type wireTarget struct {
+	cfg  Config
+	ctl  *wireConn // driver-side control connection
+	open []*wireConn
+}
+
+func newWireTarget(cfg Config) (*wireTarget, error) {
+	ctl, err := dialWire(cfg.Addr)
+	if err != nil {
+		return nil, err
+	}
+	return &wireTarget{cfg: cfg, ctl: ctl}, nil
+}
+
+// wireConn is one protocol connection.
+type wireConn struct {
+	conn net.Conn
+	r    *bufio.Scanner
+	w    *bufio.Writer
+}
+
+func dialWire(addr string) (*wireConn, error) {
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("bench: dial %s: %w", addr, err)
+	}
+	sc := bufio.NewScanner(conn)
+	sc.Buffer(make([]byte, 1<<16), 1<<20)
+	return &wireConn{conn: conn, r: sc, w: bufio.NewWriter(conn)}, nil
+}
+
+// roundTrip sends one command and collects response lines through the
+// terminator ("OK...", "ERR...", or "END").
+func (c *wireConn) roundTrip(cmd string) ([]string, error) {
+	if _, err := fmt.Fprintln(c.w, cmd); err != nil {
+		return nil, err
+	}
+	if err := c.w.Flush(); err != nil {
+		return nil, err
+	}
+	var out []string
+	for c.r.Scan() {
+		line := c.r.Text()
+		out = append(out, line)
+		if line == "END" || strings.HasPrefix(line, "OK") || strings.HasPrefix(line, "ERR") {
+			return out, nil
+		}
+	}
+	if err := c.r.Err(); err != nil {
+		return nil, err
+	}
+	return nil, fmt.Errorf("bench: connection closed during %q", cmd)
+}
+
+// expectOK runs a command whose whole response is one OK/ERR line.
+func (c *wireConn) expectOK(cmd string) (string, error) {
+	out, err := c.roundTrip(cmd)
+	if err != nil {
+		return "", err
+	}
+	last := out[len(out)-1]
+	if !strings.HasPrefix(last, "OK") {
+		return "", fmt.Errorf("bench: %s: %s", strings.Fields(cmd)[0], strings.TrimPrefix(last, "ERR "))
+	}
+	return last, nil
+}
+
+func (c *wireConn) close() error { return c.conn.Close() }
+
+// wireValue renders a value in the protocol's token syntax
+// (single-quoted strings, full-precision floats).
+func wireValue(v types.Value) string {
+	switch v.Kind {
+	case types.KindString:
+		return "'" + v.S + "'"
+	case types.KindFloat64:
+		return strconv.FormatFloat(v.F, 'g', -1, 64)
+	default:
+		return v.String()
+	}
+}
+
+func wireRow(row []types.Value) string {
+	parts := make([]string, len(row))
+	for i, v := range row {
+		parts[i] = wireValue(v)
+	}
+	return strings.Join(parts, " ")
+}
+
+func (t *wireTarget) Setup(preload [][]types.Value) error {
+	create := fmt.Sprintf(
+		"CREATE %s id:INT customer:VARCHAR product:VARCHAR region:VARCHAR status:VARCHAR quantity:INT amount:DOUBLE KEY 0",
+		t.cfg.Table)
+	if _, err := t.ctl.expectOK(create); err != nil {
+		return err
+	}
+	// Batch the preload into multi-statement transactions: one commit
+	// per 1000 rows instead of one per row.
+	const batch = 1000
+	for i := 0; i < len(preload); i += batch {
+		if _, err := t.ctl.expectOK("BEGIN"); err != nil {
+			return err
+		}
+		end := i + batch
+		if end > len(preload) {
+			end = len(preload)
+		}
+		for _, row := range preload[i:end] {
+			if _, err := t.ctl.expectOK(fmt.Sprintf("INSERT %s %s", t.cfg.Table, wireRow(row))); err != nil {
+				return err
+			}
+		}
+		if _, err := t.ctl.expectOK("COMMIT"); err != nil {
+			return err
+		}
+	}
+	// Drain the preload to main so measurement starts warm.
+	_, err := t.ctl.expectOK("MERGE " + t.cfg.Table)
+	return err
+}
+
+func (t *wireTarget) Session() (Session, error) {
+	c, err := dialWire(t.cfg.Addr)
+	if err != nil {
+		return nil, err
+	}
+	t.open = append(t.open, c)
+	return &wireSession{c: c, table: t.cfg.Table}, nil
+}
+
+func (t *wireTarget) Count() (int, error) {
+	line, err := t.ctl.expectOK("COUNT " + t.cfg.Table)
+	if err != nil {
+		return 0, err
+	}
+	return strconv.Atoi(strings.TrimPrefix(line, "OK "))
+}
+
+// aggRegionCol runs AGG over one sum column and folds the rows into
+// out via set.
+func (t *wireTarget) aggRegionCol(col int, out map[string]regionAgg, set func(*regionAgg, int64, float64)) error {
+	lines, err := t.ctl.roundTrip(fmt.Sprintf("AGG %s %d %d", t.cfg.Table, colRegion, col))
+	if err != nil {
+		return err
+	}
+	for _, line := range lines {
+		if line == "END" {
+			return nil
+		}
+		if strings.HasPrefix(line, "ERR") {
+			return fmt.Errorf("bench: AGG: %s", strings.TrimPrefix(line, "ERR "))
+		}
+		fields := strings.Split(strings.TrimPrefix(line, "ROW "), "\t")
+		if len(fields) != 3 {
+			return fmt.Errorf("bench: AGG row %q: want 3 fields", line)
+		}
+		count, err1 := strconv.ParseInt(fields[1], 10, 64)
+		sum, err2 := strconv.ParseFloat(fields[2], 64)
+		if err1 != nil || err2 != nil {
+			return fmt.Errorf("bench: AGG row %q: %v %v", line, err1, err2)
+		}
+		a := out[fields[0]]
+		a.Count = count
+		set(&a, int64(sum), sum)
+		out[fields[0]] = a
+	}
+	return fmt.Errorf("bench: AGG response missing END")
+}
+
+func (t *wireTarget) AggRegion() (map[string]regionAgg, error) {
+	out := map[string]regionAgg{}
+	if err := t.aggRegionCol(colQuantity, out, func(a *regionAgg, i int64, _ float64) { a.SumQty = i }); err != nil {
+		return nil, err
+	}
+	if err := t.aggRegionCol(colAmount, out, func(a *regionAgg, _ int64, f float64) { a.SumAmount = f }); err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// Rows is unsupported over the wire (the rendered-row round trip is
+// not a faithful value codec); aggregate verification still applies.
+func (t *wireTarget) Rows() (map[int64][]types.Value, bool, error) { return nil, false, nil }
+
+var statsNum = regexp.MustCompile(`(\w+)=(\d+)`)
+
+func (t *wireTarget) Stats() (TargetStats, error) {
+	line, err := t.ctl.expectOK("STATS " + t.cfg.Table)
+	if err != nil {
+		return TargetStats{}, err
+	}
+	kv := map[string]uint64{}
+	for _, m := range statsNum.FindAllStringSubmatch(line, -1) {
+		n, _ := strconv.ParseUint(m[2], 10, 64)
+		kv[m[1]] = n
+	}
+	return TargetStats{
+		L1Merges:        kv["l1merges"],
+		MainMerges:      kv["mainmerges"],
+		MergeFailures:   kv["mergefailures"],
+		ThrottledWrites: kv["throttled"],
+		RejectedWrites:  kv["rejected"],
+		MainRows:        int(kv["main"]),
+		DeltaRows:       int(kv["l1"] + kv["l2"] + kv["frozen"]),
+	}, nil
+}
+
+func (t *wireTarget) Close() error {
+	for _, c := range t.open {
+		c.close()
+	}
+	return t.ctl.close()
+}
+
+// wireSession executes one routine's ops over its own connection.
+type wireSession struct {
+	c     *wireConn
+	table string
+}
+
+func (s *wireSession) Insert(row []types.Value) error {
+	_, err := s.c.expectOK(fmt.Sprintf("INSERT %s %s", s.table, wireRow(row)))
+	return err
+}
+
+func (s *wireSession) Update(key int64, row []types.Value) error {
+	_, err := s.c.expectOK(fmt.Sprintf("UPDATE %s %d %s", s.table, key, wireRow(row)))
+	return err
+}
+
+func (s *wireSession) Delete(key int64) error {
+	_, err := s.c.expectOK(fmt.Sprintf("DELETE %s %d", s.table, key))
+	return err
+}
+
+func (s *wireSession) Point(key int64) (bool, error) {
+	lines, err := s.c.roundTrip(fmt.Sprintf("GET %s %d", s.table, key))
+	if err != nil {
+		return false, err
+	}
+	last := lines[len(lines)-1]
+	if strings.HasPrefix(last, "ERR") {
+		return false, fmt.Errorf("bench: GET: %s", strings.TrimPrefix(last, "ERR "))
+	}
+	return len(lines) > 1, nil
+}
+
+func (s *wireSession) ScanAgg() (int, error) {
+	lines, err := s.c.roundTrip(fmt.Sprintf("AGG %s %d %d", s.table, colRegion, colAmount))
+	if err != nil {
+		return 0, err
+	}
+	last := lines[len(lines)-1]
+	if strings.HasPrefix(last, "ERR") {
+		return 0, fmt.Errorf("bench: AGG: %s", strings.TrimPrefix(last, "ERR "))
+	}
+	return len(lines) - 1, nil
+}
+
+func (s *wireSession) Close() error {
+	s.c.expectOK("QUIT")
+	return s.c.close()
+}
