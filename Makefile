@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test vet race bench fuzz torture soak staticcheck obs-bench race-parallel e15-smoke bench-parallel bench-mixed bench-mixed-smoke check-regress check
+.PHONY: all build test vet race bench fuzz torture soak staticcheck obs-bench race-parallel e15-smoke bench-parallel bench-mixed bench-mixed-smoke sql-smoke check-regress check
 
 # Torture-harness knobs (see internal/torture): the seed and op count
 # for the differential run, overridable per invocation:
@@ -43,13 +43,15 @@ race-all:
 bench:
 	$(GO) test -run xxx -bench . -benchtime 1x .
 
-# Short coverage-guided fuzz runs over the three untrusted-input
-# surfaces: snapshot decoding, WAL record parsing, server tokenizing.
-# Go allows one -fuzz package per invocation, hence three runs.
+# Short coverage-guided fuzz runs over the untrusted-input surfaces:
+# snapshot decoding, WAL record parsing, server tokenizing, and the
+# SQL lexer/parser. Go allows one -fuzz package per invocation, hence
+# one run each.
 fuzz:
 	$(GO) test ./internal/persist -run '^$$' -fuzz FuzzDecoder -fuzztime $(FUZZTIME)
 	$(GO) test ./internal/wal -run '^$$' -fuzz FuzzWALRecord -fuzztime $(FUZZTIME)
 	$(GO) test ./cmd/hanaserver -run '^$$' -fuzz FuzzTokenize -fuzztime $(FUZZTIME)
+	$(GO) test ./internal/sql -run '^$$' -fuzz FuzzSQLParse -fuzztime $(FUZZTIME)
 
 # Crash-torture sweep + seeded differential run against the oracle.
 # Reproduce a reported failure by re-running with the printed seed.
@@ -89,6 +91,19 @@ bench-parallel:
 bench-mixed:
 	$(GO) run ./cmd/hanabench mixed -scenario oltp -json BENCH_mixed_oltp.json
 	$(GO) run ./cmd/hanabench mixed -scenario htap -json BENCH_mixed_htap.json
+	$(GO) run ./cmd/hanabench mixed -scenario sql -json BENCH_mixed_sql.json
+
+# SQL front-end gate under the race detector: the compiler's own
+# suite (parser round-trips, typed-AST checks, golden plan shapes,
+# morsel-parallel fusion counter), the wire-level SQL command and
+# SQL-vs-legacy differential tests, and the SQL-driven mixed workload
+# with its oracle differential.
+sql-smoke:
+	$(GO) test -race -count 1 -timeout 180s ./internal/sql
+	$(GO) test -race -count 1 -timeout 120s \
+		-run 'TestSQLWireCommands|TestSQLWireTransactions|TestSQLLegacyDifferential|TestMixedBenchOverWireSQL' \
+		./cmd/hanaserver
+	$(GO) test -race -count 1 -timeout 300s -run 'TestMixedSQL' ./internal/bench
 
 # Short deterministic mixed-workload gate under the race detector:
 # the harness's own smoke (every op class live, merges mid-run, oracle
@@ -129,4 +144,4 @@ soak:
 		-run 'TestGracefulDrain|TestMaxConnsShedding|TestAcceptLoopSurvivesTransientErrors|TestOversizedLineReported' \
 		./cmd/hanaserver
 
-check: test vet staticcheck race race-parallel torture soak obs-bench e15-smoke bench-mixed-smoke
+check: test vet staticcheck race race-parallel torture soak obs-bench e15-smoke bench-mixed-smoke sql-smoke

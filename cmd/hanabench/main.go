@@ -10,6 +10,7 @@
 //	hanabench -run E05,E08          # selected experiments
 //	hanabench -list                 # list experiment ids
 //	hanabench mixed -scenario htap  # sustained OLTP/OLAP mix, oracle-verified
+//	hanabench mixed -scenario sql   # same mix driven through the SQL front end
 //	hanabench mixed -addr :4321     # same, over the wire against hanaserver
 //	hanabench regress -baseline BENCH_mixed_oltp.json -current /tmp/cur.json
 package main
@@ -61,6 +62,7 @@ func runMixed(args []string, out io.Writer) error {
 	throttle := fs.Int("throttle-rows", 0, "delta backlog throttle threshold (0 = off)")
 	overload := fs.Int("overload-rows", 0, "delta backlog reject threshold (0 = off)")
 	addr := fs.String("addr", "", "run over the wire against a hanaserver at this address")
+	useSQL := fs.Bool("sql", false, "drive every operation through the SQL front end (implied by -scenario sql)")
 	jsonOut := fs.String("json", "", "write the trajectory point as JSON to this file")
 	noVerify := fs.Bool("no-verify", false, "skip the end-state oracle differential")
 	if err := fs.Parse(args); err != nil {
@@ -100,6 +102,9 @@ func runMixed(args []string, out io.Writer) error {
 	cfg.ThrottleRows = *throttle
 	cfg.OverloadRows = *overload
 	cfg.Addr = *addr
+	if *useSQL {
+		cfg.SQL = true
+	}
 	if *noVerify {
 		cfg.Verify = false
 	}

@@ -1,6 +1,15 @@
 // Command hanacli is an interactive client for hanaserver's line
 // protocol: it forwards stdin lines and prints responses until the
 // terminating OK/ERR/END marker of each command.
+//
+// With -sql the prompt becomes a SQL shell: input lines are wrapped
+// as "SQL <line>" before sending, so plain statements work directly
+//
+//	sql> SELECT region, COUNT(*) FROM orders GROUP BY region
+//
+// while session verbs (BEGIN, COMMIT, ABORT, PREPARE, EXECUTE,
+// DEALLOCATE, QUIT) still pass through unwrapped, and a leading
+// backslash escapes to any raw protocol command (e.g. `\STATS t`).
 package main
 
 import (
@@ -12,8 +21,35 @@ import (
 	"strings"
 )
 
+// passthrough lists the commands a SQL-mode line may start with and
+// still be sent raw: they are session controls, not statements.
+var passthrough = []string{"BEGIN", "COMMIT", "ABORT", "PREPARE", "EXECUTE", "DEALLOCATE", "SAVEPOINT", "QUIT"}
+
+// wireLine maps one input line to the protocol line to send. In SQL
+// mode, statements get the "SQL " prefix; session verbs and
+// backslash-escaped raw commands pass through.
+func wireLine(line string, sqlMode bool) string {
+	if !sqlMode {
+		return line
+	}
+	if strings.HasPrefix(line, "\\") {
+		return strings.TrimSpace(line[1:])
+	}
+	first := line
+	if i := strings.IndexAny(line, " \t"); i >= 0 {
+		first = line[:i]
+	}
+	for _, kw := range passthrough {
+		if strings.EqualFold(first, kw) {
+			return line
+		}
+	}
+	return "SQL " + line
+}
+
 func main() {
 	addr := flag.String("addr", "127.0.0.1:7654", "server address")
+	sqlMode := flag.Bool("sql", false, "SQL shell: send lines as SQL statements (\\<cmd> for raw protocol)")
 	flag.Parse()
 
 	conn, err := net.Dial("tcp", *addr)
@@ -22,7 +58,13 @@ func main() {
 		os.Exit(1)
 	}
 	defer conn.Close()
-	fmt.Printf("connected to %s — type commands (QUIT to exit)\n", *addr)
+	prompt := "hana> "
+	if *sqlMode {
+		prompt = "sql> "
+		fmt.Printf("connected to %s — SQL shell (QUIT to exit, \\<cmd> for raw protocol)\n", *addr)
+	} else {
+		fmt.Printf("connected to %s — type commands (QUIT to exit)\n", *addr)
+	}
 
 	in := bufio.NewScanner(os.Stdin)
 	out := bufio.NewWriter(conn)
@@ -30,7 +72,7 @@ func main() {
 	resp.Buffer(make([]byte, 1<<16), 1<<20)
 
 	for {
-		fmt.Print("hana> ")
+		fmt.Print(prompt)
 		if !in.Scan() {
 			return
 		}
@@ -38,7 +80,8 @@ func main() {
 		if line == "" {
 			continue
 		}
-		fmt.Fprintln(out, line)
+		wire := wireLine(line, *sqlMode)
+		fmt.Fprintln(out, wire)
 		out.Flush()
 		for resp.Scan() {
 			text := resp.Text()
@@ -47,7 +90,7 @@ func main() {
 				break
 			}
 		}
-		if strings.EqualFold(line, "QUIT") {
+		if strings.EqualFold(wire, "QUIT") {
 			return
 		}
 	}

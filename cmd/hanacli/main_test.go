@@ -1,0 +1,28 @@
+package main
+
+import "testing"
+
+func TestWireLine(t *testing.T) {
+	cases := []struct {
+		in, want string
+		sqlMode  bool
+	}{
+		{"SELECT * FROM t", "SQL SELECT * FROM t", true},
+		{"insert into t values (1)", "SQL insert into t values (1)", true},
+		{"BEGIN", "BEGIN", true},
+		{"begin stmt", "begin stmt", true},
+		{"COMMIT", "COMMIT", true},
+		{"PREPARE p SELECT id FROM t WHERE id = ?", "PREPARE p SELECT id FROM t WHERE id = ?", true},
+		{"EXECUTE p 1", "EXECUTE p 1", true},
+		{"QUIT", "QUIT", true},
+		{"\\STATS t", "STATS t", true},
+		{"\\SCAN t 5", "SCAN t 5", true},
+		{"SCAN t 5", "SCAN t 5", false},
+		{"SELECT 1", "SELECT 1", false},
+	}
+	for _, c := range cases {
+		if got := wireLine(c.in, c.sqlMode); got != c.want {
+			t.Errorf("wireLine(%q, sql=%v) = %q, want %q", c.in, c.sqlMode, got, c.want)
+		}
+	}
+}

@@ -65,3 +65,53 @@ func TestMixedBenchOverWire(t *testing.T) {
 		t.Errorf("wire run should have merged live (L1MaxRows=200, ~550+ rows)")
 	}
 }
+
+// TestMixedBenchOverWireSQL is the same harness with every operation
+// travelling as SQL: statements over "SQL ..." lines and the OLTP hot
+// path as PREPARE/EXECUTE against the server's shared plan cache. The
+// oracle differential must hold across network, protocol, and
+// compiler.
+func TestMixedBenchOverWireSQL(t *testing.T) {
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	db := hana.MustOpen(hana.Options{AutoMerge: true})
+	srv := newServer(db, ln, serverOptions{maxConns: 64})
+	go srv.run()
+	defer func() {
+		srv.shutdown()
+		db.Close()
+	}()
+
+	res, err := bench.Run(bench.Config{
+		Scenario:   "sql",
+		Writers:    3,
+		Analysts:   1,
+		WarmupOps:  20,
+		MeasureOps: 150,
+		Preload:    400,
+		Seed:       7,
+		Mix:        workload.Mix{InsertPct: 20, UpdatePct: 25, DeletePct: 5},
+		L1MaxRows:  200,
+		Addr:       ln.Addr().String(),
+		SQL:        true,
+		Verify:     true,
+	})
+	if err != nil {
+		t.Fatalf("sql wire bench run: %v", err)
+	}
+	if res.VerifiedFacts == 0 {
+		t.Fatalf("oracle differential did not run")
+	}
+	for _, class := range []string{"insert", "update", "point", "scanagg"} {
+		cs := res.Classes[class]
+		if cs == nil || cs.Ops == 0 {
+			t.Errorf("class %s recorded no completed ops over SQL wire", class)
+			continue
+		}
+		if cs.Errors != 0 {
+			t.Errorf("class %s: %d protocol errors", class, cs.Errors)
+		}
+	}
+}

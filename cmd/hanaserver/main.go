@@ -23,6 +23,21 @@
 //	SAVEPOINT
 //	QUIT
 //
+// SQL statements ride the same line protocol (the rest of the line is
+// handed to the SQL compiler verbatim, so SQL's own quoting applies):
+//
+//	SQL <statement>
+//	PREPARE <name> <statement>
+//	EXECUTE <name> [<param>...]
+//	DEALLOCATE <name>
+//
+// SQL SELECTs answer with ROW lines and "END"; DML answers "OK <n>"
+// with the affected-row count. Statements run inside the session's
+// open BEGIN/COMMIT transaction, or autocommit without one. PREPARE
+// compiles once into the shared plan cache (keyed on normalized text)
+// and EXECUTE binds positional parameters parsed per the statement's
+// inferred kinds.
+//
 // Responses: "OK[ detail]", "ERR <msg>", or row lines followed by
 // "END". METRICS dumps Prometheus-style text (optionally restricted
 // to one table's series) and TRACE replays the last n lifecycle
@@ -166,6 +181,9 @@ type server struct {
 	db   *hana.DB
 	ln   net.Listener
 	opts serverOptions
+	// sqlEng is shared across sessions so all connections hit one plan
+	// cache (statements are keyed on normalized text).
+	sqlEng *hana.SQLEngine
 
 	sem      chan struct{} // nil = unlimited
 	draining atomic.Bool
@@ -176,11 +194,21 @@ type server struct {
 }
 
 func newServer(db *hana.DB, ln net.Listener, opts serverOptions) *server {
-	s := &server{db: db, ln: ln, opts: opts, conns: map[net.Conn]struct{}{}}
+	s := &server{db: db, ln: ln, opts: opts, conns: map[net.Conn]struct{}{},
+		sqlEng: newSQLEngine(db, opts)}
 	if opts.maxConns > 0 {
 		s.sem = make(chan struct{}, opts.maxConns)
 	}
 	return s
+}
+
+// newSQLEngine builds the session-shared SQL engine; tables created
+// via SQL get the same physical defaults as wire-CREATEd ones.
+func newSQLEngine(db *hana.DB, opts serverOptions) *hana.SQLEngine {
+	return hana.NewSQLEngine(db, hana.TableConfig{
+		CheckUnique: true, Compress: true, CompactDicts: true,
+		ThrottleRows: opts.throttleRows, OverloadRows: opts.overloadRows,
+	})
 }
 
 // run accepts connections until the listener closes. Transient accept
@@ -292,7 +320,10 @@ func (s *server) shutdown() {
 
 type session struct {
 	db  *hana.DB
+	eng *hana.SQLEngine
 	txn *hana.Txn
+	// prepared holds this session's named PREPAREd statements.
+	prepared map[string]*hana.SQLPrepared
 	// throttleRows/overloadRows seed the admission-control watermarks
 	// of tables this session CREATEs.
 	throttleRows, overloadRows int
@@ -301,7 +332,7 @@ type session struct {
 // serve handles one connection with no deadlines or connection budget
 // — the bare protocol loop, kept for in-process use and tests.
 func serve(db *hana.DB, conn net.Conn) {
-	(&server{db: db}).serveConn(conn)
+	(&server{db: db, sqlEng: newSQLEngine(db, serverOptions{})}).serveConn(conn)
 }
 
 // serveConn runs the protocol loop under the server's deadlines and
@@ -310,6 +341,7 @@ func (s *server) serveConn(conn net.Conn) {
 	defer conn.Close()
 	sess := &session{
 		db:           s.db,
+		eng:          s.sqlEng,
 		throttleRows: s.opts.throttleRows,
 		overloadRows: s.opts.overloadRows,
 	}
@@ -397,6 +429,24 @@ func (s *session) finish(w *bufio.Writer, tx *hana.Txn, auto bool, err error) {
 }
 
 func (s *session) handle(w *bufio.Writer, line string) {
+	// SQL-carrying commands keep the rest of the line verbatim: SQL has
+	// its own quoting and must not pass through tokenize.
+	if rest, ok := cutKeyword(line, "SQL"); ok {
+		s.sqlExec(w, rest)
+		return
+	}
+	if rest, ok := cutKeyword(line, "PREPARE"); ok {
+		s.sqlPrepare(w, rest)
+		return
+	}
+	if rest, ok := cutKeyword(line, "EXECUTE"); ok {
+		s.sqlExecute(w, rest)
+		return
+	}
+	if rest, ok := cutKeyword(line, "DEALLOCATE"); ok {
+		s.sqlDeallocate(w, rest)
+		return
+	}
 	fields, err := tokenize(line)
 	if err != nil {
 		fmt.Fprintf(w, "ERR %v\n", err)
@@ -692,6 +742,121 @@ func (s *session) table(w *bufio.Writer, cmd string, t *hana.Table, args []strin
 		// second hand-maintained field list.
 		fmt.Fprintf(w, "OK %s\n", t.Stats().WireString())
 	}
+}
+
+// ---- SQL over the wire ----
+
+// cutKeyword reports whether line starts with the keyword (case-
+// insensitive, followed by whitespace or end of line) and returns the
+// trimmed remainder.
+func cutKeyword(line, kw string) (string, bool) {
+	if len(line) < len(kw) || !strings.EqualFold(line[:len(kw)], kw) {
+		return "", false
+	}
+	rest := line[len(kw):]
+	if rest != "" && rest[0] != ' ' && rest[0] != '\t' {
+		return "", false
+	}
+	return strings.TrimSpace(rest), true
+}
+
+// sqlExec runs one SQL statement inside the session transaction (or
+// autocommit without one) and writes its result.
+func (s *session) sqlExec(w *bufio.Writer, text string) {
+	if text == "" {
+		fmt.Fprintln(w, "ERR usage: SQL <statement>")
+		return
+	}
+	res, err := s.eng.Exec(s.txn, text)
+	if err != nil {
+		fmt.Fprintf(w, "ERR %v\n", err)
+		return
+	}
+	writeSQLResult(w, res)
+}
+
+// writeSQLResult renders a statement outcome: ROW lines + END for
+// queries, "OK <affected>" for DML and DDL.
+func writeSQLResult(w *bufio.Writer, res *hana.SQLResult) {
+	if res.Cols == nil {
+		fmt.Fprintf(w, "OK %d\n", res.Affected)
+		return
+	}
+	for _, line := range hana.RenderSQLRows(res.Rows) {
+		fmt.Fprintln(w, "ROW "+line)
+	}
+	fmt.Fprintln(w, "END")
+}
+
+func (s *session) sqlPrepare(w *bufio.Writer, rest string) {
+	name, text, _ := strings.Cut(rest, " ")
+	text = strings.TrimSpace(text)
+	if name == "" || text == "" {
+		fmt.Fprintln(w, "ERR usage: PREPARE <name> <statement>")
+		return
+	}
+	p, err := s.eng.Prepare(text)
+	if err != nil {
+		fmt.Fprintf(w, "ERR %v\n", err)
+		return
+	}
+	if s.prepared == nil {
+		s.prepared = map[string]*hana.SQLPrepared{}
+	}
+	s.prepared[name] = p
+	fmt.Fprintf(w, "OK params=%d\n", p.NumParams())
+}
+
+func (s *session) sqlExecute(w *bufio.Writer, rest string) {
+	if rest == "" {
+		fmt.Fprintln(w, "ERR usage: EXECUTE <name> [<param>...]")
+		return
+	}
+	fields, err := tokenize(rest)
+	if err != nil {
+		fmt.Fprintf(w, "ERR %v\n", err)
+		return
+	}
+	p := s.prepared[fields[0]]
+	if p == nil {
+		fmt.Fprintf(w, "ERR no prepared statement %q\n", fields[0])
+		return
+	}
+	kinds := p.ParamKinds()
+	if len(fields)-1 != len(kinds) {
+		fmt.Fprintf(w, "ERR statement %q wants %d parameters, got %d\n", fields[0], len(kinds), len(fields)-1)
+		return
+	}
+	params := make([]hana.Value, len(kinds))
+	for i, tok := range fields[1:] {
+		// Wire parameters parse per the statement's inferred kinds,
+		// with the same value syntax as the legacy verbs.
+		v, err := parseValue(kinds[i], tok)
+		if err != nil {
+			fmt.Fprintf(w, "ERR parameter %d: %v\n", i+1, err)
+			return
+		}
+		params[i] = v
+	}
+	res, err := p.Exec(s.txn, params...)
+	if err != nil {
+		fmt.Fprintf(w, "ERR %v\n", err)
+		return
+	}
+	writeSQLResult(w, res)
+}
+
+func (s *session) sqlDeallocate(w *bufio.Writer, name string) {
+	if name == "" {
+		fmt.Fprintln(w, "ERR usage: DEALLOCATE <name>")
+		return
+	}
+	if _, ok := s.prepared[name]; !ok {
+		fmt.Fprintf(w, "ERR no prepared statement %q\n", name)
+		return
+	}
+	delete(s.prepared, name)
+	fmt.Fprintln(w, "OK")
 }
 
 // tokenize splits a command line, honoring single-quoted strings.

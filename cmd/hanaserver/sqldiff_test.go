@@ -1,0 +1,181 @@
+package main
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+	"strconv"
+	"testing"
+
+	hana "repro"
+)
+
+// rows returns the ROW lines of a command (everything before END).
+func (c *client) rows(cmd string) []string {
+	c.t.Helper()
+	out := c.send(cmd)
+	last := out[len(out)-1]
+	if last != "END" {
+		c.t.Fatalf("%q → %v (want END-terminated rows)", cmd, out)
+	}
+	return out[:len(out)-1]
+}
+
+func TestSQLWireCommands(t *testing.T) {
+	c := newClient(t)
+	c.expectOK("SQL CREATE TABLE items (id BIGINT PRIMARY KEY, name VARCHAR NOT NULL, price DOUBLE NOT NULL)")
+	if got := c.expectOK("SQL INSERT INTO items VALUES (1, 'bolt', 0.25), (2, 'nut', 0.1), (3, 'gear kit', 12.5)"); got != "OK 3" {
+		t.Fatalf("INSERT → %q", got)
+	}
+
+	rows := c.rows("SQL SELECT id, name FROM items WHERE price < 1 ORDER BY id")
+	want := []string{"ROW 1 bolt", "ROW 2 nut"}
+	if fmt.Sprint(rows) != fmt.Sprint(want) {
+		t.Fatalf("SELECT → %v, want %v", rows, want)
+	}
+	// Strings with spaces come back quoted.
+	rows = c.rows("SQL SELECT name FROM items WHERE id = 3")
+	if len(rows) != 1 || rows[0] != "ROW 'gear kit'" {
+		t.Fatalf("quoted SELECT → %v", rows)
+	}
+
+	if got := c.expectOK("SQL UPDATE items SET price = price * 2 WHERE price < 1"); got != "OK 2" {
+		t.Fatalf("UPDATE → %q", got)
+	}
+	if got := c.expectOK("SQL DELETE FROM items WHERE id = 2"); got != "OK 1" {
+		t.Fatalf("DELETE → %q", got)
+	}
+	rows = c.rows("SQL SELECT COUNT(*), SUM(price) FROM items")
+	if len(rows) != 1 || rows[0] != "ROW 2 13" {
+		t.Fatalf("aggregate → %v", rows)
+	}
+
+	// Prepared statements: compile once, execute with wire parameters.
+	if got := c.expectOK("PREPARE ins INSERT INTO items VALUES (?, ?, ?)"); got != "OK params=3" {
+		t.Fatalf("PREPARE → %q", got)
+	}
+	c.expectOK("EXECUTE ins 10 'washer' 0.05")
+	c.expectOK("EXECUTE ins 11 'spring pin' 0.35")
+	rows = c.rows("SQL SELECT id FROM items WHERE id >= 10 ORDER BY id")
+	if fmt.Sprint(rows) != fmt.Sprint([]string{"ROW 10", "ROW 11"}) {
+		t.Fatalf("post-EXECUTE SELECT → %v", rows)
+	}
+	c.expectErr("EXECUTE ins 12")            // arity
+	c.expectErr("EXECUTE nosuch 1")          // unknown name
+	c.expectOK("DEALLOCATE ins")
+	c.expectErr("EXECUTE ins 12 'x' 1.0")    // deallocated
+	c.expectErr("DEALLOCATE ins")            // double free
+	c.expectErr("SQL SELECT nope FROM items") // check error reaches the wire
+	c.expectErr("SQL SELEC 1")                // parse error reaches the wire
+}
+
+func TestSQLWireTransactions(t *testing.T) {
+	c := newClient(t)
+	c.expectOK("SQL CREATE TABLE t (id BIGINT PRIMARY KEY, v BIGINT NOT NULL)")
+	c.expectOK("BEGIN")
+	c.expectOK("SQL INSERT INTO t VALUES (1, 10)")
+	// Visible inside the transaction, mixed with legacy verbs on the
+	// same session snapshot.
+	if rows := c.rows("SQL SELECT v FROM t WHERE id = 1"); len(rows) != 1 || rows[0] != "ROW 10" {
+		t.Fatalf("in-txn SELECT → %v", rows)
+	}
+	if got := c.expectOK("COUNT t"); got != "OK 1" {
+		t.Fatalf("in-txn legacy COUNT → %q", got)
+	}
+	c.expectOK("ABORT")
+	if rows := c.rows("SQL SELECT v FROM t"); len(rows) != 0 {
+		t.Fatalf("post-abort SELECT → %v", rows)
+	}
+	c.expectOK("BEGIN")
+	c.expectOK("SQL INSERT INTO t VALUES (2, 20)")
+	c.expectOK("SQL UPDATE t SET v = 21 WHERE id = 2")
+	c.expectOK("COMMIT")
+	if rows := c.rows("SQL SELECT id, v FROM t"); len(rows) != 1 || rows[0] != "ROW 2 21" {
+		t.Fatalf("post-commit SELECT → %v", rows)
+	}
+}
+
+// TestSQLLegacyDifferential replays one seeded workload twice — once
+// through the legacy verbs, once through SQL (inserts via
+// PREPARE/EXECUTE) — and requires identical end states on both
+// servers plus agreement with an in-test oracle.
+func TestSQLLegacyDifferential(t *testing.T) {
+	legacy := newClient(t)
+	sqlc := newClient(t)
+
+	legacy.expectOK("CREATE w id:int region:varchar qty:int amount:double KEY 0")
+	sqlc.expectOK("SQL CREATE TABLE w (id BIGINT PRIMARY KEY, region VARCHAR NOT NULL, qty BIGINT NOT NULL, amount DOUBLE NOT NULL)")
+	sqlc.expectOK("PREPARE ins INSERT INTO w VALUES (?, ?, ?, ?)")
+
+	regions := []string{"EMEA", "APJ", "AMER"}
+	type row struct {
+		region string
+		qty    int64
+		amount float64
+	}
+	oracle := map[int64]row{}
+	ids := []int64{}
+	rng := rand.New(rand.NewSource(7))
+	fmtF := func(f float64) string { return strconv.FormatFloat(f, 'g', -1, 64) }
+
+	for i := 0; i < 200; i++ {
+		id := int64(i)
+		r := row{regions[rng.Intn(3)], int64(rng.Intn(10)), float64(rng.Intn(1000)) / 4}
+		oracle[id] = r
+		ids = append(ids, id)
+		legacy.expectOK(fmt.Sprintf("INSERT w %d '%s' %d %s", id, r.region, r.qty, fmtF(r.amount)))
+		sqlc.expectOK(fmt.Sprintf("EXECUTE ins %d '%s' %d %s", id, r.region, r.qty, fmtF(r.amount)))
+	}
+	for i := 0; i < 50; i++ {
+		id := ids[rng.Intn(len(ids))]
+		r := row{regions[rng.Intn(3)], int64(rng.Intn(10)), float64(rng.Intn(1000)) / 4}
+		oracle[id] = r
+		legacy.expectOK(fmt.Sprintf("UPDATE w %d %d '%s' %d %s", id, id, r.region, r.qty, fmtF(r.amount)))
+		sqlc.expectOK(fmt.Sprintf("SQL UPDATE w SET region = '%s', qty = %d, amount = %s WHERE id = %d",
+			r.region, r.qty, fmtF(r.amount), id))
+	}
+	for i := 0; i < 30 && len(ids) > 0; i++ {
+		j := rng.Intn(len(ids))
+		id := ids[j]
+		ids = append(ids[:j], ids[j+1:]...)
+		delete(oracle, id)
+		legacy.expectOK(fmt.Sprintf("DELETE w %d", id))
+		if got := sqlc.expectOK(fmt.Sprintf("SQL DELETE FROM w WHERE id = %d", id)); got != "OK 1" {
+			t.Fatalf("SQL DELETE id=%d → %q", id, got)
+		}
+	}
+
+	// Both servers expose the SQL engine, so the same queries read the
+	// legacy-built and SQL-built states.
+	queries := []string{
+		"SQL SELECT id, region, qty, amount FROM w ORDER BY id",
+		"SQL SELECT region, COUNT(*), SUM(qty), SUM(amount) FROM w GROUP BY region ORDER BY region",
+		"SQL SELECT COUNT(*) FROM w WHERE qty >= 5",
+	}
+	for _, q := range queries {
+		a, b := legacy.rows(q), sqlc.rows(q)
+		if fmt.Sprint(a) != fmt.Sprint(b) {
+			t.Fatalf("states diverge on %q:\nlegacy: %v\nsql:    %v", q, a, b)
+		}
+	}
+
+	// Oracle check: the full ordered scan must match the tracked map.
+	live := make([]int64, 0, len(oracle))
+	for id := range oracle {
+		live = append(live, id)
+	}
+	sort.Slice(live, func(i, j int) bool { return live[i] < live[j] })
+	var expect [][]hana.Value
+	for _, id := range live {
+		r := oracle[id]
+		expect = append(expect, hana.Row(hana.Int(id), hana.Str(r.region), hana.Int(r.qty), hana.Float(r.amount)))
+	}
+	var want []string
+	for _, line := range hana.RenderSQLRows(expect) {
+		want = append(want, "ROW "+line)
+	}
+	got := sqlc.rows("SQL SELECT id, region, qty, amount FROM w ORDER BY id")
+	if fmt.Sprint(got) != fmt.Sprint(want) {
+		t.Fatalf("SQL state diverges from oracle:\ngot:  %v\nwant: %v", got, want)
+	}
+}

@@ -52,6 +52,7 @@ import (
 	"repro/internal/expr"
 	"repro/internal/mvcc"
 	"repro/internal/obs"
+	"repro/internal/sql"
 	"repro/internal/types"
 	"repro/internal/vec"
 )
@@ -317,6 +318,25 @@ var (
 	// Null is SQL NULL.
 	Null = types.Null
 )
+
+// SQL front end: a layered compiler (lexer → parser → typed AST →
+// semantic check → planner) that lowers statements onto calculation
+// graphs, with a plan cache keyed on normalized statement text.
+type (
+	// SQLEngine compiles and executes SQL against one database.
+	SQLEngine = sql.Engine
+	// SQLResult is the outcome of one SQL statement.
+	SQLResult = sql.Result
+	// SQLPrepared is a reusable compiled statement with ? parameters.
+	SQLPrepared = sql.Prepared
+)
+
+// NewSQLEngine returns a SQL engine over db; defaults seeds the
+// TableConfig used by CREATE TABLE statements.
+func NewSQLEngine(db *DB, defaults TableConfig) *SQLEngine { return sql.NewEngine(db, defaults) }
+
+// RenderSQLRows formats SQL query output for line protocols.
+func RenderSQLRows(rows [][]Value) []string { return sql.RenderRows(rows) }
 
 // NewGraph starts a calculation graph.
 func NewGraph() *Graph { return calc.NewGraph() }

@@ -109,6 +109,10 @@ type Config struct {
 	// Addr, when set, runs over the wire against a hanaserver at this
 	// address instead of the embedded engine.
 	Addr string
+	// SQL drives every operation through the SQL front end — compiled
+	// statements with bound parameters instead of direct API calls
+	// (embedded), or SQL/PREPARE/EXECUTE wire commands (with Addr).
+	SQL bool
 	// Table is the table name (default "bench_orders").
 	Table string
 	// Verify runs the end-state oracle differential after the run.
@@ -199,6 +203,23 @@ var presets = map[string]Config{
 		// merge cycles per run.
 		L1MaxRows: 2000,
 		Verify:    true,
+	},
+	// "sql" is the htap shape driven entirely through the SQL front
+	// end: every op pays lex → parse → check → plan (amortized by the
+	// plan cache) before reaching the same engine paths. Sized down
+	// because each op carries compiler overhead.
+	"sql": {
+		Scenario:   "sql",
+		Writers:    4,
+		Analysts:   2,
+		WarmupOps:  500,
+		Mix:        workload.Mix{InsertPct: 15, UpdatePct: 20, DeletePct: 5},
+		MeasureOps: 3000,
+		Preload:    10_000,
+		Seed:       42,
+		L1MaxRows:  1500,
+		SQL:        true,
+		Verify:     true,
 	},
 }
 

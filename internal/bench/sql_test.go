@@ -1,0 +1,59 @@
+package bench
+
+import "testing"
+
+// sqlSmokeConfig is smokeConfig driven through the SQL front end.
+func sqlSmokeConfig() Config {
+	cfg := smokeConfig()
+	cfg.Scenario = "sql"
+	cfg.SQL = true
+	return cfg
+}
+
+// TestMixedSQLSmoke runs the mixed workload entirely through the SQL
+// front end — prepared statements with bound parameters for the OLTP
+// side, a GROUP BY scan-aggregate for the OLAP side — and requires
+// the same oracle differential to hold that the native target passes:
+// count, per-region aggregates, and every surviving row. This is the
+// compiler's end-to-end gate under concurrency (run under -race by
+// make sql-smoke).
+func TestMixedSQLSmoke(t *testing.T) {
+	res, err := Run(sqlSmokeConfig())
+	if err != nil {
+		t.Fatalf("sql mixed run: %v", err)
+	}
+	if res.VerifiedFacts == 0 {
+		t.Fatalf("oracle differential did not run")
+	}
+	for _, class := range []string{"insert", "update", "delete", "point", "scanagg"} {
+		cs := res.Classes[class]
+		if cs == nil || cs.Ops == 0 {
+			t.Fatalf("class %s recorded no completed ops: %+v", class, res.Classes)
+		}
+		if cs.Errors != 0 {
+			t.Errorf("class %s: %d errors through the SQL path", class, cs.Errors)
+		}
+	}
+	if res.Engine.L1Merges < 2 {
+		t.Errorf("expected live L1 merges during the SQL run, got %d", res.Engine.L1Merges)
+	}
+}
+
+// TestMixedSQLMatchesNative replays the same seeded workload through
+// the native API target and through the SQL front end: both runs must
+// commit the identical end state (same verified-fact count means same
+// surviving rows, since Verify checks each row exactly once).
+func TestMixedSQLMatchesNative(t *testing.T) {
+	native, err := Run(smokeConfig())
+	if err != nil {
+		t.Fatalf("native run: %v", err)
+	}
+	viaSQL, err := Run(sqlSmokeConfig())
+	if err != nil {
+		t.Fatalf("sql run: %v", err)
+	}
+	if native.VerifiedFacts != viaSQL.VerifiedFacts {
+		t.Fatalf("end states diverge: native verified %d facts, sql %d",
+			native.VerifiedFacts, viaSQL.VerifiedFacts)
+	}
+}

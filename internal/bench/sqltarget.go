@@ -1,0 +1,417 @@
+package bench
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+
+	"repro/internal/core"
+	"repro/internal/mvcc"
+	sqlfe "repro/internal/sql"
+	"repro/internal/types"
+)
+
+// SQL statement texts for the order table; the per-target engine (or
+// server-side plan cache) compiles each once and reuses the plan.
+func sqlCreate(table string) string {
+	return fmt.Sprintf("CREATE TABLE %s (id BIGINT PRIMARY KEY, customer VARCHAR NOT NULL, "+
+		"product VARCHAR NOT NULL, region VARCHAR NOT NULL, status VARCHAR NOT NULL, "+
+		"quantity BIGINT NOT NULL, amount DOUBLE NOT NULL)", table)
+}
+
+func sqlInsert(table string) string {
+	return fmt.Sprintf("INSERT INTO %s VALUES (?, ?, ?, ?, ?, ?, ?)", table)
+}
+
+func sqlUpdate(table string) string {
+	return fmt.Sprintf("UPDATE %s SET customer = ?, product = ?, region = ?, status = ?, "+
+		"quantity = ?, amount = ? WHERE id = ?", table)
+}
+
+func sqlDelete(table string) string {
+	return fmt.Sprintf("DELETE FROM %s WHERE id = ?", table)
+}
+
+func sqlPoint(table string) string {
+	return fmt.Sprintf("SELECT id FROM %s WHERE id = ?", table)
+}
+
+func sqlAgg(table string) string {
+	return fmt.Sprintf("SELECT region, COUNT(*), SUM(quantity), SUM(amount) FROM %s GROUP BY region", table)
+}
+
+// sqlTarget drives the embedded engine entirely through the SQL front
+// end: every operation of the mixed workload is a compiled statement
+// (prepared once, parameters bound per op), so the harness measures
+// the full lex → parse → check → plan → calc-graph path, and the
+// oracle differential validates the compiler against the same
+// workload the native targets run.
+type sqlTarget struct {
+	cfg   Config
+	db    *core.Database
+	table *core.Table
+	eng   *sqlfe.Engine
+
+	ins, upd, del, point, agg *sqlfe.Prepared
+}
+
+func newSQLTarget(cfg Config) (*sqlTarget, error) {
+	db, err := core.OpenDatabase(core.DBOptions{AutoMerge: true})
+	if err != nil {
+		return nil, err
+	}
+	eng := sqlfe.NewEngine(db, core.TableConfig{
+		L1MaxRows:    cfg.L1MaxRows,
+		CheckUnique:  true,
+		Compress:     true,
+		CompactDicts: true,
+		ThrottleRows: cfg.ThrottleRows,
+		OverloadRows: cfg.OverloadRows,
+	})
+	t := &sqlTarget{cfg: cfg, db: db, eng: eng}
+	fail := func(err error) (*sqlTarget, error) {
+		db.Close()
+		return nil, err
+	}
+	if _, err := eng.Exec(nil, sqlCreate(cfg.Table)); err != nil {
+		return fail(err)
+	}
+	t.table = db.Table(cfg.Table)
+	for _, p := range []struct {
+		dst  **sqlfe.Prepared
+		text string
+	}{
+		{&t.ins, sqlInsert(cfg.Table)},
+		{&t.upd, sqlUpdate(cfg.Table)},
+		{&t.del, sqlDelete(cfg.Table)},
+		{&t.point, sqlPoint(cfg.Table)},
+		{&t.agg, sqlAgg(cfg.Table)},
+	} {
+		prep, err := eng.Prepare(p.text)
+		if err != nil {
+			return fail(fmt.Errorf("bench: prepare %q: %w", p.text, err))
+		}
+		*p.dst = prep
+	}
+	return t, nil
+}
+
+func (t *sqlTarget) Setup(preload [][]types.Value) error {
+	// One transaction for the whole preload: prepared inserts inside an
+	// explicit session transaction (the multi-statement SQL path).
+	tx := t.db.Begin(mvcc.TxnSnapshot)
+	for _, row := range preload {
+		if _, err := t.ins.Exec(tx, row...); err != nil {
+			t.db.Abort(tx)
+			return err
+		}
+	}
+	if err := t.db.Commit(tx); err != nil {
+		return err
+	}
+	if _, err := t.table.MergeL1(); err != nil {
+		return err
+	}
+	_, err := t.table.MergeMain()
+	return err
+}
+
+func (t *sqlTarget) Session() (Session, error) { return &sqlSession{t: t}, nil }
+
+func (t *sqlTarget) Count() (int, error) {
+	res, err := t.eng.Exec(nil, fmt.Sprintf("SELECT COUNT(*) FROM %s", t.cfg.Table))
+	if err != nil {
+		return 0, err
+	}
+	return int(res.Rows[0][0].I), nil
+}
+
+func (t *sqlTarget) AggRegion() (map[string]regionAgg, error) {
+	res, err := t.agg.Exec(nil)
+	if err != nil {
+		return nil, err
+	}
+	out := make(map[string]regionAgg, len(res.Rows))
+	for _, r := range res.Rows {
+		out[r[0].S] = regionAgg{Count: r[1].I, SumQty: r[2].I, SumAmount: r[3].F}
+	}
+	return out, nil
+}
+
+func (t *sqlTarget) Rows() (map[int64][]types.Value, bool, error) {
+	res, err := t.eng.Exec(nil, fmt.Sprintf("SELECT * FROM %s", t.cfg.Table))
+	if err != nil {
+		return nil, false, err
+	}
+	out := make(map[int64][]types.Value, len(res.Rows))
+	for _, row := range res.Rows {
+		out[row[0].I] = row
+	}
+	return out, true, nil
+}
+
+func (t *sqlTarget) Stats() (TargetStats, error) {
+	st := t.table.Stats()
+	return TargetStats{
+		L1Merges:        st.L1Merges,
+		MainMerges:      st.MainMerges,
+		MergeFailures:   st.MergeFailures,
+		ThrottledWrites: st.ThrottledWrites,
+		RejectedWrites:  st.RejectedWrites,
+		MainRows:        st.MainRows,
+		DeltaRows:       st.L1Rows + st.L2Rows + st.FrozenL2Rows,
+	}, nil
+}
+
+func (t *sqlTarget) Close() error { return t.db.Close() }
+
+// sqlSession executes one routine's ops through the shared prepared
+// statements (autocommit per op, like the other targets). Prepared
+// handles are immutable and the engine is safe for concurrent use.
+type sqlSession struct {
+	t *sqlTarget
+}
+
+func (s *sqlSession) Insert(row []types.Value) error {
+	_, err := s.t.ins.Exec(nil, row...)
+	return err
+}
+
+func (s *sqlSession) Update(key int64, row []types.Value) error {
+	params := append(append([]types.Value{}, row[1:]...), types.Int(key))
+	res, err := s.t.upd.Exec(nil, params...)
+	if err != nil {
+		return err
+	}
+	if res.Affected == 0 {
+		return fmt.Errorf("bench: update of missing key %d", key)
+	}
+	return nil
+}
+
+func (s *sqlSession) Delete(key int64) error {
+	res, err := s.t.del.Exec(nil, types.Int(key))
+	if err != nil {
+		return err
+	}
+	if res.Affected == 0 {
+		return fmt.Errorf("bench: delete of missing key %d", key)
+	}
+	return nil
+}
+
+func (s *sqlSession) Point(key int64) (bool, error) {
+	res, err := s.t.point.Exec(nil, types.Int(key))
+	if err != nil {
+		return false, err
+	}
+	return len(res.Rows) > 0, nil
+}
+
+func (s *sqlSession) ScanAgg() (int, error) {
+	res, err := s.t.agg.Exec(nil)
+	if err != nil {
+		return 0, err
+	}
+	return len(res.Rows), nil
+}
+
+func (s *sqlSession) Close() error { return nil }
+
+// sqlWireTarget speaks SQL to a running hanaserver: statements travel
+// as "SQL ..." lines and the hot OLTP ops as PREPARE/EXECUTE, hitting
+// the server's shared plan cache.
+type sqlWireTarget struct {
+	cfg  Config
+	ctl  *wireConn
+	open []*wireConn
+}
+
+func newSQLWireTarget(cfg Config) (*sqlWireTarget, error) {
+	ctl, err := dialWire(cfg.Addr)
+	if err != nil {
+		return nil, err
+	}
+	return &sqlWireTarget{cfg: cfg, ctl: ctl}, nil
+}
+
+func (t *sqlWireTarget) Setup(preload [][]types.Value) error {
+	if _, err := t.ctl.expectOK("SQL " + sqlCreate(t.cfg.Table)); err != nil {
+		return err
+	}
+	if _, err := t.ctl.expectOK("PREPARE ins " + sqlInsert(t.cfg.Table)); err != nil {
+		return err
+	}
+	const batch = 1000
+	for i := 0; i < len(preload); i += batch {
+		if _, err := t.ctl.expectOK("BEGIN"); err != nil {
+			return err
+		}
+		end := i + batch
+		if end > len(preload) {
+			end = len(preload)
+		}
+		for _, row := range preload[i:end] {
+			if _, err := t.ctl.expectOK("EXECUTE ins " + wireRow(row)); err != nil {
+				return err
+			}
+		}
+		if _, err := t.ctl.expectOK("COMMIT"); err != nil {
+			return err
+		}
+	}
+	_, err := t.ctl.expectOK("MERGE " + t.cfg.Table)
+	return err
+}
+
+func (t *sqlWireTarget) Session() (Session, error) {
+	c, err := dialWire(t.cfg.Addr)
+	if err != nil {
+		return nil, err
+	}
+	t.open = append(t.open, c)
+	s := &sqlWireSession{c: c, table: t.cfg.Table}
+	for _, p := range []struct{ name, text string }{
+		{"ins", sqlInsert(t.cfg.Table)},
+		{"upd", sqlUpdate(t.cfg.Table)},
+		{"del", sqlDelete(t.cfg.Table)},
+		{"pt", sqlPoint(t.cfg.Table)},
+	} {
+		if _, err := c.expectOK(fmt.Sprintf("PREPARE %s %s", p.name, p.text)); err != nil {
+			return nil, err
+		}
+	}
+	return s, nil
+}
+
+// sqlRows runs a SQL query and returns its ROW lines stripped of the
+// prefix.
+func (t *sqlWireTarget) sqlRows(query string) ([]string, error) {
+	lines, err := t.ctl.roundTrip("SQL " + query)
+	if err != nil {
+		return nil, err
+	}
+	last := lines[len(lines)-1]
+	if last != "END" {
+		return nil, fmt.Errorf("bench: %q: %s", query, last)
+	}
+	rows := lines[:len(lines)-1]
+	for i, r := range rows {
+		rows[i] = strings.TrimPrefix(r, "ROW ")
+	}
+	return rows, nil
+}
+
+func (t *sqlWireTarget) Count() (int, error) {
+	rows, err := t.sqlRows(fmt.Sprintf("SELECT COUNT(*) FROM %s", t.cfg.Table))
+	if err != nil {
+		return 0, err
+	}
+	if len(rows) != 1 {
+		return 0, fmt.Errorf("bench: COUNT(*) returned %d rows", len(rows))
+	}
+	return strconv.Atoi(rows[0])
+}
+
+func (t *sqlWireTarget) AggRegion() (map[string]regionAgg, error) {
+	rows, err := t.sqlRows(sqlAgg(t.cfg.Table))
+	if err != nil {
+		return nil, err
+	}
+	out := make(map[string]regionAgg, len(rows))
+	for _, r := range rows {
+		f := strings.Fields(r)
+		if len(f) != 4 {
+			return nil, fmt.Errorf("bench: aggregate row %q: want 4 fields", r)
+		}
+		count, err1 := strconv.ParseInt(f[1], 10, 64)
+		qty, err2 := strconv.ParseInt(f[2], 10, 64)
+		amount, err3 := strconv.ParseFloat(f[3], 64)
+		if err1 != nil || err2 != nil || err3 != nil {
+			return nil, fmt.Errorf("bench: aggregate row %q: %v %v %v", r, err1, err2, err3)
+		}
+		out[f[0]] = regionAgg{Count: count, SumQty: qty, SumAmount: amount}
+	}
+	return out, nil
+}
+
+// Rows is unsupported over the wire, as for the legacy wire target.
+func (t *sqlWireTarget) Rows() (map[int64][]types.Value, bool, error) { return nil, false, nil }
+
+func (t *sqlWireTarget) Stats() (TargetStats, error) {
+	line, err := t.ctl.expectOK("STATS " + t.cfg.Table)
+	if err != nil {
+		return TargetStats{}, err
+	}
+	return parseWireStats(line), nil
+}
+
+func (t *sqlWireTarget) Close() error {
+	for _, c := range t.open {
+		c.close()
+	}
+	return t.ctl.close()
+}
+
+// sqlWireSession executes one routine's ops as EXECUTE commands over
+// its own connection (autocommit server-side).
+type sqlWireSession struct {
+	c     *wireConn
+	table string
+}
+
+func (s *sqlWireSession) Insert(row []types.Value) error {
+	_, err := s.c.expectOK("EXECUTE ins " + wireRow(row))
+	return err
+}
+
+func (s *sqlWireSession) Update(key int64, row []types.Value) error {
+	line, err := s.c.expectOK(fmt.Sprintf("EXECUTE upd %s %d", wireRow(row[1:]), key))
+	if err != nil {
+		return err
+	}
+	if line == "OK 0" {
+		return fmt.Errorf("bench: update of missing key %d", key)
+	}
+	return nil
+}
+
+func (s *sqlWireSession) Delete(key int64) error {
+	line, err := s.c.expectOK(fmt.Sprintf("EXECUTE del %d", key))
+	if err != nil {
+		return err
+	}
+	if line == "OK 0" {
+		return fmt.Errorf("bench: delete of missing key %d", key)
+	}
+	return nil
+}
+
+func (s *sqlWireSession) Point(key int64) (bool, error) {
+	lines, err := s.c.roundTrip(fmt.Sprintf("EXECUTE pt %d", key))
+	if err != nil {
+		return false, err
+	}
+	last := lines[len(lines)-1]
+	if last != "END" {
+		return false, fmt.Errorf("bench: point read: %s", last)
+	}
+	return len(lines) > 1, nil
+}
+
+func (s *sqlWireSession) ScanAgg() (int, error) {
+	lines, err := s.c.roundTrip("SQL " + sqlAgg(s.table))
+	if err != nil {
+		return 0, err
+	}
+	last := lines[len(lines)-1]
+	if last != "END" {
+		return 0, fmt.Errorf("bench: scan aggregate: %s", last)
+	}
+	return len(lines) - 1, nil
+}
+
+func (s *sqlWireSession) Close() error {
+	s.c.expectOK("QUIT")
+	return s.c.close()
+}

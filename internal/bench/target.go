@@ -56,11 +56,17 @@ type TargetStats struct {
 }
 
 // NewTarget builds the target cfg selects: wire when Addr is set,
-// embedded otherwise.
+// embedded otherwise; with SQL set, both variants drive every
+// operation through the SQL front end.
 func NewTarget(cfg Config) (Target, error) {
 	cfg = cfg.withDefaults()
-	if cfg.Addr != "" {
+	switch {
+	case cfg.Addr != "" && cfg.SQL:
+		return newSQLWireTarget(cfg)
+	case cfg.Addr != "":
 		return newWireTarget(cfg)
+	case cfg.SQL:
+		return newSQLTarget(cfg)
 	}
 	return newEmbeddedTarget(cfg)
 }

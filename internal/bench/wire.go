@@ -202,11 +202,8 @@ func (t *wireTarget) Rows() (map[int64][]types.Value, bool, error) { return nil,
 
 var statsNum = regexp.MustCompile(`(\w+)=(\d+)`)
 
-func (t *wireTarget) Stats() (TargetStats, error) {
-	line, err := t.ctl.expectOK("STATS " + t.cfg.Table)
-	if err != nil {
-		return TargetStats{}, err
-	}
+// parseWireStats decodes a STATS response line into TargetStats.
+func parseWireStats(line string) TargetStats {
 	kv := map[string]uint64{}
 	for _, m := range statsNum.FindAllStringSubmatch(line, -1) {
 		n, _ := strconv.ParseUint(m[2], 10, 64)
@@ -220,7 +217,15 @@ func (t *wireTarget) Stats() (TargetStats, error) {
 		RejectedWrites:  kv["rejected"],
 		MainRows:        int(kv["main"]),
 		DeltaRows:       int(kv["l1"] + kv["l2"] + kv["frozen"]),
-	}, nil
+	}
+}
+
+func (t *wireTarget) Stats() (TargetStats, error) {
+	line, err := t.ctl.expectOK("STATS " + t.cfg.Table)
+	if err != nil {
+		return TargetStats{}, err
+	}
+	return parseWireStats(line), nil
 }
 
 func (t *wireTarget) Close() error {

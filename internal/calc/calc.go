@@ -290,6 +290,30 @@ func (g *Graph) consumers() map[*Node]int {
 	return c
 }
 
+// consumersFrom counts consumer edges over the nodes reachable from
+// root only. The executor uses this instead of the whole-graph count:
+// optimizer rewrites (filter pushdown) can leave disconnected
+// pass-through nodes behind, and counting their dangling edges would
+// block the exclusive-scan fusions (parallel aggregate, join, limit
+// pushdown) for no reason.
+func consumersFrom(root *Node) map[*Node]int {
+	c := map[*Node]int{}
+	seen := map[*Node]bool{}
+	var walk func(n *Node)
+	walk = func(n *Node) {
+		if seen[n] {
+			return
+		}
+		seen[n] = true
+		for _, in := range n.inputs {
+			c[in]++
+			walk(in)
+		}
+	}
+	walk(root)
+	return c
+}
+
 // Optimize runs the rule-based rewrites of §2.2 in place:
 // filter-filter fusion, filter pushdown into table scans, and
 // projection pushdown (aggregates and projections over an exclusive
@@ -380,11 +404,37 @@ func (g *Graph) Explain(root *Node) string {
 func (n *Node) describe() string {
 	switch n.kind {
 	case KindTable:
-		return fmt.Sprintf("#%d table(%s)", n.id, n.table.Name())
+		s := fmt.Sprintf("#%d table(%s)", n.id, n.table.Name())
+		if n.pred != nil {
+			s += fmt.Sprintf(" pred=[%v]", n.pred)
+		}
+		if n.tableCols != nil {
+			s += fmt.Sprintf(" cols=%v", n.tableCols)
+		}
+		return s
 	case KindFilter:
 		return fmt.Sprintf("#%d filter(%v)", n.id, n.pred)
 	case KindProject:
 		return fmt.Sprintf("#%d project%v", n.id, n.cols)
+	case KindJoin:
+		return fmt.Sprintf("#%d join(left.%d = right.%d)", n.id, n.leftCol, n.rightCol)
+	case KindAggregate:
+		aggs := make([]string, len(n.aggs))
+		for i, a := range n.aggs {
+			aggs[i] = fmt.Sprintf("%v(%d)", a.Func, a.Col)
+		}
+		return fmt.Sprintf("#%d aggregate(by=%v, %s)", n.id, n.groupBy, strings.Join(aggs, ", "))
+	case KindSort:
+		keys := make([]string, len(n.sortKeys))
+		for i, k := range n.sortKeys {
+			keys[i] = fmt.Sprintf("%d", k.Col)
+			if k.Desc {
+				keys[i] += " desc"
+			}
+		}
+		return fmt.Sprintf("#%d sort(%s)", n.id, strings.Join(keys, ", "))
+	case KindLimit:
+		return fmt.Sprintf("#%d limit(%d)", n.id, n.limit)
 	case KindScript:
 		return fmt.Sprintf("#%d script(%s)", n.id, n.scriptLabel)
 	case KindSplit:

@@ -67,7 +67,7 @@ func Execute(g *Graph, root *Node, env Env) ([][]types.Value, error) {
 		return nil, err
 	}
 	g.Optimize()
-	ex := &executor{env: env, memo: map[*Node]*memoEntry{}, cons: g.consumers()}
+	ex := &executor{env: env, memo: map[*Node]*memoEntry{}, cons: consumersFrom(root)}
 	return ex.eval(root)
 }
 

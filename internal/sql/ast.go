@@ -1,0 +1,396 @@
+package sql
+
+import (
+	"strconv"
+	"strings"
+
+	"repro/internal/engine"
+	"repro/internal/types"
+)
+
+// The AST is produced untyped by the parser; the checker then fills
+// the unexported resolution fields in place (column ordinals, value
+// kinds, aggregate codes). A checked statement is immutable: planning
+// and execution only read it, which is what lets the Engine cache one
+// checked AST and serve it to concurrent sessions.
+
+// Statement is one SQL statement.
+type Statement interface {
+	stmtNode()
+	// String renders the statement in canonical form: uppercase
+	// keywords, single spaces, fully parenthesized expressions. The
+	// renderer is a fixed point under re-parsing (FuzzSQLParse pins
+	// render∘parse∘render = render).
+	String() string
+}
+
+// Expr is a scalar or boolean expression.
+type Expr interface {
+	exprNode()
+	String() string
+}
+
+// ColumnRef names a column, optionally qualified by table or alias.
+type ColumnRef struct {
+	Table string
+	Name  string
+
+	idx  int // global ordinal in the joined input row (set by check)
+	kind types.Kind
+}
+
+// Literal is a constant value.
+type Literal struct {
+	Val types.Value
+}
+
+// Param is a ? placeholder; Ord is its zero-based position in lexical
+// order across the statement.
+type Param struct {
+	Ord int
+
+	kind types.Kind // inferred from context (set by check)
+}
+
+// Unary is -expr or NOT expr.
+type Unary struct {
+	Op string // "-" or "NOT"
+	E  Expr
+}
+
+// Binary is a binary operation: arithmetic (+ - * /), comparison
+// (= <> < <= > >=), or connective (AND OR).
+type Binary struct {
+	Op   string
+	L, R Expr
+}
+
+// Between is expr [NOT] BETWEEN lo AND hi (inclusive bounds).
+type Between struct {
+	E, Lo, Hi Expr
+	Not       bool
+}
+
+// InList is expr [NOT] IN (e1, e2, ...).
+type InList struct {
+	E    Expr
+	List []Expr
+	Not  bool
+}
+
+// LikeExpr is expr [NOT] LIKE pattern, with % and _ wildcards.
+type LikeExpr struct {
+	E       Expr
+	Pattern Expr
+	Not     bool
+}
+
+// IsNullExpr is expr IS [NOT] NULL.
+type IsNullExpr struct {
+	E   Expr
+	Not bool
+}
+
+// Call is an aggregate invocation: COUNT(*), COUNT(col), SUM, MIN,
+// MAX, AVG. Aggregates are the only function calls the language has.
+type Call struct {
+	Func string // canonical upper-case name
+	Star bool   // COUNT(*)
+	Arg  Expr   // nil when Star
+
+	agg    engine.AggFunc // set by check
+	aggIdx int            // slot in the aggregate output row (set by check)
+}
+
+func (*ColumnRef) exprNode()  {}
+func (*Literal) exprNode()    {}
+func (*Param) exprNode()      {}
+func (*Unary) exprNode()      {}
+func (*Binary) exprNode()     {}
+func (*Between) exprNode()    {}
+func (*InList) exprNode()     {}
+func (*LikeExpr) exprNode()   {}
+func (*IsNullExpr) exprNode() {}
+func (*Call) exprNode()       {}
+
+// SelectItem is one projection: * or an expression with an optional
+// alias.
+type SelectItem struct {
+	Star  bool
+	Expr  Expr
+	Alias string
+}
+
+// TableRef names a table with an optional alias.
+type TableRef struct {
+	Name  string
+	Alias string
+}
+
+// JoinClause is one INNER JOIN arm with an equality ON condition.
+type JoinClause struct {
+	Table TableRef
+	On    Expr // must check to leftCol = rightCol
+
+	leftIdx  int // global ordinal on the accumulated left side
+	rightIdx int // ordinal local to the joined table
+}
+
+// OrderKey orders the output by one select-list column.
+type OrderKey struct {
+	// Expr is a column name, alias, or 1-based output position.
+	Expr Expr
+	Desc bool
+
+	outIdx int // resolved output ordinal (set by check)
+}
+
+// SelectStmt is a SELECT query.
+type SelectStmt struct {
+	Items   []SelectItem
+	From    TableRef
+	Joins   []JoinClause
+	Where   Expr
+	GroupBy []Expr
+	OrderBy []OrderKey
+	Limit   int // -1 = none
+
+	// Filled by check for aggregate queries: whether aggregation
+	// applies, the global input ordinals of the GROUP BY columns, and
+	// the deduplicated aggregate calls with their engine specs. The
+	// aggregate output row is groupIdx columns followed by aggs.
+	aggregate bool
+	groupIdx  []int
+	aggCalls  []*Call
+	aggs      []engine.Agg
+}
+
+// InsertStmt is INSERT INTO t [(cols)] VALUES (...), (...).
+type InsertStmt struct {
+	Table string
+	Cols  []string // nil = schema order
+	Rows  [][]Expr
+
+	colIdx []int // target ordinals (set by check)
+}
+
+// SetClause is one col = expr assignment.
+type SetClause struct {
+	Col string
+	Val Expr
+
+	idx int // column ordinal (set by check)
+}
+
+// UpdateStmt is UPDATE t SET ... [WHERE ...].
+type UpdateStmt struct {
+	Table string
+	Sets  []SetClause
+	Where Expr
+}
+
+// DeleteStmt is DELETE FROM t [WHERE ...].
+type DeleteStmt struct {
+	Table string
+	Where Expr
+}
+
+// ColumnDef is one column of CREATE TABLE.
+type ColumnDef struct {
+	Name       string
+	Kind       types.Kind
+	Nullable   bool
+	PrimaryKey bool
+}
+
+// CreateTableStmt is CREATE TABLE t (col TYPE [PRIMARY KEY] [NULL|NOT NULL], ...).
+type CreateTableStmt struct {
+	Table string
+	Cols  []ColumnDef
+}
+
+func (*SelectStmt) stmtNode()      {}
+func (*InsertStmt) stmtNode()      {}
+func (*UpdateStmt) stmtNode()      {}
+func (*DeleteStmt) stmtNode()      {}
+func (*CreateTableStmt) stmtNode() {}
+
+// ---- canonical rendering ----
+
+func (c *ColumnRef) String() string {
+	if c.Table != "" {
+		return c.Table + "." + c.Name
+	}
+	return c.Name
+}
+
+func (l *Literal) String() string {
+	v := l.Val
+	switch v.Kind {
+	case types.KindString:
+		return "'" + strings.ReplaceAll(v.S, "'", "''") + "'"
+	case types.KindDate:
+		return "'" + v.String() + "'"
+	default:
+		// Ints, floats (strconv 'g' -1 round-trips exactly), bools, NULL.
+		return v.String()
+	}
+}
+
+func (p *Param) String() string { return "?" }
+
+func (u *Unary) String() string {
+	if u.Op == "NOT" {
+		return "NOT (" + u.E.String() + ")"
+	}
+	return "-(" + u.E.String() + ")"
+}
+
+func (b *Binary) String() string {
+	return "(" + b.L.String() + " " + b.Op + " " + b.R.String() + ")"
+}
+
+func maybeNot(not bool) string {
+	if not {
+		return " NOT"
+	}
+	return ""
+}
+
+func (b *Between) String() string {
+	return "(" + b.E.String() + maybeNot(b.Not) + " BETWEEN " + b.Lo.String() + " AND " + b.Hi.String() + ")"
+}
+
+func (in *InList) String() string {
+	parts := make([]string, len(in.List))
+	for i, e := range in.List {
+		parts[i] = e.String()
+	}
+	return "(" + in.E.String() + maybeNot(in.Not) + " IN (" + strings.Join(parts, ", ") + "))"
+}
+
+func (l *LikeExpr) String() string {
+	return "(" + l.E.String() + maybeNot(l.Not) + " LIKE " + l.Pattern.String() + ")"
+}
+
+func (n *IsNullExpr) String() string {
+	return "(" + n.E.String() + " IS" + maybeNot(n.Not) + " NULL)"
+}
+
+func (c *Call) String() string {
+	if c.Star {
+		return c.Func + "(*)"
+	}
+	return c.Func + "(" + c.Arg.String() + ")"
+}
+
+func (t TableRef) String() string {
+	if t.Alias != "" {
+		return t.Name + " AS " + t.Alias
+	}
+	return t.Name
+}
+
+func (s *SelectStmt) String() string {
+	var b strings.Builder
+	b.WriteString("SELECT ")
+	for i, it := range s.Items {
+		if i > 0 {
+			b.WriteString(", ")
+		}
+		if it.Star {
+			b.WriteByte('*')
+			continue
+		}
+		b.WriteString(it.Expr.String())
+		if it.Alias != "" {
+			b.WriteString(" AS " + it.Alias)
+		}
+	}
+	b.WriteString(" FROM " + s.From.String())
+	for _, j := range s.Joins {
+		b.WriteString(" JOIN " + j.Table.String() + " ON " + j.On.String())
+	}
+	if s.Where != nil {
+		b.WriteString(" WHERE " + s.Where.String())
+	}
+	if len(s.GroupBy) > 0 {
+		parts := make([]string, len(s.GroupBy))
+		for i, e := range s.GroupBy {
+			parts[i] = e.String()
+		}
+		b.WriteString(" GROUP BY " + strings.Join(parts, ", "))
+	}
+	if len(s.OrderBy) > 0 {
+		parts := make([]string, len(s.OrderBy))
+		for i, k := range s.OrderBy {
+			parts[i] = k.Expr.String()
+			if k.Desc {
+				parts[i] += " DESC"
+			}
+		}
+		b.WriteString(" ORDER BY " + strings.Join(parts, ", "))
+	}
+	if s.Limit >= 0 {
+		b.WriteString(" LIMIT " + strconv.Itoa(s.Limit))
+	}
+	return b.String()
+}
+
+func (s *InsertStmt) String() string {
+	var b strings.Builder
+	b.WriteString("INSERT INTO " + s.Table)
+	if len(s.Cols) > 0 {
+		b.WriteString(" (" + strings.Join(s.Cols, ", ") + ")")
+	}
+	b.WriteString(" VALUES ")
+	for i, row := range s.Rows {
+		if i > 0 {
+			b.WriteString(", ")
+		}
+		parts := make([]string, len(row))
+		for j, e := range row {
+			parts[j] = e.String()
+		}
+		b.WriteString("(" + strings.Join(parts, ", ") + ")")
+	}
+	return b.String()
+}
+
+func (s *UpdateStmt) String() string {
+	var b strings.Builder
+	b.WriteString("UPDATE " + s.Table + " SET ")
+	for i, set := range s.Sets {
+		if i > 0 {
+			b.WriteString(", ")
+		}
+		b.WriteString(set.Col + " = " + set.Val.String())
+	}
+	if s.Where != nil {
+		b.WriteString(" WHERE " + s.Where.String())
+	}
+	return b.String()
+}
+
+func (s *DeleteStmt) String() string {
+	out := "DELETE FROM " + s.Table
+	if s.Where != nil {
+		out += " WHERE " + s.Where.String()
+	}
+	return out
+}
+
+func (s *CreateTableStmt) String() string {
+	parts := make([]string, len(s.Cols))
+	for i, c := range s.Cols {
+		parts[i] = c.Name + " " + c.Kind.String()
+		if c.PrimaryKey {
+			parts[i] += " PRIMARY KEY"
+		} else if !c.Nullable {
+			parts[i] += " NOT NULL"
+		} else {
+			parts[i] += " NULL"
+		}
+	}
+	return "CREATE TABLE " + s.Table + " (" + strings.Join(parts, ", ") + ")"
+}

@@ -1,0 +1,74 @@
+package sql
+
+import (
+	"flag"
+	"os"
+	"strings"
+	"testing"
+
+	"repro/internal/core"
+)
+
+var updateGolden = flag.Bool("update", false, "rewrite testdata/plans.golden from current planner output")
+
+// TestGoldenPlans pins the optimized plan shapes of a statement
+// corpus. A planner change that alters pushdown, fusion eligibility,
+// or operator choice shows up as a diff against testdata/plans.golden
+// (regenerate deliberately with `go test ./internal/sql -run Golden
+// -update`).
+func TestGoldenPlans(t *testing.T) {
+	e := testEngine(t, core.TableConfig{})
+	setup := []string{
+		"CREATE TABLE t (id BIGINT PRIMARY KEY, region VARCHAR NOT NULL, v BIGINT NOT NULL, amount DOUBLE NOT NULL)",
+		"CREATE TABLE d (region VARCHAR PRIMARY KEY, zone VARCHAR NOT NULL)",
+	}
+	for _, s := range setup {
+		mustExec(t, e, nil, s)
+	}
+	corpus := []string{
+		"SELECT id, v FROM t",
+		"SELECT * FROM t WHERE v > 10",
+		"SELECT id FROM t WHERE region = 'EMEA' AND v BETWEEN 1 AND 9",
+		"SELECT id FROM t WHERE region LIKE 'EM%' OR v IN (1, 2, 3)",
+		"SELECT id, amount * 2 FROM t WHERE id < 100",
+		"SELECT region, COUNT(*), SUM(v) FROM t WHERE v >= 1 GROUP BY region",
+		"SELECT region, SUM(amount) / COUNT(*) FROM t GROUP BY region ORDER BY region LIMIT 5",
+		"SELECT COUNT(*) FROM t",
+		"SELECT t.id, d.zone FROM t JOIN d ON t.region = d.region WHERE d.zone = 'EU' AND t.v > 5",
+		"SELECT id FROM t WHERE v = ? ORDER BY id DESC LIMIT 3",
+		"SELECT id FROM t WHERE v + 1 = 2",
+		"INSERT INTO t VALUES (1, 'x', 2, 3.0), (2, 'y', 4, 5.0)",
+		"UPDATE t SET v = v + 1 WHERE id = 7",
+		"UPDATE t SET amount = 0 WHERE region = 'EMEA'",
+		"DELETE FROM t WHERE id = 7",
+		"DELETE FROM t WHERE v < 0",
+	}
+	var b strings.Builder
+	for _, stmt := range corpus {
+		plan, err := e.Explain(stmt)
+		if err != nil {
+			t.Fatalf("Explain(%q): %v", stmt, err)
+		}
+		b.WriteString("== " + stmt + "\n")
+		b.WriteString(strings.TrimRight(plan, "\n") + "\n\n")
+	}
+	got := b.String()
+
+	const path = "testdata/plans.golden"
+	if *updateGolden {
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, []byte(got), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		return
+	}
+	want, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("read golden: %v (run with -update to create)", err)
+	}
+	if got != string(want) {
+		t.Errorf("planner output drifted from %s (run with -update to accept):\n--- got ---\n%s\n--- want ---\n%s", path, got, want)
+	}
+}

@@ -1,0 +1,190 @@
+// Package sql is the declarative front end of the engine: a layered
+// compiler that turns SQL text into the calc graphs of internal/calc
+// (queries) or direct unified-table mutations (DML). The paper's
+// architecture (§2) places exactly this layer above the calculation
+// engine — "SQL statements are compiled into calculation models" — and
+// it is what lets clients, benchmarks, and ad-hoc analytics share one
+// front door instead of bespoke wire verbs.
+//
+// The pipeline is classic and strictly layered:
+//
+//	lex     (lexer.go)   text → tokens, position-tagged
+//	parse   (parser.go)  tokens → untyped AST, error recovery at ';'
+//	check   (check.go)   AST + catalog schemas → typed AST (resolved
+//	                     column ordinals, coerced literals, inferred
+//	                     parameter kinds)
+//	plan    (plan.go)    typed AST → calc.Graph for queries — reusing
+//	                     predicate pushdown onto dictionary codes and
+//	                     the morsel-parallel batch operators — or a
+//	                     DML plan executed against core tables
+//	run     (engine.go)  Engine: plan cache keyed on normalized text,
+//	                     parameter binding, transaction scoping
+package sql
+
+import (
+	"fmt"
+	"strings"
+)
+
+// tokKind discriminates lexical token classes.
+type tokKind uint8
+
+const (
+	tokEOF tokKind = iota
+	// tokIdent is an identifier or keyword (keywords are matched
+	// case-insensitively by the parser).
+	tokIdent
+	// tokNumber is an integer or decimal literal; isFloat records which.
+	tokNumber
+	// tokString is a single-quoted string literal ('' escapes a quote);
+	// text holds the unquoted content.
+	tokString
+	// tokParam is a ? placeholder.
+	tokParam
+	// tokSymbol is an operator or punctuation mark; text holds it.
+	tokSymbol
+)
+
+// token is one lexical unit with its byte offset (for error messages).
+type token struct {
+	kind    tokKind
+	text    string
+	pos     int
+	isFloat bool
+}
+
+func (t token) String() string {
+	switch t.kind {
+	case tokEOF:
+		return "end of statement"
+	case tokString:
+		return fmt.Sprintf("'%s'", t.text)
+	case tokParam:
+		return "?"
+	default:
+		return t.text
+	}
+}
+
+// ParseError is a lexer/parser/checker diagnostic with the byte offset
+// of the offending token in the original statement text.
+type ParseError struct {
+	Pos int
+	Msg string
+}
+
+func (e *ParseError) Error() string { return fmt.Sprintf("sql: %s (at offset %d)", e.Msg, e.Pos) }
+
+func errAt(pos int, format string, args ...any) error {
+	return &ParseError{Pos: pos, Msg: fmt.Sprintf(format, args...)}
+}
+
+// isIdentStart/isIdentPart define the identifier alphabet.
+func isIdentStart(c byte) bool {
+	return c == '_' || (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z')
+}
+
+func isIdentPart(c byte) bool { return isIdentStart(c) || isDigit(c) }
+
+func isDigit(c byte) bool { return c >= '0' && c <= '9' }
+
+// lex tokenizes src. It never backtracks: every token is decided by at
+// most two bytes of lookahead. "--" comments run to end of line.
+func lex(src string) ([]token, error) {
+	var toks []token
+	i := 0
+	for i < len(src) {
+		c := src[i]
+		switch {
+		case c == ' ' || c == '\t' || c == '\r' || c == '\n':
+			i++
+		case c == '-' && i+1 < len(src) && src[i+1] == '-':
+			for i < len(src) && src[i] != '\n' {
+				i++
+			}
+		case isIdentStart(c):
+			start := i
+			for i < len(src) && isIdentPart(src[i]) {
+				i++
+			}
+			toks = append(toks, token{kind: tokIdent, text: src[start:i], pos: start})
+		case isDigit(c):
+			start := i
+			isFloat := false
+			for i < len(src) && isDigit(src[i]) {
+				i++
+			}
+			if i < len(src) && src[i] == '.' {
+				isFloat = true
+				i++
+				for i < len(src) && isDigit(src[i]) {
+					i++
+				}
+			}
+			if i < len(src) && (src[i] == 'e' || src[i] == 'E') {
+				j := i + 1
+				if j < len(src) && (src[j] == '+' || src[j] == '-') {
+					j++
+				}
+				if j < len(src) && isDigit(src[j]) {
+					isFloat = true
+					i = j
+					for i < len(src) && isDigit(src[i]) {
+						i++
+					}
+				}
+			}
+			if i < len(src) && isIdentStart(src[i]) {
+				return nil, errAt(i, "malformed number %q", src[start:i+1])
+			}
+			toks = append(toks, token{kind: tokNumber, text: src[start:i], pos: start, isFloat: isFloat})
+		case c == '\'':
+			start := i
+			i++
+			var b strings.Builder
+			closed := false
+			for i < len(src) {
+				if src[i] == '\'' {
+					if i+1 < len(src) && src[i+1] == '\'' {
+						b.WriteByte('\'')
+						i += 2
+						continue
+					}
+					i++
+					closed = true
+					break
+				}
+				b.WriteByte(src[i])
+				i++
+			}
+			if !closed {
+				return nil, errAt(start, "unterminated string literal")
+			}
+			toks = append(toks, token{kind: tokString, text: b.String(), pos: start})
+		case c == '?':
+			toks = append(toks, token{kind: tokParam, text: "?", pos: i})
+			i++
+		default:
+			start := i
+			var sym string
+			switch {
+			case c == '<' && i+1 < len(src) && src[i+1] == '>':
+				sym = "<>"
+			case c == '<' && i+1 < len(src) && src[i+1] == '=':
+				sym = "<="
+			case c == '>' && i+1 < len(src) && src[i+1] == '=':
+				sym = ">="
+			case c == '!' && i+1 < len(src) && src[i+1] == '=':
+				sym = "<>" // normalized spelling
+			case strings.IndexByte("()*,;.=<>+-/", c) >= 0:
+				sym = string(c)
+			default:
+				return nil, errAt(i, "unexpected character %q", string(c))
+			}
+			toks = append(toks, token{kind: tokSymbol, text: sym, pos: start})
+			i += len(sym)
+		}
+	}
+	toks = append(toks, token{kind: tokEOF, pos: len(src)})
+	return toks, nil
+}

@@ -1,0 +1,690 @@
+package sql
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/calc"
+	"repro/internal/engine"
+	"repro/internal/expr"
+	"repro/internal/types"
+)
+
+// The planner lowers a checked SELECT to a calc graph per execution.
+// Graphs are cheap to build and calc.Optimize mutates them in place
+// (filter/projection pushdown into table scans), so the cached
+// CompiledStmt never holds a graph — it is re-planned from the
+// immutable AST on every run, which is what makes one cache entry safe
+// under concurrent sessions.
+//
+// Predicates lower to the native internal/expr forms wherever the
+// shape allows (column vs constant), because those are the predicates
+// the storage stages evaluate on dictionary codes; anything else falls
+// back to an interpreted rowPred that the scan evaluates post-decode.
+//
+// Comparison semantics follow the engine's total order (types.Compare):
+// NULL sorts before every non-NULL value and two NULLs are equal.
+// There is no three-valued logic.
+
+// buildQuery lowers a checked SELECT into g and returns the root node.
+// binds holds the parameter values, already coerced to ParamKinds.
+func buildQuery(cs *CompiledStmt, g *calc.Graph, binds []types.Value) (*calc.Node, error) {
+	s := cs.Stmt.(*SelectStmt)
+	sc := cs.scope
+
+	// Split WHERE into single-table conjuncts (planted directly above
+	// their table so calc.Optimize pushes them into the scan) and
+	// multi-table residual conjuncts (filtered above the joins, where
+	// ordinals are global because join output is left ++ right).
+	perTable := make([][]Expr, len(sc.tables))
+	var residual []Expr
+	for _, conj := range conjuncts(s.Where) {
+		if ti, ok := soleTable(conj, sc); ok {
+			perTable[ti] = append(perTable[ti], conj)
+		} else {
+			residual = append(residual, conj)
+		}
+	}
+
+	var root *calc.Node
+	for ti, st := range sc.tables {
+		node := g.Table(st.tab)
+		if len(perTable[ti]) > 0 {
+			pred, err := lowerConjuncts(perTable[ti], binds, st.offset)
+			if err != nil {
+				return nil, err
+			}
+			node = g.Filter(node, pred)
+		}
+		if ti == 0 {
+			root = node
+		} else {
+			j := s.Joins[ti-1]
+			root = g.Join(root, node, j.leftIdx, j.rightIdx)
+		}
+	}
+	if len(residual) > 0 {
+		pred, err := lowerConjuncts(residual, binds, 0)
+		if err != nil {
+			return nil, err
+		}
+		root = g.Filter(root, pred)
+	}
+
+	if s.aggregate {
+		root = g.Aggregate(root, s.groupIdx, s.aggs...)
+		node, err := projectAggregated(s, g, root, binds)
+		if err != nil {
+			return nil, err
+		}
+		root = node
+	} else {
+		node, err := projectPlain(s, g, root, binds)
+		if err != nil {
+			return nil, err
+		}
+		root = node
+	}
+
+	if len(s.OrderBy) > 0 {
+		keys := make([]engine.SortSpec, len(s.OrderBy))
+		for i, k := range s.OrderBy {
+			keys[i] = engine.SortSpec{Col: k.outIdx, Desc: k.Desc}
+		}
+		root = g.Sort(root, keys...)
+	}
+	if s.Limit >= 0 {
+		root = g.Limit(root, s.Limit)
+	}
+	return root, nil
+}
+
+// projectPlain maps select items over the scan output. All-column
+// item lists become a Project node (so projection pushdown narrows the
+// scan); computed items become a Script evaluating each expression.
+func projectPlain(s *SelectStmt, g *calc.Graph, in *calc.Node, binds []types.Value) (*calc.Node, error) {
+	allCols := true
+	for _, it := range s.Items {
+		if _, ok := it.Expr.(*ColumnRef); !ok {
+			allCols = false
+			break
+		}
+	}
+	if allCols {
+		cols := make([]int, len(s.Items))
+		for i, it := range s.Items {
+			cols[i] = it.Expr.(*ColumnRef).idx
+		}
+		return g.Project(in, cols...), nil
+	}
+	items := s.Items
+	env := &evalEnv{
+		binds: binds,
+		col:   func(ref *ColumnRef, row []types.Value) types.Value { return row[ref.idx] },
+	}
+	return g.Script(in, scriptLabel(items), func(rows [][]types.Value) ([][]types.Value, error) {
+		out := make([][]types.Value, len(rows))
+		for ri, row := range rows {
+			vals := make([]types.Value, len(items))
+			for i, it := range items {
+				v, err := evalScalar(it.Expr, row, env)
+				if err != nil {
+					return nil, err
+				}
+				vals[i] = v
+			}
+			out[ri] = vals
+		}
+		return out, nil
+	}), nil
+}
+
+// projectAggregated maps select items over the aggregate output row
+// (GROUP BY columns followed by aggregate slots). Identity layouts
+// skip the extra node so the Aggregate(Table) fusion in calc exec
+// keeps the morsel-parallel path.
+func projectAggregated(s *SelectStmt, g *calc.Graph, in *calc.Node, binds []types.Value) (*calc.Node, error) {
+	groupPos := func(globalIdx int) int {
+		for i, gi := range s.groupIdx {
+			if gi == globalIdx {
+				return i
+			}
+		}
+		return -1
+	}
+	// Fast path: every item is a bare group column or a bare aggregate.
+	cols := make([]int, 0, len(s.Items))
+	simple := true
+	for _, it := range s.Items {
+		switch x := it.Expr.(type) {
+		case *ColumnRef:
+			cols = append(cols, groupPos(x.idx))
+		case *Call:
+			cols = append(cols, len(s.groupIdx)+x.aggIdx)
+		default:
+			simple = false
+		}
+	}
+	if simple {
+		identity := len(cols) == len(s.groupIdx)+len(s.aggs)
+		for i, c := range cols {
+			if c != i {
+				identity = false
+			}
+		}
+		if identity {
+			return in, nil
+		}
+		return g.Project(in, cols...), nil
+	}
+	items := s.Items
+	env := &evalEnv{
+		binds: binds,
+		col: func(ref *ColumnRef, row []types.Value) types.Value {
+			return row[groupPos(ref.idx)]
+		},
+		agg: func(call *Call, row []types.Value) types.Value {
+			return row[len(s.groupIdx)+call.aggIdx]
+		},
+	}
+	return g.Script(in, scriptLabel(items), func(rows [][]types.Value) ([][]types.Value, error) {
+		out := make([][]types.Value, len(rows))
+		for ri, row := range rows {
+			vals := make([]types.Value, len(items))
+			for i, it := range items {
+				v, err := evalScalar(it.Expr, row, env)
+				if err != nil {
+					return nil, err
+				}
+				vals[i] = v
+			}
+			out[ri] = vals
+		}
+		return out, nil
+	}), nil
+}
+
+func scriptLabel(items []SelectItem) string {
+	parts := make([]string, len(items))
+	for i, it := range items {
+		parts[i] = it.Expr.String()
+	}
+	return "eval(" + strings.Join(parts, ", ") + ")"
+}
+
+// conjuncts flattens a WHERE tree at its AND spine.
+func conjuncts(e Expr) []Expr {
+	if e == nil {
+		return nil
+	}
+	if b, ok := e.(*Binary); ok && b.Op == "AND" {
+		return append(conjuncts(b.L), conjuncts(b.R)...)
+	}
+	return []Expr{e}
+}
+
+// soleTable reports which single scope table a conjunct touches, or
+// false when it spans tables (or none — constant conjuncts stay
+// residual, they are rare and harmless there).
+func soleTable(e Expr, sc *scope) (int, bool) {
+	ti := -1
+	multi := false
+	walkExpr(e, func(x Expr) {
+		ref, ok := x.(*ColumnRef)
+		if !ok {
+			return
+		}
+		for i, t := range sc.tables {
+			if ref.idx >= t.offset && ref.idx < t.offset+t.schema.NumColumns() {
+				if ti >= 0 && ti != i {
+					multi = true
+				}
+				ti = i
+				return
+			}
+		}
+	})
+	if multi || ti < 0 {
+		return 0, false
+	}
+	return ti, true
+}
+
+// ---- predicate lowering ----
+
+func lowerConjuncts(list []Expr, binds []types.Value, offset int) (expr.Predicate, error) {
+	if len(list) == 1 {
+		return lowerPred(list[0], binds, offset)
+	}
+	and := make(expr.And, len(list))
+	for i, e := range list {
+		p, err := lowerPred(e, binds, offset)
+		if err != nil {
+			return nil, err
+		}
+		and[i] = p
+	}
+	return and, nil
+}
+
+// lowerPred compiles a boolean expression to an expr.Predicate over
+// rows whose columns start at offset (0 for single-table scans; a
+// table's scope offset when the predicate was pushed to that table).
+func lowerPred(e Expr, binds []types.Value, offset int) (expr.Predicate, error) {
+	switch x := e.(type) {
+	case *Binary:
+		switch x.Op {
+		case "AND", "OR":
+			l, err := lowerPred(x.L, binds, offset)
+			if err != nil {
+				return nil, err
+			}
+			r, err := lowerPred(x.R, binds, offset)
+			if err != nil {
+				return nil, err
+			}
+			if x.Op == "AND" {
+				return expr.And{l, r}, nil
+			}
+			return expr.Or{l, r}, nil
+		case "=", "<>", "<", "<=", ">", ">=":
+			if ref, ok := x.L.(*ColumnRef); ok {
+				if v, ok := constEval(x.R, binds); ok {
+					return expr.Cmp{Col: ref.idx - offset, Op: cmpOp(x.Op), Val: v}, nil
+				}
+			}
+			if ref, ok := x.R.(*ColumnRef); ok {
+				if v, ok := constEval(x.L, binds); ok {
+					return expr.Cmp{Col: ref.idx - offset, Op: flipOp(cmpOp(x.Op)), Val: v}, nil
+				}
+			}
+		}
+	case *Unary:
+		if x.Op == "NOT" {
+			p, err := lowerPred(x.E, binds, offset)
+			if err != nil {
+				return nil, err
+			}
+			return expr.Not{P: p}, nil
+		}
+	case *Between:
+		if ref, ok := x.E.(*ColumnRef); ok {
+			lo, lok := constEval(x.Lo, binds)
+			hi, hok := constEval(x.Hi, binds)
+			if lok && hok {
+				var p expr.Predicate = expr.Between{Col: ref.idx - offset, Lo: lo, Hi: hi, LoInc: true, HiInc: true}
+				if x.Not {
+					p = expr.Not{P: p}
+				}
+				return p, nil
+			}
+		}
+	case *InList:
+		if ref, ok := x.E.(*ColumnRef); ok {
+			vals := make([]types.Value, 0, len(x.List))
+			allConst := true
+			for _, el := range x.List {
+				v, ok := constEval(el, binds)
+				if !ok {
+					allConst = false
+					break
+				}
+				vals = append(vals, v)
+			}
+			if allConst {
+				var p expr.Predicate = expr.In{Col: ref.idx - offset, Vals: vals}
+				if x.Not {
+					p = expr.Not{P: p}
+				}
+				return p, nil
+			}
+		}
+	case *LikeExpr:
+		if ref, ok := x.E.(*ColumnRef); ok {
+			if v, ok := constEval(x.Pattern, binds); ok && v.Kind == types.KindString {
+				if prefix, ok := likePrefix(v.S); ok {
+					var p expr.Predicate = expr.Like{Col: ref.idx - offset, Prefix: prefix}
+					if x.Not {
+						p = expr.Not{P: p}
+					}
+					return p, nil
+				}
+			}
+		}
+	case *IsNullExpr:
+		if ref, ok := x.E.(*ColumnRef); ok {
+			return expr.IsNull{Col: ref.idx - offset, Neg: x.Not}, nil
+		}
+	case *Literal:
+		if x.Val.Kind == types.KindBool {
+			return expr.Const(x.Val.AsBool()), nil
+		}
+	}
+	// General fallback: interpret the expression per row. The storage
+	// stages treat it as a residual predicate (no code pushdown) and
+	// the scan keeps full row width.
+	env := &evalEnv{
+		binds: binds,
+		col:   func(ref *ColumnRef, row []types.Value) types.Value { return row[ref.idx-offset] },
+	}
+	desc := e.String()
+	return rowPred{
+		desc: desc,
+		fn: func(row []types.Value) bool {
+			v, err := evalScalar(e, row, env)
+			if err != nil {
+				return false
+			}
+			return v.AsBool()
+		},
+	}, nil
+}
+
+// rowPred is an interpreted predicate for expressions with no native
+// expr form. internal/expr leaves unknown predicate types in the scan
+// residual, so it composes with pushdown transparently.
+type rowPred struct {
+	fn   func(row []types.Value) bool
+	desc string
+}
+
+func (p rowPred) Eval(row []types.Value) bool { return p.fn(row) }
+func (p rowPred) String() string              { return "sql(" + p.desc + ")" }
+
+func cmpOp(op string) expr.Op {
+	switch op {
+	case "=":
+		return expr.OpEq
+	case "<>":
+		return expr.OpNe
+	case "<":
+		return expr.OpLt
+	case "<=":
+		return expr.OpLe
+	case ">":
+		return expr.OpGt
+	default:
+		return expr.OpGe
+	}
+}
+
+// flipOp mirrors an operator for "const op col" → "col op' const".
+func flipOp(op expr.Op) expr.Op {
+	switch op {
+	case expr.OpLt:
+		return expr.OpGt
+	case expr.OpLe:
+		return expr.OpGe
+	case expr.OpGt:
+		return expr.OpLt
+	case expr.OpGe:
+		return expr.OpLe
+	default:
+		return op // = and <> are symmetric
+	}
+}
+
+// likePrefix reports whether a LIKE pattern is a pure prefix match
+// ("abc%": no '_', one trailing '%') and returns the prefix.
+func likePrefix(pat string) (string, bool) {
+	if len(pat) == 0 || pat[len(pat)-1] != '%' {
+		return "", false
+	}
+	prefix := pat[:len(pat)-1]
+	if strings.ContainsAny(prefix, "%_") {
+		return "", false
+	}
+	return prefix, true
+}
+
+// ---- expression evaluation ----
+
+// evalEnv supplies the bindings evalScalar needs: parameter values and
+// the mapping from resolved references to positions in the row at hand
+// (scan rows and aggregate output rows have different layouts).
+type evalEnv struct {
+	binds []types.Value
+	col   func(ref *ColumnRef, row []types.Value) types.Value
+	agg   func(call *Call, row []types.Value) types.Value
+}
+
+// constEval folds an expression with no column references to a value.
+func constEval(e Expr, binds []types.Value) (types.Value, bool) {
+	v, err := evalScalar(e, nil, &evalEnv{binds: binds})
+	if err != nil {
+		return types.Null, false
+	}
+	return v, true
+}
+
+// evalScalar interprets an expression over one row.
+func evalScalar(e Expr, row []types.Value, env *evalEnv) (types.Value, error) {
+	switch x := e.(type) {
+	case *Literal:
+		return x.Val, nil
+	case *Param:
+		if x.Ord >= len(env.binds) {
+			return types.Null, fmt.Errorf("sql: parameter %d not bound", x.Ord+1)
+		}
+		return env.binds[x.Ord], nil
+	case *ColumnRef:
+		if env.col == nil {
+			return types.Null, fmt.Errorf("sql: column %s in constant context", x)
+		}
+		return env.col(x, row), nil
+	case *Call:
+		if env.agg == nil {
+			return types.Null, fmt.Errorf("sql: aggregate %s outside aggregation", x)
+		}
+		return env.agg(x, row), nil
+	case *Unary:
+		v, err := evalScalar(x.E, row, env)
+		if err != nil {
+			return types.Null, err
+		}
+		if x.Op == "NOT" {
+			return types.Bool(!v.AsBool()), nil
+		}
+		switch v.Kind {
+		case types.KindInt64:
+			return types.Int(-v.I), nil
+		case types.KindFloat64:
+			return types.Float(-v.F), nil
+		case types.KindInvalid:
+			return types.Null, nil
+		}
+		return types.Null, fmt.Errorf("sql: unary - on %v", v.Kind)
+	case *Binary:
+		return evalBinary(x, row, env)
+	case *Between:
+		v, err := evalScalar(x.E, row, env)
+		if err != nil {
+			return types.Null, err
+		}
+		lo, err := evalScalar(x.Lo, row, env)
+		if err != nil {
+			return types.Null, err
+		}
+		hi, err := evalScalar(x.Hi, row, env)
+		if err != nil {
+			return types.Null, err
+		}
+		in := compareVals(v, lo) >= 0 && compareVals(v, hi) <= 0
+		return types.Bool(in != x.Not), nil
+	case *InList:
+		v, err := evalScalar(x.E, row, env)
+		if err != nil {
+			return types.Null, err
+		}
+		found := false
+		for _, el := range x.List {
+			ev, err := evalScalar(el, row, env)
+			if err != nil {
+				return types.Null, err
+			}
+			if compareVals(v, ev) == 0 {
+				found = true
+				break
+			}
+		}
+		return types.Bool(found != x.Not), nil
+	case *LikeExpr:
+		v, err := evalScalar(x.E, row, env)
+		if err != nil {
+			return types.Null, err
+		}
+		pat, err := evalScalar(x.Pattern, row, env)
+		if err != nil {
+			return types.Null, err
+		}
+		// NULL matches as the empty string, mirroring the native
+		// prefix predicate which sees the zero value.
+		return types.Bool(likeMatch(v.S, pat.S) != x.Not), nil
+	case *IsNullExpr:
+		v, err := evalScalar(x.E, row, env)
+		if err != nil {
+			return types.Null, err
+		}
+		return types.Bool(v.IsNull() != x.Not), nil
+	}
+	return types.Null, fmt.Errorf("sql: cannot evaluate %s", e)
+}
+
+func evalBinary(x *Binary, row []types.Value, env *evalEnv) (types.Value, error) {
+	l, err := evalScalar(x.L, row, env)
+	if err != nil {
+		return types.Null, err
+	}
+	switch x.Op {
+	// AND/OR short-circuit on the left operand.
+	case "AND":
+		if !l.AsBool() {
+			return types.Bool(false), nil
+		}
+		r, err := evalScalar(x.R, row, env)
+		if err != nil {
+			return types.Null, err
+		}
+		return types.Bool(r.AsBool()), nil
+	case "OR":
+		if l.AsBool() {
+			return types.Bool(true), nil
+		}
+		r, err := evalScalar(x.R, row, env)
+		if err != nil {
+			return types.Null, err
+		}
+		return types.Bool(r.AsBool()), nil
+	}
+	r, err := evalScalar(x.R, row, env)
+	if err != nil {
+		return types.Null, err
+	}
+	switch x.Op {
+	case "=", "<>", "<", "<=", ">", ">=":
+		c := compareVals(l, r)
+		var b bool
+		switch x.Op {
+		case "=":
+			b = c == 0
+		case "<>":
+			b = c != 0
+		case "<":
+			b = c < 0
+		case "<=":
+			b = c <= 0
+		case ">":
+			b = c > 0
+		case ">=":
+			b = c >= 0
+		}
+		return types.Bool(b), nil
+	case "+", "-", "*", "/":
+		return evalArith(x.Op, l, r)
+	}
+	return types.Null, fmt.Errorf("sql: unknown operator %s", x.Op)
+}
+
+// compareVals is types.Compare with numeric widening so int and float
+// operands (possible in arithmetic results) compare without panicking.
+func compareVals(a, b types.Value) int {
+	if a.Kind == types.KindInt64 && b.Kind == types.KindFloat64 {
+		a = types.Float(float64(a.I))
+	} else if a.Kind == types.KindFloat64 && b.Kind == types.KindInt64 {
+		b = types.Float(float64(b.I))
+	}
+	return types.Compare(a, b)
+}
+
+// evalArith applies an arithmetic operator. NULL propagates. Division
+// always yields DOUBLE; the other operators stay BIGINT when both
+// operands are, and widen to DOUBLE otherwise.
+func evalArith(op string, l, r types.Value) (types.Value, error) {
+	if l.IsNull() || r.IsNull() {
+		return types.Null, nil
+	}
+	numeric := func(v types.Value) (float64, bool) {
+		switch v.Kind {
+		case types.KindInt64:
+			return float64(v.I), true
+		case types.KindFloat64:
+			return v.F, true
+		}
+		return 0, false
+	}
+	lf, lok := numeric(l)
+	rf, rok := numeric(r)
+	if !lok || !rok {
+		return types.Null, fmt.Errorf("sql: %s on %v and %v", op, l.Kind, r.Kind)
+	}
+	if op == "/" {
+		if rf == 0 {
+			return types.Null, fmt.Errorf("sql: division by zero")
+		}
+		return types.Float(lf / rf), nil
+	}
+	if l.Kind == types.KindInt64 && r.Kind == types.KindInt64 {
+		switch op {
+		case "+":
+			return types.Int(l.I + r.I), nil
+		case "-":
+			return types.Int(l.I - r.I), nil
+		default:
+			return types.Int(l.I * r.I), nil
+		}
+	}
+	switch op {
+	case "+":
+		return types.Float(lf + rf), nil
+	case "-":
+		return types.Float(lf - rf), nil
+	default:
+		return types.Float(lf * rf), nil
+	}
+}
+
+// likeMatch implements SQL LIKE with % (any run) and _ (any one byte).
+func likeMatch(s, pat string) bool {
+	// Iterative two-pointer match with backtracking on the last %.
+	si, pi := 0, 0
+	star, ss := -1, 0
+	for si < len(s) {
+		switch {
+		case pi < len(pat) && (pat[pi] == '_' || pat[pi] == s[si]):
+			si++
+			pi++
+		case pi < len(pat) && pat[pi] == '%':
+			star, ss = pi, si
+			pi++
+		case star >= 0:
+			ss++
+			si, pi = ss, star+1
+		default:
+			return false
+		}
+	}
+	for pi < len(pat) && pat[pi] == '%' {
+		pi++
+	}
+	return pi == len(pat)
+}
