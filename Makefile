@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test vet race bench fuzz torture soak staticcheck obs-bench race-parallel e15-smoke bench-parallel bench-mixed bench-mixed-smoke sql-smoke check-regress check
+.PHONY: all build test vet race bench fuzz torture soak staticcheck obs-bench race-parallel e15-smoke bench-parallel bench-mixed bench-mixed-smoke sql-smoke chaos-smoke check-regress check
 
 # Torture-harness knobs (see internal/torture): the seed and op count
 # for the differential run, overridable per invocation:
@@ -115,6 +115,18 @@ bench-mixed-smoke:
 	$(GO) test -race -count 1 -timeout 120s \
 		-run 'TestMixedBenchOverWire' ./cmd/hanaserver
 
+# Query-lifecycle and network-chaos gate under the race detector: the
+# multi-seed netfault run (mixed SQL workload through fault-injected
+# connections, oracle-verified, goroutine-leak checked, one server
+# surviving all seeds), the statement timeout / memory budget / KILL
+# wire tests, the reconnecting-client suite, and the fault-injector's
+# own tests.
+chaos-smoke:
+	$(GO) test -race -count 1 -timeout 300s \
+		-run 'TestChaosWireBench|TestWireStatementTimeout|TestWireMemBudget|TestWireKillMidStatement|TestDrainDuringExecute|TestTornLineNotExecuted' \
+		./cmd/hanaserver
+	$(GO) test -race -count 1 -timeout 120s ./internal/client ./internal/netfault ./internal/budget
+
 # Regression gate: re-measure both scenarios quickly and compare
 # against the committed baselines with the default tolerance band
 # (wide on purpose — it trips on collapses, not on host noise).
@@ -144,4 +156,4 @@ soak:
 		-run 'TestGracefulDrain|TestMaxConnsShedding|TestAcceptLoopSurvivesTransientErrors|TestOversizedLineReported' \
 		./cmd/hanaserver
 
-check: test vet staticcheck race race-parallel torture soak obs-bench e15-smoke bench-mixed-smoke sql-smoke
+check: test vet staticcheck race race-parallel torture soak obs-bench e15-smoke bench-mixed-smoke sql-smoke chaos-smoke

@@ -10,20 +10,27 @@
 // while session verbs (BEGIN, COMMIT, ABORT, PREPARE, EXECUTE,
 // DEALLOCATE, QUIT) still pass through unwrapped, and a leading
 // backslash escapes to any raw protocol command (e.g. `\STATS t`).
+//
+// The connection is a reconnecting session: if the server goes away
+// mid-session, hanacli reports the loss, reconnects on the next
+// command (replaying PREPAREd statements), and keeps the prompt alive
+// instead of exiting.
 package main
 
 import (
 	"bufio"
+	"errors"
 	"flag"
 	"fmt"
-	"net"
 	"os"
 	"strings"
+
+	"repro/internal/client"
 )
 
 // passthrough lists the commands a SQL-mode line may start with and
 // still be sent raw: they are session controls, not statements.
-var passthrough = []string{"BEGIN", "COMMIT", "ABORT", "PREPARE", "EXECUTE", "DEALLOCATE", "SAVEPOINT", "QUIT"}
+var passthrough = []string{"BEGIN", "COMMIT", "ABORT", "PREPARE", "EXECUTE", "DEALLOCATE", "SAVEPOINT", "QUIT", "SESSIONS", "KILL", "SET"}
 
 // wireLine maps one input line to the protocol line to send. In SQL
 // mode, statements get the "SQL " prefix; session verbs and
@@ -50,14 +57,21 @@ func wireLine(line string, sqlMode bool) string {
 func main() {
 	addr := flag.String("addr", "127.0.0.1:7654", "server address")
 	sqlMode := flag.Bool("sql", false, "SQL shell: send lines as SQL statements (\\<cmd> for raw protocol)")
+	retries := flag.Int("retries", 8, "reconnect attempts per command (-1 = unlimited)")
 	flag.Parse()
 
-	conn, err := net.Dial("tcp", *addr)
+	c, err := client.Dial(client.Config{
+		Addr:       *addr,
+		MaxRetries: *retries,
+		OnReconnect: func(n int, cause error) {
+			fmt.Fprintf(os.Stderr, "hanacli: reconnected to %s (reconnect #%d, after: %v)\n", *addr, n, cause)
+		},
+	})
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "hanacli: %v\n", err)
 		os.Exit(1)
 	}
-	defer conn.Close()
+	defer c.Close()
 	prompt := "hana> "
 	if *sqlMode {
 		prompt = "sql> "
@@ -67,10 +81,6 @@ func main() {
 	}
 
 	in := bufio.NewScanner(os.Stdin)
-	out := bufio.NewWriter(conn)
-	resp := bufio.NewScanner(conn)
-	resp.Buffer(make([]byte, 1<<16), 1<<20)
-
 	for {
 		fmt.Print(prompt)
 		if !in.Scan() {
@@ -81,17 +91,62 @@ func main() {
 			continue
 		}
 		wire := wireLine(line, *sqlMode)
-		fmt.Fprintln(out, wire)
-		out.Flush()
-		for resp.Scan() {
-			text := resp.Text()
-			fmt.Println(text)
-			if strings.HasPrefix(text, "OK") || strings.HasPrefix(text, "ERR") || text == "END" {
-				break
-			}
-		}
 		if strings.EqualFold(wire, "QUIT") {
+			fmt.Println("OK bye")
 			return
 		}
+		if name, text, ok := cutPrepare(wire); ok {
+			// Route PREPARE through the client so the statement replays
+			// automatically after a reconnect and EXECUTE keeps working.
+			if err := c.Prepare(name, text); err != nil {
+				fmt.Printf("ERR %v\n", err)
+			} else {
+				fmt.Println("OK prepared (replayed on reconnect)")
+			}
+			continue
+		}
+		lines, err := c.Do(wire)
+		if err != nil {
+			if errors.Is(err, client.ErrTransport) {
+				// The connection died under this command: say so, keep
+				// the session. The next command dials fresh.
+				fmt.Fprintf(os.Stderr, "hanacli: connection lost (%v)\n", err)
+				fmt.Fprintf(os.Stderr, "hanacli: will reconnect on the next command; the last command may or may not have executed — check before retrying writes\n")
+				continue
+			}
+			fmt.Fprintf(os.Stderr, "hanacli: %v\n", err)
+			return
+		}
+		for _, l := range lines {
+			fmt.Println(l)
+		}
 	}
+}
+
+// cutPrepare splits "PREPARE <name> <stmt>" into its parts.
+func cutPrepare(wire string) (name, text string, ok bool) {
+	rest, isPrep := cutKeyword(wire, "PREPARE")
+	if !isPrep {
+		return "", "", false
+	}
+	name, text, _ = strings.Cut(rest, " ")
+	text = strings.TrimSpace(text)
+	if name == "" || text == "" {
+		return "", "", false
+	}
+	return name, text, true
+}
+
+// cutKeyword reports whether line starts with the keyword (case-
+// insensitive, followed by whitespace or end of line) and returns the
+// trimmed remainder.
+func cutKeyword(line, kw string) (string, bool) {
+	if len(line) < len(kw) || !strings.EqualFold(line[:len(kw)], kw) {
+		return "", false
+	}
+	rest := line[len(kw):]
+	if rest != "" && rest[0] != ' ' && rest[0] != '\t' {
+		return "", false
+	}
+	return strings.TrimSpace(rest), true
 }

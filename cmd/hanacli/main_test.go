@@ -26,3 +26,26 @@ func TestWireLine(t *testing.T) {
 		}
 	}
 }
+
+// TestLifecycleVerbsPassThrough keeps SESSIONS/KILL/SET usable from
+// the SQL shell without a backslash escape.
+func TestLifecycleVerbsPassThrough(t *testing.T) {
+	for _, in := range []string{"SESSIONS", "KILL 3", "SET STMT_TIMEOUT 100ms"} {
+		if got := wireLine(in, true); got != in {
+			t.Errorf("wireLine(%q, sql) = %q, want passthrough", in, got)
+		}
+	}
+}
+
+func TestCutPrepare(t *testing.T) {
+	name, text, ok := cutPrepare("PREPARE p SELECT id FROM t WHERE id = ?")
+	if !ok || name != "p" || text != "SELECT id FROM t WHERE id = ?" {
+		t.Errorf("cutPrepare = %q %q %v", name, text, ok)
+	}
+	if _, _, ok := cutPrepare("PREPARE"); ok {
+		t.Error("bare PREPARE parsed")
+	}
+	if _, _, ok := cutPrepare("SELECT 1"); ok {
+		t.Error("non-PREPARE parsed")
+	}
+}

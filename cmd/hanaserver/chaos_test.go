@@ -1,0 +1,105 @@
+package main
+
+import (
+	"fmt"
+	"net"
+	"testing"
+
+	hana "repro"
+	"repro/internal/bench"
+	"repro/internal/leakcheck"
+	"repro/internal/netfault"
+	"repro/internal/workload"
+)
+
+// TestChaosWireBench is the network-chaos capstone: the mixed SQL
+// workload runs over session connections whose reads and writes are
+// seeded-fault injected (resets, partial writes, stalls, slow-drip
+// reads), the reconnecting client retries with an unlimited budget so
+// every operation reaches a definitive outcome, and the end state
+// must still pass the oracle differential — across many seeds,
+// against ONE server instance that has to stay serviceable through
+// all of it, with zero goroutine leaks at the end.
+//
+// The fault plan is per-connection deterministic (plan seed × dial
+// index), so a failing seed replays exactly.
+func TestChaosWireBench(t *testing.T) {
+	snap := leakcheck.Snapshot()
+
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	db := hana.MustOpen(hana.Options{AutoMerge: true})
+	srv := newServer(db, ln, serverOptions{maxConns: 128})
+	go srv.run()
+
+	seeds := int64(20)
+	if testing.Short() {
+		seeds = 5
+	}
+	var totalReconnects, totalRetries uint64
+	for seed := int64(1); seed <= seeds; seed++ {
+		seed := seed
+		t.Run(fmt.Sprintf("seed=%d", seed), func(t *testing.T) {
+			plan := netfault.Plan{
+				Seed:        seed,
+				ResetProb:   0.015,
+				PartialProb: 0.015,
+				StallProb:   0.01,
+				StallDur:    500_000, // 0.5ms
+				DripProb:    0.03,
+			}
+			res, err := bench.Run(bench.Config{
+				Scenario:   "chaos",
+				Writers:    2,
+				Analysts:   1,
+				WarmupOps:  5,
+				MeasureOps: 50,
+				Preload:    150,
+				Seed:       seed,
+				Mix:        workload.Mix{InsertPct: 20, UpdatePct: 25, DeletePct: 5},
+				L1MaxRows:  100,
+				Addr:       ln.Addr().String(),
+				SQL:        true,
+				Table:      fmt.Sprintf("chaos_%d", seed),
+				Verify:     true,
+				Dial:       netfault.Dialer(plan, nil),
+				MaxRetries: -1, // every op must reach a definitive outcome
+			})
+			if err != nil {
+				t.Fatalf("chaos run (seed %d): %v", seed, err)
+			}
+			if res.VerifiedFacts == 0 {
+				t.Fatalf("seed %d: oracle differential did not run", seed)
+			}
+			for name, cs := range res.Classes {
+				if cs.TransportErrors != 0 {
+					t.Errorf("seed %d: class %s abandoned %d ops at the transport despite unlimited retries",
+						seed, name, cs.TransportErrors)
+				}
+			}
+			totalReconnects += res.Reconnects
+			totalRetries += res.Retries
+
+			// The server must still serve a clean connection after the
+			// faulted sessions are gone.
+			conn, rt := dialLine(t, ln.Addr().String())
+			defer conn.Close()
+			if got := roundTripLine(t, conn, rt, fmt.Sprintf("SQL SELECT COUNT(*) FROM chaos_%d", seed)); len(got) == 0 {
+				t.Fatalf("seed %d: server unserviceable after chaos run", seed)
+			}
+		})
+	}
+
+	// Across this many seeded runs the fault plan must actually have
+	// bitten — otherwise the harness is testing a calm network.
+	if totalReconnects == 0 {
+		t.Errorf("no session ever reconnected across %d seeds: fault injection is not reaching the wire", seeds)
+	}
+	t.Logf("chaos: %d reconnects, %d command retries across %d seeds", totalReconnects, totalRetries, seeds)
+
+	srv.shutdown()
+	db.Close()
+	snap.Assert(t)
+}

@@ -21,7 +21,16 @@
 //	TRACE [<n>]
 //	BEGIN [STMT] | COMMIT | ABORT
 //	SAVEPOINT
+//	SESSIONS
+//	KILL <id>
+//	SET STMT_TIMEOUT <duration> | SET MEM_BUDGET <bytes>
 //	QUIT
+//
+// SESSIONS lists live sessions (id, remote address, age, state);
+// KILL cancels a session's in-flight statement mid-scan and ends the
+// session. SET bounds this session's subsequent SQL statements with a
+// wall-clock timeout or memory budget on top of the server-wide
+// -stmt-timeout/-mem-budget defaults.
 //
 // SQL statements ride the same line protocol (the rest of the line is
 // handed to the SQL compiler verbatim, so SQL's own quoting applies):
@@ -50,6 +59,7 @@ package main
 
 import (
 	"bufio"
+	"context"
 	"errors"
 	"flag"
 	"fmt"
@@ -83,6 +93,8 @@ func main() {
 	throttleRows := flag.Int("throttle-rows", 0, "delta-backlog high-watermark applied to CREATEd tables: writes beyond it are delayed (0 = off)")
 	overloadRows := flag.Int("overload-rows", 0, "delta-backlog ceiling applied to CREATEd tables: writes beyond it get ERR overloaded (0 = off)")
 	obsAddr := flag.String("obs-addr", "", "HTTP listen address serving /metrics and /debug/pprof/ (empty = disabled)")
+	stmtTimeout := flag.Duration("stmt-timeout", 0, "wall-clock budget per SQL statement; exceeding it returns ERR statement timeout (0 = none)")
+	memBudget := flag.Int64("mem-budget", 0, "memory budget in bytes per SQL statement, charged against hash builds, aggregation state, and decode caches (0 = unlimited)")
 	flag.Parse()
 
 	reg := hana.NewMetrics()
@@ -119,6 +131,8 @@ func main() {
 		drainTimeout: *drainTimeout,
 		throttleRows: *throttleRows,
 		overloadRows: *overloadRows,
+		stmtTimeout:  *stmtTimeout,
+		memBudget:    *memBudget,
 	})
 
 	sig := make(chan os.Signal, 1)
@@ -173,6 +187,10 @@ type serverOptions struct {
 	// throttleRows/overloadRows seed TableConfig admission-control
 	// watermarks for tables created over the wire.
 	throttleRows, overloadRows int
+	// stmtTimeout/memBudget are the server-wide per-statement
+	// execution budgets installed on the shared SQL engine.
+	stmtTimeout time.Duration
+	memBudget   int64
 }
 
 // server owns the listener and the connection life cycle: admission
@@ -188,6 +206,11 @@ type server struct {
 	sem      chan struct{} // nil = unlimited
 	draining atomic.Bool
 
+	// reg tracks live sessions for SESSIONS/KILL; met counts
+	// lifecycle outcomes (kills, timeouts, budget rejections).
+	reg *sessionRegistry
+	met lifecycleMetrics
+
 	mu    sync.Mutex
 	conns map[net.Conn]struct{}
 	wg    sync.WaitGroup
@@ -195,7 +218,9 @@ type server struct {
 
 func newServer(db *hana.DB, ln net.Listener, opts serverOptions) *server {
 	s := &server{db: db, ln: ln, opts: opts, conns: map[net.Conn]struct{}{},
-		sqlEng: newSQLEngine(db, opts)}
+		sqlEng: newSQLEngine(db, opts),
+		reg:    newSessionRegistry(),
+		met:    newLifecycleMetrics(db.Metrics())}
 	if opts.maxConns > 0 {
 		s.sem = make(chan struct{}, opts.maxConns)
 	}
@@ -203,12 +228,17 @@ func newServer(db *hana.DB, ln net.Listener, opts serverOptions) *server {
 }
 
 // newSQLEngine builds the session-shared SQL engine; tables created
-// via SQL get the same physical defaults as wire-CREATEd ones.
+// via SQL get the same physical defaults as wire-CREATEd ones, and
+// the server-wide statement budgets are installed here.
 func newSQLEngine(db *hana.DB, opts serverOptions) *hana.SQLEngine {
-	return hana.NewSQLEngine(db, hana.TableConfig{
+	eng := hana.NewSQLEngine(db, hana.TableConfig{
 		CheckUnique: true, Compress: true, CompactDicts: true,
 		ThrottleRows: opts.throttleRows, OverloadRows: opts.overloadRows,
 	})
+	if opts.stmtTimeout > 0 || opts.memBudget > 0 {
+		eng.SetLimits(hana.SQLLimits{Timeout: opts.stmtTimeout, MemBytes: opts.memBudget})
+	}
+	return eng
 }
 
 // run accepts connections until the listener closes. Transient accept
@@ -327,23 +357,38 @@ type session struct {
 	// throttleRows/overloadRows seed the admission-control watermarks
 	// of tables this session CREATEs.
 	throttleRows, overloadRows int
+	// entry is this session's registry record; its context is
+	// cancelled by KILL and threads through every statement.
+	entry *sessionEntry
+	reg   *sessionRegistry
+	met   lifecycleMetrics
+	// limits are this session's SET overrides, layered on top of the
+	// engine-wide defaults (the tighter bound wins).
+	limits hana.SQLLimits
 }
 
 // serve handles one connection with no deadlines or connection budget
 // — the bare protocol loop, kept for in-process use and tests.
 func serve(db *hana.DB, conn net.Conn) {
-	(&server{db: db, sqlEng: newSQLEngine(db, serverOptions{})}).serveConn(conn)
+	s := &server{db: db, sqlEng: newSQLEngine(db, serverOptions{}),
+		reg: newSessionRegistry(), met: newLifecycleMetrics(db.Metrics())}
+	s.serveConn(conn)
 }
 
 // serveConn runs the protocol loop under the server's deadlines and
 // drain flag (both inert on a zero-value server).
 func (s *server) serveConn(conn net.Conn) {
 	defer conn.Close()
+	entry := s.reg.add(conn)
+	defer s.reg.remove(entry.id)
 	sess := &session{
 		db:           s.db,
 		eng:          s.sqlEng,
 		throttleRows: s.opts.throttleRows,
 		overloadRows: s.opts.overloadRows,
+		entry:        entry,
+		reg:          s.reg,
+		met:          s.met,
 	}
 	defer func() {
 		if sess.txn != nil {
@@ -352,6 +397,10 @@ func (s *server) serveConn(conn net.Conn) {
 	}()
 	sc := bufio.NewScanner(conn)
 	sc.Buffer(make([]byte, 1<<16), maxLineBytes)
+	// A torn final line (connection cut mid-write, no terminator) must
+	// never execute as a command: the default ScanLines emits the
+	// partial tail at EOF, this split drops it.
+	sc.Split(scanFullLines)
 	w := bufio.NewWriter(conn)
 	defer w.Flush()
 	flush := func() error {
@@ -379,6 +428,11 @@ func (s *server) serveConn(conn net.Conn) {
 		}
 		sess.handle(w, line)
 		if flush() != nil {
+			return
+		}
+		if entry.killed() {
+			// The killing command's ERR (or this command's response)
+			// is out; the session ends instead of reading more work.
 			return
 		}
 		if s.draining.Load() {
@@ -492,6 +546,28 @@ func (s *session) handle(w *bufio.Writer, line string) {
 			return
 		}
 		fmt.Fprintln(w, "OK")
+	case "SESSIONS":
+		for _, line := range s.reg.list() {
+			fmt.Fprintln(w, line)
+		}
+		fmt.Fprintln(w, "END")
+	case "KILL":
+		if len(args) != 1 {
+			fmt.Fprintln(w, "ERR usage: KILL <id>")
+			return
+		}
+		id, err := strconv.ParseInt(args[0], 10, 64)
+		if err != nil {
+			fmt.Fprintf(w, "ERR %v\n", err)
+			return
+		}
+		if !s.reg.kill(id) {
+			fmt.Fprintf(w, "ERR no session %d\n", id)
+			return
+		}
+		fmt.Fprintln(w, "OK")
+	case "SET":
+		s.set(w, args)
 	case "METRICS":
 		// Optionally restricted to one table's series. A database
 		// opened without a registry dumps nothing but still ends
@@ -679,10 +755,12 @@ func (s *session) table(w *bufio.Writer, cmd string, t *hana.Table, args []strin
 		}
 		// Vectorized streaming scan with the render limit pushed down:
 		// once satisfied, BatchLimit stops pulling and the table scan
-		// never decodes the rest.
-		it := &hana.BatchLimit{N: limit, In: &hana.BatchTableScan{Table: t, Txn: s.txn}}
+		// never decodes the rest. The session's kill context stops the
+		// scan between batches.
+		ctx := s.entry.ctx
+		it := &hana.BatchLimit{N: limit, In: &hana.BatchTableScan{Table: t, Txn: s.txn, Ctx: ctx}}
 		if err := it.Open(); err != nil {
-			fmt.Fprintf(w, "ERR %v\n", err)
+			fmt.Fprintf(w, "ERR %v\n", mapCtxErr(ctx, err))
 			return
 		}
 		var buf []hana.Value
@@ -690,7 +768,7 @@ func (s *session) table(w *bufio.Writer, cmd string, t *hana.Table, args []strin
 			b, err := it.Next()
 			if err != nil {
 				it.Close()
-				fmt.Fprintf(w, "ERR %v\n", err)
+				fmt.Fprintf(w, "ERR %v\n", mapCtxErr(ctx, err))
 				return
 			}
 			if b == nil {
@@ -717,9 +795,9 @@ func (s *session) table(w *bufio.Writer, cmd string, t *hana.Table, args []strin
 		g := hana.NewGraph()
 		agg := g.Aggregate(g.Table(t), []int{gc},
 			hana.Agg{Func: hana.Count}, hana.Agg{Func: hana.Sum, Col: sc})
-		rows, err := hana.ExecuteGraph(g, agg, hana.Env{Txn: s.txn})
+		rows, err := hana.ExecuteGraph(g, agg, hana.Env{Txn: s.txn, Ctx: s.entry.ctx})
 		if err != nil {
-			fmt.Fprintf(w, "ERR %v\n", err)
+			fmt.Fprintf(w, "ERR %v\n", mapCtxErr(s.entry.ctx, err))
 			return
 		}
 		for _, r := range rows {
@@ -760,6 +838,65 @@ func cutKeyword(line, kw string) (string, bool) {
 	return strings.TrimSpace(rest), true
 }
 
+// set applies a per-session statement limit: SET STMT_TIMEOUT <dur>
+// or SET MEM_BUDGET <bytes> (0 clears).
+func (s *session) set(w *bufio.Writer, args []string) {
+	if len(args) != 2 {
+		fmt.Fprintln(w, "ERR usage: SET STMT_TIMEOUT <duration> | SET MEM_BUDGET <bytes>")
+		return
+	}
+	switch strings.ToUpper(args[0]) {
+	case "STMT_TIMEOUT":
+		d, err := time.ParseDuration(args[1])
+		if err != nil || d < 0 {
+			fmt.Fprintf(w, "ERR bad duration %q\n", args[1])
+			return
+		}
+		s.limits.Timeout = d
+	case "MEM_BUDGET":
+		n, err := strconv.ParseInt(args[1], 10, 64)
+		if err != nil || n < 0 {
+			fmt.Fprintf(w, "ERR bad byte count %q\n", args[1])
+			return
+		}
+		s.limits.MemBytes = n
+	default:
+		fmt.Fprintf(w, "ERR unknown setting %q\n", args[0])
+		return
+	}
+	fmt.Fprintln(w, "OK")
+}
+
+// stmtCtx derives the context one SQL statement runs under: the
+// session's kill context plus this session's SET overrides. The
+// engine layers its own (server-wide) limits inside ExecCtx, so the
+// tighter of the two bounds wins.
+func (s *session) stmtCtx() (context.Context, context.CancelFunc) {
+	ctx := s.entry.ctx
+	cancel := context.CancelFunc(func() {})
+	if s.limits.Timeout > 0 {
+		ctx, cancel = context.WithTimeoutCause(ctx, s.limits.Timeout, hana.ErrStatementTimeout)
+	}
+	ctx = hana.WithMemBudget(ctx, s.limits.MemBytes)
+	return ctx, cancel
+}
+
+// runStmt brackets one SQL statement: registry visibility for
+// SESSIONS, the statement-latency histogram, and lifecycle outcome
+// counters (kills, timeouts, budget rejections).
+func (s *session) runStmt(text string, fn func(ctx context.Context) (*hana.SQLResult, error)) (*hana.SQLResult, error) {
+	ctx, cancel := s.stmtCtx()
+	defer cancel()
+	s.entry.beginStmt(text)
+	defer s.entry.endStmt()
+	start := s.met.stmtTimes.Start()
+	res, err := fn(ctx)
+	s.met.stmtTimes.Stop(start)
+	err = mapCtxErr(ctx, err)
+	s.met.observe(err)
+	return res, err
+}
+
 // sqlExec runs one SQL statement inside the session transaction (or
 // autocommit without one) and writes its result.
 func (s *session) sqlExec(w *bufio.Writer, text string) {
@@ -767,7 +904,9 @@ func (s *session) sqlExec(w *bufio.Writer, text string) {
 		fmt.Fprintln(w, "ERR usage: SQL <statement>")
 		return
 	}
-	res, err := s.eng.Exec(s.txn, text)
+	res, err := s.runStmt(text, func(ctx context.Context) (*hana.SQLResult, error) {
+		return s.eng.ExecCtx(ctx, s.txn, text)
+	})
 	if err != nil {
 		fmt.Fprintf(w, "ERR %v\n", err)
 		return
@@ -838,7 +977,9 @@ func (s *session) sqlExecute(w *bufio.Writer, rest string) {
 		}
 		params[i] = v
 	}
-	res, err := p.Exec(s.txn, params...)
+	res, err := s.runStmt("EXECUTE "+fields[0], func(ctx context.Context) (*hana.SQLResult, error) {
+		return p.ExecCtx(ctx, s.txn, params...)
+	})
 	if err != nil {
 		fmt.Fprintf(w, "ERR %v\n", err)
 		return

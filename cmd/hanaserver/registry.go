@@ -1,0 +1,212 @@
+package main
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"fmt"
+	"net"
+	"sort"
+	"sync"
+	"time"
+
+	hana "repro"
+)
+
+// errSessionKilled is the cancellation cause installed by KILL; it
+// reaches the victim's in-flight statement through the context
+// plumbing and comes back over the wire as "ERR session killed".
+var errSessionKilled = errors.New("session killed")
+
+// sessionRegistry tracks live sessions for the SESSIONS and KILL
+// commands. Every connection registers on admit and deregisters when
+// its protocol loop ends.
+type sessionRegistry struct {
+	mu     sync.Mutex
+	nextID int64
+	byID   map[int64]*sessionEntry
+}
+
+// sessionEntry is one live session's control block: its identity, its
+// kill switch (a CancelCause context spanning the whole session), and
+// the statement currently executing, if any.
+type sessionEntry struct {
+	id      int64
+	remote  string
+	started time.Time
+	conn    net.Conn
+	ctx     context.Context
+	cancel  context.CancelCauseFunc
+
+	mu     sync.Mutex
+	stmt   string // current statement text; "" = idle
+	stmtAt time.Time
+}
+
+func newSessionRegistry() *sessionRegistry {
+	return &sessionRegistry{byID: map[int64]*sessionEntry{}}
+}
+
+// add registers a connection and returns its entry. The entry's ctx
+// is cancelled (with errSessionKilled as cause) when the session is
+// killed.
+func (r *sessionRegistry) add(conn net.Conn) *sessionEntry {
+	ctx, cancel := context.WithCancelCause(context.Background())
+	e := &sessionEntry{
+		remote:  conn.RemoteAddr().String(),
+		started: time.Now(),
+		conn:    conn,
+		ctx:     ctx,
+		cancel:  cancel,
+	}
+	r.mu.Lock()
+	r.nextID++
+	e.id = r.nextID
+	r.byID[e.id] = e
+	r.mu.Unlock()
+	return e
+}
+
+// remove deregisters a session at end of connection.
+func (r *sessionRegistry) remove(id int64) {
+	r.mu.Lock()
+	e := r.byID[id]
+	delete(r.byID, id)
+	r.mu.Unlock()
+	if e != nil {
+		// Release the cause context's timer/edge resources.
+		e.cancel(nil)
+	}
+}
+
+// kill cancels the session's context (stopping any in-flight
+// statement mid-morsel) and nudges a blocked reader with an imminent
+// read deadline so idle victims notice too. Reports whether the id
+// was live.
+func (r *sessionRegistry) kill(id int64) bool {
+	r.mu.Lock()
+	e := r.byID[id]
+	r.mu.Unlock()
+	if e == nil {
+		return false
+	}
+	e.cancel(fmt.Errorf("%w by KILL %d", errSessionKilled, id))
+	e.conn.SetReadDeadline(time.Now().Add(10 * time.Millisecond))
+	return true
+}
+
+// killed reports whether this session has been killed.
+func (e *sessionEntry) killed() bool {
+	return e.ctx.Err() != nil
+}
+
+// beginStmt/endStmt bracket a statement for SESSIONS visibility.
+func (e *sessionEntry) beginStmt(text string) {
+	e.mu.Lock()
+	e.stmt, e.stmtAt = text, time.Now()
+	e.mu.Unlock()
+}
+
+func (e *sessionEntry) endStmt() {
+	e.mu.Lock()
+	e.stmt = ""
+	e.mu.Unlock()
+}
+
+// row renders one SESSIONS line: id, remote address, session age,
+// and either "idle" or the running statement's age and text.
+func (e *sessionEntry) row(now time.Time) string {
+	e.mu.Lock()
+	stmt, stmtAt := e.stmt, e.stmtAt
+	e.mu.Unlock()
+	state := "idle"
+	if e.killed() {
+		state = "killed"
+	}
+	if stmt != "" {
+		state = fmt.Sprintf("active %s %q", now.Sub(stmtAt).Round(time.Millisecond), stmt)
+	}
+	return fmt.Sprintf("ROW %d %s %s %s",
+		e.id, e.remote, now.Sub(e.started).Round(time.Millisecond), state)
+}
+
+// list renders every live session sorted by id.
+func (r *sessionRegistry) list() []string {
+	r.mu.Lock()
+	entries := make([]*sessionEntry, 0, len(r.byID))
+	for _, e := range r.byID {
+		entries = append(entries, e)
+	}
+	r.mu.Unlock()
+	sort.Slice(entries, func(i, j int) bool { return entries[i].id < entries[j].id })
+	now := time.Now()
+	out := make([]string, len(entries))
+	for i, e := range entries {
+		out[i] = e.row(now)
+	}
+	return out
+}
+
+// lifecycleMetrics are the server's query-lifecycle instruments.
+type lifecycleMetrics struct {
+	killed    *hana.Counter
+	timeouts  *hana.Counter
+	budget    *hana.Counter
+	stmtTimes *hana.Histogram
+}
+
+func newLifecycleMetrics(reg *hana.MetricsRegistry) lifecycleMetrics {
+	return lifecycleMetrics{
+		killed:    reg.Counter("hana_server_statements_killed_total"),
+		timeouts:  reg.Counter("hana_server_statement_timeouts_total"),
+		budget:    reg.Counter("hana_server_budget_rejections_total"),
+		stmtTimes: reg.Histogram("hana_server_statement_seconds"),
+	}
+}
+
+// observe classifies a finished statement's error into the lifecycle
+// counters.
+func (m lifecycleMetrics) observe(err error) {
+	switch {
+	case err == nil:
+	case errors.Is(err, errSessionKilled):
+		m.killed.Inc()
+	case errors.Is(err, hana.ErrStatementTimeout):
+		m.timeouts.Inc()
+	case errors.Is(err, hana.ErrBudgetExceeded):
+		m.budget.Inc()
+	}
+}
+
+// mapCtxErr replaces a bare context error surfaced by a scan with the
+// context's cause — "session killed by KILL n" or the typed statement
+// timeout — so the client sees why, not just "context canceled".
+func mapCtxErr(ctx context.Context, err error) error {
+	if err == nil || ctx == nil {
+		return err
+	}
+	if errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) {
+		if cause := context.Cause(ctx); cause != nil {
+			return cause
+		}
+	}
+	return err
+}
+
+// scanFullLines is bufio.ScanLines minus the dangerous part: at EOF a
+// final line without a terminator is discarded instead of returned,
+// so a command truncated by a dying connection is never executed.
+func scanFullLines(data []byte, atEOF bool) (advance int, token []byte, err error) {
+	if i := bytes.IndexByte(data, '\n'); i >= 0 {
+		line := data[:i]
+		if n := len(line); n > 0 && line[n-1] == '\r' {
+			line = line[:n-1]
+		}
+		return i + 1, line, nil
+	}
+	if atEOF {
+		// Consume and drop the torn tail.
+		return len(data), nil, nil
+	}
+	return 0, nil, nil
+}

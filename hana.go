@@ -46,6 +46,9 @@
 package hana
 
 import (
+	"context"
+
+	"repro/internal/budget"
 	"repro/internal/calc"
 	"repro/internal/core"
 	"repro/internal/engine"
@@ -176,6 +179,10 @@ type (
 	MetricsRegistry = obs.Registry
 	// MetricSnapshot is one metric's point-in-time state.
 	MetricSnapshot = obs.MetricSnapshot
+	// Counter is a monotonically increasing metric.
+	Counter = obs.Counter
+	// Histogram is a latency distribution metric.
+	Histogram = obs.Histogram
 	// TraceEvent is one recorded lifecycle transition.
 	TraceEvent = obs.Event
 	// TraceEventKind discriminates lifecycle transitions.
@@ -274,6 +281,13 @@ var (
 	// TableConfig.OverloadRows. Retry after the merge scheduler
 	// drains the backlog (match with errors.Is).
 	ErrOverloaded = core.ErrOverloaded
+	// ErrStatementTimeout reports a statement that exceeded its
+	// wall-clock execution budget (match with errors.Is).
+	ErrStatementTimeout = sql.ErrStatementTimeout
+	// ErrBudgetExceeded reports a statement whose hash builds,
+	// aggregation state, or decode caches overran its memory budget
+	// (match with errors.Is).
+	ErrBudgetExceeded = budget.ErrBudgetExceeded
 )
 
 // Open opens a database. With Options.Dir set it recovers from the
@@ -329,11 +343,25 @@ type (
 	SQLResult = sql.Result
 	// SQLPrepared is a reusable compiled statement with ? parameters.
 	SQLPrepared = sql.Prepared
+	// SQLLimits bounds every statement an engine runs: wall-clock
+	// timeout and memory budget.
+	SQLLimits = sql.Limits
 )
 
 // NewSQLEngine returns a SQL engine over db; defaults seeds the
 // TableConfig used by CREATE TABLE statements.
 func NewSQLEngine(db *DB, defaults TableConfig) *SQLEngine { return sql.NewEngine(db, defaults) }
+
+// WithMemBudget attaches a fresh memory meter of the given byte limit
+// to the context: every scan, hash build, and aggregation running
+// under the returned context charges it and fails with
+// ErrBudgetExceeded on overrun. bytes <= 0 returns ctx unchanged.
+func WithMemBudget(ctx context.Context, bytes int64) context.Context {
+	if m := budget.NewMeter(bytes); m != nil {
+		return budget.WithMeter(ctx, m)
+	}
+	return ctx
+}
 
 // RenderSQLRows formats SQL query output for line protocols.
 func RenderSQLRows(rows [][]Value) []string { return sql.RenderRows(rows) }

@@ -28,6 +28,7 @@ package bench
 
 import (
 	"fmt"
+	"net"
 	"sort"
 	"time"
 
@@ -109,6 +110,17 @@ type Config struct {
 	// Addr, when set, runs over the wire against a hanaserver at this
 	// address instead of the embedded engine.
 	Addr string
+	// Dial overrides the transport used for wire session connections
+	// (nil = plain TCP). The chaos harness injects netfault here; the
+	// driver-side control connection always dials clean so setup and
+	// verification stay unambiguous.
+	Dial func(addr string) (net.Conn, error) `json:"-"`
+	// MaxRetries bounds transport-level redelivery per wire operation
+	// (internal/client semantics: 0 = default, n > 0 = n retries, and
+	// negative = retry until a definitive answer — required whenever
+	// Verify is on under fault injection, because an op abandoned
+	// mid-flight has an unknown outcome the oracle cannot absorb).
+	MaxRetries int
 	// SQL drives every operation through the SQL front end — compiled
 	// statements with bound parameters instead of direct API calls
 	// (embedded), or SQL/PREPARE/EXECUTE wire commands (with Addr).

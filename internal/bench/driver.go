@@ -1,13 +1,22 @@
 package bench
 
 import (
+	"errors"
 	"fmt"
 	"sync"
 	"sync/atomic"
 	"time"
 
+	"repro/internal/client"
 	"repro/internal/obs"
 )
+
+// transportReporter is the optional Target facet wire targets
+// implement: cumulative reconnect and command-retry counts across
+// every client the run opened.
+type transportReporter interface {
+	Transport() (reconnects, retries uint64)
+}
 
 // Run executes one mixed-workload run: setup + preload, a warmup
 // phase all writers finish before the clock starts, a measured phase,
@@ -31,7 +40,7 @@ func Run(cfg Config) (*Result, error) {
 	// (obs histograms are lock-free atomics).
 	reg := obs.New()
 	var hists [numClasses]*obs.Histogram
-	var okOps, errOps [numClasses]atomic.Uint64
+	var okOps, errOps, xportOps [numClasses]atomic.Uint64
 	for c := OpClass(0); c < numClasses; c++ {
 		hists[c] = reg.Histogram("bench_op_seconds", obs.L("op", c.String()))
 	}
@@ -62,7 +71,7 @@ func Run(cfg Config) (*Result, error) {
 	// Sessions and routine state are created up front, on the driver
 	// goroutine (the yabf InitRoutine contract), so routine start is
 	// just a goroutine launch.
-	type client struct {
+	type runClient struct {
 		sess Session
 		r    Routine
 	}
@@ -72,7 +81,7 @@ func Run(cfg Config) (*Result, error) {
 			s.Close()
 		}
 	}
-	writers := make([]client, cfg.Writers)
+	writers := make([]runClient, cfg.Writers)
 	for w := range writers {
 		sess, err := tgt.Session()
 		if err != nil {
@@ -80,9 +89,9 @@ func Run(cfg Config) (*Result, error) {
 			return nil, fmt.Errorf("bench: writer session: %w", err)
 		}
 		sessions = append(sessions, sess)
-		writers[w] = client{sess: sess, r: scenario.NewWriter(w)}
+		writers[w] = runClient{sess: sess, r: scenario.NewWriter(w)}
 	}
-	analysts := make([]client, cfg.Analysts)
+	analysts := make([]runClient, cfg.Analysts)
 	for a := range analysts {
 		sess, err := tgt.Session()
 		if err != nil {
@@ -90,7 +99,7 @@ func Run(cfg Config) (*Result, error) {
 			return nil, fmt.Errorf("bench: analyst session: %w", err)
 		}
 		sessions = append(sessions, sess)
-		analysts[a] = client{sess: sess, r: scenario.NewAnalyst(a)}
+		analysts[a] = runClient{sess: sess, r: scenario.NewAnalyst(a)}
 	}
 
 	warmupWG.Add(cfg.Writers)
@@ -125,7 +134,7 @@ func Run(cfg Config) (*Result, error) {
 	start := now()
 	for _, cl := range writers {
 		writersWG.Add(1)
-		go func(cl client) {
+		go func(cl runClient) {
 			defer writersWG.Done()
 			inWarmup := true
 			leaveWarmup := func() {
@@ -152,15 +161,22 @@ func Run(cfg Config) (*Result, error) {
 				if n >= cfg.WarmupOps {
 					if err != nil {
 						errOps[op.Class].Add(1)
+						if errors.Is(err, client.ErrTransport) {
+							xportOps[op.Class].Add(1)
+						}
 					} else {
 						okOps[op.Class].Add(1)
 						hists[op.Class].Observe(d)
 					}
-				} else if err != nil && cfg.OverloadRows == 0 {
-					// Warmup failures with admission control off are
-					// real bugs, not load shedding.
+				} else if err != nil && cfg.OverloadRows == 0 && !errors.Is(err, client.ErrTransport) {
+					// Warmup failures with admission control off are real
+					// bugs, not load shedding — except connection loss,
+					// which is the network's fault, not the engine's: it
+					// is recorded per class instead of aborting the run.
 					fatal(fmt.Errorf("bench: warmup %s: %w", op.Class, err))
 					return
+				} else if err != nil && errors.Is(err, client.ErrTransport) {
+					xportOps[op.Class].Add(1)
 				}
 			}
 		}(cl)
@@ -168,7 +184,7 @@ func Run(cfg Config) (*Result, error) {
 
 	for _, cl := range analysts {
 		analystWG.Add(1)
-		go func(cl client) {
+		go func(cl runClient) {
 			defer analystWG.Done()
 			for !done.Load() {
 				op := cl.r.NextOp()
@@ -180,10 +196,16 @@ func Run(cfg Config) (*Result, error) {
 				d := time.Since(t0)
 				cl.r.Observe(op, err)
 				if !measuring.Load() || done.Load() {
+					if err != nil && errors.Is(err, client.ErrTransport) {
+						xportOps[op.Class].Add(1)
+					}
 					continue
 				}
 				if err != nil {
 					errOps[op.Class].Add(1)
+					if errors.Is(err, client.ErrTransport) {
+						xportOps[op.Class].Add(1)
+					}
 				} else {
 					okOps[op.Class].Add(1)
 					hists[op.Class].Observe(d)
@@ -223,11 +245,11 @@ func Run(cfg Config) (*Result, error) {
 	window := res.Measure.Seconds()
 	for c := OpClass(0); c < numClasses; c++ {
 		ok, errs := okOps[c].Load(), errOps[c].Load()
-		if ok == 0 && errs == 0 {
+		if ok == 0 && errs == 0 && xportOps[c].Load() == 0 {
 			continue
 		}
 		snap := hists[c].Snapshot()
-		cs := &ClassStats{Ops: ok, Errors: errs}
+		cs := &ClassStats{Ops: ok, Errors: errs, TransportErrors: xportOps[c].Load()}
 		if window > 0 {
 			cs.Throughput = float64(ok) / window
 		}
@@ -242,6 +264,9 @@ func Run(cfg Config) (*Result, error) {
 	}
 	if res.Engine, err = tgt.Stats(); err != nil {
 		return nil, fmt.Errorf("bench: stats: %w", err)
+	}
+	if tr, ok := tgt.(transportReporter); ok {
+		res.Reconnects, res.Retries = tr.Transport()
 	}
 
 	if cfg.Verify {

@@ -13,6 +13,13 @@ type ClassStats struct {
 	// Ops counts completed operations; Errors counts failed attempts
 	// (admission-control rejections land here).
 	Ops, Errors uint64
+	// TransportErrors counts the subset of failures that were
+	// connection loss rather than server rejections: ops the
+	// reconnecting client gave up on after exhausting its retry budget
+	// (warmup-phase losses are included, since they shed no load). With
+	// an unlimited budget this stays zero no matter how hostile the
+	// network — every op reaches a definitive outcome.
+	TransportErrors uint64
 	// Throughput is completed ops per second over the measure window.
 	Throughput float64
 	// Latency percentiles from the obs histogram (bucket upper
@@ -36,6 +43,11 @@ type Result struct {
 	// proof the mix ran under live merging (MainMerges > 0) and how
 	// hard admission control bit.
 	Engine TargetStats
+	// Reconnects/Retries are the wire transport's cumulative
+	// reconnection and command-redelivery counts across all clients
+	// (0 for embedded targets): under fault injection they prove the
+	// run actually exercised the reconnect path.
+	Reconnects, Retries uint64
 	// VerifiedFacts counts the oracle facts checked by the end-state
 	// differential (0 when Verify was off).
 	VerifiedFacts int
@@ -75,6 +87,7 @@ func (r *Result) Report() *benchfmt.Report {
 		)
 		rep.SetMetric(name+".ops", float64(cs.Ops))
 		rep.SetMetric(name+".errors", float64(cs.Errors))
+		rep.SetMetric(name+".transport_errors", float64(cs.TransportErrors))
 		rep.SetMetric(name+".tput", cs.Throughput)
 		rep.SetMetric(name+".p50_ns", float64(cs.P50))
 		rep.SetMetric(name+".p95_ns", float64(cs.P95))
@@ -85,6 +98,8 @@ func (r *Result) Report() *benchfmt.Report {
 	rep.SetMetric("merge.main", float64(r.Engine.MainMerges))
 	rep.SetMetric("admission.throttled", float64(r.Engine.ThrottledWrites))
 	rep.SetMetric("admission.rejected", float64(r.Engine.RejectedWrites))
+	rep.SetMetric("net.reconnects", float64(r.Reconnects))
+	rep.SetMetric("net.retries", float64(r.Retries))
 	rep.SetMetric("verify.facts", float64(r.VerifiedFacts))
 
 	rep.AddNote("%d writers (%d%%/%d%%/%d%% ins/upd/del, rest point reads), %d analysts, preload %d, seed %d",
@@ -96,6 +111,10 @@ func (r *Result) Report() *benchfmt.Report {
 	if r.Engine.ThrottledWrites > 0 || r.Engine.RejectedWrites > 0 {
 		rep.AddNote("admission control: %d writes throttled, %d rejected",
 			r.Engine.ThrottledWrites, r.Engine.RejectedWrites)
+	}
+	if r.Reconnects > 0 || r.Retries > 0 {
+		rep.AddNote("transport: %d reconnects, %d command retries across all sessions",
+			r.Reconnects, r.Retries)
 	}
 	if r.VerifiedFacts > 0 {
 		rep.AddNote("oracle differential: %d facts verified (count, per-region aggregates%s)",

@@ -5,6 +5,7 @@ import (
 	"strconv"
 	"strings"
 
+	"repro/internal/client"
 	"repro/internal/core"
 	"repro/internal/mvcc"
 	sqlfe "repro/internal/sql"
@@ -220,31 +221,42 @@ func (s *sqlSession) Close() error { return nil }
 
 // sqlWireTarget speaks SQL to a running hanaserver: statements travel
 // as "SQL ..." lines and the hot OLTP ops as PREPARE/EXECUTE, hitting
-// the server's shared plan cache.
+// the server's shared plan cache. Sessions are reconnecting clients;
+// their prepared statements replay automatically after a reconnect,
+// so EXECUTE keeps working across injected connection loss.
 type sqlWireTarget struct {
-	cfg  Config
-	ctl  *wireConn
-	open []*wireConn
+	cfg   Config
+	ctl   *client.Client
+	open  []*client.Client
+	nsess int64
 }
 
 func newSQLWireTarget(cfg Config) (*sqlWireTarget, error) {
-	ctl, err := dialWire(cfg.Addr)
+	ctl, err := dialCtl(cfg)
 	if err != nil {
 		return nil, err
 	}
 	return &sqlWireTarget{cfg: cfg, ctl: ctl}, nil
 }
 
+func (t *sqlWireTarget) ctlOK(cmd string) (string, error) {
+	line, err := t.ctl.DoOK(cmd)
+	if err != nil {
+		return "", fmt.Errorf("bench: %w", err)
+	}
+	return line, nil
+}
+
 func (t *sqlWireTarget) Setup(preload [][]types.Value) error {
-	if _, err := t.ctl.expectOK("SQL " + sqlCreate(t.cfg.Table)); err != nil {
+	if _, err := t.ctlOK("SQL " + sqlCreate(t.cfg.Table)); err != nil {
 		return err
 	}
-	if _, err := t.ctl.expectOK("PREPARE ins " + sqlInsert(t.cfg.Table)); err != nil {
+	if _, err := t.ctlOK("PREPARE ins " + sqlInsert(t.cfg.Table)); err != nil {
 		return err
 	}
 	const batch = 1000
 	for i := 0; i < len(preload); i += batch {
-		if _, err := t.ctl.expectOK("BEGIN"); err != nil {
+		if _, err := t.ctlOK("BEGIN"); err != nil {
 			return err
 		}
 		end := i + batch
@@ -252,20 +264,21 @@ func (t *sqlWireTarget) Setup(preload [][]types.Value) error {
 			end = len(preload)
 		}
 		for _, row := range preload[i:end] {
-			if _, err := t.ctl.expectOK("EXECUTE ins " + wireRow(row)); err != nil {
+			if _, err := t.ctlOK("EXECUTE ins " + wireRow(row)); err != nil {
 				return err
 			}
 		}
-		if _, err := t.ctl.expectOK("COMMIT"); err != nil {
+		if _, err := t.ctlOK("COMMIT"); err != nil {
 			return err
 		}
 	}
-	_, err := t.ctl.expectOK("MERGE " + t.cfg.Table)
+	_, err := t.ctlOK("MERGE " + t.cfg.Table)
 	return err
 }
 
 func (t *sqlWireTarget) Session() (Session, error) {
-	c, err := dialWire(t.cfg.Addr)
+	t.nsess++
+	c, err := dialSessionClient(t.cfg, t.nsess)
 	if err != nil {
 		return nil, err
 	}
@@ -277,7 +290,7 @@ func (t *sqlWireTarget) Session() (Session, error) {
 		{"del", sqlDelete(t.cfg.Table)},
 		{"pt", sqlPoint(t.cfg.Table)},
 	} {
-		if _, err := c.expectOK(fmt.Sprintf("PREPARE %s %s", p.name, p.text)); err != nil {
+		if err := c.Prepare(p.name, p.text); err != nil {
 			return nil, err
 		}
 	}
@@ -287,7 +300,7 @@ func (t *sqlWireTarget) Session() (Session, error) {
 // sqlRows runs a SQL query and returns its ROW lines stripped of the
 // prefix.
 func (t *sqlWireTarget) sqlRows(query string) ([]string, error) {
-	lines, err := t.ctl.roundTrip("SQL " + query)
+	lines, err := t.ctl.Do("SQL " + query)
 	if err != nil {
 		return nil, err
 	}
@@ -339,56 +352,72 @@ func (t *sqlWireTarget) AggRegion() (map[string]regionAgg, error) {
 func (t *sqlWireTarget) Rows() (map[int64][]types.Value, bool, error) { return nil, false, nil }
 
 func (t *sqlWireTarget) Stats() (TargetStats, error) {
-	line, err := t.ctl.expectOK("STATS " + t.cfg.Table)
+	line, err := t.ctlOK("STATS " + t.cfg.Table)
 	if err != nil {
 		return TargetStats{}, err
 	}
 	return parseWireStats(line), nil
 }
 
+// Transport sums reconnects and retries across this target's clients.
+func (t *sqlWireTarget) Transport() (reconnects, retries uint64) {
+	return sumTransport(t.ctl, t.open)
+}
+
 func (t *sqlWireTarget) Close() error {
 	for _, c := range t.open {
-		c.close()
+		c.Close()
 	}
-	return t.ctl.close()
+	return t.ctl.Close()
 }
 
 // sqlWireSession executes one routine's ops as EXECUTE commands over
-// its own connection (autocommit server-side).
+// its reconnecting client (autocommit server-side). The retry and
+// reconciliation rules mirror wireSession: the SQL DELETE reports a
+// missing key as "OK 0" rather than an ERR line, so its reconcile
+// branch looks at the affected-rows count instead of the message.
 type sqlWireSession struct {
-	c     *wireConn
+	c     *client.Client
 	table string
 }
 
 func (s *sqlWireSession) Insert(row []types.Value) error {
-	_, err := s.c.expectOK("EXECUTE ins " + wireRow(row))
+	_, err := retriedWriteOK(s.c, "EXECUTE ins "+wireRow(row), isDuplicateKey)
 	return err
 }
 
 func (s *sqlWireSession) Update(key int64, row []types.Value) error {
-	line, err := s.c.expectOK(fmt.Sprintf("EXECUTE upd %s %d", wireRow(row[1:]), key))
+	// Idempotent full-row set: safe to replay after an ambiguous drop.
+	line, err := s.c.DoRetryOK(fmt.Sprintf("EXECUTE upd %s %d", wireRow(row[1:]), key))
 	if err != nil {
 		return err
 	}
 	if line == "OK 0" {
+		// Updates never remove the key, so zero rows is a genuine bug
+		// even on a retried delivery.
 		return fmt.Errorf("bench: update of missing key %d", key)
 	}
 	return nil
 }
 
 func (s *sqlWireSession) Delete(key int64) error {
-	line, err := s.c.expectOK(fmt.Sprintf("EXECUTE del %d", key))
+	_, retriesBefore := s.c.Stats()
+	line, err := s.c.DoRetryOK(fmt.Sprintf("EXECUTE del %d", key))
 	if err != nil {
 		return err
 	}
 	if line == "OK 0" {
+		if _, retriesAfter := s.c.Stats(); retriesAfter > retriesBefore {
+			// A lost-response attempt already deleted the row.
+			return nil
+		}
 		return fmt.Errorf("bench: delete of missing key %d", key)
 	}
 	return nil
 }
 
 func (s *sqlWireSession) Point(key int64) (bool, error) {
-	lines, err := s.c.roundTrip(fmt.Sprintf("EXECUTE pt %d", key))
+	lines, err := s.c.DoRetry(fmt.Sprintf("EXECUTE pt %d", key))
 	if err != nil {
 		return false, err
 	}
@@ -400,7 +429,7 @@ func (s *sqlWireSession) Point(key int64) (bool, error) {
 }
 
 func (s *sqlWireSession) ScanAgg() (int, error) {
-	lines, err := s.c.roundTrip("SQL " + sqlAgg(s.table))
+	lines, err := s.c.DoRetry("SQL " + sqlAgg(s.table))
 	if err != nil {
 		return 0, err
 	}
@@ -411,7 +440,4 @@ func (s *sqlWireSession) ScanAgg() (int, error) {
 	return len(lines) - 1, nil
 }
 
-func (s *sqlWireSession) Close() error {
-	s.c.expectOK("QUIT")
-	return s.c.close()
-}
+func (s *sqlWireSession) Close() error { return s.c.Close() }

@@ -1,88 +1,105 @@
 package bench
 
 import (
-	"bufio"
+	"errors"
 	"fmt"
-	"net"
 	"regexp"
 	"strconv"
 	"strings"
 
+	"repro/internal/client"
 	"repro/internal/types"
 )
 
 // wireTarget drives a running hanaserver over its line protocol — the
 // same mixed workload, but paying the full network + parse path the
 // paper's "thousands of concurrent users" would. Each Session is one
-// TCP connection (one server session goroutine).
+// reconnecting client (internal/client): one logical session over
+// however many TCP connections the network allows, so the harness
+// keeps measuring — and the oracle keeps holding — while cfg.Dial
+// injects faults underneath.
 type wireTarget struct {
-	cfg  Config
-	ctl  *wireConn // driver-side control connection
-	open []*wireConn
+	cfg   Config
+	ctl   *client.Client // driver-side control connection, always clean
+	open  []*client.Client
+	nsess int64
 }
 
 func newWireTarget(cfg Config) (*wireTarget, error) {
-	ctl, err := dialWire(cfg.Addr)
+	ctl, err := dialCtl(cfg)
 	if err != nil {
 		return nil, err
 	}
 	return &wireTarget{cfg: cfg, ctl: ctl}, nil
 }
 
-// wireConn is one protocol connection.
-type wireConn struct {
-	conn net.Conn
-	r    *bufio.Scanner
-	w    *bufio.Writer
+// dialCtl connects the driver's control connection: no fault
+// injection and no unbounded retry, because Setup's multi-statement
+// transactions (BEGIN ... COMMIT) must not silently hop connections.
+func dialCtl(cfg Config) (*client.Client, error) {
+	return client.Dial(client.Config{Addr: cfg.Addr, Seed: cfg.Seed + 1})
 }
 
-func dialWire(addr string) (*wireConn, error) {
-	conn, err := net.Dial("tcp", addr)
+// dialSessionClient connects routine session n through cfg.Dial (the
+// fault-injection hook) with the configured retry budget. Each
+// session gets its own jitter seed so backoff storms decorrelate.
+func dialSessionClient(cfg Config, n int64) (*client.Client, error) {
+	return client.Dial(client.Config{
+		Addr:       cfg.Addr,
+		Dial:       cfg.Dial,
+		MaxRetries: cfg.MaxRetries,
+		Seed:       cfg.Seed + 104729*n,
+	})
+}
+
+func (t *wireTarget) dialSession() (*client.Client, error) {
+	t.nsess++
+	c, err := dialSessionClient(t.cfg, t.nsess)
 	if err != nil {
-		return nil, fmt.Errorf("bench: dial %s: %w", addr, err)
+		return nil, err
 	}
-	sc := bufio.NewScanner(conn)
-	sc.Buffer(make([]byte, 1<<16), 1<<20)
-	return &wireConn{conn: conn, r: sc, w: bufio.NewWriter(conn)}, nil
+	t.open = append(t.open, c)
+	return c, nil
 }
 
-// roundTrip sends one command and collects response lines through the
-// terminator ("OK...", "ERR...", or "END").
-func (c *wireConn) roundTrip(cmd string) ([]string, error) {
-	if _, err := fmt.Fprintln(c.w, cmd); err != nil {
-		return nil, err
+// ctlOK runs a control command whose response must be one OK line.
+func (t *wireTarget) ctlOK(cmd string) (string, error) {
+	line, err := t.ctl.DoOK(cmd)
+	if err != nil {
+		return "", fmt.Errorf("bench: %w", err)
 	}
-	if err := c.w.Flush(); err != nil {
-		return nil, err
+	return line, nil
+}
+
+// retriedWriteOK sends a write with transport-level retry and
+// reconciles the one ambiguity retry introduces: when an attempt's
+// response was lost, the command may have executed, so a definitive
+// server rejection on a *retried* delivery that matches applied
+// (duplicate key for inserts, not-found for deletes) means an earlier
+// attempt did the work — report success. A rejection on a first,
+// un-retried delivery is a real error and passes through.
+func retriedWriteOK(c *client.Client, cmd string, applied func(msg string) bool) (string, error) {
+	_, retriesBefore := c.Stats()
+	line, err := c.DoRetryOK(cmd)
+	if err == nil {
+		return line, nil
 	}
-	var out []string
-	for c.r.Scan() {
-		line := c.r.Text()
-		out = append(out, line)
-		if line == "END" || strings.HasPrefix(line, "OK") || strings.HasPrefix(line, "ERR") {
-			return out, nil
+	var serr *client.ServerError
+	if applied != nil && errors.As(err, &serr) {
+		if _, retriesAfter := c.Stats(); retriesAfter > retriesBefore && applied(serr.Msg) {
+			return "", nil
 		}
 	}
-	if err := c.r.Err(); err != nil {
-		return nil, err
-	}
-	return nil, fmt.Errorf("bench: connection closed during %q", cmd)
+	return "", err
 }
 
-// expectOK runs a command whose whole response is one OK/ERR line.
-func (c *wireConn) expectOK(cmd string) (string, error) {
-	out, err := c.roundTrip(cmd)
-	if err != nil {
-		return "", err
-	}
-	last := out[len(out)-1]
-	if !strings.HasPrefix(last, "OK") {
-		return "", fmt.Errorf("bench: %s: %s", strings.Fields(cmd)[0], strings.TrimPrefix(last, "ERR "))
-	}
-	return last, nil
-}
-
-func (c *wireConn) close() error { return c.conn.Close() }
+// isDuplicateKey / isNotFound classify the server rejections that a
+// retried write reconciles as its own earlier success. Sound because
+// writers own disjoint key strides: a routine only inserts keys it
+// knows are absent and only deletes keys it knows are live, so the
+// duplicate/missing state can only be its own prior attempt's effect.
+func isDuplicateKey(msg string) bool { return strings.Contains(msg, "duplicate key") }
+func isNotFound(msg string) bool     { return strings.Contains(msg, "not found") }
 
 // wireValue renders a value in the protocol's token syntax
 // (single-quoted strings, full-precision floats).
@@ -109,14 +126,14 @@ func (t *wireTarget) Setup(preload [][]types.Value) error {
 	create := fmt.Sprintf(
 		"CREATE %s id:INT customer:VARCHAR product:VARCHAR region:VARCHAR status:VARCHAR quantity:INT amount:DOUBLE KEY 0",
 		t.cfg.Table)
-	if _, err := t.ctl.expectOK(create); err != nil {
+	if _, err := t.ctlOK(create); err != nil {
 		return err
 	}
 	// Batch the preload into multi-statement transactions: one commit
 	// per 1000 rows instead of one per row.
 	const batch = 1000
 	for i := 0; i < len(preload); i += batch {
-		if _, err := t.ctl.expectOK("BEGIN"); err != nil {
+		if _, err := t.ctlOK("BEGIN"); err != nil {
 			return err
 		}
 		end := i + batch
@@ -124,30 +141,29 @@ func (t *wireTarget) Setup(preload [][]types.Value) error {
 			end = len(preload)
 		}
 		for _, row := range preload[i:end] {
-			if _, err := t.ctl.expectOK(fmt.Sprintf("INSERT %s %s", t.cfg.Table, wireRow(row))); err != nil {
+			if _, err := t.ctlOK(fmt.Sprintf("INSERT %s %s", t.cfg.Table, wireRow(row))); err != nil {
 				return err
 			}
 		}
-		if _, err := t.ctl.expectOK("COMMIT"); err != nil {
+		if _, err := t.ctlOK("COMMIT"); err != nil {
 			return err
 		}
 	}
 	// Drain the preload to main so measurement starts warm.
-	_, err := t.ctl.expectOK("MERGE " + t.cfg.Table)
+	_, err := t.ctlOK("MERGE " + t.cfg.Table)
 	return err
 }
 
 func (t *wireTarget) Session() (Session, error) {
-	c, err := dialWire(t.cfg.Addr)
+	c, err := t.dialSession()
 	if err != nil {
 		return nil, err
 	}
-	t.open = append(t.open, c)
 	return &wireSession{c: c, table: t.cfg.Table}, nil
 }
 
 func (t *wireTarget) Count() (int, error) {
-	line, err := t.ctl.expectOK("COUNT " + t.cfg.Table)
+	line, err := t.ctlOK("COUNT " + t.cfg.Table)
 	if err != nil {
 		return 0, err
 	}
@@ -157,7 +173,7 @@ func (t *wireTarget) Count() (int, error) {
 // aggRegionCol runs AGG over one sum column and folds the rows into
 // out via set.
 func (t *wireTarget) aggRegionCol(col int, out map[string]regionAgg, set func(*regionAgg, int64, float64)) error {
-	lines, err := t.ctl.roundTrip(fmt.Sprintf("AGG %s %d %d", t.cfg.Table, colRegion, col))
+	lines, err := t.ctl.Do(fmt.Sprintf("AGG %s %d %d", t.cfg.Table, colRegion, col))
 	if err != nil {
 		return err
 	}
@@ -221,43 +237,62 @@ func parseWireStats(line string) TargetStats {
 }
 
 func (t *wireTarget) Stats() (TargetStats, error) {
-	line, err := t.ctl.expectOK("STATS " + t.cfg.Table)
+	line, err := t.ctlOK("STATS " + t.cfg.Table)
 	if err != nil {
 		return TargetStats{}, err
 	}
 	return parseWireStats(line), nil
 }
 
-func (t *wireTarget) Close() error {
-	for _, c := range t.open {
-		c.close()
-	}
-	return t.ctl.close()
+// Transport sums reconnects and command retries across every client
+// this target opened, for the run report.
+func (t *wireTarget) Transport() (reconnects, retries uint64) {
+	return sumTransport(t.ctl, t.open)
 }
 
-// wireSession executes one routine's ops over its own connection.
+func sumTransport(ctl *client.Client, open []*client.Client) (reconnects, retries uint64) {
+	for _, c := range append([]*client.Client{ctl}, open...) {
+		rc, rt := c.Stats()
+		reconnects += rc
+		retries += rt
+	}
+	return reconnects, retries
+}
+
+func (t *wireTarget) Close() error {
+	for _, c := range t.open {
+		c.Close()
+	}
+	return t.ctl.Close()
+}
+
+// wireSession executes one routine's ops over its own reconnecting
+// client. Reads and the idempotent full-row update retry freely;
+// insert and delete retry with reconciliation (see retriedWriteOK).
 type wireSession struct {
-	c     *wireConn
+	c     *client.Client
 	table string
 }
 
 func (s *wireSession) Insert(row []types.Value) error {
-	_, err := s.c.expectOK(fmt.Sprintf("INSERT %s %s", s.table, wireRow(row)))
+	_, err := retriedWriteOK(s.c, fmt.Sprintf("INSERT %s %s", s.table, wireRow(row)), isDuplicateKey)
 	return err
 }
 
 func (s *wireSession) Update(key int64, row []types.Value) error {
-	_, err := s.c.expectOK(fmt.Sprintf("UPDATE %s %d %s", s.table, key, wireRow(row)))
+	// A full-row set of an owned, live key is idempotent: replaying it
+	// after an ambiguous drop converges on the same row.
+	_, err := s.c.DoRetryOK(fmt.Sprintf("UPDATE %s %d %s", s.table, key, wireRow(row)))
 	return err
 }
 
 func (s *wireSession) Delete(key int64) error {
-	_, err := s.c.expectOK(fmt.Sprintf("DELETE %s %d", s.table, key))
+	_, err := retriedWriteOK(s.c, fmt.Sprintf("DELETE %s %d", s.table, key), isNotFound)
 	return err
 }
 
 func (s *wireSession) Point(key int64) (bool, error) {
-	lines, err := s.c.roundTrip(fmt.Sprintf("GET %s %d", s.table, key))
+	lines, err := s.c.DoRetry(fmt.Sprintf("GET %s %d", s.table, key))
 	if err != nil {
 		return false, err
 	}
@@ -269,7 +304,7 @@ func (s *wireSession) Point(key int64) (bool, error) {
 }
 
 func (s *wireSession) ScanAgg() (int, error) {
-	lines, err := s.c.roundTrip(fmt.Sprintf("AGG %s %d %d", s.table, colRegion, colAmount))
+	lines, err := s.c.DoRetry(fmt.Sprintf("AGG %s %d %d", s.table, colRegion, colAmount))
 	if err != nil {
 		return 0, err
 	}
@@ -280,7 +315,4 @@ func (s *wireSession) ScanAgg() (int, error) {
 	return len(lines) - 1, nil
 }
 
-func (s *wireSession) Close() error {
-	s.c.expectOK("QUIT")
-	return s.c.close()
-}
+func (s *wireSession) Close() error { return s.c.Close() }

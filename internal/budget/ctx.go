@@ -1,0 +1,25 @@
+package budget
+
+import "context"
+
+type ctxKey struct{}
+
+// WithMeter attaches the statement's meter to ctx so it rides the
+// same context plumbing that already carries cancellation into morsel
+// dispatch and batch scans.
+func WithMeter(ctx context.Context, m *Meter) context.Context {
+	if m == nil {
+		return ctx
+	}
+	return context.WithValue(ctx, ctxKey{}, m)
+}
+
+// FromContext returns the meter attached to ctx, or nil (= unlimited)
+// when there is none or ctx is nil.
+func FromContext(ctx context.Context) *Meter {
+	if ctx == nil {
+		return nil
+	}
+	m, _ := ctx.Value(ctxKey{}).(*Meter)
+	return m
+}

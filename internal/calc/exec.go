@@ -106,6 +106,14 @@ func (ex *executor) eval(n *Node) ([][]types.Value, error) {
 }
 
 func (ex *executor) compute(n *Node) ([][]types.Value, error) {
+	if ex.env.Ctx != nil {
+		// Coarse-grained cancellation between operators; the fused
+		// table operators below observe the same context at batch or
+		// row-stride granularity while they run.
+		if err := ex.env.Ctx.Err(); err != nil {
+			return nil, err
+		}
+	}
 	switch n.kind {
 	case KindTable:
 		// The vectorized scan streams column batches with code-level
@@ -180,6 +188,7 @@ func (ex *executor) compute(n *Node) ([][]types.Value, error) {
 			return engine.Collect(&engine.TableAggregate{
 				Table: child.table, Txn: ex.env.Txn, AsOf: child.asOf,
 				Pred: child.pred, GroupBy: n.groupBy, Aggs: n.aggs,
+				Ctx: ex.env.Ctx,
 			})
 		}
 		in, err := ex.eval(n.inputs[0])

@@ -1,0 +1,278 @@
+package client
+
+import (
+	"bufio"
+	"errors"
+	"fmt"
+	"net"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// fakeServer is a minimal line-protocol server for exercising the
+// client: a handler maps each command to response lines, and the
+// sentinel return kill=true makes the server drop the connection
+// without (or after a partial) response — the ambiguity a real
+// network failure creates.
+type fakeServer struct {
+	ln      net.Listener
+	handler func(conn, cmd string) (lines []string, kill bool)
+	wg      sync.WaitGroup
+	connSeq atomic.Int64
+}
+
+func newFakeServer(t *testing.T, handler func(conn, cmd string) ([]string, bool)) *fakeServer {
+	t.Helper()
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := &fakeServer{ln: ln, handler: handler}
+	s.wg.Add(1)
+	go func() {
+		defer s.wg.Done()
+		for {
+			c, err := ln.Accept()
+			if err != nil {
+				return
+			}
+			id := fmt.Sprintf("c%d", s.connSeq.Add(1))
+			s.wg.Add(1)
+			go func() {
+				defer s.wg.Done()
+				defer c.Close()
+				sc := bufio.NewScanner(c)
+				for sc.Scan() {
+					cmd := sc.Text()
+					if cmd == "QUIT" {
+						fmt.Fprintln(c, "OK bye")
+						return
+					}
+					lines, kill := s.handler(id, cmd)
+					for _, l := range lines {
+						fmt.Fprintln(c, l)
+					}
+					if kill {
+						return
+					}
+				}
+			}()
+		}
+	}()
+	t.Cleanup(func() {
+		ln.Close()
+		s.wg.Wait()
+	})
+	return s
+}
+
+func (s *fakeServer) addr() string { return s.ln.Addr().String() }
+
+func TestDoRetrySurvivesConnectionLoss(t *testing.T) {
+	var calls atomic.Int64
+	srv := newFakeServer(t, func(_, cmd string) ([]string, bool) {
+		if calls.Add(1) <= 2 {
+			return nil, true // die without answering, twice
+		}
+		return []string{"OK " + cmd}, false
+	})
+	c, err := Dial(Config{Addr: srv.addr(), Seed: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	line, err := c.DoRetryOK("PING")
+	if err != nil {
+		t.Fatalf("DoRetryOK: %v", err)
+	}
+	if line != "OK PING" {
+		t.Fatalf("got %q", line)
+	}
+	rec, ret := c.Stats()
+	if rec != 2 || ret != 2 {
+		t.Fatalf("reconnects/retries = %d/%d, want 2/2", rec, ret)
+	}
+}
+
+func TestServerErrorIsDefinitiveNotRetried(t *testing.T) {
+	var calls atomic.Int64
+	srv := newFakeServer(t, func(_, cmd string) ([]string, bool) {
+		calls.Add(1)
+		return []string{"ERR boom"}, false
+	})
+	c, err := Dial(Config{Addr: srv.addr()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	_, err = c.DoRetryOK("EXPLODE now")
+	var serr *ServerError
+	if !errors.As(err, &serr) {
+		t.Fatalf("want *ServerError, got %v", err)
+	}
+	if !strings.Contains(serr.Msg, "boom") {
+		t.Fatalf("message lost: %q", serr.Msg)
+	}
+	if n := calls.Load(); n != 1 {
+		t.Fatalf("server saw %d attempts, want exactly 1 (no retry on ERR)", n)
+	}
+}
+
+func TestMaxRetriesExhaustion(t *testing.T) {
+	srv := newFakeServer(t, func(_, _ string) ([]string, bool) { return nil, true })
+	c, err := Dial(Config{Addr: srv.addr(), MaxRetries: 2, BackoffBase: time.Microsecond})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	_, err = c.DoRetry("PING")
+	if !errors.Is(err, ErrTransport) {
+		t.Fatalf("want ErrTransport after exhaustion, got %v", err)
+	}
+	_, ret := c.Stats()
+	if ret != 2 {
+		t.Fatalf("retries = %d, want 2", ret)
+	}
+}
+
+func TestPreparedStatementsReplayAfterReconnect(t *testing.T) {
+	var mu sync.Mutex
+	preparedOn := map[string]map[string]bool{} // conn -> names
+	var killNext atomic.Bool
+	srv := newFakeServer(t, func(conn, cmd string) ([]string, bool) {
+		mu.Lock()
+		defer mu.Unlock()
+		if preparedOn[conn] == nil {
+			preparedOn[conn] = map[string]bool{}
+		}
+		switch {
+		case strings.HasPrefix(cmd, "PREPARE "):
+			name := strings.Fields(cmd)[1]
+			preparedOn[conn][name] = true
+			return []string{"OK prepared " + name}, false
+		case strings.HasPrefix(cmd, "EXECUTE "):
+			if killNext.CompareAndSwap(true, false) {
+				return nil, true
+			}
+			name := strings.Fields(cmd)[1]
+			if !preparedOn[conn][name] {
+				return []string{"ERR unknown prepared statement " + name}, false
+			}
+			return []string{"ROW 1", "END"}, false
+		}
+		return []string{"OK"}, false
+	})
+	c, err := Dial(Config{Addr: srv.addr(), Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	if err := c.Prepare("pt", "SELECT id FROM t WHERE id = ?"); err != nil {
+		t.Fatalf("prepare: %v", err)
+	}
+	if _, err := c.DoRetry("EXECUTE pt 1"); err != nil {
+		t.Fatalf("execute before kill: %v", err)
+	}
+	killNext.Store(true)
+	lines, err := c.DoRetry("EXECUTE pt 2")
+	if err != nil {
+		t.Fatalf("execute across reconnect: %v", err)
+	}
+	if lines[len(lines)-1] != "END" || len(lines) != 2 {
+		t.Fatalf("post-reconnect execute got %v", lines)
+	}
+	rec, _ := c.Stats()
+	if rec == 0 {
+		t.Fatalf("no reconnect recorded; kill did not land?")
+	}
+}
+
+func TestDeallocateStopsReplay(t *testing.T) {
+	var mu sync.Mutex
+	prepares := 0
+	srv := newFakeServer(t, func(_, cmd string) ([]string, bool) {
+		if strings.HasPrefix(cmd, "PREPARE ") {
+			mu.Lock()
+			prepares++
+			mu.Unlock()
+			return []string{"OK"}, false
+		}
+		if cmd == "DIE" {
+			return nil, true
+		}
+		return []string{"OK"}, false
+	})
+	c, err := Dial(Config{Addr: srv.addr()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	if err := c.Prepare("x", "SELECT 1"); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Deallocate("x"); err != nil {
+		t.Fatal(err)
+	}
+	c.Do("DIE")           // drop the connection
+	c.DoRetry("ANYTHING") // forces reconnect; must not replay x
+	mu.Lock()
+	defer mu.Unlock()
+	if prepares != 1 {
+		t.Fatalf("PREPARE sent %d times; deallocated statement was replayed", prepares)
+	}
+}
+
+func TestOnReconnectHookObservesCause(t *testing.T) {
+	var calls atomic.Int64
+	srv := newFakeServer(t, func(_, cmd string) ([]string, bool) {
+		if cmd == "DIE" {
+			return nil, true
+		}
+		return []string{"OK"}, false
+	})
+	var hookCause error
+	var hookMu sync.Mutex
+	c, err := Dial(Config{Addr: srv.addr(), OnReconnect: func(n int, cause error) {
+		calls.Add(1)
+		hookMu.Lock()
+		hookCause = cause
+		hookMu.Unlock()
+	}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	c.Do("DIE")
+	if _, err := c.DoRetryOK("PING"); err != nil {
+		t.Fatal(err)
+	}
+	if calls.Load() == 0 {
+		t.Fatalf("OnReconnect never fired")
+	}
+	hookMu.Lock()
+	defer hookMu.Unlock()
+	if !errors.Is(hookCause, ErrTransport) {
+		t.Fatalf("hook cause = %v, want the transport error that killed the conn", hookCause)
+	}
+}
+
+func TestUnlimitedRetriesEventuallySucceed(t *testing.T) {
+	var calls atomic.Int64
+	srv := newFakeServer(t, func(_, _ string) ([]string, bool) {
+		if calls.Add(1) <= 20 {
+			return nil, true
+		}
+		return []string{"OK done"}, false
+	})
+	c, err := Dial(Config{Addr: srv.addr(), MaxRetries: -1, BackoffBase: time.Microsecond, BackoffMax: time.Millisecond})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	if _, err := c.DoRetryOK("GRIND"); err != nil {
+		t.Fatalf("unlimited retries should outlast 20 failures: %v", err)
+	}
+}

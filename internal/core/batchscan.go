@@ -4,6 +4,7 @@ import (
 	"context"
 	"sort"
 
+	"repro/internal/budget"
 	"repro/internal/expr"
 	"repro/internal/mainstore"
 	"repro/internal/types"
@@ -71,6 +72,11 @@ type scanPlan struct {
 	residual  expr.Predicate
 	l1Filter  func([]types.Value) bool
 	batchSize int
+	// meter is the statement's memory budget (nil = unlimited),
+	// lifted off the scan context so every cursor the plan spawns —
+	// sequential or one per morsel worker — charges its decode caches
+	// against the same statement-wide pool.
+	meter *budget.Meter
 }
 
 // planScan resolves columns, pushdown, and batch size for a scan of
@@ -156,6 +162,7 @@ func (v *View) planScan(cols []int, pred expr.Predicate, batchSize int) *scanPla
 // reports ctx.Err().
 func (v *View) NewBatchScanCtx(ctx context.Context, cols []int, pred expr.Predicate, batchSize int) *BatchScan {
 	p := v.planScan(cols, pred, batchSize)
+	p.meter = budget.FromContext(ctx)
 	c := &BatchScan{v: v, ctx: ctx, outCols: p.outCols, scanCols: p.scanCols,
 		outIdx: p.outIdx, residual: p.residual, batchSize: p.batchSize}
 	c.scan = vec.New(p.kinds)
@@ -177,6 +184,11 @@ func (v *View) NewBatchScanCtx(ctx context.Context, cols []int, pred expr.Predic
 	c.stages = append(c.stages, mcur)
 	c.met = v.t.met
 	c.mainCur = mcur
+	if err := p.meter.Reserve(mcur.CacheBytes()); err != nil {
+		// Sticky: the first Next returns nil and Err reports the
+		// budget failure, the same shape as a cancelled context.
+		c.err = err
+	}
 	return c
 }
 
@@ -245,7 +257,9 @@ func (c *BatchScan) nextBatch() *vec.Batch {
 	}
 }
 
-// Err returns the context error that aborted the scan, or nil when
+// Err returns the error that aborted the scan — the context error on
+// cancellation, or a budget.ErrBudgetExceeded failure when the decode
+// caches did not fit the statement's memory budget — or nil when
 // Next's nil meant a clean end of stream.
 func (c *BatchScan) Err() error { return c.err }
 

@@ -7,6 +7,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"repro/internal/budget"
 	"repro/internal/expr"
 	"repro/internal/l2delta"
 	"repro/internal/mainstore"
@@ -140,6 +141,10 @@ type scanWorker struct {
 	rowBuf  []types.Value
 	l2curs  []*l2delta.BatchScan
 	mainCur *mainstore.BatchScan
+	// budgetErr is set when this worker's lazily-built main cursor
+	// blew the statement's memory budget; run halts the driver with it
+	// at the next morsel boundary.
+	budgetErr error
 
 	residualDropped uint64
 	batches, rows   uint64
@@ -184,6 +189,9 @@ func (w *scanWorker) filler(m morsel) stageFiller {
 			for _, r := range w.plan.ranges {
 				w.mainCur.FilterRange(r.Col, r.Lo, r.Hi, r.LoInc, r.HiInc)
 			}
+			// Every worker carries its own decode caches; all of them
+			// charge the one statement-wide budget.
+			w.budgetErr = w.plan.meter.Reserve(w.mainCur.CacheBytes())
 		}
 		w.mainCur.SetRange(pi, m.start, m.end)
 		return w.mainCur
@@ -215,6 +223,10 @@ func (w *scanWorker) run(d *parallelDriver, acquire func() *wpair, release func(
 		m := d.morsels[mi]
 		mStart := met.morselSeconds.Start()
 		f := w.filler(m)
+		if w.budgetErr != nil {
+			d.halt(w.budgetErr)
+			return
+		}
 		done := false
 		for !done {
 			if d.stopped.Load() {
@@ -319,6 +331,7 @@ func (d *parallelDriver) finishScan(workers int, wall time.Duration) {
 func (v *View) ScanBatchesParallel(ctx context.Context, cols []int, pred expr.Predicate, batchSize, workers int,
 	fn func(worker, morselIdx int, b *vec.Batch) bool) error {
 	plan := v.planScan(cols, pred, batchSize)
+	plan.meter = budget.FromContext(ctx)
 	if workers <= 0 {
 		workers = v.t.ScanWorkers()
 	}
@@ -402,6 +415,7 @@ type ParallelBatchScan struct {
 // be called to release the workers if the scan is abandoned early.
 func (v *View) NewParallelBatchScan(ctx context.Context, cols []int, pred expr.Predicate, batchSize, workers int) *ParallelBatchScan {
 	plan := v.planScan(cols, pred, batchSize)
+	plan.meter = budget.FromContext(ctx)
 	if workers <= 0 {
 		workers = v.t.ScanWorkers()
 	}

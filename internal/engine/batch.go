@@ -6,6 +6,7 @@ import (
 	"sort"
 	"sync"
 
+	"repro/internal/budget"
 	"repro/internal/core"
 	"repro/internal/expr"
 	"repro/internal/mvcc"
@@ -309,6 +310,11 @@ func (l *BatchLimit) Close() error {
 type BatchHashJoin struct {
 	Left, Right       BatchIterator
 	LeftCol, RightCol int
+	// Budget, when non-nil, charges the materialized build side
+	// against the statement's memory budget; a blown budget fails
+	// Open with budget.ErrBudgetExceeded instead of OOMing. Falls
+	// back to the meter carried by the build-side scan's context.
+	Budget *budget.Meter
 
 	table      map[types.Value][][]types.Value
 	parts      []map[types.Value][][]types.Value
@@ -330,6 +336,22 @@ type buildSeg struct {
 	morsel int
 	rows   [][]types.Value
 }
+
+// meter resolves the effective build budget: the explicit field, else
+// whatever meter rides the build-side scan's context.
+func (j *BatchHashJoin) meter() *budget.Meter {
+	if j.Budget != nil {
+		return j.Budget
+	}
+	if rs, ok := j.Right.(*BatchTableScan); ok {
+		return budget.FromContext(rs.Ctx)
+	}
+	return nil
+}
+
+// buildRowBytes is the per-row hash-table overhead beyond the values:
+// the rows slice slot and amortized map bucket share.
+const buildRowBytes = 48
 
 // Open implements BatchIterator.
 func (j *BatchHashJoin) Open() error {
@@ -357,6 +379,7 @@ func (j *BatchHashJoin) buildSequential() error {
 	}
 	j.rightOpen = true
 	j.table = make(map[types.Value][][]types.Value)
+	meter := j.meter()
 	for {
 		b, err := j.Right.Next()
 		if err != nil {
@@ -366,6 +389,7 @@ func (j *BatchHashJoin) buildSequential() error {
 		if b == nil {
 			break
 		}
+		var bytes int64
 		for i := 0; i < b.Rows(); i++ {
 			row := b.RowAt(i, nil)
 			j.rightWidth = len(row)
@@ -374,6 +398,15 @@ func (j *BatchHashJoin) buildSequential() error {
 				continue
 			}
 			j.table[k] = append(j.table[k], row)
+			if meter != nil {
+				bytes += buildRowBytes + budget.RowBytes(row)
+			}
+		}
+		// One reservation per batch keeps the accounting off the
+		// per-row hot path.
+		if err := meter.Reserve(bytes); err != nil {
+			j.closeRight()
+			return err
 		}
 	}
 	return j.closeRight()
@@ -399,6 +432,9 @@ func (j *BatchHashJoin) buildParallel(rs *BatchTableScan) error {
 	}
 	var width int
 	var widthMu sync.Mutex
+	meter := j.meter()
+	var budgetErr error
+	var budgetMu sync.Mutex
 	err := view.ScanBatchesParallel(rs.Ctx, rs.Cols, rs.Pred, rs.BatchSize, workers,
 		func(w, mi int, b *vec.Batch) bool {
 			rows := b.Materialize()
@@ -407,6 +443,7 @@ func (j *BatchHashJoin) buildParallel(rs *BatchTableScan) error {
 				width = len(rows[0])
 				widthMu.Unlock()
 			}
+			var bytes int64
 			for _, row := range rows {
 				k := row[j.RightCol]
 				if k.IsNull() {
@@ -419,11 +456,25 @@ func (j *BatchHashJoin) buildParallel(rs *BatchTableScan) error {
 				}
 				cell[len(cell)-1].rows = append(cell[len(cell)-1].rows, row)
 				segs[w][p] = cell
+				if meter != nil {
+					bytes += buildRowBytes + budget.RowBytes(row)
+				}
+			}
+			if err := meter.Reserve(bytes); err != nil {
+				budgetMu.Lock()
+				if budgetErr == nil {
+					budgetErr = err
+				}
+				budgetMu.Unlock()
+				return false
 			}
 			return true
 		})
 	if err != nil {
 		return err
+	}
+	if budgetErr != nil {
+		return budgetErr
 	}
 	j.rightWidth = width
 
@@ -543,10 +594,26 @@ type BatchHashAggregate struct {
 	In      BatchIterator
 	GroupBy []int
 	Aggs    []Agg
+	// Budget, when non-nil, charges group creation against the
+	// statement's memory budget; a blown budget fails Open with
+	// budget.ErrBudgetExceeded. Falls back to the meter carried by
+	// the input scan's context.
+	Budget *budget.Meter
 
 	out    *vec.Batch
 	done   bool
 	inOpen bool
+}
+
+// meter resolves the effective accumulator budget.
+func (a *BatchHashAggregate) meter() *budget.Meter {
+	if a.Budget != nil {
+		return a.Budget
+	}
+	if ts, ok := a.In.(*BatchTableScan); ok {
+		return budget.FromContext(ts.Ctx)
+	}
+	return nil
 }
 
 // Open implements BatchIterator.
@@ -560,6 +627,7 @@ func (a *BatchHashAggregate) Open() error {
 	}
 	a.inOpen = true
 	acc := newGroupAcc(len(a.GroupBy), a.Aggs)
+	acc.meter = a.meter()
 	// Box only the columns the aggregation reads, not whole rows.
 	cols, gIdx, aIdx := neededColumns(a.GroupBy, a.Aggs)
 	vals := make([]types.Value, len(cols))
@@ -581,6 +649,10 @@ func (a *BatchHashAggregate) Open() error {
 				vals[j] = b.Cols[c].Value(p)
 			}
 			acc.addProjected(vals, gIdx, aIdx, a.Aggs)
+		}
+		if acc.err != nil {
+			a.closeIn()
+			return acc.err
 		}
 	}
 	if err := a.closeIn(); err != nil {
@@ -610,8 +682,10 @@ func (a *BatchHashAggregate) openParallel(ts *BatchTableScan) error {
 	// sequential scan visits them.
 	curMorsel := make([]int, workers)
 	seq := make([]int, workers)
+	meter := a.meter()
 	for w := range accs {
 		accs[w] = newGroupAcc(len(a.GroupBy), a.Aggs)
+		accs[w].meter = meter
 		curMorsel[w] = -1
 	}
 	err := view.ScanBatchesParallel(ts.Ctx, ts.Cols, ts.Pred, ts.BatchSize, workers,
@@ -624,14 +698,22 @@ func (a *BatchHashAggregate) openParallel(ts *BatchTableScan) error {
 				accs[w].addTagged(bufs[w], a.GroupBy, a.Aggs, mi, seq[w])
 				seq[w]++
 			}
-			return true
+			return accs[w].err == nil
 		})
 	if err != nil {
 		return err
 	}
+	for _, acc := range accs {
+		if acc.err != nil {
+			return acc.err
+		}
+	}
 	merged := accs[0]
 	for _, acc := range accs[1:] {
 		merged.mergeFrom(acc, a.Aggs)
+	}
+	if merged.err != nil {
+		return merged.err
 	}
 	merged.sortByTag()
 	a.emit(merged)

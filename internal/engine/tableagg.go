@@ -1,8 +1,10 @@
 package engine
 
 import (
+	"context"
 	"sort"
 
+	"repro/internal/budget"
 	"repro/internal/core"
 	"repro/internal/expr"
 	"repro/internal/mvcc"
@@ -27,12 +29,39 @@ type TableAggregate struct {
 	// ordinals.
 	GroupBy []int
 	Aggs    []Agg
+	// Ctx, when non-nil, cancels the aggregation at row-stride
+	// granularity — the fused operator is where a single-worker
+	// group-by spends its whole life, so kills and timeouts must reach
+	// inside it.
+	Ctx context.Context
+	// Budget, when non-nil, charges accumulator growth against the
+	// statement's memory budget (falls back to the Ctx-carried meter).
+	Budget *budget.Meter
 
 	out *SliceSource
 }
 
+// ctxCheckStride bounds how many rows a fused aggregation processes
+// between context checks: frequent enough that cancellation reaches a
+// running statement in microseconds, rare enough to vanish in scan
+// cost.
+const ctxCheckStride = 1024
+
+// meter resolves the effective budget meter.
+func (a *TableAggregate) meter() *budget.Meter {
+	if a.Budget != nil {
+		return a.Budget
+	}
+	return budget.FromContext(a.Ctx)
+}
+
 // Open implements Iterator: it runs the whole aggregation.
 func (a *TableAggregate) Open() error {
+	if a.Ctx != nil {
+		if err := a.Ctx.Err(); err != nil {
+			return err
+		}
+	}
 	var v *core.View
 	if a.AsOf != 0 {
 		v = a.Table.AsOf(a.AsOf)
@@ -46,7 +75,8 @@ func (a *TableAggregate) Open() error {
 			// Fully vectorized: per-stage kernels accumulate counts
 			// and sums indexed by dictionary codes, touching only the
 			// decoded code blocks and the dictionaries' numeric
-			// backing arrays (§4.1, [15]).
+			// backing arrays (§4.1, [15]). The kernel runs to
+			// completion; cancellation is only observed at its edges.
 			rows, err := a.numericGrouped(v)
 			if err != nil {
 				return err
@@ -66,19 +96,34 @@ func (a *TableAggregate) Open() error {
 		return a.out.Open()
 	}
 	acc := newGroupAcc(len(a.GroupBy), a.Aggs)
+	acc.meter = a.meter()
+	seen := 0
+	tick := func() bool {
+		seen++
+		if a.Ctx != nil && seen%ctxCheckStride == 0 {
+			if err := a.Ctx.Err(); err != nil {
+				acc.err = err
+				return false
+			}
+		}
+		return acc.err == nil
+	}
 	if a.Pred != nil {
 		// Predicates need full rows; use the filtering scan.
 		v.Filter(a.Pred, func(m core.Match) bool {
 			acc.add(m.Row, a.GroupBy, a.Aggs)
-			return true
+			return tick()
 		})
 	} else {
 		// Pure aggregation: decode only the needed columns.
 		cols, gIdx, aIdx := neededColumns(a.GroupBy, a.Aggs)
 		v.ScanCols(cols, func(_ types.RowID, vals []types.Value) bool {
 			acc.addProjected(vals, gIdx, aIdx, a.Aggs)
-			return true
+			return tick()
 		})
+	}
+	if acc.err != nil {
+		return acc.err
 	}
 	a.out = NewSliceSource(acc.rows(a.GroupBy, a.Aggs))
 	return a.out.Open()
@@ -199,7 +244,17 @@ func (a *TableAggregate) groupedByCode(v *core.View) ([][]types.Value, error) {
 	}
 
 	var spaces []*spaceStates
+	meter := a.meter()
+	var scanErr error
+	seen := 0
 	meta := v.ScanGrouped(a.GroupBy[0], dataCols, func(space int, code int32, vals []types.Value) bool {
+		seen++
+		if a.Ctx != nil && seen%ctxCheckStride == 0 {
+			if err := a.Ctx.Err(); err != nil {
+				scanErr = err
+				return false
+			}
+		}
 		for space >= len(spaces) {
 			spaces = append(spaces, &spaceStates{})
 		}
@@ -212,7 +267,14 @@ func (a *TableAggregate) groupedByCode(v *core.View) ([][]types.Value, error) {
 			}
 			states = sp.null
 		} else {
+			before := len(sp.states)
 			sp.grow(int(code), naggs)
+			if grown := len(sp.states) - before; grown > 0 {
+				if err := meter.Reserve(int64(grown) * aggStateBytes); err != nil {
+					scanErr = err
+					return false
+				}
+			}
 			sp.seen[code] = true
 			states = sp.states[int(code)*naggs : (int(code)+1)*naggs]
 		}
@@ -225,6 +287,9 @@ func (a *TableAggregate) groupedByCode(v *core.View) ([][]types.Value, error) {
 		}
 		return true
 	})
+	if scanErr != nil {
+		return nil, scanErr
+	}
 
 	// Merge per-space partials by group value (group cardinality is
 	// small relative to row count, so hashing here is negligible).
@@ -371,11 +436,26 @@ func neededColumns(groupBy []int, aggs []Agg) (cols []int, gIdx []int, aIdx []in
 	return cols, gIdx, aIdx
 }
 
-// groupAcc is the shared grouping accumulator.
+// aggStateBytes approximates one aggState (plus its share of slice
+// slack); groupBytes is the per-group bookkeeping around the key and
+// states: map entry, order slot, and the aggGroup header itself.
+const (
+	aggStateBytes = 112
+	groupBytes    = 96
+)
+
+// groupAcc is the shared grouping accumulator. When meter is set,
+// every newly created group is charged against the statement's memory
+// budget; a failed reservation is recorded in err (sticky), and
+// callers stop the drain and surface it. Accumulating into existing
+// groups never allocates, so the charge-on-create model tracks real
+// growth.
 type groupAcc struct {
 	groups map[uint64][]*aggGroup
 	order  []*aggGroup
 	keybuf []types.Value
+	meter  *budget.Meter
+	err    error
 }
 
 type aggGroup struct {
@@ -411,6 +491,10 @@ func (g *groupAcc) group(aggs []Agg) *aggGroup {
 		}
 	}
 	grp := &aggGroup{key: types.CloneRow(g.keybuf), states: make([]aggState, len(aggs))}
+	if g.meter != nil && g.err == nil {
+		cost := groupBytes + budget.RowBytes(grp.key) + int64(len(aggs))*aggStateBytes
+		g.err = g.meter.Reserve(cost)
+	}
 	g.groups[h] = append(g.groups[h], grp)
 	g.order = append(g.order, grp)
 	return grp

@@ -1,0 +1,125 @@
+// Package leakcheck asserts that a test leaves no goroutines behind.
+// It takes a snapshot of live goroutine stacks before the work under
+// test and diffs against it afterwards, retrying briefly so goroutines
+// that are merely still winding down (deferred Closes, draining
+// channels) do not count as leaks. Server shutdown and the chaos
+// harness both use it: a leaked session goroutine per dropped
+// connection is exactly the bug class netfault is built to expose.
+package leakcheck
+
+import (
+	"fmt"
+	"regexp"
+	"runtime"
+	"sort"
+	"strings"
+	"testing"
+	"time"
+)
+
+// Snap is a multiset of normalized goroutine stacks.
+type Snap map[string]int
+
+var (
+	header      = regexp.MustCompile(`^goroutine \d+ \[[^\]]*\]:$`)
+	hexAddr     = regexp.MustCompile(`0x[0-9a-f]+`)
+	inGoroutine = regexp.MustCompile(` in goroutine \d+`)
+)
+
+// normalize reduces one goroutine's stack dump to an identity that is
+// stable across runs: function names and file:line sites, with
+// goroutine ids, argument values, and code offsets stripped.
+func normalize(g string) string {
+	var out []string
+	for _, line := range strings.Split(g, "\n") {
+		line = strings.TrimRight(line, "\r")
+		if line == "" || header.MatchString(line) {
+			continue
+		}
+		line = hexAddr.ReplaceAllString(line, "_")
+		line = inGoroutine.ReplaceAllString(line, "")
+		out = append(out, strings.TrimSpace(line))
+	}
+	return strings.Join(out, "\n")
+}
+
+// system reports stacks that belong to the runtime or the testing
+// framework rather than code under test; these come and go on their
+// own schedule and are never leaks.
+func system(stack string) bool {
+	for _, pat := range []string{
+		"testing.(*T).Run",
+		"testing.Main(",
+		"testing.runTests",
+		"testing.(*M).",
+		"runtime.goexit",
+		"runtime.gc",
+		"runtime.MHeap_Scavenger",
+		"runtime/trace.Start",
+		"signal.signal_recv",
+		"created by runtime.",
+		"net/http.(*persistConn)", // stdlib keep-alive pool, self-reaping
+	} {
+		if strings.Contains(stack, pat) {
+			return true
+		}
+	}
+	return false
+}
+
+// Snapshot captures the current goroutines as a normalized multiset.
+func Snapshot() Snap {
+	buf := make([]byte, 1<<20)
+	for {
+		n := runtime.Stack(buf, true)
+		if n < len(buf) {
+			buf = buf[:n]
+			break
+		}
+		buf = make([]byte, len(buf)*2)
+	}
+	s := make(Snap)
+	for _, g := range strings.Split(string(buf), "\n\n") {
+		if g = strings.TrimSpace(g); g == "" {
+			continue
+		}
+		if system(g) {
+			continue
+		}
+		s[normalize(g)]++
+	}
+	return s
+}
+
+// leaked returns the stacks present now in excess of the snapshot.
+func (s Snap) leaked() []string {
+	now := Snapshot()
+	var out []string
+	for stack, n := range now {
+		if extra := n - s[stack]; extra > 0 {
+			out = append(out, fmt.Sprintf("%d leaked goroutine(s) at:\n%s", extra, stack))
+		}
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Assert fails t if goroutines beyond the snapshot are still alive
+// after a grace period (retried for ~5s so orderly teardown that is
+// simply slow does not flake).
+func (s Snap) Assert(t testing.TB) {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	var last []string
+	for {
+		last = s.leaked()
+		if len(last) == 0 {
+			return
+		}
+		if time.Now().After(deadline) {
+			break
+		}
+		time.Sleep(50 * time.Millisecond)
+	}
+	t.Errorf("goroutine leak:\n%s", strings.Join(last, "\n\n"))
+}

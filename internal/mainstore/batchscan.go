@@ -60,6 +60,22 @@ func (c *BatchScan) CacheStats() (hits, misses uint64) {
 	return c.cacheHits, c.cacheMisses
 }
 
+// cacheEntryBytes approximates one decode-cache slot: the boxed value
+// plus its cached flag (strings are shared with the dictionary, so
+// the header is the resident cost).
+const cacheEntryBytes = 48
+
+// CacheBytes returns the resident size of the cursor's decode caches,
+// so statement memory budgets can account for the cardinality-sized
+// allocations NewBatchScan made up front.
+func (c *BatchScan) CacheBytes() int64 {
+	var n int64
+	for _, cache := range c.caches {
+		n += int64(len(cache)) * cacheEntryBytes
+	}
+	return n
+}
+
 // cacheMaxCard bounds the per-column decode cache: above this
 // cardinality most codes appear only a handful of times, so the
 // cardinality-sized allocation (and its zeroing) costs more than

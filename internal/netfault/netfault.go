@@ -1,0 +1,211 @@
+// Package netfault injects deterministic, seeded network faults into
+// net.Conn traffic: abrupt connection resets, stalls, partial writes,
+// and slow-drip reads. It is the wire-level sibling of
+// internal/vfs.FaultFS — where FaultFS proves the storage stack
+// survives a dying disk, netfault proves the session/client stack
+// survives a flaky network.
+//
+// Fault decisions are drawn from a per-connection PRNG derived from
+// Plan.Seed and the connection's accept/dial index, so a given
+// (plan, seed, connection sequence) replays the same faults. An
+// injected partial write or reset always breaks the connection for
+// good (sticky), mirroring a TCP RST: the peer may have received a
+// prefix of the data, which is exactly the ambiguity the reconnecting
+// client has to resolve.
+package netfault
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"net"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// ErrInjected is the error every faulted operation returns; callers
+// detect a simulated network failure with errors.Is.
+var ErrInjected = errors.New("netfault: injected fault")
+
+// Plan configures seeded fault injection. Probabilities are per
+// read/write call in [0,1]; zero disables that fault class.
+type Plan struct {
+	// Seed roots the per-connection PRNG streams.
+	Seed int64
+	// ResetProb abruptly closes the connection on a read or write.
+	ResetProb float64
+	// StallProb delays a read or write by StallDur before it proceeds.
+	StallProb float64
+	// StallDur is the stall length (default 2ms when StallProb > 0).
+	StallDur time.Duration
+	// PartialProb delivers only a random prefix of a write, then
+	// breaks the connection — the torn-write of the network world.
+	PartialProb float64
+	// DripProb caps a read at DripBytes, forcing the peer's framing to
+	// reassemble lines from dribbled fragments.
+	DripProb float64
+	// DripBytes is the slow-drip read cap (default 3).
+	DripBytes int
+	// MaxFaults caps injected resets+partials per connection; 0 means
+	// unlimited. Stalls and drips do not count — they perturb timing
+	// and framing but never kill the connection.
+	MaxFaults int
+}
+
+func (p Plan) stallDur() time.Duration {
+	if p.StallDur > 0 {
+		return p.StallDur
+	}
+	return 2 * time.Millisecond
+}
+
+func (p Plan) dripBytes() int {
+	if p.DripBytes > 0 {
+		return p.DripBytes
+	}
+	return 3
+}
+
+// Conn wraps a net.Conn with fault injection. Safe for the usual
+// net.Conn concurrency contract (one reader + one writer goroutine).
+type Conn struct {
+	inner net.Conn
+	plan  Plan
+
+	mu     sync.Mutex
+	rng    *rand.Rand
+	faults int
+	broken bool
+}
+
+// WrapConn wraps c with plan, drawing faults from the stream rooted
+// at (plan.Seed, idx). Wrap each connection with a distinct idx.
+func WrapConn(c net.Conn, plan Plan, idx int64) *Conn {
+	// Mix the index into the seed with splitmix-style constants so
+	// adjacent connections get uncorrelated streams.
+	seed := plan.Seed*int64(0x9e3779b97f4a7c15>>1) + idx*int64(0xbf58476d1ce4e5b9>>1)
+	return &Conn{inner: c, plan: plan, rng: rand.New(rand.NewSource(seed))}
+}
+
+// decide draws the fault verdict for one op. kill reports whether the
+// connection must break now; stall and drip modulate the op.
+func (c *Conn) decide(isWrite bool) (kill bool, stall bool, dripCap int, err error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.broken {
+		return false, false, 0, fmt.Errorf("use of broken connection: %w", ErrInjected)
+	}
+	mayKill := c.plan.MaxFaults == 0 || c.faults < c.plan.MaxFaults
+	if c.plan.StallProb > 0 && c.rng.Float64() < c.plan.StallProb {
+		stall = true
+	}
+	if mayKill && c.plan.ResetProb > 0 && c.rng.Float64() < c.plan.ResetProb {
+		c.broken = true
+		c.faults++
+		return true, stall, 0, nil
+	}
+	if isWrite {
+		if mayKill && c.plan.PartialProb > 0 && c.rng.Float64() < c.plan.PartialProb {
+			c.broken = true
+			c.faults++
+			return true, stall, c.rng.Intn(8), nil // prefix length cap
+		}
+	} else if c.plan.DripProb > 0 && c.rng.Float64() < c.plan.DripProb {
+		dripCap = c.plan.dripBytes()
+	}
+	return false, stall, dripCap, nil
+}
+
+// Faults returns the number of connection-killing faults injected.
+func (c *Conn) Faults() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.faults
+}
+
+func (c *Conn) Read(p []byte) (int, error) {
+	kill, stall, dripCap, err := c.decide(false)
+	if err != nil {
+		return 0, err
+	}
+	if stall {
+		time.Sleep(c.plan.stallDur())
+	}
+	if kill {
+		c.inner.Close()
+		return 0, fmt.Errorf("read reset: %w", ErrInjected)
+	}
+	if dripCap > 0 && len(p) > dripCap {
+		p = p[:dripCap]
+	}
+	return c.inner.Read(p)
+}
+
+func (c *Conn) Write(p []byte) (int, error) {
+	kill, stall, prefix, err := c.decide(true)
+	if err != nil {
+		return 0, err
+	}
+	if stall {
+		time.Sleep(c.plan.stallDur())
+	}
+	if kill {
+		n := 0
+		if prefix > 0 && len(p) > 0 {
+			if prefix > len(p) {
+				prefix = len(p)
+			}
+			n, _ = c.inner.Write(p[:prefix])
+		}
+		c.inner.Close()
+		return n, fmt.Errorf("write reset after %d bytes: %w", n, ErrInjected)
+	}
+	return c.inner.Write(p)
+}
+
+func (c *Conn) Close() error                       { return c.inner.Close() }
+func (c *Conn) LocalAddr() net.Addr                { return c.inner.LocalAddr() }
+func (c *Conn) RemoteAddr() net.Addr               { return c.inner.RemoteAddr() }
+func (c *Conn) SetDeadline(t time.Time) error      { return c.inner.SetDeadline(t) }
+func (c *Conn) SetReadDeadline(t time.Time) error  { return c.inner.SetReadDeadline(t) }
+func (c *Conn) SetWriteDeadline(t time.Time) error { return c.inner.SetWriteDeadline(t) }
+
+// Listener wraps a net.Listener so every accepted connection is fault
+// injected — the server-resilience side of the harness.
+type Listener struct {
+	net.Listener
+	plan Plan
+	idx  atomic.Int64
+}
+
+// WrapListener wraps ln with plan.
+func WrapListener(ln net.Listener, plan Plan) *Listener {
+	return &Listener{Listener: ln, plan: plan}
+}
+
+func (l *Listener) Accept() (net.Conn, error) {
+	c, err := l.Listener.Accept()
+	if err != nil {
+		return nil, err
+	}
+	return WrapConn(c, l.plan, l.idx.Add(1)), nil
+}
+
+// Dialer returns a dial function whose connections are fault
+// injected, for the client side of the harness. Each dial gets the
+// next connection index, so redials after injected resets see fresh
+// fault streams.
+func Dialer(plan Plan, dial func(addr string) (net.Conn, error)) func(addr string) (net.Conn, error) {
+	if dial == nil {
+		dial = func(addr string) (net.Conn, error) { return net.Dial("tcp", addr) }
+	}
+	var idx atomic.Int64
+	return func(addr string) (net.Conn, error) {
+		c, err := dial(addr)
+		if err != nil {
+			return nil, err
+		}
+		return WrapConn(c, plan, idx.Add(1)), nil
+	}
+}

@@ -1,0 +1,183 @@
+package netfault
+
+import (
+	"bufio"
+	"errors"
+	"io"
+	"net"
+	"strings"
+	"testing"
+	"time"
+)
+
+// pipeConn returns a connected in-memory conn pair.
+func pipeConn(t *testing.T) (net.Conn, net.Conn) {
+	t.Helper()
+	a, b := net.Pipe()
+	t.Cleanup(func() { a.Close(); b.Close() })
+	return a, b
+}
+
+func TestResetBreaksConnectionStickily(t *testing.T) {
+	a, b := pipeConn(t)
+	go io.Copy(io.Discard, b)
+	fc := WrapConn(a, Plan{Seed: 1, ResetProb: 1}, 0)
+	_, err := fc.Write([]byte("hello\n"))
+	if !errors.Is(err, ErrInjected) {
+		t.Fatalf("first write: %v, want ErrInjected", err)
+	}
+	if _, err := fc.Write([]byte("again\n")); !errors.Is(err, ErrInjected) {
+		t.Fatalf("broken conn must stay broken: %v", err)
+	}
+	if fc.Faults() != 1 {
+		t.Fatalf("Faults = %d, want 1 (sticky breakage is not a new fault)", fc.Faults())
+	}
+}
+
+func TestPartialWriteDeliversPrefixThenBreaks(t *testing.T) {
+	a, b := pipeConn(t)
+	got := make(chan []byte, 1)
+	go func() {
+		buf, _ := io.ReadAll(b)
+		got <- buf
+	}()
+	fc := WrapConn(a, Plan{Seed: 3, PartialProb: 1}, 1)
+	msg := []byte("DELETE bench_orders 123456\n")
+	n, err := fc.Write(msg)
+	if !errors.Is(err, ErrInjected) {
+		t.Fatalf("want ErrInjected, got %v", err)
+	}
+	if n >= len(msg) {
+		t.Fatalf("partial write delivered the whole message (%d bytes)", n)
+	}
+	buf := <-got
+	if len(buf) != n {
+		t.Fatalf("peer saw %d bytes, writer reported %d", len(buf), n)
+	}
+	if !strings.HasPrefix(string(msg), string(buf)) {
+		t.Fatalf("peer bytes %q are not a prefix of %q", buf, msg)
+	}
+}
+
+func TestDripReadsStillReassemble(t *testing.T) {
+	a, b := pipeConn(t)
+	const line = "SQL SELECT * FROM t WHERE id = 42\n"
+	go func() {
+		b.Write([]byte(line))
+		b.Close()
+	}()
+	fc := WrapConn(a, Plan{Seed: 5, DripProb: 1, DripBytes: 2}, 2)
+	r := bufio.NewReader(fc)
+	got, err := r.ReadString('\n')
+	if err != nil {
+		t.Fatalf("read: %v", err)
+	}
+	if got != line {
+		t.Fatalf("reassembled %q, want %q", got, line)
+	}
+}
+
+func TestStallDelaysButDelivers(t *testing.T) {
+	a, b := pipeConn(t)
+	go io.Copy(io.Discard, b)
+	fc := WrapConn(a, Plan{Seed: 7, StallProb: 1, StallDur: 5 * time.Millisecond}, 3)
+	start := time.Now()
+	if _, err := fc.Write([]byte("x\n")); err != nil {
+		t.Fatalf("stalled write must still succeed: %v", err)
+	}
+	if d := time.Since(start); d < 5*time.Millisecond {
+		t.Fatalf("write returned after %v, want >= 5ms stall", d)
+	}
+}
+
+func TestDeterministicStreams(t *testing.T) {
+	run := func() []int {
+		var verdicts []int
+		for idx := int64(0); idx < 4; idx++ {
+			a, b := pipeConn(t)
+			go io.Copy(io.Discard, b)
+			fc := WrapConn(a, Plan{Seed: 42, ResetProb: 0.3}, idx)
+			n := 0
+			for i := 0; i < 20; i++ {
+				if _, err := fc.Write([]byte("op\n")); err != nil {
+					break
+				}
+				n++
+			}
+			verdicts = append(verdicts, n)
+		}
+		return verdicts
+	}
+	first, second := run(), run()
+	for i := range first {
+		if first[i] != second[i] {
+			t.Fatalf("conn %d: %d ops vs %d ops across identical runs", i, first[i], second[i])
+		}
+	}
+	// Distinct connections should not share a fault stream.
+	same := true
+	for i := 1; i < len(first); i++ {
+		if first[i] != first[0] {
+			same = false
+		}
+	}
+	if same {
+		t.Fatalf("all connections faulted at the same op: streams correlated: %v", first)
+	}
+}
+
+func TestMaxFaultsCapsKills(t *testing.T) {
+	a, b := pipeConn(t)
+	go io.Copy(io.Discard, b)
+	fc := WrapConn(a, Plan{Seed: 9, ResetProb: 1, MaxFaults: 0}, 4)
+	if _, err := fc.Write([]byte("x")); !errors.Is(err, ErrInjected) {
+		t.Fatalf("uncapped plan should kill: %v", err)
+	}
+
+	a2, b2 := pipeConn(t)
+	go io.Copy(io.Discard, b2)
+	// The dialer hands out fresh indexes; a capped plan on a fresh
+	// conn whose budget is exhausted must never kill.
+	fc2 := WrapConn(a2, Plan{Seed: 9, ResetProb: 1, MaxFaults: 0}, 5)
+	fc2.mu.Lock()
+	fc2.plan.MaxFaults = 1
+	fc2.faults = 1
+	fc2.mu.Unlock()
+	if _, err := fc2.Write([]byte("x\n")); err != nil {
+		t.Fatalf("capped conn must pass traffic through: %v", err)
+	}
+}
+
+func TestDialerAndListenerWrap(t *testing.T) {
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	fln := WrapListener(ln, Plan{Seed: 11})
+	defer fln.Close()
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		c, err := fln.Accept()
+		if err != nil {
+			t.Errorf("accept: %v", err)
+			return
+		}
+		if _, ok := c.(*Conn); !ok {
+			t.Errorf("accepted conn is %T, want *netfault.Conn", c)
+		}
+		io.Copy(io.Discard, c)
+		c.Close()
+	}()
+	dial := Dialer(Plan{Seed: 11}, nil)
+	c, err := dial(ln.Addr().String())
+	if err != nil {
+		t.Fatalf("dial: %v", err)
+	}
+	if _, ok := c.(*Conn); !ok {
+		t.Fatalf("dialed conn is %T, want *netfault.Conn", c)
+	}
+	c.Write([]byte("ping\n"))
+	c.Close()
+	<-done
+}

@@ -1,6 +1,7 @@
 package sql
 
 import (
+	"context"
 	"fmt"
 	"strings"
 	"sync"
@@ -24,8 +25,9 @@ type Engine struct {
 	db       *core.Database
 	defaults core.TableConfig
 
-	mu    sync.Mutex
-	cache map[string]*CompiledStmt
+	mu     sync.Mutex
+	cache  map[string]*CompiledStmt
+	limits Limits
 
 	hits   *obs.Counter
 	misses *obs.Counter
@@ -108,11 +110,7 @@ func (e *Engine) compile(text string) (*CompiledStmt, error) {
 // transaction, everything runs inside it (multi-statement SQL in
 // BEGIN/COMMIT sessions).
 func (e *Engine) Exec(tx *mvcc.Txn, text string, params ...types.Value) (*Result, error) {
-	cs, err := e.compile(text)
-	if err != nil {
-		return nil, err
-	}
-	return e.execCompiled(tx, cs, params)
+	return e.ExecCtx(context.Background(), tx, text, params...)
 }
 
 // Prepared is a reusable handle to a compiled statement.
@@ -141,28 +139,31 @@ func (p *Prepared) Columns() []string { return p.cs.OutCols }
 
 // Exec runs the prepared statement with the given parameter values.
 func (p *Prepared) Exec(tx *mvcc.Txn, params ...types.Value) (*Result, error) {
-	return p.eng.execCompiled(tx, p.cs, params)
+	return p.ExecCtx(context.Background(), tx, params...)
 }
 
-func (e *Engine) execCompiled(tx *mvcc.Txn, cs *CompiledStmt, params []types.Value) (*Result, error) {
+func (e *Engine) execCompiled(ctx context.Context, tx *mvcc.Txn, cs *CompiledStmt, params []types.Value) (*Result, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
 	binds, err := bindParams(cs, params)
 	if err != nil {
 		return nil, err
 	}
 	switch s := cs.Stmt.(type) {
 	case *SelectStmt:
-		return e.execQuery(tx, cs, binds)
+		return e.execQuery(ctx, tx, cs, binds)
 	case *InsertStmt:
 		return e.autocommit(tx, func(tx *mvcc.Txn) (*Result, error) {
 			return e.execInsert(tx, cs, s, binds)
 		})
 	case *UpdateStmt:
 		return e.autocommit(tx, func(tx *mvcc.Txn) (*Result, error) {
-			return e.execUpdate(tx, cs, s, binds)
+			return e.execUpdate(ctx, tx, cs, s, binds)
 		})
 	case *DeleteStmt:
 		return e.autocommit(tx, func(tx *mvcc.Txn) (*Result, error) {
-			return e.execDelete(tx, cs, s, binds)
+			return e.execDelete(ctx, tx, cs, s, binds)
 		})
 	case *CreateTableStmt:
 		return e.execCreate(s)
@@ -220,7 +221,7 @@ func (e *Engine) autocommit(tx *mvcc.Txn, fn func(*mvcc.Txn) (*Result, error)) (
 	return res, nil
 }
 
-func (e *Engine) execQuery(tx *mvcc.Txn, cs *CompiledStmt, binds []types.Value) (*Result, error) {
+func (e *Engine) execQuery(ctx context.Context, tx *mvcc.Txn, cs *CompiledStmt, binds []types.Value) (*Result, error) {
 	if tx == nil {
 		// Statement-level snapshot for standalone reads.
 		own := e.db.Begin(mvcc.StmtSnapshot)
@@ -236,7 +237,7 @@ func (e *Engine) execQuery(tx *mvcc.Txn, cs *CompiledStmt, binds []types.Value) 
 		return nil, fmt.Errorf("sql: internal plan error: %w", err)
 	}
 	g.Optimize()
-	rows, err := calc.Execute(g, root, calc.Env{Txn: tx})
+	rows, err := calc.Execute(g, root, calc.Env{Txn: tx, Ctx: ctx})
 	if err != nil {
 		return nil, err
 	}
@@ -365,8 +366,10 @@ func keyPoint(where Expr, keyIdx int, binds []types.Value) (types.Value, bool) {
 
 // matchRows collects the (key, row) pairs satisfying where under tx's
 // view. Matches are materialized before any mutation so UPDATE/DELETE
-// never chase their own writes (the Halloween problem).
-func matchRows(tx *mvcc.Txn, tab *core.Table, where Expr, binds []types.Value) ([]core.Match, error) {
+// never chase their own writes (the Halloween problem). Predicate
+// scans observe ctx at a row stride so a KILL or timeout stops a
+// table-wide DML scan mid-flight.
+func matchRows(ctx context.Context, tx *mvcc.Txn, tab *core.Table, where Expr, binds []types.Value) ([]core.Match, error) {
 	v := tab.View(tx)
 	defer v.Close()
 	if key, ok := keyPoint(where, tab.Schema().Key, binds); ok {
@@ -386,17 +389,28 @@ func matchRows(tx *mvcc.Txn, tab *core.Table, where Expr, binds []types.Value) (
 		pred = p
 	}
 	var out []core.Match
+	var scanErr error
+	seen := 0
 	v.ScanAll(func(id types.RowID, row []types.Value) bool {
+		if seen++; seen%1024 == 0 {
+			if err := ctx.Err(); err != nil {
+				scanErr = err
+				return false
+			}
+		}
 		if pred == nil || pred.Eval(row) {
 			out = append(out, core.Match{ID: id, Row: types.CloneRow(row)})
 		}
 		return true
 	})
+	if scanErr != nil {
+		return nil, scanErr
+	}
 	return out, nil
 }
 
-func (e *Engine) execUpdate(tx *mvcc.Txn, cs *CompiledStmt, s *UpdateStmt, binds []types.Value) (*Result, error) {
-	matches, err := matchRows(tx, cs.table, s.Where, binds)
+func (e *Engine) execUpdate(ctx context.Context, tx *mvcc.Txn, cs *CompiledStmt, s *UpdateStmt, binds []types.Value) (*Result, error) {
+	matches, err := matchRows(ctx, tx, cs.table, s.Where, binds)
 	if err != nil {
 		return nil, err
 	}
@@ -422,8 +436,8 @@ func (e *Engine) execUpdate(tx *mvcc.Txn, cs *CompiledStmt, s *UpdateStmt, binds
 	return &Result{Affected: len(matches)}, nil
 }
 
-func (e *Engine) execDelete(tx *mvcc.Txn, cs *CompiledStmt, s *DeleteStmt, binds []types.Value) (*Result, error) {
-	matches, err := matchRows(tx, cs.table, s.Where, binds)
+func (e *Engine) execDelete(ctx context.Context, tx *mvcc.Txn, cs *CompiledStmt, s *DeleteStmt, binds []types.Value) (*Result, error) {
+	matches, err := matchRows(ctx, tx, cs.table, s.Where, binds)
 	if err != nil {
 		return nil, err
 	}

@@ -1,0 +1,91 @@
+package sql
+
+import (
+	"context"
+	"errors"
+	"time"
+
+	"repro/internal/budget"
+	"repro/internal/mvcc"
+	"repro/internal/types"
+)
+
+// ErrStatementTimeout is returned when a statement exceeds the
+// engine's configured Timeout. It is the context cause of the
+// per-statement deadline, so it survives the trip through the scan
+// layers (which surface plain ctx.Err()) and comes back typed.
+var ErrStatementTimeout = errors.New("sql: statement timeout")
+
+// Limits bounds every statement the engine runs: a wall-clock timeout
+// (0 = none) and a memory budget in bytes (0 = unlimited) charged
+// against hash-join builds, aggregation state, and decode caches.
+type Limits struct {
+	Timeout  time.Duration
+	MemBytes int64
+}
+
+// SetLimits installs l for subsequent statements. Safe for concurrent
+// use with executions; in-flight statements keep the limits they
+// started with.
+func (e *Engine) SetLimits(l Limits) {
+	e.mu.Lock()
+	e.limits = l
+	e.mu.Unlock()
+}
+
+// CurrentLimits returns the limits applied to new statements.
+func (e *Engine) CurrentLimits() Limits {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return e.limits
+}
+
+// ExecCtx is Exec under a context: cancellation (e.g. a session KILL)
+// stops table scans at batch granularity, and the engine's Limits are
+// layered on top — a timeout surfaces as ErrStatementTimeout, a
+// memory overrun as budget.ErrBudgetExceeded.
+func (e *Engine) ExecCtx(ctx context.Context, tx *mvcc.Txn, text string, params ...types.Value) (*Result, error) {
+	cs, err := e.compile(text)
+	if err != nil {
+		return nil, err
+	}
+	return e.execLimited(ctx, tx, cs, params)
+}
+
+// ExecCtx runs the prepared statement under a context with the
+// engine's Limits applied; see Engine.ExecCtx.
+func (p *Prepared) ExecCtx(ctx context.Context, tx *mvcc.Txn, params ...types.Value) (*Result, error) {
+	return p.eng.execLimited(ctx, tx, p.cs, params)
+}
+
+// execLimited wraps execCompiled with the engine's statement limits:
+// it arms the per-statement deadline, attaches the memory meter to
+// the context (every scan and build below charges it), and maps raw
+// context errors back to their typed cause on the way out.
+func (e *Engine) execLimited(ctx context.Context, tx *mvcc.Txn, cs *CompiledStmt, params []types.Value) (*Result, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	lim := e.CurrentLimits()
+	if lim.Timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeoutCause(ctx, lim.Timeout, ErrStatementTimeout)
+		defer cancel()
+	}
+	if m := budget.NewMeter(lim.MemBytes); m != nil {
+		ctx = budget.WithMeter(ctx, m)
+	}
+	res, err := e.execCompiled(ctx, tx, cs, params)
+	if err != nil {
+		// Scans report bare ctx.Err(); the cause carries the typed
+		// reason — ErrStatementTimeout for our deadline, or the KILL
+		// cause installed by the caller's CancelCause.
+		if errors.Is(err, context.DeadlineExceeded) || errors.Is(err, context.Canceled) {
+			if cause := context.Cause(ctx); cause != nil {
+				err = cause
+			}
+		}
+		return nil, err
+	}
+	return res, nil
+}
