@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test vet race bench fuzz torture soak staticcheck obs-bench race-parallel e15-smoke bench-parallel bench-mixed bench-mixed-smoke sql-smoke chaos-smoke check-regress check
+.PHONY: all build test vet race bench fuzz torture soak staticcheck obs-bench race-parallel e15-smoke bench-parallel bench-mixed bench-mixed-smoke sql-smoke chaos-smoke explain-smoke check-regress check
 
 # Torture-harness knobs (see internal/torture): the seed and op count
 # for the differential run, overridable per invocation:
@@ -140,11 +140,29 @@ check-regress:
 	$(GO) run ./cmd/hanabench regress -baseline BENCH_mixed_htap.json \
 		-current .bench_current_htap.json
 
+# Query-observability gate under the race detector: the pinned
+# EXPLAIN ANALYZE oracle (per-operator actual row counts over the
+# wire), killed-statement span replay via TRACE <stmt-id>, SLOWLOG
+# capture, the TRACE table filter, and the EXPLAIN ANALYZE pass over
+# the E16 mixed SQL scenario's statement classes asserting stats-tree/
+# plan-shape congruence.
+explain-smoke:
+	$(GO) test -race -count 1 -timeout 180s \
+		-run 'TestWireExplainAnalyzeOracle|TestWireKilledStatementSpans|TestWireSlowLog|TestWireTraceTableFilter' \
+		./cmd/hanaserver
+	$(GO) test -race -count 1 -timeout 120s \
+		-run 'TestMixedSQLExplainAnalyze' ./internal/bench
+	$(GO) test -race -count 1 -timeout 120s \
+		-run 'TestExplainAnalyzeOracle|TestStmtSpans|TestSlowQuery|TestCutExplain|TestExplainViaExec' \
+		./internal/sql
+
 # E14 observability gate: the instrumented 1M-row scan must stay
-# within 2% of the disabled-registry baseline (internal/obs design
-# contract; see EXPERIMENTS.md E14).
+# within 2% of the disabled-registry baseline, and the per-operator
+# stats plumbing must keep the 1M-row scan-aggregate within 2% of the
+# collection-off path (internal/obs design contract; see
+# EXPERIMENTS.md E14).
 obs-bench:
-	OBS_BENCH=1 $(GO) test -run TestE14ObsOverhead -count 1 -v -timeout 300s .
+	OBS_BENCH=1 $(GO) test -run 'TestE14ObsOverhead|TestExplainStatsOverhead' -count 1 -v -timeout 300s .
 
 # Overload/shutdown soak: the degradation ladder, merge-outage
 # recovery, and the graceful-drain workload under the race detector.
@@ -156,4 +174,4 @@ soak:
 		-run 'TestGracefulDrain|TestMaxConnsShedding|TestAcceptLoopSurvivesTransientErrors|TestOversizedLineReported' \
 		./cmd/hanaserver
 
-check: test vet staticcheck race race-parallel torture soak obs-bench e15-smoke bench-mixed-smoke sql-smoke chaos-smoke
+check: test vet staticcheck race race-parallel torture soak obs-bench e15-smoke bench-mixed-smoke sql-smoke chaos-smoke explain-smoke

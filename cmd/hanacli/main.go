@@ -7,9 +7,11 @@
 //
 //	sql> SELECT region, COUNT(*) FROM orders GROUP BY region
 //
-// while session verbs (BEGIN, COMMIT, ABORT, PREPARE, EXECUTE,
-// DEALLOCATE, QUIT) still pass through unwrapped, and a leading
-// backslash escapes to any raw protocol command (e.g. `\STATS t`).
+// while session verbs and observability commands (BEGIN, COMMIT,
+// ABORT, PREPARE, EXECUTE, DEALLOCATE, EXPLAIN, SLOWLOG, TRACE, QUIT,
+// ...) still pass through unwrapped — so `EXPLAIN ANALYZE SELECT ...`
+// works directly at the sql> prompt — and a leading backslash escapes
+// to any raw protocol command (e.g. `\STATS t`).
 //
 // The connection is a reconnecting session: if the server goes away
 // mid-session, hanacli reports the loss, reconnects on the next
@@ -30,7 +32,7 @@ import (
 
 // passthrough lists the commands a SQL-mode line may start with and
 // still be sent raw: they are session controls, not statements.
-var passthrough = []string{"BEGIN", "COMMIT", "ABORT", "PREPARE", "EXECUTE", "DEALLOCATE", "SAVEPOINT", "QUIT", "SESSIONS", "KILL", "SET"}
+var passthrough = []string{"BEGIN", "COMMIT", "ABORT", "PREPARE", "EXECUTE", "DEALLOCATE", "SAVEPOINT", "QUIT", "SESSIONS", "KILL", "SET", "EXPLAIN", "SLOWLOG", "TRACE"}
 
 // wireLine maps one input line to the protocol line to send. In SQL
 // mode, statements get the "SQL " prefix; session verbs and

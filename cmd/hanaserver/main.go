@@ -18,19 +18,33 @@
 //	MERGE <table>
 //	STATS <table>
 //	METRICS [<table>]
-//	TRACE [<n>]
+//	TRACE [<table>|<stmt-id>] [<n>]
+//	EXPLAIN [ANALYZE] <statement>
+//	SLOWLOG [<n>]
 //	BEGIN [STMT] | COMMIT | ABORT
 //	SAVEPOINT
 //	SESSIONS
 //	KILL <id>
-//	SET STMT_TIMEOUT <duration> | SET MEM_BUDGET <bytes>
+//	SET STMT_TIMEOUT <duration> | SET MEM_BUDGET <bytes> | SET SLOW_QUERY_MS <ms>
 //	QUIT
 //
-// SESSIONS lists live sessions (id, remote address, age, state);
+// SESSIONS lists live sessions (id, remote address, age, state; an
+// active session shows the running statement's id and elapsed time);
 // KILL cancels a session's in-flight statement mid-scan and ends the
 // session. SET bounds this session's subsequent SQL statements with a
 // wall-clock timeout or memory budget on top of the server-wide
-// -stmt-timeout/-mem-budget defaults.
+// -stmt-timeout/-mem-budget defaults, or overrides the server-wide
+// -slow-query capture threshold (0 disables capture).
+//
+// EXPLAIN renders the optimized plan without executing; EXPLAIN
+// ANALYZE executes the statement and annotates every plan operator
+// with its actuals (rows, batches, wall time, workers/morsels,
+// pushdown and decode-cache effectiveness, budget bytes). SLOWLOG
+// replays the last n captured slow statements — text, outcome,
+// duration, and the annotated plan. Every statement records
+// stmt-start/stmt-end span events keyed "<session>.<seq>"; TRACE with
+// a statement id (or table name) filters the event ring to one
+// query's lifecycle.
 //
 // SQL statements ride the same line protocol (the rest of the line is
 // handed to the SQL compiler verbatim, so SQL's own quoting applies):
@@ -54,7 +68,9 @@
 //
 // With -obs-addr set, the same metrics are served over HTTP at
 // /metrics alongside the standard net/http/pprof handlers under
-// /debug/pprof/.
+// /debug/pprof/, plus /healthz — 200 while the database is open and
+// the server is accepting connections, 503 once draining — and a
+// hana_build_info{version,go} gauge for scrape-side version tracking.
 package main
 
 import (
@@ -69,6 +85,7 @@ import (
 	"net/http/pprof"
 	"os"
 	"os/signal"
+	"runtime"
 	"strconv"
 	"strings"
 	"sync"
@@ -95,9 +112,13 @@ func main() {
 	obsAddr := flag.String("obs-addr", "", "HTTP listen address serving /metrics and /debug/pprof/ (empty = disabled)")
 	stmtTimeout := flag.Duration("stmt-timeout", 0, "wall-clock budget per SQL statement; exceeding it returns ERR statement timeout (0 = none)")
 	memBudget := flag.Int64("mem-budget", 0, "memory budget in bytes per SQL statement, charged against hash builds, aggregation state, and decode caches (0 = unlimited)")
+	slowQuery := flag.Duration("slow-query", 0, "slow-query threshold: SQL statements at or above it are captured (text, plan, actuals, outcome) in the SLOWLOG ring (0 = off)")
 	flag.Parse()
 
 	reg := hana.NewMetrics()
+	reg.Gauge("hana_build_info",
+		hana.Label("version", buildVersion),
+		hana.Label("go", runtime.Version())).Set(1)
 	db := hana.MustOpen(hana.Options{Dir: *dir, AutoMerge: true, Obs: reg,
 		Logger: func(event string, kv ...any) { log.Printf("hanaserver: %s %v", event, kv) }})
 
@@ -108,22 +129,6 @@ func main() {
 	}
 	log.Printf("hanaserver: listening on %s (dir=%q)", *addr, *dir)
 
-	var obsSrv *http.Server
-	if *obsAddr != "" {
-		obsLn, err := net.Listen("tcp", *obsAddr)
-		if err != nil {
-			db.Close()
-			log.Fatalf("hanaserver: obs listener: %v", err)
-		}
-		obsSrv = &http.Server{Handler: obsMux(reg)}
-		go func() {
-			if err := obsSrv.Serve(obsLn); err != nil && !errors.Is(err, http.ErrServerClosed) {
-				log.Printf("hanaserver: obs server: %v", err)
-			}
-		}()
-		log.Printf("hanaserver: observability on http://%s/metrics", obsLn.Addr())
-	}
-
 	srv := newServer(db, ln, serverOptions{
 		maxConns:     *maxConns,
 		idleTimeout:  *idleTimeout,
@@ -133,7 +138,24 @@ func main() {
 		overloadRows: *overloadRows,
 		stmtTimeout:  *stmtTimeout,
 		memBudget:    *memBudget,
+		slowQuery:    *slowQuery,
 	})
+
+	var obsSrv *http.Server
+	if *obsAddr != "" {
+		obsLn, err := net.Listen("tcp", *obsAddr)
+		if err != nil {
+			db.Close()
+			log.Fatalf("hanaserver: obs listener: %v", err)
+		}
+		obsSrv = &http.Server{Handler: obsMux(reg, srv.ready)}
+		go func() {
+			if err := obsSrv.Serve(obsLn); err != nil && !errors.Is(err, http.ErrServerClosed) {
+				log.Printf("hanaserver: obs server: %v", err)
+			}
+		}()
+		log.Printf("hanaserver: observability on http://%s/metrics", obsLn.Addr())
+	}
 
 	sig := make(chan os.Signal, 1)
 	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
@@ -153,15 +175,31 @@ func main() {
 	}
 }
 
+// buildVersion identifies the binary in hana_build_info; override at
+// link time with -ldflags "-X main.buildVersion=v1.2.3".
+var buildVersion = "dev"
+
 // obsMux builds the observability HTTP handler: Prometheus-style
-// metrics at /metrics and the standard pprof surface at /debug/pprof/.
-func obsMux(reg *hana.MetricsRegistry) *http.ServeMux {
+// metrics at /metrics, a readiness probe at /healthz (ready == nil
+// means always healthy), and the standard pprof surface at
+// /debug/pprof/.
+func obsMux(reg *hana.MetricsRegistry, ready func() error) *http.ServeMux {
 	mux := http.NewServeMux()
 	mux.HandleFunc("/metrics", func(w http.ResponseWriter, r *http.Request) {
 		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
 		if err := reg.WriteProm(w); err != nil {
 			log.Printf("hanaserver: /metrics: %v", err)
 		}
+	})
+	mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
+		if ready != nil {
+			if err := ready(); err != nil {
+				http.Error(w, err.Error(), http.StatusServiceUnavailable)
+				return
+			}
+		}
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		fmt.Fprintln(w, "ok")
 	})
 	mux.HandleFunc("/debug/pprof/", pprof.Index)
 	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
@@ -191,6 +229,9 @@ type serverOptions struct {
 	// execution budgets installed on the shared SQL engine.
 	stmtTimeout time.Duration
 	memBudget   int64
+	// slowQuery is the server-wide slow-query capture threshold
+	// installed on the shared SQL engine (0 = off).
+	slowQuery time.Duration
 }
 
 // server owns the listener and the connection life cycle: admission
@@ -238,7 +279,20 @@ func newSQLEngine(db *hana.DB, opts serverOptions) *hana.SQLEngine {
 	if opts.stmtTimeout > 0 || opts.memBudget > 0 {
 		eng.SetLimits(hana.SQLLimits{Timeout: opts.stmtTimeout, MemBytes: opts.memBudget})
 	}
+	if opts.slowQuery > 0 {
+		eng.SetSlowQuery(opts.slowQuery)
+	}
 	return eng
+}
+
+// ready is the /healthz readiness signal: the database is open (its
+// redo log attached for its whole open lifetime when persistent) and
+// the server is still accepting connections.
+func (s *server) ready() error {
+	if s.draining.Load() {
+		return errors.New("draining")
+	}
+	return s.db.Ready()
 }
 
 // run accepts connections until the listener closes. Transient accept
@@ -365,6 +419,11 @@ type session struct {
 	// limits are this session's SET overrides, layered on top of the
 	// engine-wide defaults (the tighter bound wins).
 	limits hana.SQLLimits
+	// slowQuery/slowSet are this session's SET SLOW_QUERY_MS override
+	// of the engine-wide slow-query threshold (slowSet distinguishes
+	// "explicitly 0 = off" from "not set").
+	slowQuery time.Duration
+	slowSet   bool
 }
 
 // serve handles one connection with no deadlines or connection budget
@@ -501,6 +560,10 @@ func (s *session) handle(w *bufio.Writer, line string) {
 		s.sqlDeallocate(w, rest)
 		return
 	}
+	if rest, ok := cutKeyword(line, "EXPLAIN"); ok {
+		s.sqlExplain(w, rest)
+		return
+	}
 	fields, err := tokenize(line)
 	if err != nil {
 		fmt.Fprintf(w, "ERR %v\n", err)
@@ -584,17 +647,59 @@ func (s *session) handle(w *bufio.Writer, line string) {
 		}
 		fmt.Fprintln(w, "END")
 	case "TRACE":
+		// TRACE [<table>|<stmt-id>] [<n>]: integer arguments bound the
+		// count, anything else filters by table name or statement id
+		// (statement ids like "3.1" never parse as integers).
 		n := 0 // 0 = everything still in the ring
+		filter := ""
+		for _, a := range args {
+			if v, err := strconv.Atoi(a); err == nil {
+				if v < 0 {
+					fmt.Fprintln(w, "ERR usage: TRACE [<table>|<stmt-id>] [<n>]")
+					return
+				}
+				n = v
+				continue
+			}
+			filter = a
+		}
+		var events []hana.TraceEvent
+		if filter != "" {
+			// Filter over the whole ring, then keep the most recent n.
+			for _, e := range s.db.TraceEvents(0) {
+				if e.Table == filter || e.Stmt == filter {
+					events = append(events, e)
+				}
+			}
+			if n > 0 && len(events) > n {
+				events = events[len(events)-n:]
+			}
+		} else {
+			events = s.db.TraceEvents(n)
+		}
+		for _, e := range events {
+			fmt.Fprintln(w, e.String())
+		}
+		fmt.Fprintln(w, "END")
+	case "SLOWLOG":
+		n := 0 // 0 = everything the ring retains
 		if len(args) > 0 {
 			v, err := strconv.Atoi(args[0])
 			if err != nil || v < 0 {
-				fmt.Fprintln(w, "ERR usage: TRACE [<n>]")
+				fmt.Fprintln(w, "ERR usage: SLOWLOG [<n>]")
 				return
 			}
 			n = v
 		}
-		for _, e := range s.db.TraceEvents(n) {
-			fmt.Fprintln(w, e.String())
+		for _, e := range s.eng.SlowLog(n) {
+			fmt.Fprintf(w, "ROW %s %s %s rows=%d affected=%d %q\n",
+				e.Time.Format("15:04:05.000"), e.Dur.Round(time.Microsecond),
+				e.Outcome, e.Rows, e.Affected, e.SQL)
+			for _, pl := range strings.Split(strings.TrimRight(e.Plan, "\n"), "\n") {
+				if pl != "" {
+					fmt.Fprintln(w, "ROW   "+pl)
+				}
+			}
 		}
 		fmt.Fprintln(w, "END")
 	case "CREATE":
@@ -838,14 +943,22 @@ func cutKeyword(line, kw string) (string, bool) {
 	return strings.TrimSpace(rest), true
 }
 
-// set applies a per-session statement limit: SET STMT_TIMEOUT <dur>
-// or SET MEM_BUDGET <bytes> (0 clears).
+// set applies a per-session statement limit: SET STMT_TIMEOUT <dur>,
+// SET MEM_BUDGET <bytes>, or SET SLOW_QUERY_MS <ms> (0 clears).
 func (s *session) set(w *bufio.Writer, args []string) {
 	if len(args) != 2 {
-		fmt.Fprintln(w, "ERR usage: SET STMT_TIMEOUT <duration> | SET MEM_BUDGET <bytes>")
+		fmt.Fprintln(w, "ERR usage: SET STMT_TIMEOUT <duration> | SET MEM_BUDGET <bytes> | SET SLOW_QUERY_MS <ms>")
 		return
 	}
 	switch strings.ToUpper(args[0]) {
+	case "SLOW_QUERY_MS":
+		n, err := strconv.ParseInt(args[1], 10, 64)
+		if err != nil || n < 0 {
+			fmt.Fprintf(w, "ERR bad millisecond count %q\n", args[1])
+			return
+		}
+		s.slowQuery = time.Duration(n) * time.Millisecond
+		s.slowSet = true
 	case "STMT_TIMEOUT":
 		d, err := time.ParseDuration(args[1])
 		if err != nil || d < 0 {
@@ -878,23 +991,44 @@ func (s *session) stmtCtx() (context.Context, context.CancelFunc) {
 		ctx, cancel = context.WithTimeoutCause(ctx, s.limits.Timeout, hana.ErrStatementTimeout)
 	}
 	ctx = hana.WithMemBudget(ctx, s.limits.MemBytes)
+	if s.slowSet {
+		ctx = hana.WithSlowQuery(ctx, s.slowQuery)
+	}
 	return ctx, cancel
 }
 
 // runStmt brackets one SQL statement: registry visibility for
-// SESSIONS, the statement-latency histogram, and lifecycle outcome
-// counters (kills, timeouts, budget rejections).
+// SESSIONS, the statement-latency histogram, lifecycle outcome
+// counters (kills, timeouts, budget rejections), and the always-on
+// stmt-start/stmt-end span pair keyed by the statement id — two ring
+// writes per statement, cheap enough to leave unconditional.
 func (s *session) runStmt(text string, fn func(ctx context.Context) (*hana.SQLResult, error)) (*hana.SQLResult, error) {
 	ctx, cancel := s.stmtCtx()
 	defer cancel()
-	s.entry.beginStmt(text)
+	id := s.entry.beginStmt(text)
 	defer s.entry.endStmt()
+	ctx = hana.WithStmtID(ctx, id)
+	reg := s.db.Metrics()
+	reg.Trace(hana.TraceEvent{Kind: hana.EvStmtStart, Stmt: id, Detail: truncateStmt(text)})
+	t0 := time.Now()
 	start := s.met.stmtTimes.Start()
 	res, err := fn(ctx)
 	s.met.stmtTimes.Stop(start)
 	err = mapCtxErr(ctx, err)
 	s.met.observe(err)
+	reg.Trace(hana.TraceEvent{Kind: hana.EvStmtEnd, Stmt: id,
+		Dur: time.Since(t0), Detail: outcomeLabel(err)})
 	return res, err
+}
+
+// truncateStmt bounds the SQL text carried in span events so a bulk
+// INSERT cannot bloat the trace ring.
+func truncateStmt(text string) string {
+	const max = 120
+	if len(text) <= max {
+		return text
+	}
+	return text[:max] + "..."
 }
 
 // sqlExec runs one SQL statement inside the session transaction (or
@@ -912,6 +1046,46 @@ func (s *session) sqlExec(w *bufio.Writer, text string) {
 		return
 	}
 	writeSQLResult(w, res)
+}
+
+// sqlExplain answers EXPLAIN [ANALYZE] <statement>: the plan comes
+// back as ROW lines + END. Plain EXPLAIN renders the optimized plan
+// without executing; ANALYZE executes the statement (inside the
+// session transaction, under the session's limits, counted in the
+// statement histogram like any other statement) and annotates every
+// operator with its actuals.
+func (s *session) sqlExplain(w *bufio.Writer, rest string) {
+	if rest == "" {
+		fmt.Fprintln(w, "ERR usage: EXPLAIN [ANALYZE] <statement>")
+		return
+	}
+	var plan string
+	if sqlText, ok := cutKeyword(rest, "ANALYZE"); ok {
+		if sqlText == "" {
+			fmt.Fprintln(w, "ERR usage: EXPLAIN [ANALYZE] <statement>")
+			return
+		}
+		_, err := s.runStmt("EXPLAIN ANALYZE "+sqlText, func(ctx context.Context) (*hana.SQLResult, error) {
+			p, res, err := s.eng.ExplainAnalyzeCtx(ctx, s.txn, sqlText)
+			plan = p
+			return res, err
+		})
+		if err != nil {
+			fmt.Fprintf(w, "ERR %v\n", err)
+			return
+		}
+	} else {
+		p, err := s.eng.Explain(rest)
+		if err != nil {
+			fmt.Fprintf(w, "ERR %v\n", err)
+			return
+		}
+		plan = p
+	}
+	for _, line := range strings.Split(strings.TrimRight(plan, "\n"), "\n") {
+		fmt.Fprintln(w, "ROW "+line)
+	}
+	fmt.Fprintln(w, "END")
 }
 
 // writeSQLResult renders a statement outcome: ROW lines + END for

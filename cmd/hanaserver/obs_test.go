@@ -161,7 +161,8 @@ func TestObsHTTP(t *testing.T) {
 		t.Fatal(err)
 	}
 
-	ts := httptest.NewServer(obsMux(reg))
+	ready := func() error { return db.Ready() }
+	ts := httptest.NewServer(obsMux(reg, ready))
 	defer ts.Close()
 
 	get := func(path string) (int, string) {
@@ -188,5 +189,45 @@ func TestObsHTTP(t *testing.T) {
 	code, body = get("/debug/pprof/")
 	if code != http.StatusOK || !strings.Contains(body, "goroutine") {
 		t.Fatalf("/debug/pprof/ status %d body %q", code, body[:min(len(body), 200)])
+	}
+
+	// /healthz reflects database readiness: 200 while open, 503 after
+	// Close.
+	code, body = get("/healthz")
+	if code != http.StatusOK || !strings.Contains(body, "ok") {
+		t.Fatalf("/healthz status %d body %q", code, body)
+	}
+	db.Close()
+	if code, _ = get("/healthz"); code != http.StatusServiceUnavailable {
+		t.Fatalf("/healthz after Close status %d, want 503", code)
+	}
+}
+
+// TestObsHTTPBuildInfo: the build-info gauge set at startup reaches
+// the scrape endpoint with its version and go labels.
+func TestObsHTTPBuildInfo(t *testing.T) {
+	reg := hana.NewMetrics()
+	reg.Gauge("hana_build_info",
+		hana.Label("version", buildVersion),
+		hana.Label("go", "go-test")).Set(1)
+	ts := httptest.NewServer(obsMux(reg, nil))
+	defer ts.Close()
+	resp, err := http.Get(ts.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	body, _ := io.ReadAll(resp.Body)
+	if !strings.Contains(string(body), `hana_build_info{version="dev",go="go-test"} 1`) {
+		t.Errorf("/metrics missing build info gauge:\n%s", body)
+	}
+	// nil ready function: /healthz is unconditionally healthy.
+	hresp, err := http.Get(ts.URL + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	hresp.Body.Close()
+	if hresp.StatusCode != http.StatusOK {
+		t.Fatalf("/healthz with nil ready → %d", hresp.StatusCode)
 	}
 }

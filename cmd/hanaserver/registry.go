@@ -38,9 +38,11 @@ type sessionEntry struct {
 	ctx     context.Context
 	cancel  context.CancelCauseFunc
 
-	mu     sync.Mutex
-	stmt   string // current statement text; "" = idle
-	stmtAt time.Time
+	mu      sync.Mutex
+	stmt    string // current statement text; "" = idle
+	stmtAt  time.Time
+	stmtSeq int64  // statements started on this session
+	stmtID  string // current statement id "<session>.<seq>"
 }
 
 func newSessionRegistry() *sessionRegistry {
@@ -101,10 +103,16 @@ func (e *sessionEntry) killed() bool {
 }
 
 // beginStmt/endStmt bracket a statement for SESSIONS visibility.
-func (e *sessionEntry) beginStmt(text string) {
+// beginStmt assigns and returns the statement id ("<session>.<seq>")
+// that keys the statement's span events for TRACE replay.
+func (e *sessionEntry) beginStmt(text string) string {
 	e.mu.Lock()
+	e.stmtSeq++
+	e.stmtID = fmt.Sprintf("%d.%d", e.id, e.stmtSeq)
 	e.stmt, e.stmtAt = text, time.Now()
+	id := e.stmtID
 	e.mu.Unlock()
+	return id
 }
 
 func (e *sessionEntry) endStmt() {
@@ -114,17 +122,17 @@ func (e *sessionEntry) endStmt() {
 }
 
 // row renders one SESSIONS line: id, remote address, session age,
-// and either "idle" or the running statement's age and text.
+// and either "idle" or the running statement's id, age, and text.
 func (e *sessionEntry) row(now time.Time) string {
 	e.mu.Lock()
-	stmt, stmtAt := e.stmt, e.stmtAt
+	stmt, stmtAt, stmtID := e.stmt, e.stmtAt, e.stmtID
 	e.mu.Unlock()
 	state := "idle"
 	if e.killed() {
 		state = "killed"
 	}
 	if stmt != "" {
-		state = fmt.Sprintf("active %s %q", now.Sub(stmtAt).Round(time.Millisecond), stmt)
+		state = fmt.Sprintf("active %s %s %q", stmtID, now.Sub(stmtAt).Round(time.Millisecond), stmt)
 	}
 	return fmt.Sprintf("ROW %d %s %s %s",
 		e.id, e.remote, now.Sub(e.started).Round(time.Millisecond), state)
@@ -175,6 +183,23 @@ func (m lifecycleMetrics) observe(err error) {
 		m.timeouts.Inc()
 	case errors.Is(err, hana.ErrBudgetExceeded):
 		m.budget.Inc()
+	}
+}
+
+// outcomeLabel buckets a finished statement's error for the
+// statement-end span event and the slow log's wire rendering.
+func outcomeLabel(err error) string {
+	switch {
+	case err == nil:
+		return "ok"
+	case errors.Is(err, errSessionKilled):
+		return "killed"
+	case errors.Is(err, hana.ErrStatementTimeout):
+		return "timeout"
+	case errors.Is(err, hana.ErrBudgetExceeded):
+		return "budget"
+	default:
+		return "error"
 	}
 }
 

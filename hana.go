@@ -47,6 +47,7 @@ package hana
 
 import (
 	"context"
+	"time"
 
 	"repro/internal/budget"
 	"repro/internal/calc"
@@ -187,6 +188,8 @@ type (
 	TraceEvent = obs.Event
 	// TraceEventKind discriminates lifecycle transitions.
 	TraceEventKind = obs.EventKind
+	// MetricLabel is one name=value dimension on a labeled metric.
+	MetricLabel = obs.Label
 	// Logger receives the engine's structured diagnostics (merge
 	// failures, breaker transitions, recovery replay); nil discards.
 	Logger = core.Logger
@@ -194,6 +197,27 @@ type (
 
 // NewMetrics creates an enabled metrics registry for Options.Obs.
 func NewMetrics() *MetricsRegistry { return obs.New() }
+
+// Label builds one metric label dimension.
+func Label(key, value string) MetricLabel { return obs.L(key, value) }
+
+// Statement-span trace events: a cheap always-on EvStmtStart/EvStmtEnd
+// pair brackets every wire statement, and statements whose collection
+// is armed (EXPLAIN ANALYZE or an active slow-query threshold) add
+// plan, per-operator, and morsel-shape events — all keyed by the
+// session registry's statement id for TRACE <stmt-id> replay.
+const (
+	// EvStmtStart opens a statement span.
+	EvStmtStart = obs.EvStmtStart
+	// EvStmtPlan records the compiled plan shape.
+	EvStmtPlan = obs.EvStmtPlan
+	// EvStmtOp is one operator's actuals.
+	EvStmtOp = obs.EvStmtOp
+	// EvStmtMorsel summarizes a scan's morsel-parallel shape.
+	EvStmtMorsel = obs.EvStmtMorsel
+	// EvStmtEnd closes a statement span with its outcome.
+	EvStmtEnd = obs.EvStmtEnd
+)
 
 // DisabledMetrics is the shared no-op registry: DB.Metrics returns it
 // when the database was opened without one.
@@ -346,6 +370,8 @@ type (
 	// SQLLimits bounds every statement an engine runs: wall-clock
 	// timeout and memory budget.
 	SQLLimits = sql.Limits
+	// SQLSlowEntry is one captured slow-query record.
+	SQLSlowEntry = sql.SlowEntry
 )
 
 // NewSQLEngine returns a SQL engine over db; defaults seeds the
@@ -365,6 +391,34 @@ func WithMemBudget(ctx context.Context, bytes int64) context.Context {
 
 // RenderSQLRows formats SQL query output for line protocols.
 func RenderSQLRows(rows [][]Value) []string { return sql.RenderRows(rows) }
+
+// WithStmtID tags the context with a statement id; statement span
+// events recorded under it carry the id for TRACE replay.
+func WithStmtID(ctx context.Context, id string) context.Context { return sql.WithStmtID(ctx, id) }
+
+// WithSlowQuery overrides the engine's slow-query threshold for
+// statements run under the returned context (0 disables capture).
+func WithSlowQuery(ctx context.Context, d time.Duration) context.Context {
+	return sql.WithSlowQuery(ctx, d)
+}
+
+// CutSQLExplain splits a leading EXPLAIN [ANALYZE] keyword off a
+// statement; ok reports whether text was an EXPLAIN at all.
+func CutSQLExplain(text string) (rest string, analyze, ok bool) { return sql.CutExplain(text) }
+
+// Calc-graph runtime statistics for EXPLAIN ANALYZE.
+type (
+	// QueryStats collects per-operator actuals for one execution,
+	// keyed by calc node; attach via Env.Stats.
+	QueryStats = calc.QueryStats
+	// OpStats is one operator's collected actuals.
+	OpStats = engine.OpStats
+	// PlanStatLine pairs one rendered plan line with its actuals.
+	PlanStatLine = calc.StatLine
+)
+
+// NewQueryStats creates an empty per-statement stats collection.
+func NewQueryStats() *QueryStats { return calc.NewQueryStats() }
 
 // NewGraph starts a calculation graph.
 func NewGraph() *Graph { return calc.NewGraph() }

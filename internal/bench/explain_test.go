@@ -1,0 +1,83 @@
+package bench
+
+import (
+	"context"
+	"strings"
+	"testing"
+
+	"repro/internal/types"
+	"repro/internal/workload"
+)
+
+// TestMixedSQLExplainAnalyze is the explain-smoke gate: EXPLAIN
+// ANALYZE over every statement class of the E16 mixed SQL scenario
+// must produce a stats tree congruent with the static plan — same
+// shape line for line, every node annotated (with actuals when it
+// executed, or marked not-executed / shared), no line unaccounted
+// for. Run under -race by `make explain-smoke`.
+func TestMixedSQLExplainAnalyze(t *testing.T) {
+	cfg := sqlSmokeConfig()
+	cfg.Table = "orders"
+	target, err := newSQLTarget(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer target.Close()
+	gen := workload.NewOrderGen(cfg.Seed, 10_000, 2000)
+	if err := target.Setup(gen.Rows(cfg.Preload)); err != nil {
+		t.Fatal(err)
+	}
+
+	// The scenario's statement classes: the OLAP scan-aggregate plus
+	// the OLTP point read, update, and delete. Parameters bind zero
+	// values because the static plan renders with zero binds too —
+	// shape congruence must compare like with like.
+	zs := types.Str("")
+	stmts := []struct {
+		name string
+		text string
+		args []types.Value
+	}{
+		{"scanagg", sqlAgg(cfg.Table), nil},
+		{"point", sqlPoint(cfg.Table), []types.Value{types.Int(0)}},
+		{"update", sqlUpdate(cfg.Table),
+			[]types.Value{zs, zs, zs, zs, types.Int(0), types.Float(0), types.Int(0)}},
+		{"delete", sqlDelete(cfg.Table), []types.Value{types.Int(0)}},
+	}
+	ctx := context.Background()
+	for _, s := range stmts {
+		static, err := target.eng.Explain(s.text)
+		if err != nil {
+			t.Fatalf("%s: Explain: %v", s.name, err)
+		}
+		analyzed, _, err := target.eng.ExplainAnalyzeCtx(ctx, nil, s.text, s.args...)
+		if err != nil {
+			t.Fatalf("%s: ExplainAnalyze: %v", s.name, err)
+		}
+		sLines := strings.Split(strings.TrimRight(static, "\n"), "\n")
+		aLines := strings.Split(strings.TrimRight(analyzed, "\n"), "\n")
+		if len(aLines) != len(sLines) {
+			t.Fatalf("%s: stats tree has %d lines, plan has %d:\n--- analyzed ---\n%s\n--- static ---\n%s",
+				s.name, len(aLines), len(sLines), analyzed, static)
+		}
+		sawActual := false
+		for i, a := range aLines {
+			stripped := a
+			if j := strings.Index(stripped, " (actual: "); j >= 0 {
+				stripped = stripped[:j]
+				sawActual = true
+			}
+			stripped = strings.TrimSuffix(stripped, " (not executed)")
+			if stripped != sLines[i] {
+				t.Errorf("%s: line %d diverged from the static plan:\nanalyzed: %q\nstatic:   %q",
+					s.name, i, a, sLines[i])
+			}
+			if stripped == a && !strings.HasSuffix(a, "(shared)") {
+				t.Errorf("%s: line %d carries no annotation: %q", s.name, i, a)
+			}
+		}
+		if !sawActual {
+			t.Errorf("%s: no operator reported actuals:\n%s", s.name, analyzed)
+		}
+	}
+}

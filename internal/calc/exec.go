@@ -4,6 +4,7 @@ import (
 	"context"
 	"fmt"
 	"sync"
+	"time"
 
 	"repro/internal/engine"
 	"repro/internal/mvcc"
@@ -57,6 +58,9 @@ type Env struct {
 	Txn      *mvcc.Txn
 	Registry *Registry
 	Ctx      context.Context
+	// Stats, when non-nil, collects per-operator runtime actuals for
+	// EXPLAIN ANALYZE; nested view executions share the same tree.
+	Stats *QueryStats
 }
 
 // Execute compiles (validates + optimizes) and runs the graph,
@@ -84,6 +88,12 @@ type executor struct {
 	cons map[*Node]int
 }
 
+// st resolves the node's stats slot — nil when collection is off,
+// which every engine.OpStats method tolerates.
+func (ex *executor) st(n *Node) *engine.OpStats {
+	return ex.env.Stats.Op(n)
+}
+
 func (ex *executor) entry(n *Node) *memoEntry {
 	ex.mu.Lock()
 	defer ex.mu.Unlock()
@@ -100,7 +110,19 @@ func (ex *executor) entry(n *Node) *memoEntry {
 func (ex *executor) eval(n *Node) ([][]types.Value, error) {
 	e := ex.entry(n)
 	e.once.Do(func() {
+		st := ex.st(n)
+		var t0 time.Time
+		if st != nil {
+			t0 = time.Now()
+		}
 		e.rows, e.err = ex.compute(n)
+		if st != nil {
+			// Node-inclusive totals overwrite whatever the fused
+			// operator accumulated piecemeal; scan-shaped fields set by
+			// SetScan below these two survive.
+			st.SetWall(time.Since(t0))
+			st.SetRows(len(e.rows))
+		}
 	})
 	return e.rows, e.err
 }
@@ -119,7 +141,7 @@ func (ex *executor) compute(n *Node) ([][]types.Value, error) {
 		// The vectorized scan streams column batches with code-level
 		// predicate pushdown instead of materializing inside the view
 		// latch.
-		scan := &engine.BatchTableScan{Table: n.table, Txn: ex.env.Txn, Pred: n.pred, Cols: n.tableCols, AsOf: n.asOf, Ctx: ex.env.Ctx}
+		scan := &engine.BatchTableScan{Table: n.table, Txn: ex.env.Txn, Pred: n.pred, Cols: n.tableCols, AsOf: n.asOf, Ctx: ex.env.Ctx, Stats: ex.st(n)}
 		return engine.CollectBatches(scan)
 	case KindValues:
 		return n.rows, nil
@@ -151,9 +173,10 @@ func (ex *executor) compute(n *Node) ([][]types.Value, error) {
 		l, r := n.inputs[0], n.inputs[1]
 		if l.kind == KindTable && r.kind == KindTable && ex.cons[l] <= 1 && ex.cons[r] <= 1 {
 			return engine.CollectBatches(&engine.BatchHashJoin{
-				Left:    &engine.BatchTableScan{Table: l.table, Txn: ex.env.Txn, Pred: l.pred, Cols: l.tableCols, AsOf: l.asOf, Ctx: ex.env.Ctx},
-				Right:   &engine.BatchTableScan{Table: r.table, Txn: ex.env.Txn, Pred: r.pred, Cols: r.tableCols, AsOf: r.asOf, Ctx: ex.env.Ctx},
+				Left:    &engine.BatchTableScan{Table: l.table, Txn: ex.env.Txn, Pred: l.pred, Cols: l.tableCols, AsOf: l.asOf, Ctx: ex.env.Ctx, Stats: ex.st(l)},
+				Right:   &engine.BatchTableScan{Table: r.table, Txn: ex.env.Txn, Pred: r.pred, Cols: r.tableCols, AsOf: r.asOf, Ctx: ex.env.Ctx, Stats: ex.st(r)},
 				LeftCol: n.leftCol, RightCol: n.rightCol,
+				Stats:   ex.st(n),
 			})
 		}
 		left, err := ex.eval(n.inputs[0])
@@ -180,15 +203,15 @@ func (ex *executor) compute(n *Node) ([][]types.Value, error) {
 				return engine.CollectBatches(&engine.BatchHashAggregate{
 					In: &engine.BatchTableScan{
 						Table: child.table, Txn: ex.env.Txn, Pred: child.pred,
-						AsOf: child.asOf, Ctx: ex.env.Ctx,
+						AsOf: child.asOf, Ctx: ex.env.Ctx, Stats: ex.st(child),
 					},
-					GroupBy: n.groupBy, Aggs: n.aggs,
+					GroupBy: n.groupBy, Aggs: n.aggs, Stats: ex.st(n),
 				})
 			}
 			return engine.Collect(&engine.TableAggregate{
 				Table: child.table, Txn: ex.env.Txn, AsOf: child.asOf,
 				Pred: child.pred, GroupBy: n.groupBy, Aggs: n.aggs,
-				Ctx: ex.env.Ctx,
+				Ctx: ex.env.Ctx, Stats: ex.st(n), ScanStats: ex.st(child),
 			})
 		}
 		in, err := ex.eval(n.inputs[0])
@@ -220,10 +243,11 @@ func (ex *executor) compute(n *Node) ([][]types.Value, error) {
 		// the table (limit pushdown).
 		if child := n.inputs[0]; child.kind == KindTable && ex.cons[child] <= 1 {
 			return engine.CollectBatches(&engine.BatchLimit{
-				N: n.limit,
+				N: n.limit, Stats: ex.st(n),
 				In: &engine.BatchTableScan{
 					Table: child.table, Txn: ex.env.Txn, Pred: child.pred,
 					Cols: child.tableCols, AsOf: child.asOf, Ctx: ex.env.Ctx,
+					Stats: ex.st(child),
 				},
 			})
 		}

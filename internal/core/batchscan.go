@@ -19,6 +19,28 @@ type stageFiller interface {
 	Fill(out []*vec.Col, room int) (int, bool)
 }
 
+// ScanStats are one scan's cursor-level totals, harvested after the
+// scan finishes (EXPLAIN ANALYZE per-operator actuals). Sequential
+// cursors fill them directly; morsel-parallel scans fold per-worker
+// locals into the driver as each worker finishes, so reading them is
+// only race-free once the scan has completed or been cancelled.
+type ScanStats struct {
+	// Rows and Batches count what the cursor emitted (after pushdown
+	// and residual filtering).
+	Rows, Batches uint64
+	// ResidualDropped counts rows removed by the residual predicate —
+	// rows the pushed-down code ranges could not exclude.
+	ResidualDropped uint64
+	// DecodeHits/DecodeMisses are the main-stage decode-cache totals.
+	DecodeHits, DecodeMisses uint64
+	// CacheBytes is the decode-cache footprint charged to the
+	// statement's memory budget.
+	CacheBytes int64
+	// Workers and Morsels describe the parallel shape (1 and 0 for a
+	// sequential scan).
+	Workers, Morsels int
+}
+
 // BatchScan streams the view's visible rows as column batches,
 // stitching the three life-cycle stages in order (L1-delta, L2-delta
 // generations, main chain). Pushed-down ranges are evaluated on
@@ -47,6 +69,10 @@ type BatchScan struct {
 	met                  *tableMetrics
 	mainCur              *mainstore.BatchScan
 	lastHits, lastMisses uint64
+
+	// Cursor-local totals behind Stats; kept separate from the shared
+	// table metrics so one statement's actuals are attributable.
+	rows, batches, residDropped uint64
 }
 
 // NewBatchScan plans a batch scan producing the listed columns (nil =
@@ -202,6 +228,8 @@ func (c *BatchScan) Next() *vec.Batch {
 	if b != nil {
 		c.met.scanBatches.Inc()
 		c.met.scanRows.Add(uint64(b.Rows()))
+		c.batches++
+		c.rows += uint64(b.Rows())
 	}
 	if c.mainCur != nil {
 		// Harvest the main cursor's decode-cache deltas accumulated
@@ -246,6 +274,7 @@ func (c *BatchScan) nextBatch() *vec.Batch {
 				return c.residual.Eval(c.rowBuf)
 			})
 			c.met.residualFiltered.Add(uint64(n - c.scan.Rows()))
+			c.residDropped += uint64(n - c.scan.Rows())
 			if c.scan.Rows() == 0 {
 				continue // batch fully filtered; pull the next one
 			}
@@ -262,6 +291,18 @@ func (c *BatchScan) nextBatch() *vec.Batch {
 // caches did not fit the statement's memory budget — or nil when
 // Next's nil meant a clean end of stream.
 func (c *BatchScan) Err() error { return c.err }
+
+// Stats returns the cursor's totals so far; stable once the scan has
+// ended (Next returned nil).
+func (c *BatchScan) Stats() ScanStats {
+	s := ScanStats{Rows: c.rows, Batches: c.batches,
+		ResidualDropped: c.residDropped, Workers: 1}
+	if c.mainCur != nil {
+		s.DecodeHits, s.DecodeMisses = c.mainCur.CacheStats()
+		s.CacheBytes = c.mainCur.CacheBytes()
+	}
+	return s
+}
 
 // ScanBatches streams the visible rows satisfying pred as column
 // batches over the listed columns (nil = all); fn returning false

@@ -240,6 +240,17 @@ func (db *Database) Close() error {
 	return nil
 }
 
+// Ready reports whether the database can serve work: nil while open
+// (the redo log is attached for the database's whole open lifetime
+// when persistent), ErrClosed once Close has run. Health endpoints
+// use this as the readiness signal.
+func (db *Database) Ready() error {
+	if db.closed.Load() {
+		return ErrClosed
+	}
+	return nil
+}
+
 // nextRowID hands out the life-long record id generated "when
 // entering the system" (§3).
 func (db *Database) nextRowID() types.RowID {

@@ -98,6 +98,15 @@ type parallelDriver struct {
 	err     error
 
 	busyNanos atomic.Int64 // Σ per-worker time spent processing morsels
+
+	// Scan-level actuals for EXPLAIN ANALYZE: per-worker locals folded
+	// in at worker finish (rows/batches/residual/decode), morsels
+	// counted at completion. A handful of atomics per worker and per
+	// morsel — invisible next to morsel cost, so always collected.
+	stRows, stBatches, stResid atomic.Uint64
+	stHits, stMisses           atomic.Uint64
+	stCacheBytes               atomic.Int64
+	stMorsels                  atomic.Int64
 }
 
 func newParallelDriver(ctx context.Context, plan *scanPlan, morsels []morsel) *parallelDriver {
@@ -282,21 +291,44 @@ func (w *scanWorker) run(d *parallelDriver, acquire func() *wpair, release func(
 		}
 		met.morselSeconds.Stop(mStart)
 		met.scanMorsels.Inc()
+		d.stMorsels.Add(1)
 	}
 }
 
 // finish folds the worker's private tallies into the table metrics
-// and harvests the main cursor's decode-cache totals. Called once per
-// worker, after its run loop returns.
-func (w *scanWorker) finish() {
+// and the driver's scan-level actuals, and harvests the main cursor's
+// decode-cache totals. Called once per worker, after its run loop
+// returns.
+func (w *scanWorker) finish(d *parallelDriver) {
 	met := w.plan.v.t.met
 	met.scanBatches.Add(w.batches)
 	met.scanRows.Add(w.rows)
 	met.residualFiltered.Add(w.residualDropped)
+	d.stBatches.Add(w.batches)
+	d.stRows.Add(w.rows)
+	d.stResid.Add(w.residualDropped)
 	if w.mainCur != nil {
 		hits, misses := w.mainCur.CacheStats()
 		met.decodeHits.Add(hits)
 		met.decodeMisses.Add(misses)
+		d.stHits.Add(hits)
+		d.stMisses.Add(misses)
+		d.stCacheBytes.Add(w.mainCur.CacheBytes())
+	}
+}
+
+// stats assembles the driver's scan-level actuals. Only race-free
+// once every worker has finished.
+func (d *parallelDriver) stats(workers int) ScanStats {
+	return ScanStats{
+		Rows:            d.stRows.Load(),
+		Batches:         d.stBatches.Load(),
+		ResidualDropped: d.stResid.Load(),
+		DecodeHits:      d.stHits.Load(),
+		DecodeMisses:    d.stMisses.Load(),
+		CacheBytes:      d.stCacheBytes.Load(),
+		Workers:         workers,
+		Morsels:         int(d.stMorsels.Load()),
 	}
 }
 
@@ -330,6 +362,16 @@ func (d *parallelDriver) finishScan(workers int, wall time.Duration) {
 // returned error is the context error that aborted the scan, if any.
 func (v *View) ScanBatchesParallel(ctx context.Context, cols []int, pred expr.Predicate, batchSize, workers int,
 	fn func(worker, morselIdx int, b *vec.Batch) bool) error {
+	_, err := v.ScanBatchesParallelStats(ctx, cols, pred, batchSize, workers, fn)
+	return err
+}
+
+// ScanBatchesParallelStats is ScanBatchesParallel returning the
+// scan-level actuals alongside the error, for consumers that fuse the
+// scan away (hash builds, fused aggregates) but still owe the scan
+// node its EXPLAIN ANALYZE numbers.
+func (v *View) ScanBatchesParallelStats(ctx context.Context, cols []int, pred expr.Predicate, batchSize, workers int,
+	fn func(worker, morselIdx int, b *vec.Batch) bool) (ScanStats, error) {
 	plan := v.planScan(cols, pred, batchSize)
 	plan.meter = budget.FromContext(ctx)
 	if workers <= 0 {
@@ -354,8 +396,8 @@ func (v *View) ScanBatchesParallel(ctx context.Context, cols []int, pred expr.Pr
 				}
 				return true
 			})
-		w.finish()
-		return d.scanErr()
+		w.finish(d)
+		return d.stats(1), d.scanErr()
 	}
 
 	start := time.Now()
@@ -377,13 +419,13 @@ func (v *View) ScanBatchesParallel(ctx context.Context, cols []int, pred expr.Pr
 					}
 					return true
 				})
-			w.finish()
+			w.finish(d)
 			d.busyNanos.Add(time.Since(t0).Nanoseconds())
 		}()
 	}
 	wg.Wait()
 	d.finishScan(workers, time.Since(start))
-	return d.scanErr()
+	return d.stats(workers), d.scanErr()
 }
 
 // pitem is one filled batch in flight from a worker to the pull
@@ -458,7 +500,7 @@ func (v *View) NewParallelBatchScan(ctx context.Context, cols []int, pred expr.P
 						return false
 					}
 				})
-			w.finish()
+			w.finish(d)
 			d.busyNanos.Add(time.Since(t0).Nanoseconds())
 		}()
 	}
@@ -495,6 +537,10 @@ func (c *ParallelBatchScan) Next() *vec.Batch {
 // Next's nil meant a clean end of stream. Valid after Next returned
 // nil or Close was called.
 func (c *ParallelBatchScan) Err() error { return c.d.scanErr() }
+
+// Stats returns the scan-level actuals. Only race-free after Close
+// (which waits for the workers) or after Next returned nil.
+func (c *ParallelBatchScan) Stats() ScanStats { return c.d.stats(c.workers) }
 
 // Close stops the workers and waits for them to exit. Idempotent;
 // safe after a completed scan.

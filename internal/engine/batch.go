@@ -5,6 +5,7 @@ import (
 	"errors"
 	"sort"
 	"sync"
+	"time"
 
 	"repro/internal/budget"
 	"repro/internal/core"
@@ -61,6 +62,10 @@ type BatchTableScan struct {
 	// positive. The parallel path only engages when Unordered is set
 	// and the resolved count exceeds 1.
 	Workers int
+	// Stats, when non-nil, collects this scan's actuals (EXPLAIN
+	// ANALYZE); the cursor-level totals are harvested at Close, so a
+	// cancelled statement still reports the rows it got through.
+	Stats *OpStats
 
 	view *core.View
 	cur  *core.BatchScan
@@ -106,6 +111,16 @@ func (s *BatchTableScan) Open() error {
 
 // Next implements BatchIterator.
 func (s *BatchTableScan) Next() (*vec.Batch, error) {
+	if s.Stats == nil {
+		return s.next()
+	}
+	t0 := time.Now()
+	b, err := s.next()
+	s.Stats.AddWall(time.Since(t0))
+	return b, err
+}
+
+func (s *BatchTableScan) next() (*vec.Batch, error) {
 	if s.pcur != nil {
 		b := s.pcur.Next()
 		if b == nil {
@@ -123,13 +138,22 @@ func (s *BatchTableScan) Next() (*vec.Batch, error) {
 	return b, nil
 }
 
-// Close implements BatchIterator. Idempotent.
+// Close implements BatchIterator. Idempotent. When Stats is set, the
+// cursor totals (rows, batches, residual drops, decode-cache hits,
+// parallel shape) are harvested here — Close runs on error paths too,
+// so a killed or timed-out statement keeps its partial actuals.
 func (s *BatchTableScan) Close() error {
 	if s.pcur != nil {
 		s.pcur.Close()
+		if s.Stats != nil {
+			s.Stats.SetScan(s.pcur.Stats())
+		}
 		s.pcur = nil
 	}
 	if s.view != nil {
+		if s.cur != nil && s.Stats != nil {
+			s.Stats.SetScan(s.cur.Stats())
+		}
 		s.view.Close()
 		s.view, s.cur = nil, nil
 	}
@@ -143,6 +167,8 @@ func (s *BatchTableScan) Close() error {
 type BatchFilter struct {
 	In   BatchIterator
 	Pred expr.Predicate
+	// Stats, when non-nil, collects the filter's actuals.
+	Stats *OpStats
 
 	rowBuf []types.Value
 	open   bool
@@ -159,9 +185,16 @@ func (f *BatchFilter) Open() error {
 
 // Next implements BatchIterator.
 func (f *BatchFilter) Next() (*vec.Batch, error) {
+	var t0 time.Time
+	if f.Stats != nil {
+		t0 = time.Now()
+	}
 	for {
 		b, err := f.In.Next()
 		if err != nil || b == nil {
+			if f.Stats != nil {
+				f.Stats.AddWall(time.Since(t0))
+			}
 			return nil, err
 		}
 		if f.Pred != nil {
@@ -177,6 +210,10 @@ func (f *BatchFilter) Next() (*vec.Batch, error) {
 			})
 		}
 		if b.Rows() > 0 {
+			if f.Stats != nil {
+				f.Stats.AddOut(b.Rows())
+				f.Stats.AddWall(time.Since(t0))
+			}
 			return b, nil
 		}
 	}
@@ -197,6 +234,8 @@ func (f *BatchFilter) Close() error {
 type BatchProject struct {
 	In   BatchIterator
 	Cols []int
+	// Stats, when non-nil, collects the projection's actuals.
+	Stats *OpStats
 
 	open bool
 }
@@ -216,6 +255,7 @@ func (p *BatchProject) Next() (*vec.Batch, error) {
 	if err != nil || b == nil {
 		return nil, err
 	}
+	p.Stats.AddOut(b.Rows())
 	return b.Project(p.Cols), nil
 }
 
@@ -235,6 +275,8 @@ func (p *BatchProject) Close() error {
 type BatchLimit struct {
 	In BatchIterator
 	N  int
+	// Stats, when non-nil, collects the limit's actuals.
+	Stats *OpStats
 
 	n    int
 	sel  []int32
@@ -285,6 +327,7 @@ func (l *BatchLimit) Next() (*vec.Batch, error) {
 		b = l.out
 	}
 	l.n += b.Rows()
+	l.Stats.AddOut(b.Rows())
 	return b, nil
 }
 
@@ -315,6 +358,9 @@ type BatchHashJoin struct {
 	// Open with budget.ErrBudgetExceeded instead of OOMing. Falls
 	// back to the meter carried by the build-side scan's context.
 	Budget *budget.Meter
+	// Stats, when non-nil, collects the join's actuals (build wall
+	// time lands in AddWall at Open; probe time accumulates in Next).
+	Stats *OpStats
 
 	table      map[types.Value][][]types.Value
 	parts      []map[types.Value][][]types.Value
@@ -355,6 +401,11 @@ const buildRowBytes = 48
 
 // Open implements BatchIterator.
 func (j *BatchHashJoin) Open() error {
+	var t0 time.Time
+	if j.Stats != nil {
+		t0 = time.Now()
+		defer func() { j.Stats.AddWall(time.Since(t0)) }()
+	}
 	j.table, j.parts, j.rightWidth = nil, nil, 0
 	j.out, j.lbuf = nil, nil
 	if rs, ok := j.Right.(*BatchTableScan); ok && rs.Table != nil && rs.resolvedWorkers() > 1 {
@@ -408,6 +459,7 @@ func (j *BatchHashJoin) buildSequential() error {
 			j.closeRight()
 			return err
 		}
+		j.Stats.AddBudget(bytes)
 	}
 	return j.closeRight()
 }
@@ -435,7 +487,7 @@ func (j *BatchHashJoin) buildParallel(rs *BatchTableScan) error {
 	meter := j.meter()
 	var budgetErr error
 	var budgetMu sync.Mutex
-	err := view.ScanBatchesParallel(rs.Ctx, rs.Cols, rs.Pred, rs.BatchSize, workers,
+	ss, err := view.ScanBatchesParallelStats(rs.Ctx, rs.Cols, rs.Pred, rs.BatchSize, workers,
 		func(w, mi int, b *vec.Batch) bool {
 			rows := b.Materialize()
 			if len(rows) > 0 {
@@ -468,8 +520,15 @@ func (j *BatchHashJoin) buildParallel(rs *BatchTableScan) error {
 				budgetMu.Unlock()
 				return false
 			}
+			j.Stats.AddBudget(bytes)
 			return true
 		})
+	// The fused build bypasses the scan operator, so its stats node —
+	// when the plan carries one — is fed from the scan-level actuals
+	// here, on success and error paths alike.
+	if rs.Stats != nil {
+		rs.Stats.SetScan(ss)
+	}
 	if err != nil {
 		return err
 	}
@@ -530,6 +589,11 @@ func (j *BatchHashJoin) Next() (*vec.Batch, error) {
 	if !j.leftOpen {
 		return nil, ErrNotOpen
 	}
+	var t0 time.Time
+	if j.Stats != nil {
+		t0 = time.Now()
+		defer func() { j.Stats.AddWall(time.Since(t0)) }()
+	}
 	for {
 		b, err := j.Left.Next()
 		if err != nil || b == nil {
@@ -561,6 +625,7 @@ func (j *BatchHashJoin) Next() (*vec.Batch, error) {
 			}
 		}
 		if j.out.Len() > 0 {
+			j.Stats.AddOut(j.out.Len())
 			return j.out, nil
 		}
 	}
@@ -599,6 +664,8 @@ type BatchHashAggregate struct {
 	// budget.ErrBudgetExceeded. Falls back to the meter carried by
 	// the input scan's context.
 	Budget *budget.Meter
+	// Stats, when non-nil, collects the aggregate's actuals.
+	Stats *OpStats
 
 	out    *vec.Batch
 	done   bool
@@ -618,6 +685,11 @@ func (a *BatchHashAggregate) meter() *budget.Meter {
 
 // Open implements BatchIterator.
 func (a *BatchHashAggregate) Open() error {
+	var t0 time.Time
+	if a.Stats != nil {
+		t0 = time.Now()
+		defer func() { a.Stats.AddWall(time.Since(t0)) }()
+	}
 	a.out, a.done = nil, false
 	if ts, ok := a.In.(*BatchTableScan); ok && ts.Table != nil && ts.resolvedWorkers() > 1 {
 		return a.openParallel(ts)
@@ -688,7 +760,7 @@ func (a *BatchHashAggregate) openParallel(ts *BatchTableScan) error {
 		accs[w].meter = meter
 		curMorsel[w] = -1
 	}
-	err := view.ScanBatchesParallel(ts.Ctx, ts.Cols, ts.Pred, ts.BatchSize, workers,
+	ss, err := view.ScanBatchesParallelStats(ts.Ctx, ts.Cols, ts.Pred, ts.BatchSize, workers,
 		func(w, mi int, b *vec.Batch) bool {
 			if curMorsel[w] != mi {
 				curMorsel[w], seq[w] = mi, 0
@@ -700,6 +772,12 @@ func (a *BatchHashAggregate) openParallel(ts *BatchTableScan) error {
 			}
 			return accs[w].err == nil
 		})
+	// The fused drain bypasses the scan operator; feed the scan node's
+	// stats — when the plan carries one — from the scan-level actuals,
+	// on success and error paths alike.
+	if ts.Stats != nil {
+		ts.Stats.SetScan(ss)
+	}
 	if err != nil {
 		return err
 	}
@@ -716,6 +794,9 @@ func (a *BatchHashAggregate) openParallel(ts *BatchTableScan) error {
 		return merged.err
 	}
 	merged.sortByTag()
+	for _, acc := range accs[1:] {
+		merged.reserved += acc.reserved
+	}
 	a.emit(merged)
 	return nil
 }
@@ -726,6 +807,7 @@ func (a *BatchHashAggregate) emit(acc *groupAcc) {
 	for _, row := range acc.rows(a.GroupBy, a.Aggs) {
 		a.out.AppendRow(row)
 	}
+	a.Stats.AddBudget(acc.reserved)
 	a.done = false
 }
 
@@ -747,6 +829,7 @@ func (a *BatchHashAggregate) Next() (*vec.Batch, error) {
 		return nil, nil
 	}
 	a.done = true
+	a.Stats.AddOut(a.out.Rows())
 	return a.out, nil
 }
 

@@ -3,6 +3,7 @@ package engine
 import (
 	"context"
 	"sort"
+	"time"
 
 	"repro/internal/budget"
 	"repro/internal/core"
@@ -37,8 +38,16 @@ type TableAggregate struct {
 	// Budget, when non-nil, charges accumulator growth against the
 	// statement's memory budget (falls back to the Ctx-carried meter).
 	Budget *budget.Meter
+	// Stats, when non-nil, collects the aggregate's actuals; ScanStats
+	// receives the fused-away scan node's numbers (rows read from the
+	// table before grouping), since no scan operator exists to report
+	// them.
+	Stats     *OpStats
+	ScanStats *OpStats
 
 	out *SliceSource
+	// scanned counts the table rows the fused drain read, per path.
+	scanned uint64
 }
 
 // ctxCheckStride bounds how many rows a fused aggregation processes
@@ -57,6 +66,23 @@ func (a *TableAggregate) meter() *budget.Meter {
 
 // Open implements Iterator: it runs the whole aggregation.
 func (a *TableAggregate) Open() error {
+	if a.Stats == nil && a.ScanStats == nil {
+		return a.open()
+	}
+	t0 := time.Now()
+	err := a.open()
+	a.Stats.AddWall(time.Since(t0))
+	// The fused drain has no scan operator; report the rows it read
+	// against the plan's table node (single worker, no morsels).
+	a.ScanStats.SetScan(core.ScanStats{Rows: a.scanned, Workers: 1})
+	a.ScanStats.AddWall(time.Since(t0))
+	if a.out != nil {
+		a.Stats.AddOut(len(a.out.Rows))
+	}
+	return err
+}
+
+func (a *TableAggregate) open() error {
 	if a.Ctx != nil {
 		if err := a.Ctx.Err(); err != nil {
 			return err
@@ -122,6 +148,8 @@ func (a *TableAggregate) Open() error {
 			return tick()
 		})
 	}
+	a.scanned = uint64(seen)
+	a.Stats.AddBudget(acc.reserved)
 	if acc.err != nil {
 		return acc.err
 	}
@@ -174,6 +202,7 @@ func (a *TableAggregate) numericGrouped(v *core.View) ([][]types.Value, error) {
 	}
 	out := make([][]types.Value, 0, len(groups))
 	for _, g := range groups {
+		a.scanned += uint64(g.Count)
 		row := make([]types.Value, 0, 1+len(a.Aggs))
 		row = append(row, g.Key)
 		for i, spec := range a.Aggs {
@@ -274,6 +303,7 @@ func (a *TableAggregate) groupedByCode(v *core.View) ([][]types.Value, error) {
 					scanErr = err
 					return false
 				}
+				a.Stats.AddBudget(int64(grown) * aggStateBytes)
 			}
 			sp.seen[code] = true
 			states = sp.states[int(code)*naggs : (int(code)+1)*naggs]
@@ -287,6 +317,7 @@ func (a *TableAggregate) groupedByCode(v *core.View) ([][]types.Value, error) {
 		}
 		return true
 	})
+	a.scanned = uint64(seen)
 	if scanErr != nil {
 		return nil, scanErr
 	}
@@ -456,6 +487,9 @@ type groupAcc struct {
 	keybuf []types.Value
 	meter  *budget.Meter
 	err    error
+	// reserved tallies the bytes charged to the meter, for EXPLAIN
+	// ANALYZE memory actuals (0 when no meter is installed).
+	reserved int64
 }
 
 type aggGroup struct {
@@ -493,7 +527,9 @@ func (g *groupAcc) group(aggs []Agg) *aggGroup {
 	grp := &aggGroup{key: types.CloneRow(g.keybuf), states: make([]aggState, len(aggs))}
 	if g.meter != nil && g.err == nil {
 		cost := groupBytes + budget.RowBytes(grp.key) + int64(len(aggs))*aggStateBytes
-		g.err = g.meter.Reserve(cost)
+		if g.err = g.meter.Reserve(cost); g.err == nil {
+			g.reserved += cost
+		}
 	}
 	g.groups[h] = append(g.groups[h], grp)
 	g.order = append(g.order, grp)

@@ -1,0 +1,209 @@
+package obs
+
+import (
+	"bytes"
+	"fmt"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+// unescapeLabel inverts escapeLabel per the Prometheus text-format
+// rules: \\ → backslash, \" → quote, \n → newline.
+func unescapeLabel(v string) string {
+	var b strings.Builder
+	for i := 0; i < len(v); i++ {
+		if v[i] == '\\' && i+1 < len(v) {
+			switch v[i+1] {
+			case '\\':
+				b.WriteByte('\\')
+				i++
+				continue
+			case '"':
+				b.WriteByte('"')
+				i++
+				continue
+			case 'n':
+				b.WriteByte('\n')
+				i++
+				continue
+			}
+		}
+		b.WriteByte(v[i])
+	}
+	return b.String()
+}
+
+// TestEscapeLabelRoundTrip: every value a user can smuggle into a
+// label (SQL text in slow-log labels, table names) must escape to a
+// string that (a) is safe inside a double-quoted exposition value —
+// no raw quote, backslash-ambiguity, or newline — and (b) unescapes
+// back to the original exactly.
+func TestEscapeLabelRoundTrip(t *testing.T) {
+	cases := []string{
+		"",
+		"plain",
+		`with "quotes"`,
+		`back\slash`,
+		`trailing\`,
+		"line1\nline2",
+		"\n\n",
+		`mixed "q" and \ and` + "\nnewline",
+		"utf8: héllo wörld — 表テーブル",
+		"emoji \U0001F600 and combining e\u0301",
+		`already-escaped-looking \n \" \\`,
+		"tab\tand\rcarriage", // passed through untouched
+	}
+	for _, in := range cases {
+		esc := escapeLabel(in)
+		for i := 0; i < len(esc); i++ {
+			if esc[i] == '\n' {
+				t.Errorf("escapeLabel(%q) = %q contains a raw newline", in, esc)
+			}
+			if esc[i] == '"' && (i == 0 || esc[i-1] != '\\') {
+				t.Errorf("escapeLabel(%q) = %q contains an unescaped quote", in, esc)
+			}
+		}
+		if got := unescapeLabel(esc); got != in {
+			t.Errorf("round trip %q → %q → %q", in, esc, got)
+		}
+	}
+}
+
+// TestEscapeLabelExposition: the escaped value survives a full
+// WriteProm pass — the emitted line carries the escaped form and
+// stays a single physical line.
+func TestEscapeLabelExposition(t *testing.T) {
+	r := New()
+	ugly := "a\"b\\c\nd — ページ"
+	r.Counter("hana_escape_test_total", L("q", ugly)).Inc()
+	var buf bytes.Buffer
+	if err := r.WriteProm(&buf); err != nil {
+		t.Fatal(err)
+	}
+	want := `hana_escape_test_total{q="a\"b\\c\nd — ページ"} 1`
+	var found bool
+	for _, line := range strings.Split(buf.String(), "\n") {
+		if line == want {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("exposition missing %q:\n%s", want, buf.String())
+	}
+}
+
+// TestHistogramBucketsMonotonic: under concurrent observers, every
+// snapshot and every exposition pass must stay internally consistent —
+// cumulative le counts non-decreasing, no cumulative count exceeding
+// the final tally, and quantiles ordered p50 ≤ p95 ≤ p99.
+func TestHistogramBucketsMonotonic(t *testing.T) {
+	r := New()
+	h := r.Histogram("hana_mono_test_seconds")
+
+	const (
+		workers = 8
+		perW    = 5_000
+	)
+	var writers, readers sync.WaitGroup
+	stop := make(chan struct{})
+	for w := 0; w < workers; w++ {
+		writers.Add(1)
+		go func(seed int) {
+			defer writers.Done()
+			d := time.Duration(seed*7 + 1)
+			for i := 0; i < perW; i++ {
+				h.Observe(d)
+				// Walk the full bucket range: shift into ever-larger
+				// buckets, wrapping before the +Inf catch-all.
+				d *= 3
+				if d > time.Minute {
+					d = time.Duration(seed + i&0xff + 1)
+				}
+			}
+		}(w)
+	}
+
+	// Concurrent reader: every mid-flight exposition must parse to a
+	// monotone cumulative series.
+	readers.Add(1)
+	go func() {
+		defer readers.Done()
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			var buf bytes.Buffer
+			if err := r.WriteProm(&buf); err != nil {
+				t.Errorf("WriteProm: %v", err)
+				return
+			}
+			assertMonotoneExposition(t, buf.String())
+		}
+	}()
+
+	writers.Wait()
+	close(stop)
+	readers.Wait()
+
+	s := h.Snapshot()
+	if want := uint64(workers * perW); s.Count != want {
+		t.Fatalf("Count = %d, want %d", s.Count, want)
+	}
+	var sum uint64
+	for _, b := range s.Buckets {
+		sum += b
+	}
+	if sum != s.Count {
+		t.Fatalf("bucket sum %d != count %d", sum, s.Count)
+	}
+	if s.P50 > s.P95 || s.P95 > s.P99 {
+		t.Fatalf("quantiles not ordered: p50=%v p95=%v p99=%v", s.P50, s.P95, s.P99)
+	}
+
+	var buf bytes.Buffer
+	if err := r.WriteProm(&buf); err != nil {
+		t.Fatal(err)
+	}
+	assertMonotoneExposition(t, buf.String())
+	if !strings.Contains(buf.String(), fmt.Sprintf(`hana_mono_test_seconds_count %d`, workers*perW)) {
+		t.Fatalf("final exposition missing total count:\n%s", buf.String())
+	}
+}
+
+// assertMonotoneExposition parses the _bucket lines of an exposition
+// dump and fails if the cumulative counts ever decrease or the +Inf
+// bucket disagrees with _count.
+func assertMonotoneExposition(t *testing.T, dump string) {
+	t.Helper()
+	var prev uint64
+	var last, count uint64
+	var sawInf, sawCount bool
+	for _, line := range strings.Split(dump, "\n") {
+		if strings.HasPrefix(line, "hana_mono_test_seconds_bucket") {
+			var cum uint64
+			if _, err := fmt.Sscanf(line[strings.LastIndexByte(line, ' ')+1:], "%d", &cum); err != nil {
+				t.Fatalf("bad bucket line %q: %v", line, err)
+			}
+			if cum < prev {
+				t.Fatalf("cumulative bucket decreased: %d after %d in %q", cum, prev, line)
+			}
+			prev, last = cum, cum
+			if strings.Contains(line, `le="+Inf"`) {
+				sawInf = true
+			}
+		}
+		if strings.HasPrefix(line, "hana_mono_test_seconds_count ") {
+			fmt.Sscanf(line[strings.LastIndexByte(line, ' ')+1:], "%d", &count)
+			sawCount = true
+		}
+	}
+	if sawInf && sawCount && last != count {
+		// Both come from the same snapshot, whose Count is defined as
+		// the bucket total, so they must agree exactly even mid-flight.
+		t.Fatalf("+Inf bucket %d != _count %d", last, count)
+	}
+}

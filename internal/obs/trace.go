@@ -36,6 +36,20 @@ const (
 	EvReject
 	// EvWALRotate is a redo-log segment rotation.
 	EvWALRotate
+	// EvStmtStart opens a statement span (always on, one event per
+	// statement; Stmt carries the statement id, Detail the SQL text).
+	EvStmtStart
+	// EvStmtPlan records the compiled plan shape for a statement whose
+	// per-operator collection was armed (slow-query or ANALYZE).
+	EvStmtPlan
+	// EvStmtOp is one operator's actuals inside a collected statement.
+	EvStmtOp
+	// EvStmtMorsel summarizes a collected statement's morsel-parallel
+	// shape (workers/morsels per scan).
+	EvStmtMorsel
+	// EvStmtEnd closes a statement span; Detail carries the outcome
+	// (ok, timeout, killed, budget, error), Dur the elapsed time.
+	EvStmtEnd
 )
 
 func (k EventKind) String() string {
@@ -64,6 +78,16 @@ func (k EventKind) String() string {
 		return "reject"
 	case EvWALRotate:
 		return "wal-rotate"
+	case EvStmtStart:
+		return "stmt-start"
+	case EvStmtPlan:
+		return "stmt-plan"
+	case EvStmtOp:
+		return "stmt-op"
+	case EvStmtMorsel:
+		return "stmt-morsel"
+	case EvStmtEnd:
+		return "stmt-end"
 	default:
 		return fmt.Sprintf("event(%d)", uint8(k))
 	}
@@ -80,6 +104,9 @@ type Event struct {
 	// Table names the table, empty for database-scoped events
 	// (savepoint, WAL rotation).
 	Table string
+	// Stmt is the statement id for statement-span events
+	// ("<session>.<seq>"), empty otherwise.
+	Stmt string
 	// Rows is the row count the transition touched (moved, frozen,
 	// backlogged), when meaningful.
 	Rows int
@@ -92,6 +119,9 @@ type Event struct {
 // String renders an event as one wire/log line.
 func (e Event) String() string {
 	s := fmt.Sprintf("%d %s %s", e.Seq, e.Time.Format("15:04:05.000000"), e.Kind)
+	if e.Stmt != "" {
+		s += " stmt=" + e.Stmt
+	}
 	if e.Table != "" {
 		s += " table=" + e.Table
 	}

@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"strings"
 	"sync"
+	"time"
 
 	"repro/internal/calc"
 	"repro/internal/core"
@@ -25,12 +26,16 @@ type Engine struct {
 	db       *core.Database
 	defaults core.TableConfig
 
-	mu     sync.Mutex
-	cache  map[string]*CompiledStmt
-	limits Limits
+	mu         sync.Mutex
+	cache      map[string]*CompiledStmt
+	limits     Limits
+	slowThresh time.Duration
 
-	hits   *obs.Counter
-	misses *obs.Counter
+	slowLog slowRing
+
+	hits    *obs.Counter
+	misses  *obs.Counter
+	slowCtr *obs.Counter
 }
 
 // NewEngine returns an engine over db. defaults seeds the TableConfig
@@ -44,6 +49,7 @@ func NewEngine(db *core.Database, defaults core.TableConfig) *Engine {
 		cache:    make(map[string]*CompiledStmt),
 		hits:     reg.Counter("hana_sql_plan_cache_hits_total"),
 		misses:   reg.Counter("hana_sql_plan_cache_misses_total"),
+		slowCtr:  reg.Counter("hana_sql_slow_queries_total"),
 	}
 }
 
@@ -142,7 +148,7 @@ func (p *Prepared) Exec(tx *mvcc.Txn, params ...types.Value) (*Result, error) {
 	return p.ExecCtx(context.Background(), tx, params...)
 }
 
-func (e *Engine) execCompiled(ctx context.Context, tx *mvcc.Txn, cs *CompiledStmt, params []types.Value) (*Result, error) {
+func (e *Engine) execCompiled(ctx context.Context, tx *mvcc.Txn, cs *CompiledStmt, params []types.Value, so *stmtObs) (*Result, error) {
 	if err := ctx.Err(); err != nil {
 		return nil, err
 	}
@@ -152,7 +158,7 @@ func (e *Engine) execCompiled(ctx context.Context, tx *mvcc.Txn, cs *CompiledStm
 	}
 	switch s := cs.Stmt.(type) {
 	case *SelectStmt:
-		return e.execQuery(ctx, tx, cs, binds)
+		return e.execQuery(ctx, tx, cs, binds, so)
 	case *InsertStmt:
 		return e.autocommit(tx, func(tx *mvcc.Txn) (*Result, error) {
 			return e.execInsert(tx, cs, s, binds)
@@ -221,7 +227,7 @@ func (e *Engine) autocommit(tx *mvcc.Txn, fn func(*mvcc.Txn) (*Result, error)) (
 	return res, nil
 }
 
-func (e *Engine) execQuery(ctx context.Context, tx *mvcc.Txn, cs *CompiledStmt, binds []types.Value) (*Result, error) {
+func (e *Engine) execQuery(ctx context.Context, tx *mvcc.Txn, cs *CompiledStmt, binds []types.Value, so *stmtObs) (*Result, error) {
 	if tx == nil {
 		// Statement-level snapshot for standalone reads.
 		own := e.db.Begin(mvcc.StmtSnapshot)
@@ -237,7 +243,19 @@ func (e *Engine) execQuery(ctx context.Context, tx *mvcc.Txn, cs *CompiledStmt, 
 		return nil, fmt.Errorf("sql: internal plan error: %w", err)
 	}
 	g.Optimize()
-	rows, err := calc.Execute(g, root, calc.Env{Txn: tx, Ctx: ctx})
+	env := calc.Env{Txn: tx, Ctx: ctx}
+	var qs *calc.QueryStats
+	if so != nil {
+		qs = calc.NewQueryStats()
+		env.Stats = qs
+	}
+	rows, err := calc.Execute(g, root, env)
+	if so != nil {
+		// Render even on error: a killed or timed-out statement keeps
+		// the actuals it accumulated up to the cancellation point.
+		so.plan = g.ExplainAnalyze(root, qs)
+		so.lines = g.StatsLines(root, qs)
+	}
 	if err != nil {
 		return nil, err
 	}
@@ -252,10 +270,11 @@ func (e *Engine) Explain(text string) (string, error) {
 	if err != nil {
 		return "", err
 	}
-	binds := make([]types.Value, cs.NumParams)
-	for i, k := range cs.ParamKinds {
-		binds[i] = zeroOf(k)
-	}
+	return e.staticPlan(cs, zeroBinds(cs))
+}
+
+// staticPlan renders the optimized plan without executing.
+func (e *Engine) staticPlan(cs *CompiledStmt, binds []types.Value) (string, error) {
 	switch s := cs.Stmt.(type) {
 	case *SelectStmt:
 		g := calc.NewGraph()

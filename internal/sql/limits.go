@@ -3,9 +3,9 @@ package sql
 import (
 	"context"
 	"errors"
+	"strings"
 	"time"
 
-	"repro/internal/budget"
 	"repro/internal/mvcc"
 	"repro/internal/types"
 )
@@ -45,11 +45,34 @@ func (e *Engine) CurrentLimits() Limits {
 // layered on top — a timeout surfaces as ErrStatementTimeout, a
 // memory overrun as budget.ErrBudgetExceeded.
 func (e *Engine) ExecCtx(ctx context.Context, tx *mvcc.Txn, text string, params ...types.Value) (*Result, error) {
+	if rest, analyze, ok := CutExplain(text); ok {
+		return e.explainResult(ctx, tx, rest, analyze, params)
+	}
 	cs, err := e.compile(text)
 	if err != nil {
 		return nil, err
 	}
 	return e.execLimited(ctx, tx, cs, params)
+}
+
+// explainResult runs EXPLAIN [ANALYZE] as a statement: the plan comes
+// back as one result row per line under a single "plan" column.
+func (e *Engine) explainResult(ctx context.Context, tx *mvcc.Txn, text string, analyze bool, params []types.Value) (*Result, error) {
+	var plan string
+	var err error
+	if analyze {
+		plan, _, err = e.ExplainAnalyzeCtx(ctx, tx, text, params...)
+	} else {
+		plan, err = e.Explain(text)
+	}
+	if err != nil {
+		return nil, err
+	}
+	res := &Result{Cols: []string{"plan"}}
+	for _, line := range strings.Split(strings.TrimRight(plan, "\n"), "\n") {
+		res.Rows = append(res.Rows, []types.Value{types.Str(line)})
+	}
+	return res, nil
 }
 
 // ExecCtx runs the prepared statement under a context with the
@@ -58,34 +81,10 @@ func (p *Prepared) ExecCtx(ctx context.Context, tx *mvcc.Txn, params ...types.Va
 	return p.eng.execLimited(ctx, tx, p.cs, params)
 }
 
-// execLimited wraps execCompiled with the engine's statement limits:
-// it arms the per-statement deadline, attaches the memory meter to
-// the context (every scan and build below charges it), and maps raw
-// context errors back to their typed cause on the way out.
+// execLimited runs one statement with the engine's limits applied and
+// no explicit stats collection — execObserved still arms collection
+// by itself when a slow-query threshold is active, so a statement
+// that crosses the threshold lands in the slow log with actuals.
 func (e *Engine) execLimited(ctx context.Context, tx *mvcc.Txn, cs *CompiledStmt, params []types.Value) (*Result, error) {
-	if ctx == nil {
-		ctx = context.Background()
-	}
-	lim := e.CurrentLimits()
-	if lim.Timeout > 0 {
-		var cancel context.CancelFunc
-		ctx, cancel = context.WithTimeoutCause(ctx, lim.Timeout, ErrStatementTimeout)
-		defer cancel()
-	}
-	if m := budget.NewMeter(lim.MemBytes); m != nil {
-		ctx = budget.WithMeter(ctx, m)
-	}
-	res, err := e.execCompiled(ctx, tx, cs, params)
-	if err != nil {
-		// Scans report bare ctx.Err(); the cause carries the typed
-		// reason — ErrStatementTimeout for our deadline, or the KILL
-		// cause installed by the caller's CancelCause.
-		if errors.Is(err, context.DeadlineExceeded) || errors.Is(err, context.Canceled) {
-			if cause := context.Cause(ctx); cause != nil {
-				err = cause
-			}
-		}
-		return nil, err
-	}
-	return res, nil
+	return e.execObserved(ctx, tx, cs, params, nil)
 }

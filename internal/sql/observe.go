@@ -1,0 +1,232 @@
+package sql
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"strings"
+	"time"
+
+	"repro/internal/budget"
+	"repro/internal/calc"
+	"repro/internal/mvcc"
+	"repro/internal/obs"
+	"repro/internal/types"
+)
+
+// ctxKey scopes the engine's context values.
+type ctxKey int
+
+const (
+	ctxStmtID ctxKey = iota
+	ctxSlowQuery
+)
+
+// WithStmtID tags the context with the statement id the session layer
+// assigned ("<session>.<seq>"); statement span events carry it so
+// TRACE <stmt-id> can replay one query's lifecycle.
+func WithStmtID(ctx context.Context, id string) context.Context {
+	return context.WithValue(ctx, ctxStmtID, id)
+}
+
+// StmtIDFrom returns the statement id tagged by WithStmtID, or "".
+func StmtIDFrom(ctx context.Context) string {
+	id, _ := ctx.Value(ctxStmtID).(string)
+	return id
+}
+
+// WithSlowQuery overrides the engine's slow-query threshold for
+// statements run under this context (a session's SET SLOW_QUERY_MS).
+// d == 0 disables capture for the session regardless of the engine
+// default.
+func WithSlowQuery(ctx context.Context, d time.Duration) context.Context {
+	return context.WithValue(ctx, ctxSlowQuery, d)
+}
+
+// slowOverride returns the per-context threshold, if set.
+func slowOverride(ctx context.Context) (time.Duration, bool) {
+	d, ok := ctx.Value(ctxSlowQuery).(time.Duration)
+	return d, ok
+}
+
+// CutExplain splits a leading EXPLAIN [ANALYZE] keyword off the
+// statement text. ok reports whether the text was an EXPLAIN at all.
+func CutExplain(text string) (rest string, analyze, ok bool) {
+	w, r := cutWord(text)
+	if !strings.EqualFold(w, "EXPLAIN") {
+		return text, false, false
+	}
+	if w2, r2 := cutWord(r); strings.EqualFold(w2, "ANALYZE") {
+		return r2, true, true
+	}
+	return r, false, true
+}
+
+// cutWord splits the first whitespace-delimited word off s.
+func cutWord(s string) (word, rest string) {
+	s = strings.TrimLeft(s, " \t\r\n")
+	i := strings.IndexAny(s, " \t\r\n")
+	if i < 0 {
+		return s, ""
+	}
+	return s[:i], strings.TrimLeft(s[i:], " \t\r\n")
+}
+
+// stmtObs accumulates one statement's observability products: the
+// annotated plan and the stats tree (filled by execQuery when
+// collection is armed), plus timing and outcome stamped by
+// execObserved. A nil *stmtObs disables per-operator collection.
+type stmtObs struct {
+	slow    time.Duration // capture threshold (0 = no slow capture)
+	plan    string        // ExplainAnalyze rendering, or annotated DML line
+	lines   []calc.StatLine
+	dur     time.Duration
+	outcome string
+}
+
+// slowThreshold resolves the effective slow-query threshold: the
+// session override when present, else the engine default.
+func (e *Engine) slowThreshold(ctx context.Context) time.Duration {
+	if d, ok := slowOverride(ctx); ok {
+		return d
+	}
+	return e.SlowQueryThreshold()
+}
+
+// execObserved is the engine's full statement path: limits armed,
+// actuals collected when requested (so != nil) or when the statement
+// may need slow-query capture, spans emitted, and the slow ring fed.
+// execLimited delegates here with so == nil — the common case, where
+// the only overhead is one threshold lookup.
+func (e *Engine) execObserved(ctx context.Context, tx *mvcc.Txn, cs *CompiledStmt, params []types.Value, so *stmtObs) (*Result, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	slow := e.slowThreshold(ctx)
+	if so == nil && slow > 0 {
+		// Arm collection so a threshold-exceeding statement has its
+		// actuals when it lands in the slow ring.
+		so = &stmtObs{}
+	}
+	if so != nil {
+		so.slow = slow
+	}
+	lim := e.CurrentLimits()
+	if lim.Timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeoutCause(ctx, lim.Timeout, ErrStatementTimeout)
+		defer cancel()
+	}
+	if m := budget.NewMeter(lim.MemBytes); m != nil {
+		ctx = budget.WithMeter(ctx, m)
+	}
+	var t0 time.Time
+	if so != nil {
+		t0 = time.Now()
+	}
+	res, err := e.execCompiled(ctx, tx, cs, params, so)
+	if err != nil {
+		if errors.Is(err, context.DeadlineExceeded) || errors.Is(err, context.Canceled) {
+			if cause := context.Cause(ctx); cause != nil {
+				err = cause
+			}
+		}
+	}
+	if so != nil {
+		so.dur = time.Since(t0)
+		so.outcome = classifyOutcome(ctx, err)
+		e.observeStmt(ctx, cs, so, res, err)
+	}
+	if err != nil {
+		return nil, err
+	}
+	return res, nil
+}
+
+// classifyOutcome buckets a statement's fate for spans and the slow
+// log: ok, timeout, budget, killed, or error.
+func classifyOutcome(ctx context.Context, err error) string {
+	switch {
+	case err == nil:
+		return "ok"
+	case errors.Is(err, ErrStatementTimeout) || errors.Is(err, context.DeadlineExceeded):
+		return "timeout"
+	case errors.Is(err, budget.ErrBudgetExceeded):
+		return "budget"
+	case errors.Is(ctx.Err(), context.Canceled):
+		return "killed"
+	default:
+		return "error"
+	}
+}
+
+// observeStmt emits the statement's plan/operator/morsel span events
+// and captures it into the slow ring when it crossed the threshold.
+func (e *Engine) observeStmt(ctx context.Context, cs *CompiledStmt, so *stmtObs, res *Result, err error) {
+	if so.plan == "" {
+		// DML/DDL: annotate the static one-line description with the
+		// observed actuals.
+		if sp, perr := e.staticPlan(cs, zeroBinds(cs)); perr == nil {
+			sp = strings.TrimRight(sp, "\n")
+			if err == nil && res != nil {
+				sp += fmt.Sprintf(" (actual: affected=%d wall=%s)", res.Affected, so.dur.Round(time.Microsecond))
+			} else {
+				sp += fmt.Sprintf(" (%s after %s)", so.outcome, so.dur.Round(time.Microsecond))
+			}
+			so.plan = sp
+		}
+	}
+	id := StmtIDFrom(ctx)
+	reg := e.db.Metrics()
+	if reg.Enabled() && len(so.lines) > 0 {
+		reg.Trace(obs.Event{Kind: obs.EvStmtPlan, Stmt: id, Rows: len(so.lines),
+			Detail: so.lines[0].Label})
+		for _, l := range so.lines {
+			if l.Shared || !l.Stats.Touched() {
+				continue
+			}
+			reg.Trace(obs.Event{Kind: obs.EvStmtOp, Stmt: id,
+				Rows: int(l.Stats.RowsOut()), Dur: l.Stats.Wall(),
+				Detail: l.Label + " " + l.Stats.Actuals()})
+			if l.Stats.Morsels() > 0 {
+				reg.Trace(obs.Event{Kind: obs.EvStmtMorsel, Stmt: id,
+					Rows:   int(l.Stats.Morsels()),
+					Detail: fmt.Sprintf("%s workers=%d", l.Label, l.Stats.Workers())})
+			}
+		}
+	}
+	if so.slow > 0 && so.dur >= so.slow {
+		entry := SlowEntry{SQL: cs.Text, Dur: so.dur, Outcome: so.outcome, Plan: so.plan}
+		entry.Time = time.Now()
+		if res != nil {
+			entry.Rows = len(res.Rows)
+			entry.Affected = res.Affected
+		}
+		e.recordSlow(entry)
+	}
+}
+
+// zeroBinds builds zero-valued parameter bindings of the inferred
+// kinds, for plan rendering when real parameters are unavailable.
+func zeroBinds(cs *CompiledStmt) []types.Value {
+	binds := make([]types.Value, cs.NumParams)
+	for i, k := range cs.ParamKinds {
+		binds[i] = zeroOf(k)
+	}
+	return binds
+}
+
+// ExplainAnalyzeCtx compiles and EXECUTES the statement, then returns
+// the plan annotated with per-operator actuals alongside the result.
+// On failure the plan still describes whatever ran before the error —
+// a killed or timed-out statement shows partial actuals up to the
+// cancellation point.
+func (e *Engine) ExplainAnalyzeCtx(ctx context.Context, tx *mvcc.Txn, text string, params ...types.Value) (string, *Result, error) {
+	cs, err := e.compile(text)
+	if err != nil {
+		return "", nil, err
+	}
+	so := &stmtObs{}
+	res, err := e.execObserved(ctx, tx, cs, params, so)
+	return so.plan, res, err
+}

@@ -1,0 +1,109 @@
+package sql
+
+import (
+	"sync"
+	"time"
+	"unicode/utf8"
+)
+
+// slowLogCap bounds the slow-query ring: old entries are overwritten,
+// never freed en masse — the log survives bursts without growing.
+const slowLogCap = 128
+
+// slowSQLCap bounds the captured statement text: a bulk multi-VALUES
+// INSERT can run to megabytes, and the ring must stay cheap to hold
+// and cheap to render.
+const slowSQLCap = 512
+
+// SlowEntry is one captured slow statement: what ran, how long it
+// took, how it ended, and the plan annotated with actuals (collection
+// is armed automatically whenever a slow threshold is active, so the
+// plan always carries per-operator numbers).
+type SlowEntry struct {
+	// Time is when the statement finished.
+	Time time.Time
+	// SQL is the normalized statement text, truncated to slowSQLCap
+	// bytes (bulk multi-VALUES inserts can run to megabytes).
+	SQL string
+	// Dur is the statement's wall-clock time.
+	Dur time.Duration
+	// Outcome is ok, timeout, killed, budget, or error.
+	Outcome string
+	// Rows and Affected are the result sizes (query/DML).
+	Rows, Affected int
+	// Plan is the EXPLAIN ANALYZE rendering at capture time.
+	Plan string
+}
+
+// slowRing is a fixed-capacity overwrite ring of slow statements.
+type slowRing struct {
+	mu   sync.Mutex
+	buf  []SlowEntry
+	next int
+	full bool
+}
+
+func (r *slowRing) add(e SlowEntry) {
+	r.mu.Lock()
+	if r.buf == nil {
+		r.buf = make([]SlowEntry, slowLogCap)
+	}
+	r.buf[r.next] = e
+	if r.next++; r.next == len(r.buf) {
+		r.next = 0
+		r.full = true
+	}
+	r.mu.Unlock()
+}
+
+// last returns up to n most recent entries, oldest first (n <= 0
+// means everything retained).
+func (r *slowRing) last(n int) []SlowEntry {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	var out []SlowEntry
+	if r.full {
+		out = append(out, r.buf[r.next:]...)
+	}
+	out = append(out, r.buf[:r.next]...)
+	if n > 0 && len(out) > n {
+		out = out[len(out)-n:]
+	}
+	return out
+}
+
+// SetSlowQuery installs the engine-wide slow-query threshold; 0
+// disables capture. Sessions can override per connection with
+// WithSlowQuery. Safe for concurrent use.
+func (e *Engine) SetSlowQuery(d time.Duration) {
+	e.mu.Lock()
+	e.slowThresh = d
+	e.mu.Unlock()
+}
+
+// SlowQueryThreshold returns the engine-wide threshold (0 = off).
+func (e *Engine) SlowQueryThreshold() time.Duration {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return e.slowThresh
+}
+
+// SlowLog returns up to n most recent slow-query captures, oldest
+// first (n <= 0 returns everything the ring retains).
+func (e *Engine) SlowLog(n int) []SlowEntry {
+	return e.slowLog.last(n)
+}
+
+// recordSlow captures one slow statement and counts it. Statement
+// text beyond slowSQLCap bytes is truncated with an ellipsis.
+func (e *Engine) recordSlow(entry SlowEntry) {
+	if len(entry.SQL) > slowSQLCap {
+		cut := slowSQLCap
+		for cut > 0 && !utf8.RuneStart(entry.SQL[cut]) {
+			cut-- // never split a multi-byte rune in a string literal
+		}
+		entry.SQL = entry.SQL[:cut] + "…"
+	}
+	e.slowLog.add(entry)
+	e.slowCtr.Inc()
+}
